@@ -1,0 +1,281 @@
+//! Class-balanced two-phase trace capture.
+
+use gatesim::{Derating, SamplingConfig, SimConfig, Simulator};
+use leakage_core::ClassifiedTraces;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use sbox_circuits::SboxCircuit;
+
+/// Acquisition parameters. The default reproduces the paper: 64 traces per
+/// class (1024 total), 100 samples over 2 ns, Vdd 1.2 V / 85 °C.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolConfig {
+    /// Traces collected for each of the 16 classes.
+    pub traces_per_class: usize,
+    /// Oscilloscope configuration.
+    pub sampling: SamplingConfig,
+    /// Electrical/timing simulator configuration.
+    pub sim: SimConfig,
+    /// Seed for mask randomness and class-order shuffling.
+    pub seed: u64,
+}
+
+impl Default for ProtocolConfig {
+    fn default() -> Self {
+        Self {
+            traces_per_class: 64,
+            sampling: SamplingConfig::default(),
+            sim: SimConfig::default(),
+            seed: 0xD47E_2022,
+        }
+    }
+}
+
+/// Number of classes (the PRESENT S-box input space).
+pub const NUM_CLASSES: usize = 16;
+
+/// Acquire a class-balanced trace set from a fresh (unaged) device.
+pub fn acquire(circuit: &SboxCircuit, config: &ProtocolConfig) -> ClassifiedTraces {
+    let derating = Derating::fresh(circuit.netlist());
+    acquire_with_derating(circuit, config, &derating)
+}
+
+/// Acquire from a device with per-gate aging derating applied.
+pub fn acquire_with_derating(
+    circuit: &SboxCircuit,
+    config: &ProtocolConfig,
+    derating: &Derating,
+) -> ClassifiedTraces {
+    let sim = Simulator::with_derating(circuit.netlist(), &config.sim, derating);
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut set = ClassifiedTraces::new(NUM_CLASSES, config.sampling.samples);
+    for (class, initial, final_inputs) in stimuli(circuit, config, &mut rng) {
+        let trace = sim.capture_with_rng(&initial, &final_inputs, &config.sampling, &mut rng);
+        set.push(class, trace);
+    }
+    set
+}
+
+/// The balanced, shuffled stimulus schedule: `(class, initial, final)`
+/// triples in acquisition order.
+///
+/// Mask randomness is sampled **stratified per class**: each independent
+/// mask subfield (MI, MO, gadget R, TI share triplets) cycles through its
+/// value space an equal number of times within a class's batch before
+/// being shuffled. This is the "non-biased evaluation … fair comparison"
+/// of paper §V-A: with only 64 traces per class, i.i.d. mask draws would
+/// leave sampling noise that swamps the small residual leakage of the
+/// masked styles.
+fn stimuli(
+    circuit: &SboxCircuit,
+    config: &ProtocolConfig,
+    rng: &mut SmallRng,
+) -> Vec<(usize, Vec<bool>, Vec<bool>)> {
+    let enc = circuit.encoding();
+    let mut all = Vec::with_capacity(NUM_CLASSES * config.traces_per_class);
+    for class in 0..NUM_CLASSES {
+        let final_masks = balanced_mask_words(enc, config.traces_per_class, rng);
+        // Initial masks are the final masks XOR a *balanced difference*:
+        // the mask-transition statistics (which drive switching energy)
+        // are then identical across classes, so mask-pairing sampling
+        // noise cannot masquerade as class leakage.
+        let diffs = balanced_mask_words(enc, config.traces_per_class, rng);
+        for (fm, d) in final_masks.into_iter().zip(diffs) {
+            let initial = enc.encode_masked(0, fm ^ d);
+            let final_inputs = enc.encode_masked(class as u8, fm);
+            all.push((class, initial, final_inputs));
+        }
+    }
+    all.shuffle(rng);
+    all
+}
+
+/// Mask words whose independent subfields are each exactly balanced over
+/// their value space (up to remainder when `count` is not a multiple),
+/// shuffled so subfields pair randomly.
+fn balanced_mask_words(
+    enc: &sbox_circuits::InputEncoding,
+    count: usize,
+    rng: &mut SmallRng,
+) -> Vec<u32> {
+    let fields = enc.mask_fields();
+    let mut words = vec![0u32; count];
+    let mut shift = 0usize;
+    for &width in fields {
+        let size = 1usize << width;
+        let mut vals: Vec<u32> = (0..count).map(|i| (i % size) as u32).collect();
+        vals.shuffle(rng);
+        for (word, v) in words.iter_mut().zip(vals) {
+            *word |= v << shift;
+        }
+        shift += width;
+    }
+    words
+}
+
+/// Traces labelled with known plaintexts for a CPA experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpaAcquisition {
+    /// The secret key nibble the traces were captured under.
+    pub key: u8,
+    /// Plaintext nibble of each trace.
+    pub plaintexts: Vec<u8>,
+    /// Power trace of each acquisition.
+    pub traces: Vec<Vec<f64>>,
+}
+
+/// Acquire an attack dataset: uniformly random plaintext nibbles, the
+/// round-key addition `t = p ⊕ k` applied in the (unmasked) stimulus
+/// domain, masks fresh per trace.
+///
+/// # Panics
+///
+/// Panics if `key >= 16` or `traces == 0`.
+pub fn acquire_cpa(
+    circuit: &SboxCircuit,
+    config: &ProtocolConfig,
+    key: u8,
+    traces: usize,
+) -> CpaAcquisition {
+    assert!(key < 16);
+    assert!(traces > 0);
+    let sim = Simulator::new(circuit.netlist(), &config.sim);
+    let mut rng = SmallRng::seed_from_u64(config.seed ^ 0xC0FF_EE00);
+    let mut plaintexts = Vec::with_capacity(traces);
+    let mut out = Vec::with_capacity(traces);
+    for _ in 0..traces {
+        let p: u8 = rng.gen_range(0..16);
+        let t = p ^ key;
+        let initial = circuit.encoding().encode(0, &mut rng);
+        let final_inputs = circuit.encoding().encode(t, &mut rng);
+        let trace = sim.capture_with_rng(&initial, &final_inputs, &config.sampling, &mut rng);
+        plaintexts.push(p);
+        out.push(trace);
+    }
+    CpaAcquisition {
+        key,
+        plaintexts,
+        traces: out,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbox_circuits::Scheme;
+
+    fn small_config() -> ProtocolConfig {
+        ProtocolConfig {
+            traces_per_class: 4,
+            ..ProtocolConfig::default()
+        }
+    }
+
+    #[test]
+    fn classes_are_balanced_and_complete() {
+        let circuit = SboxCircuit::build(Scheme::Opt);
+        let set = acquire(&circuit, &small_config());
+        assert_eq!(set.len(), 64);
+        assert_eq!(set.class_counts(), vec![4; 16]);
+        assert_eq!(set.samples(), 100);
+    }
+
+    #[test]
+    fn acquisition_is_deterministic_in_the_seed() {
+        let circuit = SboxCircuit::build(Scheme::Rsm);
+        let a = acquire(&circuit, &small_config());
+        let b = acquire(&circuit, &small_config());
+        assert_eq!(a, b);
+        let other = acquire(
+            &circuit,
+            &ProtocolConfig {
+                seed: 1,
+                ..small_config()
+            },
+        );
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn unprotected_traces_differ_by_class() {
+        let circuit = SboxCircuit::build(Scheme::Lut);
+        let set = acquire(&circuit, &small_config());
+        let means = set.class_means();
+        let m0: f64 = means[0].iter().sum();
+        assert!(
+            (1..16).any(|c| (means[c].iter().sum::<f64>() - m0).abs() > 1e-9),
+            "all class means identical — no signal at all?"
+        );
+    }
+
+    #[test]
+    fn class_zero_final_values_cause_least_activity() {
+        // Initial and final both encode class 0 for unprotected circuits:
+        // identical inputs → zero events → an all-zero class-0 mean.
+        let circuit = SboxCircuit::build(Scheme::Opt);
+        let set = acquire(&circuit, &small_config());
+        let means = set.class_means();
+        assert!(means[0].iter().all(|&p| p == 0.0));
+        assert!(means[5].iter().any(|&p| p > 0.0));
+    }
+
+    #[test]
+    fn mask_subfields_are_exactly_balanced() {
+        let mut rng = SmallRng::seed_from_u64(99);
+        for scheme in [Scheme::Glut, Scheme::Rsm, Scheme::Isw, Scheme::Ti] {
+            let enc = sbox_circuits::InputEncoding::for_scheme(scheme);
+            let words = balanced_mask_words(&enc, 64, &mut rng);
+            assert_eq!(words.len(), 64);
+            let mut shift = 0usize;
+            for &width in enc.mask_fields() {
+                let size = 1usize << width;
+                let mut counts = vec![0usize; size];
+                for &w in &words {
+                    counts[((w >> shift) as usize) & (size - 1)] += 1;
+                }
+                let expect = 64 / size;
+                assert!(
+                    counts.iter().all(|&c| c == expect),
+                    "{scheme} field at {shift}: {counts:?}"
+                );
+                shift += width;
+            }
+        }
+    }
+
+    #[test]
+    fn unprotected_mask_words_are_all_zero() {
+        let mut rng = SmallRng::seed_from_u64(100);
+        let enc = sbox_circuits::InputEncoding::for_scheme(Scheme::Lut);
+        let words = balanced_mask_words(&enc, 16, &mut rng);
+        assert!(words.iter().all(|&w| w == 0));
+    }
+
+    #[test]
+    fn stimuli_are_shuffled_across_classes() {
+        // Acquisition order must interleave classes (no block structure
+        // that would alias drift into class means).
+        let circuit = SboxCircuit::build(Scheme::Opt);
+        let set = acquire(&circuit, &small_config());
+        let labels: Vec<usize> = set.iter().map(|(c, _)| c).collect();
+        let sorted = {
+            let mut l = labels.clone();
+            l.sort_unstable();
+            l
+        };
+        assert_ne!(labels, sorted, "stimulus order should be shuffled");
+    }
+
+    #[test]
+    fn cpa_dataset_has_uniformish_plaintexts() {
+        let circuit = SboxCircuit::build(Scheme::Opt);
+        let data = acquire_cpa(&circuit, &small_config(), 0xB, 256);
+        assert_eq!(data.traces.len(), 256);
+        let mut counts = [0usize; 16];
+        for &p in &data.plaintexts {
+            counts[usize::from(p)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 0));
+    }
+}

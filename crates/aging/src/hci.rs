@@ -1,0 +1,65 @@
+//! Hot Carrier Injection: activity-driven, non-recovering drift.
+
+use crate::AgingConditions;
+
+/// Compact HCI model: carriers injected during output transitions shift
+/// the NMOS threshold voltage with the square root of the accumulated
+/// switching count; there is no recovery phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HciModel {
+    /// Volts of drift per √(transition).
+    prefactor_v: f64,
+    /// Clock frequency, Hz (transitions per cycle × f × t = total count).
+    clock_hz: f64,
+}
+
+impl HciModel {
+    /// Instantiate at the given operating conditions.
+    pub fn new(conditions: &AgingConditions) -> Self {
+        let temp_accel = ((conditions.temperature_c - 85.0) / 100.0).exp();
+        let vdd_accel = (conditions.vdd_v / 1.2).powi(2);
+        Self {
+            prefactor_v: 1.1e-10 * temp_accel * vdd_accel,
+            clock_hz: conditions.clock_mhz * 1e6,
+        }
+    }
+
+    /// Drift in volts after `months` of operation with the given average
+    /// output toggles per clock cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `toggle_rate` or `months` is negative.
+    pub fn delta_vth_v(&self, toggle_rate: f64, months: f64) -> f64 {
+        assert!(toggle_rate >= 0.0 && months >= 0.0);
+        let seconds = months * 30.0 * 24.0 * 3600.0;
+        let transitions = toggle_rate * self.clock_hz * seconds;
+        self.prefactor_v * transitions.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drift_scales_with_sqrt_time() {
+        let m = HciModel::new(&AgingConditions::default());
+        let v1 = m.delta_vth_v(0.5, 12.0);
+        let v4 = m.delta_vth_v(0.5, 48.0);
+        assert!((v4 / v1 - 2.0).abs() < 1e-9, "√4 = 2");
+    }
+
+    #[test]
+    fn idle_gates_do_not_age_by_hci() {
+        let m = HciModel::new(&AgingConditions::default());
+        assert_eq!(m.delta_vth_v(0.0, 48.0), 0.0);
+    }
+
+    #[test]
+    fn four_year_drift_is_tens_of_millivolts() {
+        let m = HciModel::new(&AgingConditions::default());
+        let v = m.delta_vth_v(0.5, 48.0);
+        assert!(v > 0.005 && v < 0.1, "drift {v} V out of plausible range");
+    }
+}

@@ -1,0 +1,43 @@
+//! Transistor aging models (BTI and HCI) and netlist derating.
+//!
+//! This crate replaces the paper's HSpice **MOSRA Level 3** reliability
+//! analysis with compact empirical models of the same observables:
+//!
+//! * [`BtiModel`] — Bias Temperature Instability. A transistor under stress
+//!   accumulates threshold-voltage drift following a power law in time
+//!   (`ΔVth ∝ tⁿ`, `n ≈ 0.16`); removing the stress partially *recovers*
+//!   the drift (paper Fig. 1). NBTI stresses PMOS devices while the gate
+//!   output is high, PBTI stresses NMOS while it is low.
+//! * [`HciModel`] — Hot Carrier Injection, driven by switching activity;
+//!   it accumulates with the square root of the number of transitions and
+//!   does not recover.
+//! * [`AgedDevice`] — combines both models with a per-gate workload
+//!   ([`gatesim::ActivityProfile`]) to produce the [`gatesim::Derating`]
+//!   table for any age: higher `Vth` means longer delays
+//!   (`delay ∝ Vdd/(Vdd−Vth)^α`) and weaker drive current, which is exactly
+//!   how aging shrinks the power traces (and thus the exploitable leakage)
+//!   in the paper's Figs. 7 and 8.
+//!
+//! # Example
+//!
+//! ```
+//! use aging::{AgingConditions, BtiKind, BtiModel};
+//!
+//! let nbti = BtiModel::new(BtiKind::Nbti, &AgingConditions::default());
+//! let six_months = nbti.delta_vth_v(0.5, 6.0);
+//! let four_years = nbti.delta_vth_v(0.5, 48.0);
+//! assert!(four_years > six_months);
+//! // Fast-then-slow: the first 6 months drift more than months 42–48.
+//! assert!(six_months > four_years - nbti.delta_vth_v(0.5, 42.0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bti;
+mod device;
+mod hci;
+
+pub use bti::{BtiKind, BtiModel, StressPhase, StressSchedule};
+pub use device::{AgedDevice, AgingConditions};
+pub use hci::HciModel;

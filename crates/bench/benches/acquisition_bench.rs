@@ -1,0 +1,50 @@
+//! Trace-acquisition and aging-pipeline cost — the per-figure experiment
+//! budget (Figs. 2–8 all stand on these loops).
+
+use acquisition::{acquire, LeakageStudy, ProtocolConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sbox_circuits::{SboxCircuit, Scheme};
+
+fn small_protocol() -> ProtocolConfig {
+    ProtocolConfig {
+        traces_per_class: 4,
+        ..ProtocolConfig::default()
+    }
+}
+
+fn bench_acquisition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("acquire/64traces");
+    group.sample_size(10);
+    for scheme in [Scheme::Opt, Scheme::Rsm, Scheme::Isw, Scheme::Ti] {
+        let circuit = SboxCircuit::build(scheme);
+        let config = small_protocol();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme.label()),
+            &(),
+            |b, ()| b.iter(|| acquire(&circuit, &config)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_aging_pipeline(c: &mut Criterion) {
+    let study = LeakageStudy::new(small_protocol());
+    let circuit = SboxCircuit::build(Scheme::Opt);
+    c.bench_function("aging/profile_and_model", |b| {
+        b.iter(|| study.aged_device(&circuit))
+    });
+    let device = study.aged_device(&circuit);
+    c.bench_function("aging/derating_at_48mo", |b| {
+        b.iter(|| device.derating_at_months(48.0))
+    });
+    c.bench_function("aging/timeline_2mo_steps", |b| {
+        b.iter(|| device.timeline(2.0, 48.0))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_acquisition, bench_aging_pipeline
+}
+criterion_main!(benches);

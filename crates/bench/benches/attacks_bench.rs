@@ -1,0 +1,40 @@
+//! CPA attack throughput and the PRESENT cipher reference speed.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use present_cipher::Present80;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sca_attacks::{cpa_attack, LeakageModel};
+
+fn bench_cpa(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(4);
+    let plaintexts: Vec<u8> = (0..512).map(|_| rng.gen_range(0..16)).collect();
+    let traces: Vec<Vec<f64>> = plaintexts
+        .iter()
+        .map(|&p| {
+            (0..100)
+                .map(|t| f64::from(present_cipher::sbox(p ^ 0xB).count_ones()) * (t as f64 / 100.0))
+                .collect()
+        })
+        .collect();
+    c.bench_function("cpa/512traces_100samples", |b| {
+        b.iter(|| cpa_attack(&plaintexts, &traces, LeakageModel::HammingWeight))
+    });
+}
+
+fn bench_present(c: &mut Criterion) {
+    let cipher = Present80::new([0x5A; 10]);
+    c.bench_function("present/encrypt_block", |b| {
+        b.iter(|| cipher.encrypt_block(black_box(0x0123_4567_89AB_CDEF)))
+    });
+    c.bench_function("present/key_schedule", |b| {
+        b.iter(|| Present80::new(black_box([0x5A; 10])))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_cpa, bench_present
+}
+criterion_main!(benches);

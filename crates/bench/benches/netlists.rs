@@ -1,0 +1,44 @@
+//! Netlist generation / synthesis cost per scheme (Table I column cost),
+//! plus functional-evaluation throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sbox_circuits::{SboxCircuit, Scheme};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netlist/build");
+    group.sample_size(10);
+    for scheme in Scheme::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme.label()),
+            &scheme,
+            |b, &scheme| b.iter(|| SboxCircuit::build(scheme)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_evaluation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netlist/evaluate");
+    for scheme in [Scheme::Lut, Scheme::Glut, Scheme::Ti] {
+        let circuit = SboxCircuit::build(scheme);
+        let inputs = vec![false; circuit.netlist().num_inputs()];
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme.label()),
+            &(),
+            |b, ()| b.iter(|| circuit.netlist().evaluate(&inputs)),
+        );
+    }
+    group.finish();
+
+    c.bench_function("netlist/stats_ti", |b| {
+        let circuit = SboxCircuit::build(Scheme::Ti);
+        b.iter(|| circuit.netlist().stats())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_generation, bench_evaluation
+}
+criterion_main!(benches);

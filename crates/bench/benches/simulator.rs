@@ -1,0 +1,75 @@
+//! Event-driven simulation throughput per scheme, plus power-model
+//! ablations (pulse shape, process-variation σ).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gatesim::{sample_waveform, PulseShape, SamplingConfig, SimConfig, Simulator};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sbox_circuits::{SboxCircuit, Scheme};
+
+fn bench_transitions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator/transition");
+    for scheme in Scheme::ALL {
+        let circuit = SboxCircuit::build(scheme);
+        let sim = Simulator::new(circuit.netlist(), &SimConfig::default());
+        let mut rng = SmallRng::seed_from_u64(1);
+        let initial = circuit.encoding().encode(0, &mut rng);
+        let final_inputs = circuit.encoding().encode(9, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme.label()),
+            &(),
+            |b, ()| b.iter(|| sim.transition(&initial, &final_inputs)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_capture_and_ablation(c: &mut Criterion) {
+    let circuit = SboxCircuit::build(Scheme::Isw);
+    let sim = Simulator::new(circuit.netlist(), &SimConfig::default());
+    let mut rng = SmallRng::seed_from_u64(2);
+    let initial = circuit.encoding().encode(0, &mut rng);
+    let final_inputs = circuit.encoding().encode(5, &mut rng);
+    let sampling = SamplingConfig::default();
+    c.bench_function("simulator/capture_isw", |b| {
+        b.iter(|| sim.capture(&initial, &final_inputs, &sampling))
+    });
+
+    // Ablation: waveform rendering cost by pulse shape.
+    let record = sim.transition(&initial, &final_inputs);
+    let mut group = c.benchmark_group("simulator/pulse_shape");
+    for shape in [PulseShape::Triangular, PulseShape::Rectangular] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{shape:?}")),
+            &shape,
+            |b, &shape| {
+                b.iter(|| {
+                    sample_waveform(&record.events, &sampling, 1.5, |g| sim.gate_delay_ps(g), shape)
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // Ablation: simulator construction under process-variation sweep.
+    let mut group = c.benchmark_group("simulator/process_sigma");
+    for sigma in [0.0, 0.05, 0.15] {
+        let cfg = SimConfig {
+            process_sigma: sigma,
+            ..SimConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{sigma}")),
+            &cfg,
+            |b, cfg| b.iter(|| Simulator::new(circuit.netlist(), cfg)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_transitions, bench_capture_and_ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Walsh–Hadamard transform and spectral-metric throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use leakage_core::{spectrum_of, ClassifiedTraces, LeakageSpectrum};
+
+fn bench_wht(c: &mut Criterion) {
+    let f16: Vec<f64> = (0..16).map(|x| (x as f64).sin()).collect();
+    c.bench_function("wht/spectrum_16", |b| {
+        b.iter(|| spectrum_of(black_box(&f16)))
+    });
+    let f1024: Vec<f64> = (0..1024).map(|x| (x as f64).cos()).collect();
+    c.bench_function("wht/spectrum_1024", |b| {
+        b.iter(|| spectrum_of(black_box(&f1024)))
+    });
+}
+
+fn bench_spectrum_pipeline(c: &mut Criterion) {
+    // 1024 traces × 100 samples, the paper's protocol size.
+    let mut set = ClassifiedTraces::new(16, 100);
+    for i in 0..1024usize {
+        let trace: Vec<f64> = (0..100).map(|t| ((i * t) as f64).sin()).collect();
+        set.push(i % 16, trace);
+    }
+    c.bench_function("spectrum/class_means_1024x100", |b| {
+        b.iter(|| set.class_means())
+    });
+    let means = set.class_means();
+    c.bench_function("spectrum/project_16x100", |b| {
+        b.iter(|| LeakageSpectrum::from_class_means(black_box(&means)))
+    });
+    let spectrum = LeakageSpectrum::from_class_means(&means);
+    c.bench_function("spectrum/total_leakage", |b| {
+        b.iter(|| spectrum.total_leakage_power())
+    });
+}
+
+criterion_group!(benches, bench_wht, bench_spectrum_pipeline);
+criterion_main!(benches);

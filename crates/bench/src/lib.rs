@@ -1,0 +1,6 @@
+//! Criterion benchmark harness for the sbox-leakage workspace.
+//!
+//! The benches measure the cost of every pipeline stage: the
+//! Walsh–Hadamard transform, netlist generation/synthesis, event-driven
+//! simulation per scheme, trace acquisition, aging evaluation and CPA.
+//! Run with `cargo bench --workspace`.

@@ -1,0 +1,120 @@
+//! Spectral-coefficient convergence versus trace count (paper Fig. 3).
+//!
+//! The estimator `â_u(T)` computed from class means converges to the true
+//! coefficient as traces accumulate; the paper observes it is already
+//! accurate at 1024 traces. [`coefficient_convergence`] replays that sweep.
+
+use crate::{ClassifiedTraces, LeakageSpectrum};
+
+/// One point of a convergence sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvergencePoint {
+    /// Number of traces used for the estimate.
+    pub traces: usize,
+    /// `a_u(t_ref)` for every `u` (including `u = 0`), at the reference
+    /// sample.
+    pub coefficients: Vec<f64>,
+    /// RMS deviation of the non-zero coefficients from the final
+    /// (all-trace) estimate.
+    pub rms_error_vs_final: f64,
+}
+
+/// Sweep the coefficient estimate over increasing trace-count prefixes at
+/// one reference sample index.
+///
+/// `counts` is typically a doubling ladder (16, 32, …, 1024). Counts larger
+/// than the stored trace count are clamped.
+///
+/// # Panics
+///
+/// Panics if `set` is empty, `counts` is empty, or `t_ref` is out of range.
+pub fn coefficient_convergence(
+    set: &ClassifiedTraces,
+    counts: &[usize],
+    t_ref: usize,
+) -> Vec<ConvergencePoint> {
+    assert!(!set.is_empty() && !counts.is_empty());
+    assert!(t_ref < set.samples());
+    let final_spectrum = LeakageSpectrum::from_class_means(&set.class_means());
+    let final_coeffs: Vec<f64> = (0..final_spectrum.num_sources())
+        .map(|u| final_spectrum.coefficient(u, t_ref))
+        .collect();
+    counts
+        .iter()
+        .map(|&raw| {
+            let n = raw.min(set.len());
+            let spectrum = LeakageSpectrum::from_class_means(&set.class_means_of_first(n));
+            let coefficients: Vec<f64> = (0..spectrum.num_sources())
+                .map(|u| spectrum.coefficient(u, t_ref))
+                .collect();
+            let rms_error_vs_final = {
+                let se: f64 = coefficients
+                    .iter()
+                    .zip(&final_coeffs)
+                    .skip(1)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum();
+                (se / (coefficients.len() - 1) as f64).sqrt()
+            };
+            ConvergencePoint {
+                traces: n,
+                coefficients,
+                rms_error_vs_final,
+            }
+        })
+        .collect()
+}
+
+/// A doubling ladder `start, 2·start, … ≤ end` (inclusive when `end` is a
+/// power-of-two multiple of `start`).
+pub fn doubling_counts(start: usize, end: usize) -> Vec<usize> {
+    assert!(start > 0 && end >= start);
+    let mut v = Vec::new();
+    let mut n = start;
+    while n <= end {
+        v.push(n);
+        n *= 2;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn doubling_ladder() {
+        assert_eq!(doubling_counts(16, 128), vec![16, 32, 64, 128]);
+        assert_eq!(doubling_counts(10, 35), vec![10, 20]);
+    }
+
+    #[test]
+    fn estimates_converge_with_more_traces() {
+        // Ground truth: class mean = class index; noisy observations.
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut set = ClassifiedTraces::new(16, 1);
+        for i in 0..1024usize {
+            let class = i % 16;
+            let noise: f64 = rng.gen::<f64>() - 0.5;
+            set.push(class, vec![class as f64 + 2.0 * noise]);
+        }
+        let sweep = coefficient_convergence(&set, &doubling_counts(32, 1024), 0);
+        let first = sweep.first().expect("non-empty").rms_error_vs_final;
+        let last = sweep.last().expect("non-empty").rms_error_vs_final;
+        assert!(last < first, "rms {last} !< {first}");
+        assert_eq!(sweep.last().expect("non-empty").traces, 1024);
+        // The final prefix IS the full set: zero deviation.
+        assert!(last < 1e-12);
+    }
+
+    #[test]
+    fn clamps_oversized_counts() {
+        let mut set = ClassifiedTraces::new(2, 1);
+        set.push(0, vec![1.0]);
+        set.push(1, vec![2.0]);
+        let sweep = coefficient_convergence(&set, &[100], 0);
+        assert_eq!(sweep[0].traces, 2);
+    }
+}

@@ -1,0 +1,218 @@
+//! Classical side-channel evaluation metrics that complement the
+//! Walsh–Hadamard decomposition: SNR, NICV, and the confusion coefficient
+//! of Fei et al. (the paper's citation [18]) that makes the S-box "the
+//! most leaking function in symmetric cryptography".
+
+use crate::ClassifiedTraces;
+
+/// Per-sample signal-to-noise ratio: variance of the class means over the
+/// mean of the within-class variances (Mangard's SNR).
+///
+/// Samples where no trace varies at all yield an SNR of 0.
+///
+/// # Panics
+///
+/// Panics if `set` is empty.
+pub fn snr(set: &ClassifiedTraces) -> Vec<f64> {
+    assert!(!set.is_empty());
+    let samples = set.samples();
+    let num_classes = set.num_classes();
+    let means = set.class_means();
+    let counts = set.class_counts();
+    let mut within = vec![vec![0.0f64; samples]; num_classes];
+    for (class, trace) in set.iter() {
+        for (s, &x) in trace.iter().enumerate() {
+            let d = x - means[class][s];
+            within[class][s] += d * d;
+        }
+    }
+    (0..samples)
+        .map(|s| {
+            let grand: f64 = (0..num_classes)
+                .map(|c| means[c][s] * counts[c] as f64)
+                .sum::<f64>()
+                / set.len() as f64;
+            let signal: f64 = (0..num_classes)
+                .map(|c| {
+                    let d = means[c][s] - grand;
+                    counts[c] as f64 * d * d
+                })
+                .sum::<f64>()
+                / set.len() as f64;
+            let noise: f64 =
+                (0..num_classes).map(|c| within[c][s]).sum::<f64>() / set.len() as f64;
+            if noise == 0.0 {
+                // Noise-free: either a constant sample (no signal) or a
+                // perfectly class-determined one (infinite SNR).
+                if signal == 0.0 {
+                    0.0
+                } else {
+                    f64::INFINITY
+                }
+            } else {
+                signal / noise
+            }
+        })
+        .collect()
+}
+
+/// Per-sample Normalized Inter-Class Variance:
+/// `Var(E[X|class]) / Var(X)` ∈ [0, 1]. NICV = 1 means the sample is fully
+/// explained by the class; 0 means it carries no class information.
+///
+/// # Panics
+///
+/// Panics if `set` is empty.
+pub fn nicv(set: &ClassifiedTraces) -> Vec<f64> {
+    assert!(!set.is_empty());
+    let samples = set.samples();
+    let means = set.class_means();
+    let counts = set.class_counts();
+    let n = set.len() as f64;
+    (0..samples)
+        .map(|s| {
+            let grand: f64 = set.iter().map(|(_, t)| t[s]).sum::<f64>() / n;
+            let total_var: f64 = set
+                .iter()
+                .map(|(_, t)| {
+                    let d = t[s] - grand;
+                    d * d
+                })
+                .sum::<f64>()
+                / n;
+            if total_var == 0.0 {
+                return 0.0;
+            }
+            let between: f64 = means
+                .iter()
+                .zip(&counts)
+                .map(|(m, &c)| {
+                    let d = m[s] - grand;
+                    c as f64 * d * d
+                })
+                .sum::<f64>()
+                / n;
+            between / total_var
+        })
+        .collect()
+}
+
+/// The confusion coefficient `κ(k_a, k_b)` of Fei–Ding–Lao–Zhang for a
+/// single-bit leakage of an S-box: the probability, over uniform
+/// plaintexts, that the predicted bit differs between two key guesses.
+///
+/// A contrasted confusion-coefficient spectrum is what makes an S-box a
+/// rewarding CPA target (paper §IV).
+///
+/// # Panics
+///
+/// Panics if a key is not a nibble or `bit >= 4`.
+pub fn confusion_coefficient(
+    sbox: &[u8; 16],
+    key_a: u8,
+    key_b: u8,
+    bit: usize,
+) -> f64 {
+    assert!(key_a < 16 && key_b < 16 && bit < 4);
+    let differing = (0..16u8)
+        .filter(|&p| {
+            let va = (sbox[usize::from(p ^ key_a)] >> bit) & 1;
+            let vb = (sbox[usize::from(p ^ key_b)] >> bit) & 1;
+            va != vb
+        })
+        .count();
+    differing as f64 / 16.0
+}
+
+/// The full confusion matrix for one output bit (16 × 16, symmetric,
+/// zero diagonal).
+pub fn confusion_matrix(sbox: &[u8; 16], bit: usize) -> Vec<Vec<f64>> {
+    (0..16u8)
+        .map(|a| {
+            (0..16u8)
+                .map(|b| confusion_coefficient(sbox, a, b, bit))
+                .collect()
+        })
+        .collect()
+}
+
+/// Mean and variance of the off-diagonal confusion coefficients — the
+/// "contrast" statistic: higher variance ⇒ easier key distinguishing.
+pub fn confusion_contrast(sbox: &[u8; 16], bit: usize) -> (f64, f64) {
+    let matrix = confusion_matrix(sbox, bit);
+    let off: Vec<f64> = (0..16)
+        .flat_map(|a| (0..16).filter(move |&b| a != b).map(move |b| (a, b)))
+        .map(|(a, b)| matrix[a][b])
+        .collect();
+    let mean = off.iter().sum::<f64>() / off.len() as f64;
+    let var = off.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / off.len() as f64;
+    (mean, var)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PRESENT_SBOX: [u8; 16] = [
+        0xC, 0x5, 0x6, 0xB, 0x9, 0x0, 0xA, 0xD, 0x3, 0xE, 0xF, 0x8, 0x4, 0x7, 0x1, 0x2,
+    ];
+
+    fn toy_set() -> ClassifiedTraces {
+        // Sample 0: class-determined; sample 1: pure noise-like alternation.
+        let mut set = ClassifiedTraces::new(4, 2);
+        for class in 0..4usize {
+            for rep in 0..4usize {
+                set.push(class, vec![class as f64, (rep % 2) as f64]);
+            }
+        }
+        set
+    }
+
+    #[test]
+    fn snr_separates_signal_from_noise_samples() {
+        let s = snr(&toy_set());
+        assert!(s[0] > 100.0, "deterministic class sample: SNR {}", s[0]);
+        assert!(s[1] < 1e-9, "class-independent sample: SNR {}", s[1]);
+    }
+
+    #[test]
+    fn nicv_is_bounded_and_ordered_like_snr() {
+        let v = nicv(&toy_set());
+        assert!(v.iter().all(|&x| (0.0..=1.0 + 1e-12).contains(&x)));
+        assert!(v[0] > 0.99);
+        assert!(v[1] < 1e-9);
+    }
+
+    #[test]
+    fn confusion_is_symmetric_with_zero_diagonal() {
+        for bit in 0..4 {
+            let m = confusion_matrix(&PRESENT_SBOX, bit);
+            for (a, row) in m.iter().enumerate() {
+                assert_eq!(row[a], 0.0);
+                for (b, &v) in row.iter().enumerate() {
+                    assert_eq!(v, m[b][a]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn present_sbox_has_contrasted_confusion() {
+        // The paper calls the PRESENT S-box's confusion "contrasted":
+        // nonzero variance of the off-diagonal coefficients around ~0.5.
+        for bit in 0..4 {
+            let (mean, var) = confusion_contrast(&PRESENT_SBOX, bit);
+            assert!((0.3..0.7).contains(&mean), "bit {bit}: mean {mean}");
+            assert!(var > 0.0, "bit {bit}: flat confusion");
+        }
+    }
+
+    #[test]
+    fn identity_sbox_is_less_contrasted_than_present() {
+        let identity: [u8; 16] = std::array::from_fn(|i| i as u8);
+        let (_, var_id) = confusion_contrast(&identity, 0);
+        let (_, var_present) = confusion_contrast(&PRESENT_SBOX, 0);
+        assert!(var_present <= var_id,
+            "a cryptographically strong S-box flattens the worst-case confusion: {var_present} vs {var_id}");
+    }
+}

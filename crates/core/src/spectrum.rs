@@ -1,0 +1,224 @@
+//! The per-sample spectral decomposition and the paper's leakage metrics.
+
+use crate::wht::spectrum_of;
+
+/// The Walsh–Hadamard coefficients `a_u(T)` of a classified trace set, plus
+/// the leakage-power metrics defined on them (paper §V.B):
+///
+/// * `LeakagePower(T) = Σ_{u=1}^{2ⁿ−1} a_u(T)²`
+/// * `TotalLeakagePower = Σ_T LeakagePower(T)`
+/// * single-bit vs multi-bit split by the Hamming weight of `u`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeakageSpectrum {
+    n_bits: usize,
+    samples: usize,
+    /// `coeffs[u][t]` = a_u at sample t.
+    coeffs: Vec<Vec<f64>>,
+}
+
+impl LeakageSpectrum {
+    /// Project per-class mean traces (`2ⁿ × samples`) onto the orthonormal
+    /// Walsh–Hadamard basis, sample by sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of classes is not a power of two, or the rows
+    /// have unequal lengths.
+    pub fn from_class_means(class_means: &[Vec<f64>]) -> Self {
+        let num_classes = class_means.len();
+        assert!(
+            num_classes.is_power_of_two() && num_classes > 1,
+            "need a power-of-two class count"
+        );
+        let n_bits = num_classes.trailing_zeros() as usize;
+        let samples = class_means[0].len();
+        assert!(
+            class_means.iter().all(|m| m.len() == samples),
+            "ragged class means"
+        );
+        let mut coeffs = vec![vec![0.0f64; samples]; num_classes];
+        let mut column = vec![0.0f64; num_classes];
+        for t in 0..samples {
+            for (c, mean) in class_means.iter().enumerate() {
+                column[c] = mean[t];
+            }
+            let a = spectrum_of(&column);
+            for (u, &coef) in a.iter().enumerate() {
+                coeffs[u][t] = coef;
+            }
+        }
+        Self {
+            n_bits,
+            samples,
+            coeffs,
+        }
+    }
+
+    /// Number of unmasked input bits `n`.
+    pub fn n_bits(&self) -> usize {
+        self.n_bits
+    }
+
+    /// Samples per trace.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Number of leakage sources including `u = 0` (the waveform average).
+    pub fn num_sources(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// The coefficient `a_u(T)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `t` is out of range.
+    pub fn coefficient(&self, u: usize, t: usize) -> f64 {
+        self.coeffs[u][t]
+    }
+
+    /// The waveform of one leakage source over all samples.
+    pub fn source_waveform(&self, u: usize) -> &[f64] {
+        &self.coeffs[u]
+    }
+
+    /// `LeakagePower(T) = Σ_{u≠0} a_u(T)²`.
+    pub fn leakage_power(&self, t: usize) -> f64 {
+        self.coeffs[1..].iter().map(|row| row[t] * row[t]).sum()
+    }
+
+    /// `LeakagePower(T)` for every sample — the curves of the paper's
+    /// Figs. 6 and 8.
+    pub fn leakage_power_series(&self) -> Vec<f64> {
+        (0..self.samples).map(|t| self.leakage_power(t)).collect()
+    }
+
+    /// `TotalLeakagePower = Σ_T Σ_{u≠0} a_u(T)²` — the bars of Fig. 7.
+    pub fn total_leakage_power(&self) -> f64 {
+        (0..self.samples).map(|t| self.leakage_power(t)).sum()
+    }
+
+    /// Total leakage restricted to single-bit sources (`w_H(u) = 1`) —
+    /// the "solidly filled" sub-bars of Fig. 7.
+    pub fn total_single_bit(&self) -> f64 {
+        self.total_filtered(|u| u.count_ones() == 1)
+    }
+
+    /// Total leakage restricted to multi-bit (glitch-type) sources
+    /// (`w_H(u) > 1`) — the unfilled sub-bars of Fig. 7.
+    pub fn total_multi_bit(&self) -> f64 {
+        self.total_filtered(|u| u.count_ones() > 1)
+    }
+
+    /// Fraction of the total leakage carried by single-bit sources (the
+    /// ≈14 % vs ≈0.5 % statistic of §V.B.2). Returns 0 when nothing leaks.
+    pub fn single_bit_ratio(&self) -> f64 {
+        let total = self.total_leakage_power();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.total_single_bit() / total
+        }
+    }
+
+    /// Total (window-summed) squared coefficient of one source `u`.
+    pub fn source_total(&self, u: usize) -> f64 {
+        self.coeffs[u].iter().map(|a| a * a).sum()
+    }
+
+    /// The sources ordered by descending window-summed energy, excluding
+    /// `u = 0` — "which bit interactions leak most".
+    pub fn dominant_sources(&self) -> Vec<(usize, f64)> {
+        let mut v: Vec<(usize, f64)> = (1..self.num_sources())
+            .map(|u| (u, self.source_total(u)))
+            .collect();
+        v.sort_by(|a, b| b.1.total_cmp(&a.1));
+        v
+    }
+
+    fn total_filtered(&self, keep: impl Fn(u32) -> bool) -> f64 {
+        self.coeffs
+            .iter()
+            .enumerate()
+            .skip(1)
+            .filter(|(u, _)| keep(*u as u32))
+            .map(|(_, row)| row.iter().map(|a| a * a).sum::<f64>())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Class means whose sample 0 is constant and sample 1 equals bit 0 of
+    /// the class index.
+    fn toy_means() -> Vec<Vec<f64>> {
+        (0..16usize)
+            .map(|c| vec![5.0, (c & 1) as f64])
+            .collect()
+    }
+
+    #[test]
+    fn constant_sample_has_zero_leakage() {
+        let s = LeakageSpectrum::from_class_means(&toy_means());
+        assert!(s.leakage_power(0).abs() < 1e-20);
+    }
+
+    #[test]
+    fn single_bit_leak_lands_on_the_right_source() {
+        let s = LeakageSpectrum::from_class_means(&toy_means());
+        // f(t)=t₀ has spectrum concentrated on u=0 and u=1.
+        assert!(s.coefficient(1, 1).abs() > 0.1);
+        for u in 2..16 {
+            assert!(s.coefficient(u, 1).abs() < 1e-12, "u={u}");
+        }
+        assert!(s.total_single_bit() > 0.0);
+        assert_eq!(s.total_multi_bit(), 0.0);
+        assert!((s.single_bit_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pairwise_interaction_is_multi_bit() {
+        // f(t) = t₁·t₂ (an AND glitch condition).
+        let means: Vec<Vec<f64>> = (0..16usize)
+            .map(|c| vec![(((c >> 1) & (c >> 2)) & 1) as f64])
+            .collect();
+        let s = LeakageSpectrum::from_class_means(&means);
+        assert!(s.total_multi_bit() > 0.0);
+        // AND of two bits projects on u ∈ {0, 2, 4, 6}: single-bit parts
+        // exist (u=2, u=4), but the u=6 interaction term must be present.
+        assert!(s.source_total(6) > 0.0);
+    }
+
+    #[test]
+    fn parseval_total_equals_class_variance() {
+        // Σ_{u≠0} a_u² = Σ_t f(t)² − (Σ_t f(t))²/2ⁿ… with orthonormal
+        // scaling: Σ_u a_u² = Σ_t f², and a_0 = mean·2^{n/2}.
+        let means: Vec<Vec<f64>> = (0..16usize).map(|c| vec![c as f64]).collect();
+        let s = LeakageSpectrum::from_class_means(&means);
+        let f: Vec<f64> = (0..16).map(|c| c as f64).collect();
+        let total_sq: f64 = f.iter().map(|x| x * x).sum();
+        let mean: f64 = f.iter().sum::<f64>() / 16.0;
+        let variance_times_n = total_sq - 16.0 * mean * mean;
+        assert!((s.total_leakage_power() - variance_times_n).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dominant_sources_are_sorted() {
+        let s = LeakageSpectrum::from_class_means(&toy_means());
+        let dom = s.dominant_sources();
+        assert_eq!(dom.len(), 15);
+        assert_eq!(dom[0].0, 1);
+        for w in dom.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn rejects_non_power_of_two_classes() {
+        let _ = LeakageSpectrum::from_class_means(&vec![vec![0.0]; 3]);
+    }
+}

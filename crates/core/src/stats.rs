@@ -1,0 +1,95 @@
+//! Small statistics helpers shared across the analysis and attack crates.
+
+/// Arithmetic mean; 0.0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance; 0.0 for fewer than two points.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased sample variance; 0.0 for fewer than two points.
+pub fn sample_variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Pearson correlation coefficient of two equally long series; 0.0 when
+/// either side has no variance.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Example
+///
+/// ```
+/// use leakage_core::stats::pearson;
+///
+/// let x = [1.0, 2.0, 3.0, 4.0];
+/// let y = [2.0, 4.0, 6.0, 8.0];
+/// assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+/// ```
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "series lengths differ");
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        cov += dx * dy;
+        vx += dx * dx;
+        vy += dy * dy;
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_basics() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&xs), 2.5);
+        assert_eq!(variance(&xs), 1.25);
+        assert!((sample_variance(&xs) - 5.0 / 3.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[7.0]), 0.0);
+    }
+
+    #[test]
+    fn pearson_signs_and_degeneracy() {
+        let x = [1.0, 2.0, 3.0];
+        assert!((pearson(&x, &[3.0, 2.0, 1.0]) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&x, &[5.0, 5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn pearson_is_scale_invariant() {
+        let x = [0.1, 0.9, 0.4, 0.7, 0.2];
+        let y: Vec<f64> = x.iter().map(|v| 100.0 - 3.0 * v).collect();
+        assert!((pearson(&x, &y) + 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,115 @@
+//! Theorem 1 of the paper: *a random Boolean splitting of any order leaks
+//! the least-significant bit of the Hamming weight.*
+//!
+//! For a sensitive bit `x` split into `d+1` shares `x₀ ⊕ … ⊕ x_d = x`, the
+//! Hamming-weight leakage `w_H(x₀,…,x_d)` satisfies
+//! `LSB(w_H) = x₀ ⊕ … ⊕ x_d = x` — the parity of an additive leakage
+//! discloses the unmasked bit regardless of the masking order. This module
+//! verifies the identity exhaustively and measures the induced correlation
+//! on randomized sharings.
+
+use rand::Rng;
+
+/// Exhaustively check `LSB(w_H(shares)) = ⊕ shares` for every sharing of
+/// `d+1` shares. Returns the number of sharings checked.
+///
+/// # Panics
+///
+/// Panics if `d + 1 > 20` (the enumeration would be too large) — and, by
+/// design, if the theorem were ever violated.
+pub fn verify_exhaustively(d: usize) -> usize {
+    let shares = d + 1;
+    assert!(shares <= 20);
+    let mut checked = 0;
+    for word in 0u32..(1 << shares) {
+        let hw = word.count_ones();
+        let parity = (word.count_ones() & 1) as u8;
+        let lsb_hw = (hw & 1) as u8;
+        assert_eq!(lsb_hw, parity, "Theorem 1 violated for sharing {word:b}");
+        checked += 1;
+    }
+    checked
+}
+
+/// Monte-Carlo estimate of the correlation between the unmasked bit `x`
+/// and `LSB(w_H)` over `trials` random sharings of order `d`.
+/// By Theorem 1 this is exactly 1.
+pub fn lsb_parity_correlation<R: Rng>(d: usize, trials: usize, rng: &mut R) -> f64 {
+    assert!(trials > 0);
+    let mut agree = 0usize;
+    for _ in 0..trials {
+        let x: u8 = rng.gen_range(0..2);
+        // Random sharing: d random shares, last share fixes the XOR.
+        let mut acc = 0u8;
+        let mut hw = 0u32;
+        for _ in 0..d {
+            let s: u8 = rng.gen_range(0..2);
+            acc ^= s;
+            hw += u32::from(s);
+        }
+        let last = acc ^ x;
+        hw += u32::from(last);
+        if (hw & 1) as u8 == x {
+            agree += 1;
+        }
+    }
+    // agreement rate → correlation for balanced binary variables.
+    2.0 * (agree as f64 / trials as f64) - 1.0
+}
+
+/// The parity-free counterexample: the *square* of a centred Hamming-weight
+/// leakage does **not** reveal `x` — confirming that Theorem 1 is about the
+/// parity structure, not any generic function of `w_H`. Returns the
+/// empirical correlation (≈ 0 for `d ≥ 1`).
+pub fn squared_hw_correlation<R: Rng>(d: usize, trials: usize, rng: &mut R) -> f64 {
+    assert!(trials > 0 && d >= 1);
+    let shares = d + 1;
+    let mut xs = Vec::with_capacity(trials);
+    let mut ls = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        let x: u8 = rng.gen_range(0..2);
+        let mut acc = 0u8;
+        let mut hw = 0i32;
+        for _ in 0..d {
+            let s: u8 = rng.gen_range(0..2);
+            acc ^= s;
+            hw += i32::from(s);
+        }
+        let last = acc ^ x;
+        hw += i32::from(last);
+        let centred = hw as f64 - shares as f64 / 2.0;
+        xs.push(f64::from(x));
+        ls.push(centred * centred);
+    }
+    crate::stats::pearson(&xs, &ls)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn theorem_holds_for_orders_one_to_eight() {
+        for d in 1..=8 {
+            assert_eq!(verify_exhaustively(d), 1 << (d + 1));
+        }
+    }
+
+    #[test]
+    fn monte_carlo_correlation_is_one() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for d in [1, 2, 3, 7] {
+            let c = lsb_parity_correlation(d, 2000, &mut rng);
+            assert_eq!(c, 1.0, "d={d}");
+        }
+    }
+
+    #[test]
+    fn squared_leakage_does_not_disclose() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let c = squared_hw_correlation(3, 50_000, &mut rng);
+        assert!(c.abs() < 0.03, "correlation {c}");
+    }
+}

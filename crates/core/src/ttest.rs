@@ -1,0 +1,105 @@
+//! Welch's t-test (TVLA) — the conventional leakage-assessment tool the
+//! paper's spectral method complements.
+//!
+//! The fixed-vs-random Test Vector Leakage Assessment computes, per sample,
+//! `t = (μ_A − μ_B) / √(s²_A/n_A + s²_B/n_B)`; |t| > 4.5 is the usual
+//! "leaks" threshold.
+
+use crate::stats::{mean, sample_variance};
+
+/// The customary TVLA pass/fail threshold on |t|.
+pub const TVLA_THRESHOLD: f64 = 4.5;
+
+/// Per-sample Welch t statistics between two groups of traces.
+///
+/// Returns 0.0 at samples where both groups have zero variance (nothing to
+/// distinguish).
+///
+/// # Panics
+///
+/// Panics if either group is empty or trace lengths are inconsistent.
+///
+/// # Example
+///
+/// ```
+/// use leakage_core::ttest::{welch_t, TVLA_THRESHOLD};
+///
+/// let fixed: Vec<Vec<f64>> = (0..50).map(|i| vec![1.0 + 0.001 * i as f64]).collect();
+/// let random: Vec<Vec<f64>> = (0..50).map(|i| vec![3.0 - 0.001 * i as f64]).collect();
+/// let t = welch_t(&fixed, &random);
+/// assert!(t[0].abs() > TVLA_THRESHOLD);
+/// ```
+pub fn welch_t(group_a: &[Vec<f64>], group_b: &[Vec<f64>]) -> Vec<f64> {
+    assert!(!group_a.is_empty() && !group_b.is_empty());
+    let samples = group_a[0].len();
+    assert!(
+        group_a.iter().chain(group_b).all(|t| t.len() == samples),
+        "inconsistent trace lengths"
+    );
+    let na = group_a.len() as f64;
+    let nb = group_b.len() as f64;
+    (0..samples)
+        .map(|s| {
+            let xa: Vec<f64> = group_a.iter().map(|t| t[s]).collect();
+            let xb: Vec<f64> = group_b.iter().map(|t| t[s]).collect();
+            let denom = (sample_variance(&xa) / na + sample_variance(&xb) / nb).sqrt();
+            if denom == 0.0 {
+                0.0
+            } else {
+                (mean(&xa) - mean(&xb)) / denom
+            }
+        })
+        .collect()
+}
+
+/// The largest |t| across samples — the single TVLA verdict number.
+pub fn max_abs_t(t_series: &[f64]) -> f64 {
+    t_series.iter().fold(0.0, |m, t| m.max(t.abs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn noisy_group(rng: &mut SmallRng, n: usize, mean: f64) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|_| vec![mean + rng.gen::<f64>() - 0.5])
+            .collect()
+    }
+
+    #[test]
+    fn identical_distributions_pass() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let a = noisy_group(&mut rng, 200, 1.0);
+        let b = noisy_group(&mut rng, 200, 1.0);
+        let t = welch_t(&a, &b);
+        assert!(max_abs_t(&t) < TVLA_THRESHOLD, "t = {:?}", t);
+    }
+
+    #[test]
+    fn shifted_distributions_fail() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let a = noisy_group(&mut rng, 200, 1.0);
+        let b = noisy_group(&mut rng, 200, 1.5);
+        assert!(max_abs_t(&welch_t(&a, &b)) > TVLA_THRESHOLD);
+    }
+
+    #[test]
+    fn zero_variance_yields_zero_t() {
+        let a = vec![vec![2.0]; 10];
+        let b = vec![vec![2.0]; 10];
+        assert_eq!(welch_t(&a, &b), vec![0.0]);
+    }
+
+    #[test]
+    fn t_is_antisymmetric() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let a = noisy_group(&mut rng, 50, 0.0);
+        let b = noisy_group(&mut rng, 50, 1.0);
+        let tab = welch_t(&a, &b);
+        let tba = welch_t(&b, &a);
+        assert!((tab[0] + tba[0]).abs() < 1e-12);
+    }
+}

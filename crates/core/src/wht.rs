@@ -1,0 +1,149 @@
+//! The Walsh–Hadamard transform and the orthonormal `ψ_u` basis.
+
+/// The orthonormal Fourier basis function over `F₂ⁿ`:
+/// `ψ_u(t) = 2^{−n/2} · (−1)^{u·t}` where `u·t` is the canonical scalar
+/// product (parity of `u & t`).
+///
+/// # Example
+///
+/// ```
+/// use leakage_core::psi;
+///
+/// assert_eq!(psi(4, 0b0011, 0b0001), -0.25); // one shared bit → −1 · 2⁻²
+/// assert_eq!(psi(4, 0b0011, 0b0011), 0.25);  // two shared bits → +1 · 2⁻²
+/// ```
+pub fn psi(n_bits: usize, u: usize, t: usize) -> f64 {
+    let sign = if ((u & t).count_ones() & 1) == 1 {
+        -1.0
+    } else {
+        1.0
+    };
+    sign * 2f64.powf(-(n_bits as f64) / 2.0)
+}
+
+/// In-place fast Walsh–Hadamard butterfly (unnormalized: applying it twice
+/// multiplies by `2ⁿ`).
+///
+/// # Panics
+///
+/// Panics if `values.len()` is not a power of two.
+pub fn walsh_hadamard(values: &mut [f64]) {
+    let n = values.len();
+    assert!(n.is_power_of_two(), "length {n} is not a power of two");
+    let mut h = 1;
+    while h < n {
+        for block in (0..n).step_by(2 * h) {
+            for i in block..block + h {
+                let (a, b) = (values[i], values[i + h]);
+                values[i] = a + b;
+                values[i + h] = a - b;
+            }
+        }
+        h *= 2;
+    }
+}
+
+/// The orthonormal spectrum of a function tabulated over `F₂ⁿ`:
+/// `a_u = 2^{−n/2} Σ_t f(t) (−1)^{u·t}`.
+///
+/// Satisfies Parseval's identity `Σ_t f(t)² = Σ_u a_u²` and
+/// `spectrum_of(spectrum_of(f)) = f` (the transform is an involution).
+///
+/// # Panics
+///
+/// Panics if `f.len()` is not a power of two.
+///
+/// # Example
+///
+/// ```
+/// use leakage_core::spectrum_of;
+///
+/// // A constant function has only the u = 0 component.
+/// let a = spectrum_of(&[3.0, 3.0, 3.0, 3.0]);
+/// assert_eq!(a, vec![6.0, 0.0, 0.0, 0.0]);
+/// ```
+pub fn spectrum_of(f: &[f64]) -> Vec<f64> {
+    let mut out = f.to_vec();
+    walsh_hadamard(&mut out);
+    let scale = 1.0 / (f.len() as f64).sqrt();
+    for a in &mut out {
+        *a *= scale;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transform_is_an_involution() {
+        let f = vec![1.0, -2.0, 0.5, 3.0, 0.0, 7.0, -1.0, 2.0];
+        let once = spectrum_of(&f);
+        let twice = spectrum_of(&once);
+        for (a, b) in f.iter().zip(&twice) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parseval_holds() {
+        let f = vec![0.3, 1.7, -0.4, 2.2, 0.0, -1.1, 0.9, 0.5,
+                     1.3, -0.7, 0.2, 0.8, -2.0, 0.1, 0.6, -0.9];
+        let a = spectrum_of(&f);
+        let ef: f64 = f.iter().map(|x| x * x).sum();
+        let ea: f64 = a.iter().map(|x| x * x).sum();
+        assert!((ef - ea).abs() < 1e-10, "{ef} vs {ea}");
+    }
+
+    #[test]
+    fn spectrum_matches_naive_definition() {
+        let f = vec![0.5, 2.0, -1.0, 4.0, 0.25, -3.0, 1.5, 0.75,
+                     2.5, -0.5, 3.25, 1.0, -2.25, 0.1, -0.6, 1.9];
+        let fast = spectrum_of(&f);
+        for (u, &fast_u) in fast.iter().enumerate() {
+            let naive: f64 = (0..16usize)
+                .map(|t| {
+                    let sign = if (u & t).count_ones() % 2 == 1 { -1.0 } else { 1.0 };
+                    f[t] * sign
+                })
+                .sum::<f64>()
+                / 4.0;
+            assert!((fast_u - naive).abs() < 1e-12, "u={u}");
+        }
+    }
+
+    #[test]
+    fn basis_is_orthonormal() {
+        for u in 0..16usize {
+            for v in 0..16usize {
+                let dot: f64 = (0..16usize)
+                    .map(|t| {
+                        let su = if (u & t).count_ones() % 2 == 1 { -0.25 } else { 0.25 };
+                        let sv = if (v & t).count_ones() % 2 == 1 { -0.25 } else { 0.25 };
+                        su * sv
+                    })
+                    .sum();
+                let expect = if u == v { 1.0 } else { 0.0 };
+                assert!((dot - expect).abs() < 1e-12, "u={u} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        walsh_hadamard(&mut [1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn single_indicator_spreads_evenly() {
+        // f = δ₀ → every |a_u| = 2^{-n/2}.
+        let mut f = vec![0.0; 16];
+        f[0] = 1.0;
+        let a = spectrum_of(&f);
+        for x in a {
+            assert!((x - 0.25).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Run every reproduction binary in sequence (light configuration).
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "theorem1",
+        "cpa", "template", "metrics", "ablations", "balanced", "second_order", "sr_curves",
+    ];
+    let exe_dir = std::env::current_exe()
+        .expect("own path")
+        .parent()
+        .expect("bin dir")
+        .to_path_buf();
+    let mut failures = Vec::new();
+    for bin in bins {
+        println!("\n================================================================");
+        println!("== {bin}");
+        println!("================================================================");
+        let status = Command::new(exe_dir.join(bin)).status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => failures.push(format!("{bin}: exit {s}")),
+            Err(e) => failures.push(format!("{bin}: {e}")),
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall experiments completed; CSVs in results/");
+    } else {
+        eprintln!("\nfailures: {failures:?}");
+        std::process::exit(1);
+    }
+}

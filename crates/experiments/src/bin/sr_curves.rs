@@ -1,0 +1,66 @@
+//! Success-rate curves: CPA success probability versus trace count, per
+//! implementation — the classic security graph behind the paper's claim
+//! that "points of interest … increase the probability of attack
+//! success".
+
+use acquisition::{acquire_cpa, ProtocolConfig};
+use experiments::CsvSink;
+use sbox_circuits::{SboxCircuit, Scheme};
+use sca_attacks::{success_rate_curve, LeakageModel};
+
+fn main() {
+    let max_traces: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1024);
+    let key = 0x5;
+    let counts: Vec<usize> = [16usize, 32, 64, 128, 256, 512, 1024]
+        .into_iter()
+        .filter(|&c| c <= max_traces)
+        .collect();
+    let mut csv = CsvSink::new(
+        "sr_curves",
+        &format!(
+            "scheme,{}",
+            counts
+                .iter()
+                .map(|c| format!("sr_{c}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        ),
+    );
+    println!("CPA success rate vs traces (transition model, true key {key:X})");
+    print!("{:9}", "scheme");
+    for c in &counts {
+        print!(" {c:>6}");
+    }
+    println!();
+    for scheme in Scheme::ALL {
+        let circuit = SboxCircuit::build(scheme);
+        let data = acquire_cpa(&circuit, &ProtocolConfig::default(), key, max_traces);
+        let curve = success_rate_curve(
+            &data.plaintexts,
+            &data.traces,
+            key,
+            LeakageModel::OutputTransition,
+            &counts,
+            8,
+        );
+        print!("{:9}", scheme.label());
+        for (_, sr) in &curve {
+            print!(" {sr:>6.2}");
+        }
+        println!();
+        csv.row(format_args!(
+            "{},{}",
+            scheme.label(),
+            curve
+                .iter()
+                .map(|(_, sr)| format!("{sr:.3}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        ));
+        eprintln!("swept {scheme}");
+    }
+    csv.finish();
+}

@@ -1,0 +1,24 @@
+//! Theorem 1: a random Boolean splitting of any order leaks the LSB of the
+//! Hamming weight — exhaustive check and Monte-Carlo correlations.
+
+use leakage_core::theorem1::{lsb_parity_correlation, squared_hw_correlation, verify_exhaustively};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    println!("Theorem 1 — LSB(w_H(x₀…x_d)) = x for every random splitting");
+    let mut rng = SmallRng::seed_from_u64(1);
+    println!(
+        "{:>6} {:>12} {:>16} {:>18}",
+        "order", "sharings", "corr(LSB(HW),x)", "corr((HW-μ)²,x)"
+    );
+    for d in 1..=8usize {
+        let checked = verify_exhaustively(d);
+        let parity = lsb_parity_correlation(d, 20_000, &mut rng);
+        let squared = squared_hw_correlation(d, 20_000, &mut rng);
+        println!("{d:>6} {checked:>12} {parity:>16.4} {squared:>18.4}");
+    }
+    println!("\nthe parity of an additive (Hamming-weight-like) leakage discloses the");
+    println!("unmasked bit at ANY masking order; a non-parity statistic (the squared");
+    println!("centred weight) does not — masking moves the leak, it cannot erase it.");
+}

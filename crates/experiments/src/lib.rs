@@ -1,0 +1,95 @@
+//! Shared plumbing for the per-figure reproduction binaries.
+//!
+//! Every binary regenerates one table or figure of the paper: it prints
+//! the same rows/series the paper reports and mirrors them into
+//! `results/<name>.csv` for plotting. Run them with `--release`; pass a
+//! number as the first argument to override the traces-per-class budget
+//! (default 64, the paper's 1024-trace protocol).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use acquisition::ProtocolConfig;
+
+/// Parse the common CLI: optional traces-per-class override.
+pub fn protocol_from_args() -> ProtocolConfig {
+    let tpc = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(64);
+    ProtocolConfig {
+        traces_per_class: tpc,
+        ..ProtocolConfig::default()
+    }
+}
+
+/// A CSV sink under `results/` that echoes nothing (stdout printing is the
+/// caller's job — the file is for plotting).
+#[derive(Debug)]
+pub struct CsvSink {
+    path: PathBuf,
+    rows: Vec<String>,
+}
+
+impl CsvSink {
+    /// Start a CSV file named `results/<name>.csv` with a header row.
+    pub fn new(name: &str, header: &str) -> Self {
+        let mut path = PathBuf::from("results");
+        path.push(format!("{name}.csv"));
+        Self {
+            path,
+            rows: vec![header.to_string()],
+        }
+    }
+
+    /// Append one row.
+    pub fn row(&mut self, fields: std::fmt::Arguments<'_>) {
+        self.rows.push(fields.to_string());
+    }
+
+    /// Write the file (best-effort; failures are reported, not fatal —
+    /// the stdout report is the primary artifact).
+    pub fn finish(self) {
+        if let Some(dir) = self.path.parent() {
+            if let Err(e) = fs::create_dir_all(dir) {
+                eprintln!("warning: cannot create {}: {e}", dir.display());
+                return;
+            }
+        }
+        match fs::File::create(&self.path) {
+            Ok(mut f) => {
+                for r in &self.rows {
+                    let _ = writeln!(f, "{r}");
+                }
+                eprintln!("wrote {}", self.path.display());
+            }
+            Err(e) => eprintln!("warning: cannot write {}: {e}", self.path.display()),
+        }
+    }
+}
+
+/// Render a float in the paper's compact scientific style.
+pub fn sci(x: f64) -> String {
+    format!("{x:.4e}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sci_formats_scientific() {
+        assert_eq!(sci(0.000123), "1.2300e-4");
+    }
+
+    #[test]
+    fn default_protocol_is_the_paper() {
+        let p = ProtocolConfig::default();
+        assert_eq!(p.traces_per_class, 64);
+        assert_eq!(p.sampling.samples, 100);
+    }
+}

@@ -1,0 +1,113 @@
+//! Per-gate derating produced by aging (or any other wearout/corner model).
+
+use sbox_netlist::Netlist;
+
+/// Multiplicative per-gate derating factors applied on top of the nominal
+/// cell parameters.
+///
+/// * `delay_factor[g] ≥ 1` stretches gate `g`'s propagation delay (and its
+///   current pulse), as a higher threshold voltage does.
+/// * `current_factor[g] ≤ 1` scales the charge it draws per transition
+///   (reduced drive / short-circuit current).
+///
+/// A fresh (unaged) device is [`Derating::fresh`]. The `aging` crate builds
+/// aged tables from stress profiles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Derating {
+    delay_factor: Vec<f64>,
+    current_factor: Vec<f64>,
+}
+
+impl Derating {
+    /// Identity derating (fresh silicon) for a netlist's gates.
+    pub fn fresh(netlist: &Netlist) -> Self {
+        let n = netlist.gates().len();
+        Self {
+            delay_factor: vec![1.0; n],
+            current_factor: vec![1.0; n],
+        }
+    }
+
+    /// Build from explicit per-gate factors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two vectors have different lengths or contain
+    /// non-positive values.
+    pub fn from_factors(delay_factor: Vec<f64>, current_factor: Vec<f64>) -> Self {
+        assert_eq!(delay_factor.len(), current_factor.len());
+        assert!(
+            delay_factor
+                .iter()
+                .chain(&current_factor)
+                .all(|&f| f > 0.0 && f.is_finite()),
+            "derating factors must be positive and finite"
+        );
+        Self {
+            delay_factor,
+            current_factor,
+        }
+    }
+
+    /// Number of gates covered.
+    pub fn len(&self) -> usize {
+        self.delay_factor.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.delay_factor.is_empty()
+    }
+
+    /// Delay stretch factor of gate `g`.
+    pub fn delay_factor(&self, g: usize) -> f64 {
+        self.delay_factor[g]
+    }
+
+    /// Drive-current scale factor of gate `g`.
+    pub fn current_factor(&self, g: usize) -> f64 {
+        self.current_factor[g]
+    }
+
+    /// Mean delay factor across all gates (a quick ageing indicator).
+    pub fn mean_delay_factor(&self) -> f64 {
+        if self.delay_factor.is_empty() {
+            return 1.0;
+        }
+        self.delay_factor.iter().sum::<f64>() / self.delay_factor.len() as f64
+    }
+
+    /// Mean current factor across all gates.
+    pub fn mean_current_factor(&self) -> f64 {
+        if self.current_factor.is_empty() {
+            return 1.0;
+        }
+        self.current_factor.iter().sum::<f64>() / self.current_factor.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbox_netlist::NetlistBuilder;
+
+    #[test]
+    fn fresh_is_identity() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let y = b.not(a);
+        b.output("y", y);
+        let nl = b.finish().expect("valid");
+        let d = Derating::fresh(&nl);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.delay_factor(0), 1.0);
+        assert_eq!(d.current_factor(0), 1.0);
+        assert_eq!(d.mean_delay_factor(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_factors() {
+        let _ = Derating::from_factors(vec![0.0], vec![1.0]);
+    }
+}

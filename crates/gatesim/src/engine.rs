@@ -1,0 +1,539 @@
+//! The event-driven simulation engine.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sbox_netlist::{GateId, Netlist};
+
+use crate::power::{gaussian, sample_waveform, PulseShape};
+use crate::{Derating, SamplingConfig, SimConfig};
+
+/// One output transition (or absorbed glitch pulse) of one gate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwitchEvent {
+    /// The switching gate.
+    pub gate: GateId,
+    /// Time of the (attempted) output change, in ps after the stimulus.
+    pub time_ps: f64,
+    /// Direction of the (attempted) transition.
+    pub rising: bool,
+    /// Energy drawn from the supply by this event, in femtojoules.
+    pub energy_fj: f64,
+    /// `true` if the pulse was absorbed by the inertial-delay rule (the
+    /// output never completed the swing; `energy_fj` is already scaled by
+    /// the configured absorbed fraction).
+    pub absorbed: bool,
+}
+
+/// The result of simulating one input transition.
+#[derive(Debug, Clone)]
+pub struct TransitionRecord {
+    /// All supply-current events, in non-decreasing time order.
+    pub events: Vec<SwitchEvent>,
+    /// Final settled value of every net (indexed by `NetId::index`).
+    pub settled: Vec<bool>,
+}
+
+impl TransitionRecord {
+    /// Total switching energy of the transition in femtojoules.
+    pub fn total_energy_fj(&self) -> f64 {
+        self.events.iter().map(|e| e.energy_fj).sum()
+    }
+
+    /// Number of full (non-absorbed) output transitions.
+    pub fn full_transitions(&self) -> usize {
+        self.events.iter().filter(|e| !e.absorbed).count()
+    }
+
+    /// Number of glitch pulses absorbed by inertial filtering.
+    pub fn absorbed_glitches(&self) -> usize {
+        self.events.iter().filter(|e| e.absorbed).count()
+    }
+
+    /// Time of the last event in ps (0.0 when nothing switched).
+    pub fn settle_time_ps(&self) -> f64 {
+        self.events.last().map_or(0.0, |e| e.time_ps)
+    }
+}
+
+/// An event-driven timing/power simulator bound to one netlist.
+///
+/// Construction samples the per-gate process variation from
+/// [`SimConfig::seed`]; the same `Simulator` therefore models one physical
+/// die measured many times. See the [crate docs](crate) for an example.
+#[derive(Debug, Clone)]
+pub struct Simulator<'a> {
+    netlist: &'a Netlist,
+    config: SimConfig,
+    /// Derated per-gate propagation delay in ps.
+    delay_ps: Vec<f64>,
+    /// Derated per-gate full-transition energy in fJ (intrinsic + fanout
+    /// load at Vdd).
+    energy_fj: Vec<f64>,
+}
+
+impl<'a> Simulator<'a> {
+    /// Build a simulator for fresh (unaged) silicon.
+    pub fn new(netlist: &'a Netlist, config: &SimConfig) -> Self {
+        Self::with_derating(netlist, config, &Derating::fresh(netlist))
+    }
+
+    /// Build a simulator with per-gate aging derating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `derating.len()` differs from the netlist's gate count.
+    pub fn with_derating(netlist: &'a Netlist, config: &SimConfig, derating: &Derating) -> Self {
+        assert_eq!(
+            derating.len(),
+            netlist.gates().len(),
+            "derating table does not match netlist"
+        );
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let vdd_sq_scale = (config.vdd_v / 1.2).powi(2);
+        let mut delay_ps = Vec::with_capacity(netlist.gates().len());
+        let mut energy_fj = Vec::with_capacity(netlist.gates().len());
+        for (g, gate) in netlist.gates().iter().enumerate() {
+            let jitter = (1.0 + config.process_sigma * gaussian(&mut rng)).clamp(0.6, 1.4);
+            delay_ps.push(gate.cell().delay_ps() * jitter * derating.delay_factor(g));
+            let intrinsic = gate.cell().switch_energy_fj() * vdd_sq_scale;
+            let load = 0.5 * netlist.fanout_cap_ff(gate.output()) * config.vdd_v * config.vdd_v;
+            energy_fj.push((intrinsic + load) * derating.current_factor(g));
+        }
+        Self {
+            netlist,
+            config: config.clone(),
+            delay_ps,
+            energy_fj,
+        }
+    }
+
+    /// The netlist being simulated.
+    pub fn netlist(&self) -> &Netlist {
+        self.netlist
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Derated propagation delay of a gate, in ps.
+    pub fn gate_delay_ps(&self, gate: GateId) -> f64 {
+        self.delay_ps[gate.index()]
+    }
+
+    /// Simulate the circuit settling into `initial`, then switching its
+    /// primary inputs to `final_inputs` at t = 0, recording every supply
+    /// event until quiescence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either input slice length differs from the netlist's
+    /// primary input count.
+    pub fn transition(&self, initial: &[bool], final_inputs: &[bool]) -> TransitionRecord {
+        assert_eq!(final_inputs.len(), self.netlist.num_inputs());
+        let mut values = self.netlist.evaluate_nets(initial);
+
+        // Pending scheduled output change per gate: (time, value, seq).
+        let mut pending: Vec<Option<(f64, bool, u64)>> = vec![None; self.netlist.gates().len()];
+        let mut heap: BinaryHeap<Reverse<HeapEntry>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut events: Vec<SwitchEvent> = Vec::new();
+
+        // Apply the new primary inputs at t = 0 and seed the queue with the
+        // gates they feed.
+        let mut touched: Vec<GateId> = Vec::new();
+        for (idx, (&net, &v)) in self
+            .netlist
+            .inputs()
+            .iter()
+            .zip(final_inputs)
+            .enumerate()
+        {
+            let _ = idx;
+            if values[net.index()] != v {
+                values[net.index()] = v;
+                touched.extend(self.netlist.net(net).loads());
+            }
+        }
+        touched.sort();
+        touched.dedup();
+        for g in touched {
+            self.schedule(g, 0.0, &values, &mut pending, &mut heap, &mut seq, &mut events);
+        }
+
+        let mut last_switch = vec![f64::NEG_INFINITY; self.netlist.gates().len()];
+        while let Some(Reverse(entry)) = heap.pop() {
+            let gid = entry.gate;
+            let Some((t, v, s)) = pending[gid.index()] else {
+                continue; // cancelled
+            };
+            if s != entry.seq {
+                continue; // superseded
+            }
+            pending[gid.index()] = None;
+            let out_net = self.netlist.gate(gid).output();
+            debug_assert_ne!(values[out_net.index()], v);
+            values[out_net.index()] = v;
+            // A node re-toggling before its output fully settles never
+            // completes the swing: scale the drawn charge by the fraction
+            // of the swing achieved. The settling window is a few gate
+            // delays (output slew ≫ 50 % switching point), so glitch
+            // trains — edges spaced ~1 delay apart — draw noticeably less
+            // charge per edge than well-separated functional transitions.
+            let swing_ps = 3.0 * self.delay_ps[gid.index()];
+            let elapsed = t - last_switch[gid.index()];
+            let swing_fraction = (elapsed / swing_ps).min(1.0);
+            last_switch[gid.index()] = t;
+            events.push(SwitchEvent {
+                gate: gid,
+                time_ps: t,
+                rising: v,
+                energy_fj: self.energy_fj[gid.index()] * swing_fraction,
+                absorbed: false,
+            });
+            for &load in self.netlist.net(out_net).loads() {
+                self.schedule(load, t, &values, &mut pending, &mut heap, &mut seq, &mut events);
+            }
+        }
+
+        events.sort_by(|a, b| a.time_ps.total_cmp(&b.time_ps));
+        TransitionRecord {
+            events,
+            settled: values,
+        }
+    }
+
+    /// Evaluate gate `g` with the net values current at time `t_now` and
+    /// schedule / cancel its output event under inertial-delay semantics.
+    #[allow(clippy::too_many_arguments)]
+    fn schedule(
+        &self,
+        g: GateId,
+        t_now: f64,
+        values: &[bool],
+        pending: &mut [Option<(f64, bool, u64)>],
+        heap: &mut BinaryHeap<Reverse<HeapEntry>>,
+        seq: &mut u64,
+        events: &mut Vec<SwitchEvent>,
+    ) {
+        let gate = self.netlist.gate(g);
+        let mut pins = [false; 4];
+        for (slot, net) in pins.iter_mut().zip(gate.inputs()) {
+            *slot = values[net.index()];
+        }
+        let new_v = gate.cell().evaluate(&pins[..gate.inputs().len()]);
+        let cur = values[gate.output().index()];
+        match pending[g.index()] {
+            Some((tp, vp, _)) if vp == new_v => {
+                // Already heading to the right value; the earlier event
+                // stands (re-evaluation cannot arrive earlier).
+                let _ = tp;
+            }
+            Some((tp, _, _)) => {
+                // The scheduled swing is revoked before completing: the
+                // output made a partial excursion — an absorbed glitch.
+                pending[g.index()] = None;
+                if self.config.absorbed_energy_fraction > 0.0 {
+                    events.push(SwitchEvent {
+                        gate: g,
+                        time_ps: tp,
+                        rising: !cur,
+                        energy_fj: self.energy_fj[g.index()]
+                            * self.config.absorbed_energy_fraction,
+                        absorbed: true,
+                    });
+                }
+                if new_v != cur {
+                    self.push_event(g, t_now, new_v, pending, heap, seq);
+                }
+            }
+            None => {
+                if new_v != cur {
+                    self.push_event(g, t_now, new_v, pending, heap, seq);
+                }
+            }
+        }
+    }
+
+    fn push_event(
+        &self,
+        g: GateId,
+        t_now: f64,
+        value: bool,
+        pending: &mut [Option<(f64, bool, u64)>],
+        heap: &mut BinaryHeap<Reverse<HeapEntry>>,
+        seq: &mut u64,
+    ) {
+        *seq += 1;
+        let t = t_now + self.delay_ps[g.index()];
+        pending[g.index()] = Some((t, value, *seq));
+        heap.push(Reverse(HeapEntry {
+            time_ps: t,
+            seq: *seq,
+            gate: g,
+        }));
+    }
+
+    /// Run [`Simulator::transition`] and render the power trace (mW per
+    /// sample). Measurement noise, if configured, is derived
+    /// deterministically from the stimulus so repeated captures of the same
+    /// pair differ only via the mask randomness the caller injects.
+    pub fn capture(
+        &self,
+        initial: &[bool],
+        final_inputs: &[bool],
+        sampling: &SamplingConfig,
+    ) -> Vec<f64> {
+        let mut noise_seed = self.config.seed ^ 0x9e37_79b9_7f4a_7c15;
+        for (i, &b) in initial.iter().chain(final_inputs).enumerate() {
+            if b {
+                noise_seed = noise_seed
+                    .rotate_left(7)
+                    .wrapping_add(0x100 + i as u64);
+            }
+        }
+        let mut rng = SmallRng::seed_from_u64(noise_seed);
+        self.capture_with_rng(initial, final_inputs, sampling, &mut rng)
+    }
+
+    /// Like [`Simulator::capture`] but drawing measurement noise from the
+    /// supplied generator (pass `&mut` of any [`rand::Rng`]).
+    pub fn capture_with_rng<R: Rng>(
+        &self,
+        initial: &[bool],
+        final_inputs: &[bool],
+        sampling: &SamplingConfig,
+        rng: &mut R,
+    ) -> Vec<f64> {
+        let record = self.transition(initial, final_inputs);
+        let mut samples = sample_waveform(
+            &record.events,
+            sampling,
+            self.config.pulse_width_factor,
+            |g| self.delay_ps[g.index()],
+            PulseShape::Triangular,
+        );
+        if self.config.noise_mw > 0.0 {
+            for s in &mut samples {
+                *s += self.config.noise_mw * gaussian(rng);
+            }
+        }
+        samples
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapEntry {
+    time_ps: f64,
+    seq: u64,
+    gate: GateId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time_ps
+            .total_cmp(&other.time_ps)
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbox_netlist::{CellType, NetlistBuilder};
+
+    fn quiet_config() -> SimConfig {
+        SimConfig {
+            process_sigma: 0.0,
+            noise_mw: 0.0,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn settled_state_matches_functional_evaluation() {
+        let mut b = NetlistBuilder::new("fa");
+        let x = b.input_bus("x", 3);
+        let s1 = b.xor(x[0], x[1]);
+        let s = b.xor(s1, x[2]);
+        let c1 = b.and(&[x[0], x[1]]);
+        let c2 = b.and(&[s1, x[2]]);
+        let c = b.or(&[c1, c2]);
+        b.output("s", s);
+        b.output("c", c);
+        let nl = b.finish().expect("valid");
+        let sim = Simulator::new(&nl, &quiet_config());
+        for init in 0u64..8 {
+            for fin in 0u64..8 {
+                let iv: Vec<bool> = (0..3).map(|i| (init >> i) & 1 == 1).collect();
+                let fv: Vec<bool> = (0..3).map(|i| (fin >> i) & 1 == 1).collect();
+                let rec = sim.transition(&iv, &fv);
+                let expect = nl.evaluate_nets(&fv);
+                assert_eq!(rec.settled, expect, "init={init} fin={fin}");
+            }
+        }
+    }
+
+    #[test]
+    fn no_input_change_means_no_events() {
+        let mut b = NetlistBuilder::new("inv");
+        let a = b.input("a");
+        let y = b.not(a);
+        b.output("y", y);
+        let nl = b.finish().expect("valid");
+        let sim = Simulator::new(&nl, &quiet_config());
+        let rec = sim.transition(&[true], &[true]);
+        assert!(rec.events.is_empty());
+        assert_eq!(rec.total_energy_fj(), 0.0);
+    }
+
+    #[test]
+    fn chain_delays_accumulate() {
+        let mut b = NetlistBuilder::new("chain4");
+        let a = b.input("a");
+        let mut n = a;
+        for _ in 0..4 {
+            n = b.not(n);
+        }
+        b.output("y", n);
+        let nl = b.finish().expect("valid");
+        let sim = Simulator::new(&nl, &quiet_config());
+        let rec = sim.transition(&[false], &[true]);
+        assert_eq!(rec.events.len(), 4);
+        let expect = 4.0 * CellType::Inv.delay_ps();
+        assert!((rec.settle_time_ps() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unbalanced_xor_produces_a_glitch() {
+        // y = (a after two inverters) XOR a: switching `a` makes the XOR see
+        // its two inputs change at different times → a pulse on y.
+        let mut b = NetlistBuilder::new("glitchy");
+        let a = b.input("a");
+        let d1 = b.not(a);
+        let d2 = b.not(d1);
+        let y = b.xor(d2, a);
+        b.output("y", y);
+        let nl = b.finish().expect("valid");
+        let sim = Simulator::new(&nl, &quiet_config());
+        let rec = sim.transition(&[false], &[true]);
+        // y is logically constant 0, but the race must cost energy: either
+        // an absorbed pulse or a full up-down excursion.
+        assert!(
+            rec.events.iter().any(|e| e.gate.index() == 2),
+            "xor gate should glitch: {:?}",
+            rec.events
+        );
+        assert!(!rec.settled[y.index()]);
+    }
+
+    #[test]
+    fn inertial_absorption_costs_partial_energy() {
+        let mut cfg = quiet_config();
+        cfg.absorbed_energy_fraction = 0.5;
+        // y = a ∧ ¬a: on a rising edge the AND sees (1, 1) for one inverter
+        // delay (6 ps) — shorter than its own 13 ps delay, so the scheduled
+        // rise is revoked before completing: an absorbed glitch.
+        let mut b = NetlistBuilder::new("absorb");
+        let a = b.input("a");
+        let na = b.not(a);
+        let y = b.gate(CellType::And2, &[a, na]);
+        b.output("y", y);
+        let nl = b.finish().expect("valid");
+        let sim = Simulator::with_derating(&nl, &cfg, &Derating::fresh(&nl));
+        let rec = sim.transition(&[false], &[true]);
+        assert!(!rec.settled[y.index()], "y is logically constant 0");
+        assert_eq!(rec.absorbed_glitches(), 1, "{:?}", rec.events);
+        let absorbed: f64 = rec
+            .events
+            .iter()
+            .filter(|e| e.absorbed)
+            .map(|e| e.energy_fj)
+            .sum();
+        assert!(absorbed > 0.0);
+        // With absorption cost disabled the glitch is free.
+        let free = Simulator::new(&nl, &SimConfig {
+            absorbed_energy_fraction: 0.0,
+            ..quiet_config()
+        });
+        let rec_free = free.transition(&[false], &[true]);
+        assert_eq!(rec_free.absorbed_glitches(), 0);
+    }
+
+    #[test]
+    fn capture_has_configured_shape_and_energy() {
+        let mut b = NetlistBuilder::new("buf3");
+        let a = b.input("a");
+        let mut n = a;
+        for _ in 0..3 {
+            n = b.buf(n);
+        }
+        b.output("y", n);
+        let nl = b.finish().expect("valid");
+        let sim = Simulator::new(&nl, &quiet_config());
+        // Fine sampling (2 ps) so the trapezoidal integral is accurate.
+        let sampling = SamplingConfig {
+            window_ps: 2000.0,
+            samples: 1000,
+        };
+        let trace = sim.capture(&[false], &[true], &sampling);
+        assert_eq!(trace.len(), 1000);
+        // Integrated power ≈ total energy: Σ p·dt (mW·ps = fJ).
+        let rec = sim.transition(&[false], &[true]);
+        let integral: f64 = trace.iter().sum::<f64>() * sampling.period_ps();
+        let energy = rec.total_energy_fj();
+        assert!(
+            (integral - energy).abs() / energy < 0.25,
+            "integral {integral} vs energy {energy}"
+        );
+    }
+
+    #[test]
+    fn noise_changes_samples_but_not_determinism() {
+        let mut b = NetlistBuilder::new("inv");
+        let a = b.input("a");
+        let y = b.not(a);
+        b.output("y", y);
+        let nl = b.finish().expect("valid");
+        let mut cfg = quiet_config();
+        cfg.noise_mw = 0.01;
+        let sim = Simulator::new(&nl, &cfg);
+        let t1 = sim.capture(&[false], &[true], &SamplingConfig::default());
+        let t2 = sim.capture(&[false], &[true], &SamplingConfig::default());
+        assert_eq!(t1, t2, "same stimulus → same deterministic noise");
+        let t3 = sim.capture(&[true], &[false], &SamplingConfig::default());
+        assert_ne!(t1, t3);
+    }
+
+    #[test]
+    fn derating_slows_and_weakens() {
+        let mut b = NetlistBuilder::new("inv");
+        let a = b.input("a");
+        let y = b.not(a);
+        b.output("y", y);
+        let nl = b.finish().expect("valid");
+        let cfg = quiet_config();
+        let fresh = Simulator::new(&nl, &cfg);
+        let aged = Simulator::with_derating(
+            &nl,
+            &cfg,
+            &Derating::from_factors(vec![1.2], vec![0.9]),
+        );
+        let rf = fresh.transition(&[false], &[true]);
+        let ra = aged.transition(&[false], &[true]);
+        assert!(ra.settle_time_ps() > rf.settle_time_ps());
+        assert!(ra.total_energy_fj() < rf.total_energy_fj());
+    }
+}

@@ -1,0 +1,159 @@
+//! Workload activity profiling — the bridge from simulation to aging.
+//!
+//! BTI stress depends on how long each transistor sits in its stressed
+//! state (≈ signal probability of the gate output), HCI on how often it
+//! switches. [`ActivityProfile`] accumulates both over a representative
+//! stimulus sequence.
+
+use sbox_netlist::Netlist;
+
+use crate::Simulator;
+
+/// Per-gate activity statistics accumulated over a stimulus sequence.
+///
+/// # Example
+///
+/// ```
+/// use sbox_netlist::NetlistBuilder;
+/// use gatesim::{ActivityProfile, SimConfig, Simulator};
+///
+/// # fn main() -> Result<(), sbox_netlist::NetlistError> {
+/// let mut b = NetlistBuilder::new("inv");
+/// let a = b.input("a");
+/// let y = b.not(a);
+/// b.output("y", y);
+/// let nl = b.finish()?;
+/// let sim = Simulator::new(&nl, &SimConfig::default());
+/// let vectors = vec![vec![false], vec![true], vec![false], vec![true]];
+/// let profile = ActivityProfile::collect(&sim, &vectors);
+/// // The inverter output toggles on every vector change.
+/// assert!((profile.toggle_rate(0) - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActivityProfile {
+    /// Fraction of settled cycles each gate's output spends high.
+    signal_probability: Vec<f64>,
+    /// Average full output transitions per applied vector.
+    toggle_rate: Vec<f64>,
+    /// Number of vectors profiled.
+    vectors: usize,
+}
+
+impl ActivityProfile {
+    /// Simulate the vector sequence (each vector applied after the
+    /// previous one settles) and accumulate per-gate statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vectors` is empty or any vector has the wrong width.
+    pub fn collect(sim: &Simulator<'_>, vectors: &[Vec<bool>]) -> Self {
+        assert!(!vectors.is_empty(), "need at least one stimulus vector");
+        let netlist = sim.netlist();
+        let n_gates = netlist.gates().len();
+        let mut high_cycles = vec![0usize; n_gates];
+        let mut toggles = vec![0usize; n_gates];
+        let mut prev = vectors[0].clone();
+        // Count the settled state of the first vector too.
+        let first = netlist.evaluate_nets(&prev);
+        for (g, gate) in netlist.gates().iter().enumerate() {
+            if first[gate.output().index()] {
+                high_cycles[g] += 1;
+            }
+        }
+        for v in &vectors[1..] {
+            let rec = sim.transition(&prev, v);
+            for e in &rec.events {
+                if !e.absorbed {
+                    toggles[e.gate.index()] += 1;
+                }
+            }
+            for (g, gate) in netlist.gates().iter().enumerate() {
+                if rec.settled[gate.output().index()] {
+                    high_cycles[g] += 1;
+                }
+            }
+            prev = v.clone();
+        }
+        let n = vectors.len() as f64;
+        let transitions = (vectors.len() - 1).max(1) as f64;
+        Self {
+            signal_probability: high_cycles.iter().map(|&h| h as f64 / n).collect(),
+            toggle_rate: toggles.iter().map(|&t| t as f64 / transitions).collect(),
+            vectors: vectors.len(),
+        }
+    }
+
+    /// Uniform default profile (every output high half the time, toggling
+    /// once per two vectors) for a netlist — used when no workload is
+    /// available.
+    pub fn uniform(netlist: &Netlist) -> Self {
+        let n = netlist.gates().len();
+        Self {
+            signal_probability: vec![0.5; n],
+            toggle_rate: vec![0.5; n],
+            vectors: 0,
+        }
+    }
+
+    /// Fraction of settled cycles gate `g`'s output spends high.
+    pub fn signal_probability(&self, g: usize) -> f64 {
+        self.signal_probability[g]
+    }
+
+    /// Average full transitions of gate `g` per applied vector.
+    pub fn toggle_rate(&self, g: usize) -> f64 {
+        self.toggle_rate[g]
+    }
+
+    /// Number of gates profiled.
+    pub fn len(&self) -> usize {
+        self.signal_probability.len()
+    }
+
+    /// Whether the profile covers zero gates.
+    pub fn is_empty(&self) -> bool {
+        self.signal_probability.is_empty()
+    }
+
+    /// Number of stimulus vectors profiled.
+    pub fn vectors(&self) -> usize {
+        self.vectors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimConfig;
+    use sbox_netlist::NetlistBuilder;
+
+    #[test]
+    fn signal_probability_counts_settled_highs() {
+        let mut b = NetlistBuilder::new("inv");
+        let a = b.input("a");
+        let y = b.not(a);
+        b.output("y", y);
+        let nl = b.finish().expect("valid");
+        let sim = Simulator::new(&nl, &SimConfig::default());
+        // Inputs: 0,0,0,1 → output high for 3 of 4 settled cycles.
+        let vecs = vec![vec![false], vec![false], vec![false], vec![true]];
+        let p = ActivityProfile::collect(&sim, &vecs);
+        assert!((p.signal_probability(0) - 0.75).abs() < 1e-12);
+        assert_eq!(p.vectors(), 4);
+    }
+
+    #[test]
+    fn uniform_profile_is_half() {
+        let mut b = NetlistBuilder::new("two");
+        let a = b.input("a");
+        let x = b.not(a);
+        let y = b.not(x);
+        b.output("y", y);
+        let nl = b.finish().expect("valid");
+        let p = ActivityProfile::uniform(&nl);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.signal_probability(1), 0.5);
+    }
+}

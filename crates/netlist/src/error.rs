@@ -1,0 +1,65 @@
+//! Error type for netlist construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while building or validating a [`crate::Netlist`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A gate references a net id that does not exist.
+    UnknownNet {
+        /// The offending net index.
+        net: usize,
+    },
+    /// A net is driven by more than one gate (or by a gate and a primary
+    /// input).
+    MultipleDrivers {
+        /// The offending net index.
+        net: usize,
+    },
+    /// A net is neither a primary input nor driven by any gate, yet is used
+    /// as a gate input or a primary output.
+    Undriven {
+        /// The offending net index.
+        net: usize,
+    },
+    /// A gate was created with the wrong number of inputs for its cell.
+    ArityMismatch {
+        /// Cell mnemonic.
+        cell: &'static str,
+        /// Expected input count.
+        expected: usize,
+        /// Provided input count.
+        found: usize,
+    },
+    /// The netlist contains a combinational cycle.
+    CombinationalCycle,
+    /// The netlist has no primary outputs.
+    NoOutputs,
+    /// A primary input/output name is duplicated.
+    DuplicateName {
+        /// The duplicated port name.
+        name: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownNet { net } => write!(f, "gate references unknown net {net}"),
+            Self::MultipleDrivers { net } => write!(f, "net {net} has multiple drivers"),
+            Self::Undriven { net } => write!(f, "net {net} is used but never driven"),
+            Self::ArityMismatch {
+                cell,
+                expected,
+                found,
+            } => write!(f, "{cell} expects {expected} inputs, found {found}"),
+            Self::CombinationalCycle => write!(f, "netlist contains a combinational cycle"),
+            Self::NoOutputs => write!(f, "netlist has no primary outputs"),
+            Self::DuplicateName { name } => write!(f, "duplicate port name `{name}`"),
+        }
+    }
+}
+
+impl Error for NetlistError {}

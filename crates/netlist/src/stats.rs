@@ -1,0 +1,141 @@
+//! Gate-mix / area / depth report — one column of the paper's Table I.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::Netlist;
+
+/// Summary statistics of a [`Netlist`], mirroring the rows of the paper's
+/// Table I ("Gate-level specification of the targeted S-Box
+/// implementations").
+///
+/// # Example
+///
+/// ```
+/// use sbox_netlist::{CellType, NetlistBuilder};
+///
+/// # fn main() -> Result<(), sbox_netlist::NetlistError> {
+/// let mut b = NetlistBuilder::new("pair");
+/// let a = b.input("a");
+/// let c = b.input("b");
+/// let x = b.gate(CellType::Nand2, &[a, c]);
+/// let y = b.not(x);
+/// b.output("y", y);
+/// let stats = b.finish()?.stats();
+/// assert_eq!(stats.total_gates, 2);
+/// assert_eq!(stats.family_count("NAND"), 1);
+/// assert_eq!(stats.family_count("INV"), 1);
+/// assert_eq!(stats.delay_gates, 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetlistStats {
+    /// Netlist name.
+    pub name: String,
+    /// Gate count per family ("AND", "OR", "XOR", "INV", "BUF", "NAND",
+    /// "NOR", "XNOR").
+    pub family_counts: BTreeMap<&'static str, usize>,
+    /// Total number of gate instances.
+    pub total_gates: usize,
+    /// Area normalized to NAND2 equivalents.
+    pub equivalent_gates: f64,
+    /// Critical path length in gates.
+    pub delay_gates: u32,
+    /// Critical path delay in picoseconds (nominal corner).
+    pub delay_ps: f64,
+    /// Number of primary inputs.
+    pub num_inputs: usize,
+    /// Number of primary outputs.
+    pub num_outputs: usize,
+}
+
+impl NetlistStats {
+    pub(crate) fn from_netlist(netlist: &Netlist) -> Self {
+        let mut family_counts: BTreeMap<&'static str, usize> = BTreeMap::new();
+        let mut equivalent_gates = 0.0;
+        for g in netlist.gates() {
+            *family_counts.entry(g.cell().family()).or_insert(0) += 1;
+            equivalent_gates += g.cell().equivalent_gates();
+        }
+        Self {
+            name: netlist.name().to_string(),
+            family_counts,
+            total_gates: netlist.gates().len(),
+            equivalent_gates,
+            delay_gates: netlist.critical_path_gates(),
+            delay_ps: netlist.critical_path_ps(),
+            num_inputs: netlist.num_inputs(),
+            num_outputs: netlist.num_outputs(),
+        }
+    }
+
+    /// Gate count for one family label (e.g. `"AND"`), zero if absent.
+    pub fn family_count(&self, family: &str) -> usize {
+        self.family_counts.get(family).copied().unwrap_or(0)
+    }
+
+    /// The family labels in Table I row order.
+    pub const TABLE_ONE_FAMILIES: [&'static str; 8] =
+        ["AND", "OR", "XOR", "INV", "BUF", "NAND", "NOR", "XNOR"];
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "netlist `{}`:", self.name)?;
+        for fam in Self::TABLE_ONE_FAMILIES {
+            writeln!(f, "  # {:<5} {}", fam, self.family_count(fam))?;
+        }
+        writeln!(f, "  total gates      {}", self.total_gates)?;
+        writeln!(f, "  equivalent gates {:.1}", self.equivalent_gates)?;
+        writeln!(
+            f,
+            "  delay            {} gates ({:.0} ps)",
+            self.delay_gates, self.delay_ps
+        )?;
+        write!(
+            f,
+            "  ports            {} in / {} out",
+            self.num_inputs, self.num_outputs
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CellType, NetlistBuilder};
+
+    #[test]
+    fn counts_and_area_accumulate() {
+        let mut b = NetlistBuilder::new("mix");
+        let a = b.input("a");
+        let c = b.input("b");
+        let x = b.xor(a, c);
+        let y = b.and(&[a, x]);
+        let z = b.not(y);
+        b.output("z", z);
+        let stats = b.finish().expect("valid").stats();
+        assert_eq!(stats.family_count("XOR"), 1);
+        assert_eq!(stats.family_count("AND"), 1);
+        assert_eq!(stats.family_count("INV"), 1);
+        assert_eq!(stats.total_gates, 3);
+        let expect = CellType::Xor2.equivalent_gates()
+            + CellType::And2.equivalent_gates()
+            + CellType::Inv.equivalent_gates();
+        assert!((stats.equivalent_gates - expect).abs() < 1e-9);
+        assert_eq!(stats.delay_gates, 3);
+    }
+
+    #[test]
+    fn display_mentions_every_family() {
+        let mut b = NetlistBuilder::new("one");
+        let a = b.input("a");
+        let z = b.not(a);
+        b.output("z", z);
+        let text = b.finish().expect("valid").stats().to_string();
+        for fam in NetlistStats::TABLE_ONE_FAMILIES {
+            assert!(text.contains(fam), "missing {fam} in report");
+        }
+    }
+}

@@ -1,0 +1,456 @@
+//! Two-level logic synthesis: truth tables → AND/OR/INV netlists.
+//!
+//! This is the small EDA substrate used by the tabulated S-box generators:
+//! a Quine–McCluskey prime-implicant pass followed by a greedy cover, and an
+//! emitter that maps the resulting sum-of-products onto the cell library
+//! with shared input inverters and shared product terms.
+//!
+//! # Example
+//!
+//! Synthesize a 2-input XOR from its truth table:
+//!
+//! ```
+//! use sbox_netlist::NetlistBuilder;
+//! use sbox_netlist::synth::TruthTable;
+//!
+//! # fn main() -> Result<(), sbox_netlist::NetlistError> {
+//! let tt = TruthTable::from_fn(2, 1, |t| u64::from((t ^ (t >> 1)) & 1));
+//! let mut b = NetlistBuilder::new("xor_sop");
+//! let ins = b.input_bus("x", 2);
+//! let outs = tt.synthesize_sop(&mut b, &ins);
+//! b.output_bus("y", &outs);
+//! let nl = b.finish()?;
+//! assert_eq!(nl.truth_table(), vec![0, 1, 1, 0]);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::{HashMap, HashSet};
+
+use crate::{NetId, NetlistBuilder};
+
+/// A multi-output boolean function tabulated over all `2^num_inputs` points.
+///
+/// Entry `t` packs the outputs for the input assignment whose bit `i` is
+/// `(t >> i) & 1` (little-endian, matching [`crate::Netlist::evaluate_word`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TruthTable {
+    num_inputs: usize,
+    num_outputs: usize,
+    words: Vec<u64>,
+}
+
+impl TruthTable {
+    /// Build a table by evaluating `f` on every input word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_inputs > 20` or `num_outputs > 64`.
+    pub fn from_fn(num_inputs: usize, num_outputs: usize, f: impl Fn(u64) -> u64) -> Self {
+        assert!(num_inputs <= 20, "truth table too large");
+        assert!(num_outputs <= 64);
+        let words = (0..1u64 << num_inputs).map(f).collect();
+        Self {
+            num_inputs,
+            num_outputs,
+            words,
+        }
+    }
+
+    /// Wrap an existing table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len() != 2^num_inputs`.
+    pub fn from_words(num_inputs: usize, num_outputs: usize, words: Vec<u64>) -> Self {
+        assert_eq!(words.len(), 1usize << num_inputs);
+        assert!(num_outputs <= 64);
+        Self {
+            num_inputs,
+            num_outputs,
+            words,
+        }
+    }
+
+    /// Number of input variables.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Number of output bits.
+    pub fn num_outputs(&self) -> usize {
+        self.num_outputs
+    }
+
+    /// The packed output word for input word `t`.
+    pub fn output(&self, t: u64) -> u64 {
+        self.words[t as usize]
+    }
+
+    /// Minterms (input words) for which output bit `bit` is 1.
+    pub fn on_set(&self, bit: usize) -> Vec<u32> {
+        self.words
+            .iter()
+            .enumerate()
+            .filter(|(_, &w)| (w >> bit) & 1 == 1)
+            .map(|(t, _)| t as u32)
+            .collect()
+    }
+
+    /// Emit a two-level (SOP) realization of every output into `builder`,
+    /// reading the variables from `inputs`; returns one net per output bit.
+    ///
+    /// Product terms and input inverters are shared across outputs.
+    /// Constant-0 / constant-1 outputs are realized as `x0 ∧ ¬x0` /
+    /// `x0 ∨ ¬x0` so the result is always a pure gate network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.num_inputs()` or the table has zero
+    /// inputs.
+    pub fn synthesize_sop(&self, builder: &mut NetlistBuilder, inputs: &[NetId]) -> Vec<NetId> {
+        self.synthesize_sop_with_cap(builder, inputs, self.num_inputs)
+    }
+
+    /// Like [`TruthTable::synthesize_sop`] but limiting the
+    /// Quine–McCluskey merging to `max_rounds` passes — bounded runtime on
+    /// wide tables at the cost of some minimality.
+    ///
+    /// # Panics
+    ///
+    /// As for [`TruthTable::synthesize_sop`].
+    pub fn synthesize_sop_with_cap(
+        &self,
+        builder: &mut NetlistBuilder,
+        inputs: &[NetId],
+        max_rounds: usize,
+    ) -> Vec<NetId> {
+        assert_eq!(inputs.len(), self.num_inputs);
+        assert!(self.num_inputs > 0, "cannot synthesize a 0-input table");
+        let mut inverted: Vec<Option<NetId>> = vec![None; inputs.len()];
+        let mut product_cache: HashMap<Implicant, NetId> = HashMap::new();
+        let mut outs = Vec::with_capacity(self.num_outputs);
+        for bit in 0..self.num_outputs {
+            let on = self.on_set(bit);
+            if on.is_empty() {
+                let n0 = literal(builder, inputs, &mut inverted, 0, false);
+                let p0 = literal(builder, inputs, &mut inverted, 0, true);
+                outs.push(builder.and(&[p0, n0]));
+                continue;
+            }
+            if on.len() == self.words.len() {
+                let n0 = literal(builder, inputs, &mut inverted, 0, false);
+                let p0 = literal(builder, inputs, &mut inverted, 0, true);
+                outs.push(builder.or(&[p0, n0]));
+                continue;
+            }
+            let primes = prime_implicants_capped(&on, self.num_inputs, max_rounds);
+            let cover = greedy_cover(&on, &primes);
+            let mut terms = Vec::with_capacity(cover.len());
+            for imp in cover {
+                let net = *product_cache.entry(imp).or_insert_with(|| {
+                    emit_product(builder, inputs, &mut inverted, imp)
+                });
+                terms.push(net);
+            }
+            outs.push(builder.or(&terms));
+        }
+        outs
+    }
+}
+
+/// A cube over the input variables: variable `i` is cared about iff bit `i`
+/// of `mask` is set, in which case its required value is bit `i` of `value`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Implicant {
+    /// Care mask (1 = literal present).
+    pub mask: u32,
+    /// Required values on care positions (don't-care positions are 0).
+    pub value: u32,
+}
+
+impl Implicant {
+    /// Whether the cube contains the given minterm.
+    pub fn covers(&self, minterm: u32) -> bool {
+        minterm & self.mask == self.value
+    }
+
+    /// Number of literals in the cube.
+    pub fn literal_count(&self) -> u32 {
+        self.mask.count_ones()
+    }
+}
+
+/// Compute all prime implicants of the on-set `minterms` over `num_vars`
+/// variables (classic Quine–McCluskey merging).
+///
+/// # Panics
+///
+/// Panics if `num_vars > 20`.
+pub fn prime_implicants(minterms: &[u32], num_vars: usize) -> Vec<Implicant> {
+    prime_implicants_capped(minterms, num_vars, num_vars)
+}
+
+/// Quine–McCluskey merging limited to `max_rounds` passes. The result is a
+/// valid implicant set covering exactly the on-set (cubes stop growing
+/// after the cap), trading minimality for bounded runtime on wide
+/// functions.
+///
+/// # Panics
+///
+/// Panics if `num_vars > 20`.
+pub fn prime_implicants_capped(
+    minterms: &[u32],
+    num_vars: usize,
+    max_rounds: usize,
+) -> Vec<Implicant> {
+    assert!(num_vars <= 20);
+    let full_mask = if num_vars == 32 {
+        u32::MAX
+    } else {
+        (1u32 << num_vars) - 1
+    };
+    let mut current: HashSet<Implicant> = minterms
+        .iter()
+        .map(|&m| Implicant {
+            mask: full_mask,
+            value: m,
+        })
+        .collect();
+    let mut primes: Vec<Implicant> = Vec::new();
+    let mut rounds = 0usize;
+    while !current.is_empty() {
+        if rounds >= max_rounds {
+            primes.extend(current.iter());
+            break;
+        }
+        rounds += 1;
+        let mut merged: HashSet<Implicant> = HashSet::new();
+        let mut used: HashSet<Implicant> = HashSet::new();
+        // Group by (mask, popcount of value) so candidate pairs differ in
+        // exactly one care bit.
+        let mut groups: HashMap<(u32, u32), Vec<Implicant>> = HashMap::new();
+        for imp in &current {
+            groups
+                .entry((imp.mask, imp.value.count_ones()))
+                .or_default()
+                .push(*imp);
+        }
+        for (&(mask, ones), group) in &groups {
+            if let Some(next) = groups.get(&(mask, ones + 1)) {
+                for a in group {
+                    for b in next {
+                        let diff = a.value ^ b.value;
+                        if diff.count_ones() == 1 {
+                            used.insert(*a);
+                            used.insert(*b);
+                            merged.insert(Implicant {
+                                mask: mask & !diff,
+                                value: a.value & !diff,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        primes.extend(current.iter().filter(|i| !used.contains(i)));
+        current = merged;
+    }
+    primes.sort_by_key(|i| (i.mask, i.value));
+    primes
+}
+
+/// Select a small cover of `minterms` from `primes`: essential primes first,
+/// then repeatedly the prime covering the most uncovered minterms (ties
+/// broken toward fewer literals).
+pub fn greedy_cover(minterms: &[u32], primes: &[Implicant]) -> Vec<Implicant> {
+    let mut uncovered: HashSet<u32> = minterms.iter().copied().collect();
+    let mut cover = Vec::new();
+    // Essential primes: minterms covered by exactly one prime.
+    for &m in minterms {
+        let covering: Vec<&Implicant> = primes.iter().filter(|p| p.covers(m)).collect();
+        if covering.len() == 1 && uncovered.contains(&m) {
+            let p = *covering[0];
+            if !cover.contains(&p) {
+                cover.push(p);
+                uncovered.retain(|&x| !p.covers(x));
+            }
+        }
+    }
+    while !uncovered.is_empty() {
+        let best = primes
+            .iter()
+            .map(|p| {
+                let gain = uncovered.iter().filter(|&&m| p.covers(m)).count();
+                (gain, std::cmp::Reverse(p.literal_count()), *p)
+            })
+            .max_by_key(|&(gain, lits, _)| (gain, lits))
+            .map(|(_, _, p)| p)
+            .expect("primes cover all minterms");
+        cover.push(best);
+        uncovered.retain(|&m| !best.covers(m));
+    }
+    cover
+}
+
+/// Build a one-hot `2^n`-line decoder over `inputs`, sharing the complement
+/// inverters; line `v` is high iff the input word equals `v`.
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty or longer than 8.
+pub fn decoder(builder: &mut NetlistBuilder, inputs: &[NetId]) -> Vec<NetId> {
+    assert!(!inputs.is_empty() && inputs.len() <= 8);
+    let complements: Vec<NetId> = inputs.iter().map(|&n| builder.not(n)).collect();
+    (0..1u32 << inputs.len())
+        .map(|v| {
+            let literals: Vec<NetId> = inputs
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| {
+                    if (v >> i) & 1 == 1 {
+                        n
+                    } else {
+                        complements[i]
+                    }
+                })
+                .collect();
+            builder.and(&literals)
+        })
+        .collect()
+}
+
+fn literal(
+    builder: &mut NetlistBuilder,
+    inputs: &[NetId],
+    inverted: &mut [Option<NetId>],
+    var: usize,
+    positive: bool,
+) -> NetId {
+    if positive {
+        inputs[var]
+    } else {
+        *inverted[var].get_or_insert_with(|| builder.not(inputs[var]))
+    }
+}
+
+fn emit_product(
+    builder: &mut NetlistBuilder,
+    inputs: &[NetId],
+    inverted: &mut [Option<NetId>],
+    imp: Implicant,
+) -> NetId {
+    let lits: Vec<NetId> = (0..inputs.len())
+        .filter(|&i| (imp.mask >> i) & 1 == 1)
+        .map(|i| literal(builder, inputs, inverted, i, (imp.value >> i) & 1 == 1))
+        .collect();
+    builder.and(&lits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_synthesis(num_inputs: usize, num_outputs: usize, f: impl Fn(u64) -> u64 + Copy) {
+        let tt = TruthTable::from_fn(num_inputs, num_outputs, f);
+        let mut b = NetlistBuilder::new("sop");
+        let ins = b.input_bus("x", num_inputs);
+        let outs = tt.synthesize_sop(&mut b, &ins);
+        b.output_bus("y", &outs);
+        let nl = b.finish().expect("valid synthesis");
+        for t in 0..1u64 << num_inputs {
+            assert_eq!(nl.evaluate_word(t), f(t), "t={t}");
+        }
+    }
+
+    #[test]
+    fn synthesizes_xor_majority_parity() {
+        check_synthesis(2, 1, |t| (t ^ (t >> 1)) & 1);
+        check_synthesis(3, 1, |t| {
+            u64::from((t & 1) + ((t >> 1) & 1) + ((t >> 2) & 1) >= 2)
+        });
+        check_synthesis(5, 1, |t| u64::from(t.count_ones() & 1));
+    }
+
+    #[test]
+    fn synthesizes_constants() {
+        check_synthesis(3, 2, |_| 0b01);
+    }
+
+    #[test]
+    fn synthesizes_multi_output_adder() {
+        check_synthesis(4, 3, |t| {
+            let a = t & 3;
+            let b = (t >> 2) & 3;
+            a + b
+        });
+    }
+
+    #[test]
+    fn prime_implicants_of_textbook_example() {
+        // f(w,x,y,z) = Σ m(4,8,10,11,12,15), the classic QM worked example:
+        // primes are 8-9-10-11? (no 9) — use the known result for
+        // minterms {4,8,10,11,12,15}: primes m(4,12)=-100, m(8,10)=10-0,
+        // m(8,12)=1-00, m(10,11)=101-, m(11,15)=1-11.
+        let primes = prime_implicants(&[4, 8, 10, 11, 12, 15], 4);
+        assert_eq!(primes.len(), 5);
+        for p in &primes {
+            for m in [4u32, 8, 10, 11, 12, 15] {
+                if p.covers(m) {
+                    continue;
+                }
+            }
+            // Every prime must cover only on-set minterms.
+            for t in 0u32..16 {
+                if p.covers(t) {
+                    assert!([4, 8, 10, 11, 12, 15].contains(&t), "{p:?} covers {t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cover_is_complete_and_sound() {
+        let on = [1u32, 2, 5, 6, 9, 13, 14];
+        let primes = prime_implicants(&on, 4);
+        let cover = greedy_cover(&on, &primes);
+        for &m in &on {
+            assert!(cover.iter().any(|p| p.covers(m)), "minterm {m} uncovered");
+        }
+        for t in 0u32..16 {
+            if cover.iter().any(|p| p.covers(t)) {
+                assert!(on.contains(&t), "off-set minterm {t} covered");
+            }
+        }
+    }
+
+    #[test]
+    fn decoder_is_one_hot() {
+        let mut b = NetlistBuilder::new("dec");
+        let ins = b.input_bus("x", 3);
+        let lines = decoder(&mut b, &ins);
+        b.output_bus("d", &lines);
+        let nl = b.finish().expect("valid");
+        for t in 0u64..8 {
+            assert_eq!(nl.evaluate_word(t), 1 << t);
+        }
+    }
+
+    #[test]
+    fn sop_shares_products_across_outputs() {
+        // Two identical outputs must not double the AND count.
+        let tt = TruthTable::from_fn(3, 2, |t| {
+            let f = u64::from(t == 3 || t == 7);
+            f | (f << 1)
+        });
+        let mut b = NetlistBuilder::new("share");
+        let ins = b.input_bus("x", 3);
+        let outs = tt.synthesize_sop(&mut b, &ins);
+        b.output_bus("y", &outs);
+        let nl = b.finish().expect("valid");
+        let ands = nl
+            .stats()
+            .family_count("AND");
+        assert_eq!(ands, 1, "product term should be shared");
+    }
+}

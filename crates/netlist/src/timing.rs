@@ -1,0 +1,207 @@
+//! Static timing analysis: arrival times, slack, and critical-path
+//! extraction.
+//!
+//! Races between reconvergent paths are where glitches — and therefore
+//! the paper's multi-bit leakage — come from; this module quantifies them
+//! statically. The delay-balancing transform in [`crate::transform`] uses
+//! the arrival-time skews computed here.
+
+use crate::{GateId, NetId, Netlist};
+
+/// Arrival/required/slack report for one netlist under a given per-gate
+/// delay assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingReport {
+    /// Worst-case arrival time of each net (ps); primary inputs are 0.
+    pub arrival_ps: Vec<f64>,
+    /// Required time of each net for the circuit to meet its own critical
+    /// path (ps).
+    pub required_ps: Vec<f64>,
+    /// Slack of each net (`required − arrival`).
+    pub slack_ps: Vec<f64>,
+    /// The critical path as a gate chain from inputs to the limiting
+    /// output.
+    pub critical_path: Vec<GateId>,
+}
+
+impl TimingReport {
+    /// The critical-path delay in ps.
+    pub fn critical_delay_ps(&self) -> f64 {
+        self.critical_path
+            .last()
+            .map_or(0.0, |_| {
+                self.arrival_ps
+                    .iter()
+                    .cloned()
+                    .fold(0.0, f64::max)
+            })
+    }
+
+    /// The maximum arrival-time skew across the input pins of a gate —
+    /// the width of the window in which it can glitch.
+    pub fn input_skew_ps(&self, netlist: &Netlist, gate: GateId) -> f64 {
+        let arrivals: Vec<f64> = netlist
+            .gate(gate)
+            .inputs()
+            .iter()
+            .map(|n| self.arrival_ps[n.index()])
+            .collect();
+        let max = arrivals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min = arrivals.iter().cloned().fold(f64::INFINITY, f64::min);
+        (max - min).max(0.0)
+    }
+
+    /// Total input skew over all gates — a scalar "glitch exposure" figure
+    /// of merit for a netlist.
+    pub fn total_skew_ps(&self, netlist: &Netlist) -> f64 {
+        (0..netlist.gates().len())
+            .map(|g| self.input_skew_ps(netlist, GateId(g as u32)))
+            .sum()
+    }
+}
+
+/// Run STA with the nominal cell delays.
+pub fn analyze(netlist: &Netlist) -> TimingReport {
+    analyze_with(netlist, |g| netlist.gate(g).cell().delay_ps())
+}
+
+/// Run STA with a caller-supplied per-gate delay (e.g. jittered or aged).
+pub fn analyze_with(netlist: &Netlist, delay_ps: impl Fn(GateId) -> f64) -> TimingReport {
+    let num_nets = netlist.nets().len();
+    let mut arrival = vec![0.0f64; num_nets];
+    for &gid in netlist.topo_order() {
+        let gate = netlist.gate(gid);
+        let in_arrival = gate
+            .inputs()
+            .iter()
+            .map(|n| arrival[n.index()])
+            .fold(0.0, f64::max);
+        arrival[gate.output().index()] = in_arrival + delay_ps(gid);
+    }
+    let clock: f64 = netlist
+        .outputs()
+        .iter()
+        .map(|(_, n)| arrival[n.index()])
+        .fold(0.0, f64::max);
+
+    // Backward pass: required times.
+    let mut required = vec![f64::INFINITY; num_nets];
+    for (_, n) in netlist.outputs() {
+        required[n.index()] = clock;
+    }
+    for &gid in netlist.topo_order().iter().rev() {
+        let gate = netlist.gate(gid);
+        let out_req = required[gate.output().index()];
+        let d = delay_ps(gid);
+        for n in gate.inputs() {
+            let r = out_req - d;
+            if r < required[n.index()] {
+                required[n.index()] = r;
+            }
+        }
+    }
+    for (i, r) in required.iter_mut().enumerate() {
+        if r.is_infinite() {
+            // Dangling net: give it the clock as required time.
+            *r = clock.max(arrival[i]);
+        }
+    }
+    let slack: Vec<f64> = required
+        .iter()
+        .zip(&arrival)
+        .map(|(r, a)| r - a)
+        .collect();
+
+    // Critical path: walk back from the worst output through the
+    // worst-arrival input at each stage.
+    let mut critical_path = Vec::new();
+    let mut cursor: Option<NetId> = netlist
+        .outputs()
+        .iter()
+        .map(|(_, n)| *n)
+        .max_by(|a, b| arrival[a.index()].total_cmp(&arrival[b.index()]));
+    while let Some(net) = cursor {
+        match netlist.net(net).driver() {
+            Some(gid) => {
+                critical_path.push(gid);
+                cursor = netlist
+                    .gate(gid)
+                    .inputs()
+                    .iter()
+                    .copied()
+                    .max_by(|a, b| arrival[a.index()].total_cmp(&arrival[b.index()]));
+            }
+            None => break,
+        }
+    }
+    critical_path.reverse();
+
+    TimingReport {
+        arrival_ps: arrival,
+        required_ps: required,
+        slack_ps: slack,
+        critical_path,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CellType, NetlistBuilder};
+
+    fn skewed_xor() -> Netlist {
+        // y = xor(inv(inv(a)), b): the xor sees a 2-inverter skew.
+        let mut b = NetlistBuilder::new("skew");
+        let a = b.input("a");
+        let c = b.input("b");
+        let d1 = b.not(a);
+        let d2 = b.not(d1);
+        let y = b.xor(d2, c);
+        b.output("y", y);
+        b.finish().expect("valid")
+    }
+
+    #[test]
+    fn arrival_times_accumulate() {
+        let nl = skewed_xor();
+        let report = analyze(&nl);
+        let inv = CellType::Inv.delay_ps();
+        let xor = CellType::Xor2.delay_ps();
+        assert!((report.critical_delay_ps() - (2.0 * inv + xor)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skew_equals_the_inverter_chain() {
+        let nl = skewed_xor();
+        let report = analyze(&nl);
+        let xor_gate = nl.net(nl.outputs()[0].1).driver().expect("driven");
+        let skew = report.input_skew_ps(&nl, xor_gate);
+        assert!((skew - 2.0 * CellType::Inv.delay_ps()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn critical_path_walks_the_long_branch() {
+        let nl = skewed_xor();
+        let report = analyze(&nl);
+        assert_eq!(report.critical_path.len(), 3, "{:?}", report.critical_path);
+    }
+
+    #[test]
+    fn slack_is_zero_on_the_critical_path_only() {
+        let nl = skewed_xor();
+        let report = analyze(&nl);
+        // Output net slack = 0.
+        let out = nl.outputs()[0].1;
+        assert!(report.slack_ps[out.index()].abs() < 1e-9);
+        // The "b" input has positive slack (short branch).
+        let b_net = nl.inputs()[1];
+        assert!(report.slack_ps[b_net.index()] > 0.0);
+    }
+
+    #[test]
+    fn custom_delays_are_respected() {
+        let nl = skewed_xor();
+        let report = analyze_with(&nl, |_| 10.0);
+        assert!((report.critical_delay_ps() - 30.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,184 @@
+//! Netlist transformations: dead-logic sweep and delay balancing.
+//!
+//! Delay balancing is the classic glitch countermeasure (the
+//! "conservative" strategy of the paper's introduction — eliminate the
+//! races instead of tolerating them): buffers are inserted on early
+//! gate inputs until every pin of a gate sees (approximately) the same
+//! worst-case arrival time, so reconvergent paths stop producing spurious
+//! transitions. The `experiments` crate uses it to ablate how much of
+//! each scheme's leakage is glitch-borne.
+
+use std::collections::HashMap;
+
+use crate::timing::analyze;
+use crate::{CellType, NetId, Netlist, NetlistBuilder, NetlistError};
+
+/// Remove gates that drive no primary output (directly or transitively).
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from rebuilding (cannot occur for a valid
+/// input netlist, but the signature keeps the contract explicit).
+pub fn sweep_dead_gates(netlist: &Netlist) -> Result<Netlist, NetlistError> {
+    // Mark live nets backwards from the outputs.
+    let mut live = vec![false; netlist.nets().len()];
+    let mut stack: Vec<NetId> = netlist.outputs().iter().map(|(_, n)| *n).collect();
+    while let Some(n) = stack.pop() {
+        if live[n.index()] {
+            continue;
+        }
+        live[n.index()] = true;
+        if let Some(gid) = netlist.net(n).driver() {
+            stack.extend(netlist.gate(gid).inputs().iter().copied());
+        }
+    }
+    rebuild(netlist, |gid| live[netlist.gate(gid).output().index()], 0.0)
+}
+
+/// Insert buffer chains so every gate's input pins see arrival times
+/// matched to within `tolerance_ps` (of the slowest pin), using nominal
+/// cell delays.
+///
+/// Balancing eliminates the glitch windows at the cost of area and power
+/// — the exact trade the paper's "conservative" school accepts.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from rebuilding.
+pub fn balance_delays(netlist: &Netlist, tolerance_ps: f64) -> Result<Netlist, NetlistError> {
+    assert!(tolerance_ps >= 0.0);
+    rebuild(netlist, |_| true, tolerance_ps)
+}
+
+/// Re-emit `netlist` keeping only gates where `keep` holds, optionally
+/// padding input-arrival skews larger than `balance_tolerance_ps` (> 0
+/// enables balancing).
+fn rebuild(
+    netlist: &Netlist,
+    keep: impl Fn(crate::GateId) -> bool,
+    balance_tolerance_ps: f64,
+) -> Result<Netlist, NetlistError> {
+    let balancing = balance_tolerance_ps > 0.0;
+    let timing = analyze(netlist);
+    let buf_delay = CellType::Buf.delay_ps();
+    let mut b = NetlistBuilder::new(format!(
+        "{}{}",
+        netlist.name(),
+        if balancing { "_balanced" } else { "_swept" }
+    ));
+    let mut map: HashMap<NetId, NetId> = HashMap::new();
+    for &old in netlist.inputs() {
+        let name = netlist.net(old).name().unwrap_or("in").to_string();
+        map.insert(old, b.input(name));
+    }
+    for &gid in netlist.topo_order() {
+        if !keep(gid) {
+            continue;
+        }
+        let gate = netlist.gate(gid);
+        let target = gate
+            .inputs()
+            .iter()
+            .map(|n| timing.arrival_ps[n.index()])
+            .fold(0.0, f64::max);
+        let inputs: Vec<NetId> = gate
+            .inputs()
+            .iter()
+            .map(|n| {
+                let mut mapped = map[n];
+                if balancing {
+                    let lag = target - timing.arrival_ps[n.index()];
+                    if lag > balance_tolerance_ps {
+                        let chains = (lag / buf_delay).round().max(1.0) as usize;
+                        for _ in 0..chains {
+                            mapped = b.buf(mapped);
+                        }
+                    }
+                }
+                mapped
+            })
+            .collect();
+        let out = b.gate(gate.cell(), &inputs);
+        map.insert(gate.output(), out);
+    }
+    for (name, net) in netlist.outputs() {
+        b.output(name.clone(), map[net]);
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing;
+    use crate::NetlistBuilder;
+
+    fn with_dead_gate() -> Netlist {
+        let mut b = NetlistBuilder::new("dead");
+        let a = b.input("a");
+        let keep = b.not(a);
+        let _dead = b.xor(a, keep); // drives nothing
+        b.output("y", keep);
+        b.finish().expect("valid")
+    }
+
+    #[test]
+    fn sweep_removes_unobservable_logic() {
+        let nl = with_dead_gate();
+        assert_eq!(nl.gates().len(), 2);
+        let swept = sweep_dead_gates(&nl).expect("rebuild");
+        assert_eq!(swept.gates().len(), 1);
+        for t in 0..2u64 {
+            assert_eq!(swept.evaluate_word(t), nl.evaluate_word(t));
+        }
+    }
+
+    fn skewed() -> Netlist {
+        let mut b = NetlistBuilder::new("skew");
+        let a = b.input("a");
+        let c = b.input("b");
+        let d1 = b.not(a);
+        let d2 = b.not(d1);
+        let d3 = b.not(d2);
+        let d4 = b.not(d3);
+        let y = b.xor(d4, c);
+        b.output("y", y);
+        b.finish().expect("valid")
+    }
+
+    #[test]
+    fn balancing_preserves_function() {
+        let nl = skewed();
+        let balanced = balance_delays(&nl, 1.0).expect("rebuild");
+        for t in 0..4u64 {
+            assert_eq!(balanced.evaluate_word(t), nl.evaluate_word(t));
+        }
+    }
+
+    #[test]
+    fn balancing_shrinks_input_skew() {
+        let nl = skewed();
+        let before = timing::analyze(&nl).total_skew_ps(&nl);
+        let balanced = balance_delays(&nl, 1.0).expect("rebuild");
+        let after = timing::analyze(&balanced).total_skew_ps(&balanced);
+        assert!(
+            after < 0.6 * before,
+            "skew should shrink: {before} → {after}"
+        );
+        assert!(
+            balanced.gates().len() > nl.gates().len(),
+            "buffers must have been inserted"
+        );
+    }
+
+    #[test]
+    fn balancing_an_already_balanced_tree_is_a_noop() {
+        let mut b = NetlistBuilder::new("flat");
+        let x = b.input_bus("x", 4);
+        let y = b.and(&x);
+        b.output("y", y);
+        let nl = b.finish().expect("valid");
+        let balanced = balance_delays(&nl, 1.0).expect("rebuild");
+        assert_eq!(balanced.gates().len(), nl.gates().len());
+    }
+}

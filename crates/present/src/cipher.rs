@@ -1,0 +1,211 @@
+//! PRESENT-80 and PRESENT-128 block ciphers.
+
+use crate::sbox::{player, player_inv, sbox, sbox_layer, sbox_layer_inv};
+
+/// Number of substitution–permutation rounds (a 32nd round key is used for
+/// the final whitening).
+pub const ROUNDS: usize = 31;
+
+/// PRESENT with an 80-bit key.
+///
+/// # Example
+///
+/// ```
+/// use present_cipher::Present80;
+///
+/// let key = [0xFFu8; 10];
+/// let cipher = Present80::new(key);
+/// assert_eq!(cipher.encrypt_block(0), 0xE72C_46C0_F594_5049);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Present80 {
+    round_keys: [u64; ROUNDS + 1],
+}
+
+impl Present80 {
+    /// Expand a key (big-endian byte order: `key[0]` holds bits 79..72).
+    pub fn new(key: [u8; 10]) -> Self {
+        const MASK80: u128 = (1u128 << 80) - 1;
+        let mut k = 0u128;
+        for &b in &key {
+            k = (k << 8) | u128::from(b);
+        }
+        let mut round_keys = [0u64; ROUNDS + 1];
+        for (round, rk) in round_keys.iter_mut().enumerate() {
+            *rk = (k >> 16) as u64; // round key = leftmost 64 bits
+            let round = round as u128 + 1;
+            // Rotate the 80-bit register left by 61.
+            k = ((k << 61) | (k >> 19)) & MASK80;
+            // S-box on the top nibble (bits 79..76).
+            let top = ((k >> 76) & 0xF) as u8;
+            k = (k & !(0xFu128 << 76)) | (u128::from(sbox(top)) << 76);
+            // XOR the round counter into bits 19..15.
+            k ^= round << 15;
+        }
+        Self { round_keys }
+    }
+
+    /// The 32 round keys (`round_keys()[0]` = K1, whitening key last).
+    pub fn round_keys(&self) -> &[u64; ROUNDS + 1] {
+        &self.round_keys
+    }
+
+    /// Encrypt one 64-bit block.
+    pub fn encrypt_block(&self, plaintext: u64) -> u64 {
+        let mut state = plaintext;
+        for rk in &self.round_keys[..ROUNDS] {
+            state ^= rk;
+            state = sbox_layer(state);
+            state = player(state);
+        }
+        state ^ self.round_keys[ROUNDS]
+    }
+
+    /// Decrypt one 64-bit block.
+    pub fn decrypt_block(&self, ciphertext: u64) -> u64 {
+        let mut state = ciphertext ^ self.round_keys[ROUNDS];
+        for rk in self.round_keys[..ROUNDS].iter().rev() {
+            state = player_inv(state);
+            state = sbox_layer_inv(state);
+            state ^= rk;
+        }
+        state
+    }
+}
+
+/// PRESENT with a 128-bit key.
+///
+/// # Example
+///
+/// ```
+/// use present_cipher::Present128;
+///
+/// let cipher = Present128::new([0u8; 16]);
+/// let ct = cipher.encrypt_block(0x0123_4567_89AB_CDEF);
+/// assert_eq!(cipher.decrypt_block(ct), 0x0123_4567_89AB_CDEF);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Present128 {
+    round_keys: [u64; ROUNDS + 1],
+}
+
+impl Present128 {
+    /// Expand a key (big-endian byte order: `key[0]` holds bits 127..120).
+    pub fn new(key: [u8; 16]) -> Self {
+        let mut k = 0u128;
+        for &b in &key {
+            k = (k << 8) | u128::from(b);
+        }
+        let mut round_keys = [0u64; ROUNDS + 1];
+        for (round, rk) in round_keys.iter_mut().enumerate() {
+            *rk = (k >> 64) as u64;
+            let round = round as u128 + 1;
+            // Rotate left by 61.
+            k = k.rotate_left(61);
+            // S-box on the two top nibbles.
+            let n1 = ((k >> 124) & 0xF) as u8;
+            let n2 = ((k >> 120) & 0xF) as u8;
+            k = (k & !(0xFF << 120))
+                | (u128::from(sbox(n1)) << 124)
+                | (u128::from(sbox(n2)) << 120);
+            // XOR the round counter into bits 66..62.
+            k ^= round << 62;
+        }
+        Self { round_keys }
+    }
+
+    /// The 32 round keys.
+    pub fn round_keys(&self) -> &[u64; ROUNDS + 1] {
+        &self.round_keys
+    }
+
+    /// Encrypt one 64-bit block.
+    pub fn encrypt_block(&self, plaintext: u64) -> u64 {
+        let mut state = plaintext;
+        for rk in &self.round_keys[..ROUNDS] {
+            state ^= rk;
+            state = sbox_layer(state);
+            state = player(state);
+        }
+        state ^ self.round_keys[ROUNDS]
+    }
+
+    /// Decrypt one 64-bit block.
+    pub fn decrypt_block(&self, ciphertext: u64) -> u64 {
+        let mut state = ciphertext ^ self.round_keys[ROUNDS];
+        for rk in self.round_keys[..ROUNDS].iter().rev() {
+            state = player_inv(state);
+            state = sbox_layer_inv(state);
+            state ^= rk;
+        }
+        state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Test vectors from Table 5 ("Test vectors") of the PRESENT paper.
+    #[test]
+    fn present80_published_vectors() {
+        let cases: [( [u8; 10], u64, u64 ); 4] = [
+            ([0x00; 10], 0x0000_0000_0000_0000, 0x5579_C138_7B22_8445),
+            ([0xFF; 10], 0x0000_0000_0000_0000, 0xE72C_46C0_F594_5049),
+            ([0x00; 10], 0xFFFF_FFFF_FFFF_FFFF, 0xA112_FFC7_2F68_417B),
+            ([0xFF; 10], 0xFFFF_FFFF_FFFF_FFFF, 0x3333_DCD3_2132_10D2),
+        ];
+        for (key, pt, ct) in cases {
+            let cipher = Present80::new(key);
+            assert_eq!(cipher.encrypt_block(pt), ct, "key={key:?} pt={pt:#x}");
+            assert_eq!(cipher.decrypt_block(ct), pt);
+        }
+    }
+
+    #[test]
+    fn present80_round_trip_random() {
+        let cipher = Present80::new([0x12, 0x34, 0x56, 0x78, 0x9A, 0xBC, 0xDE, 0xF0, 0x11, 0x22]);
+        let mut x = 0x0123_4567_89AB_CDEFu64;
+        for _ in 0..100 {
+            x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+            assert_eq!(cipher.decrypt_block(cipher.encrypt_block(x)), x);
+        }
+    }
+
+    #[test]
+    fn present128_round_trip_random() {
+        let cipher = Present128::new([
+            0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xAA, 0xBB, 0xCC, 0xDD,
+            0xEE, 0xFF,
+        ]);
+        let mut x = 0xDEAD_BEEF_0BAD_F00Du64;
+        for _ in 0..100 {
+            x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+            assert_eq!(cipher.decrypt_block(cipher.encrypt_block(x)), x);
+        }
+    }
+
+    #[test]
+    fn first_round_key_is_key_top_bits() {
+        let key = [0xAB, 0xCD, 0xEF, 0x01, 0x23, 0x45, 0x67, 0x89, 0x10, 0x32];
+        let cipher = Present80::new(key);
+        assert_eq!(cipher.round_keys()[0], 0xABCD_EF01_2345_6789);
+    }
+
+    #[test]
+    fn different_keys_give_different_ciphertexts() {
+        let c1 = Present80::new([0x00; 10]);
+        let c2 = Present80::new([0x01; 10]);
+        assert_ne!(c1.encrypt_block(42), c2.encrypt_block(42));
+    }
+
+    #[test]
+    fn round_one_helper_matches_key_addition() {
+        let cipher = Present80::new([0x0F; 10]);
+        let nib = crate::round_one_sbox_input(0x0000_0000_0000_00FF, &cipher);
+        let expect = 0x0000_0000_0000_00FF ^ cipher.round_keys()[0];
+        for (i, &n) in nib.iter().enumerate() {
+            assert_eq!(u64::from(n), (expect >> (4 * i)) & 0xF);
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Reference implementation of the PRESENT lightweight block cipher
+//! (Bogdanov et al., CHES 2007; ISO/IEC 29192-2:2012).
+//!
+//! PRESENT is a 64-bit substitution–permutation network with 31 rounds and
+//! an 80- or 128-bit key. Every round applies `addRoundKey`, a nibble-wise
+//! 4-bit S-box layer, and a bit permutation `pLayer`.
+//!
+//! This crate is the cryptographic substrate of the leakage study: the
+//! side-channel experiments target the **round-1 add-round-key + S-box**
+//! datapath ([`round_one_sbox_input`]), and the CPA baseline needs the exact
+//! S-box ([`SBOX`]) for its key hypotheses.
+//!
+//! # Example
+//!
+//! ```
+//! use present_cipher::Present80;
+//!
+//! let cipher = Present80::new([0u8; 10]);
+//! let ct = cipher.encrypt_block(0);
+//! assert_eq!(ct, 0x5579_C138_7B22_8445); // test vector from the paper
+//! assert_eq!(cipher.decrypt_block(ct), 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cipher;
+mod sbox;
+
+pub use cipher::{Present128, Present80, ROUNDS};
+pub use sbox::{player, player_inv, sbox, sbox_inv, sbox_layer, sbox_layer_inv, SBOX, SBOX_INV};
+
+/// The 16 round-1 S-box input nibbles for a plaintext/key pair: nibble `i`
+/// of `plaintext ^ K1`.
+///
+/// This is exactly the intermediate value the paper's traces expose (the
+/// "add-round-key and S-Box operations in the first round"), and the value
+/// a CPA attacker hypothesizes.
+///
+/// # Example
+///
+/// ```
+/// use present_cipher::{round_one_sbox_input, Present80};
+///
+/// let cipher = Present80::new([0x55; 10]);
+/// let nibbles = round_one_sbox_input(0x0123_4567_89AB_CDEF, &cipher);
+/// assert_eq!(nibbles.len(), 16);
+/// assert!(nibbles.iter().all(|&n| n < 16));
+/// ```
+pub fn round_one_sbox_input(plaintext: u64, cipher: &Present80) -> [u8; 16] {
+    let state = plaintext ^ cipher.round_keys()[0];
+    let mut out = [0u8; 16];
+    for (i, n) in out.iter_mut().enumerate() {
+        *n = ((state >> (4 * i)) & 0xF) as u8;
+    }
+    out
+}

@@ -1,0 +1,122 @@
+//! The PRESENT S-box, its inverse, and the round layers.
+
+/// The PRESENT 4-bit S-box.
+pub const SBOX: [u8; 16] = [
+    0xC, 0x5, 0x6, 0xB, 0x9, 0x0, 0xA, 0xD, 0x3, 0xE, 0xF, 0x8, 0x4, 0x7, 0x1, 0x2,
+];
+
+/// The inverse PRESENT S-box.
+pub const SBOX_INV: [u8; 16] = [
+    0x5, 0xE, 0xF, 0x8, 0xC, 0x1, 0x2, 0xD, 0xB, 0x4, 0x6, 0x3, 0x0, 0x7, 0x9, 0xA,
+];
+
+/// Apply the S-box to a nibble.
+///
+/// # Panics
+///
+/// Panics if `x >= 16`.
+#[inline]
+pub fn sbox(x: u8) -> u8 {
+    SBOX[usize::from(x)]
+}
+
+/// Apply the inverse S-box to a nibble.
+///
+/// # Panics
+///
+/// Panics if `x >= 16`.
+#[inline]
+pub fn sbox_inv(x: u8) -> u8 {
+    SBOX_INV[usize::from(x)]
+}
+
+/// Apply the S-box to all 16 nibbles of the state.
+pub fn sbox_layer(state: u64) -> u64 {
+    nibble_map(state, &SBOX)
+}
+
+/// Apply the inverse S-box to all 16 nibbles of the state.
+pub fn sbox_layer_inv(state: u64) -> u64 {
+    nibble_map(state, &SBOX_INV)
+}
+
+fn nibble_map(state: u64, table: &[u8; 16]) -> u64 {
+    let mut out = 0u64;
+    for i in 0..16 {
+        let n = (state >> (4 * i)) & 0xF;
+        out |= u64::from(table[n as usize]) << (4 * i);
+    }
+    out
+}
+
+/// The PRESENT bit permutation: input bit `i` moves to output position
+/// `16·i mod 63` (bit 63 is fixed).
+pub fn player(state: u64) -> u64 {
+    let mut out = 0u64;
+    for i in 0..63 {
+        out |= ((state >> i) & 1) << (i * 16 % 63);
+    }
+    out | (state & (1 << 63))
+}
+
+/// The inverse of [`player`].
+pub fn player_inv(state: u64) -> u64 {
+    let mut out = 0u64;
+    for i in 0..63 {
+        out |= ((state >> (i * 16 % 63)) & 1) << i;
+    }
+    out | (state & (1 << 63))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sbox_is_a_permutation_and_inverse_matches() {
+        let mut seen = [false; 16];
+        for x in 0..16u8 {
+            let y = sbox(x);
+            assert!(!seen[usize::from(y)]);
+            seen[usize::from(y)] = true;
+            assert_eq!(sbox_inv(y), x);
+        }
+    }
+
+    #[test]
+    fn sbox_has_no_fixed_points_on_low_values() {
+        // Design property from the PRESENT paper: S(x) known values.
+        assert_eq!(sbox(0x0), 0xC);
+        assert_eq!(sbox(0xF), 0x2);
+    }
+
+    #[test]
+    fn player_round_trips() {
+        for s in [
+            0u64,
+            u64::MAX,
+            0x0123_4567_89AB_CDEF,
+            0xDEAD_BEEF_F00D_CAFE,
+        ] {
+            assert_eq!(player_inv(player(s)), s);
+            assert_eq!(player(player_inv(s)), s);
+        }
+    }
+
+    #[test]
+    fn player_is_the_published_table() {
+        // P(0)=0, P(1)=16, P(2)=32, P(3)=48, P(4)=1 … P(63)=63 (paper Table 3).
+        assert_eq!(player(1 << 1), 1 << 16);
+        assert_eq!(player(1 << 2), 1 << 32);
+        assert_eq!(player(1 << 4), 1 << 1);
+        assert_eq!(player(1 << 62), 1 << 47);
+        assert_eq!(player(1 << 63), 1 << 63);
+    }
+
+    #[test]
+    fn sbox_layer_round_trips() {
+        for s in [0u64, u64::MAX, 0x0123_4567_89AB_CDEF] {
+            assert_eq!(sbox_layer_inv(sbox_layer(s)), s);
+        }
+    }
+}

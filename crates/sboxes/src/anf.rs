@@ -1,0 +1,117 @@
+//! Algebraic Normal Form utilities (Möbius transform) for the threshold
+//! implementation.
+
+/// The ANF of a single-output boolean function given as a truth table of
+/// `2ⁿ` bits: returns the set of monomials, each a variable mask `m`
+/// (bit `i` of `m` set ⇒ variable `i` is in the monomial; `m = 0` is the
+/// constant 1).
+///
+/// # Panics
+///
+/// Panics if `table.len()` is not a power of two.
+///
+/// # Example
+///
+/// ```
+/// use sbox_circuits::anf::monomials;
+///
+/// // f(x0, x1) = x0 ⊕ x0·x1  → monomials {0b01, 0b11}.
+/// let f = [false, true, false, false];
+/// assert_eq!(monomials(&f), vec![0b01, 0b11]);
+/// ```
+pub fn monomials(table: &[bool]) -> Vec<u32> {
+    let n = table.len();
+    assert!(n.is_power_of_two(), "table length must be a power of two");
+    let mut coeffs: Vec<bool> = table.to_vec();
+    // Möbius transform (in-place butterfly over F₂).
+    let mut h = 1;
+    while h < n {
+        for block in (0..n).step_by(2 * h) {
+            for i in block..block + h {
+                coeffs[i + h] ^= coeffs[i];
+            }
+        }
+        h *= 2;
+    }
+    coeffs
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c)
+        .map(|(m, _)| m as u32)
+        .collect()
+}
+
+/// Evaluate an ANF (list of monomials) on a packed input word.
+pub fn evaluate_anf(monomials: &[u32], x: u32) -> bool {
+    monomials
+        .iter()
+        .fold(false, |acc, &m| acc ^ (x & m == m))
+}
+
+/// Algebraic degree of an ANF.
+pub fn degree(monomials: &[u32]) -> u32 {
+    monomials.iter().map(|m| m.count_ones()).max().unwrap_or(0)
+}
+
+/// The ANF monomial lists of the four PRESENT S-box output bits
+/// (LSB-first).
+pub fn present_sbox_anf() -> [Vec<u32>; 4] {
+    std::array::from_fn(|bit| {
+        let table: Vec<bool> = (0..16u8)
+            .map(|t| (present_cipher::sbox(t) >> bit) & 1 == 1)
+            .collect();
+        monomials(&table)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anf_round_trips_on_random_functions() {
+        let mut state = 0x1234_5678u32;
+        for _ in 0..20 {
+            let table: Vec<bool> = (0..32)
+                .map(|_| {
+                    state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+                    state >> 31 == 1
+                })
+                .collect();
+            let anf = monomials(&table);
+            for (x, &fx) in table.iter().enumerate() {
+                assert_eq!(evaluate_anf(&anf, x as u32), fx);
+            }
+        }
+    }
+
+    #[test]
+    fn present_sbox_anf_reproduces_the_sbox() {
+        let anf = present_sbox_anf();
+        for t in 0..16u8 {
+            let mut v = 0u8;
+            for (bit, m) in anf.iter().enumerate() {
+                v |= u8::from(evaluate_anf(m, u32::from(t))) << bit;
+            }
+            assert_eq!(v, present_cipher::sbox(t), "t={t}");
+        }
+    }
+
+    #[test]
+    fn present_sbox_has_degree_three() {
+        for m in present_sbox_anf() {
+            assert!(degree(&m) <= 3);
+        }
+        assert!(present_sbox_anf().iter().any(|m| degree(m) == 3));
+    }
+
+    #[test]
+    fn constant_bits_match_sbox_of_zero() {
+        // S(0) = 0xC: output bits 2 and 3 have the constant-1 monomial.
+        let anf = present_sbox_anf();
+        assert!(!anf[0].contains(&0));
+        assert!(!anf[1].contains(&0));
+        assert!(anf[2].contains(&0));
+        assert!(anf[3].contains(&0));
+    }
+}

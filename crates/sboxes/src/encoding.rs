@@ -1,0 +1,256 @@
+//! Stimulus encodings: class value + mask randomness → primary inputs.
+
+use rand::Rng;
+
+use crate::Scheme;
+
+/// How a scheme's primary inputs encode an unmasked S-box input `t`.
+///
+/// The acquisition protocol (paper Fig. 5) drives every circuit with a
+/// *random encoding* of class 0 (initial value) followed by a random
+/// encoding of the class under measurement — [`InputEncoding::encode`]
+/// produces exactly those assignments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InputEncoding {
+    scheme: Scheme,
+}
+
+impl InputEncoding {
+    /// The encoding for a scheme.
+    pub fn for_scheme(scheme: Scheme) -> Self {
+        Self { scheme }
+    }
+
+    /// The scheme this encoding belongs to.
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// Number of primary inputs the netlist expects.
+    pub fn num_inputs(&self) -> usize {
+        match self.scheme {
+            Scheme::Lut | Scheme::Opt => 4,
+            Scheme::Rsm | Scheme::RsmRom => 8,
+            Scheme::Glut | Scheme::Isw => 12,
+            Scheme::Ti => 16,
+        }
+    }
+
+    /// Number of masked output bits the netlist produces.
+    pub fn num_outputs(&self) -> usize {
+        match self.scheme {
+            Scheme::Lut | Scheme::Opt | Scheme::Glut | Scheme::Rsm | Scheme::RsmRom => 4,
+            Scheme::Isw => 8,
+            Scheme::Ti => 16,
+        }
+    }
+
+    /// Widths (in bits) of the scheme's independent mask subfields, in the
+    /// order they pack into the mask word of [`InputEncoding::encode_masked`].
+    /// A stratified sampler balances each subfield independently.
+    pub fn mask_fields(&self) -> &'static [usize] {
+        match self.scheme {
+            Scheme::Lut | Scheme::Opt => &[],
+            Scheme::Glut => &[4, 4],          // MI, MO
+            Scheme::Rsm | Scheme::RsmRom => &[4], // MI
+            Scheme::Isw => &[4, 4],           // sharing mask M, gadget R
+            Scheme::Ti => &[3, 3, 3, 3],      // (s1,s2,s3) per input bit
+        }
+    }
+
+    /// Total mask-word width in bits.
+    pub fn mask_bits(&self) -> usize {
+        self.mask_fields().iter().sum()
+    }
+
+    /// Encode the unmasked value `t` onto the primary inputs using an
+    /// explicit mask word (subfields packed LSB-first in
+    /// [`InputEncoding::mask_fields`] order). Buses are LSB-first, in the
+    /// port order the generators declare.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= 16` or the mask word exceeds
+    /// [`InputEncoding::mask_bits`].
+    pub fn encode_masked(&self, t: u8, mask_word: u32) -> Vec<bool> {
+        assert!(t < 16, "PRESENT S-box input is a nibble");
+        assert!(
+            self.mask_bits() == 32 || mask_word < (1 << self.mask_bits()),
+            "mask word out of range"
+        );
+        match self.scheme {
+            Scheme::Lut | Scheme::Opt => nibble_bits(t).to_vec(),
+            Scheme::Glut => {
+                let mi = (mask_word & 0xF) as u8;
+                let mo = ((mask_word >> 4) & 0xF) as u8;
+                let a = t ^ mi;
+                [nibble_bits(a), nibble_bits(mi), nibble_bits(mo)].concat()
+            }
+            Scheme::Rsm | Scheme::RsmRom => {
+                let mi = (mask_word & 0xF) as u8;
+                let a = t ^ mi;
+                [nibble_bits(a), nibble_bits(mi)].concat()
+            }
+            Scheme::Isw => {
+                let m = (mask_word & 0xF) as u8;
+                let r = ((mask_word >> 4) & 0xF) as u8;
+                let xa = t ^ m;
+                [nibble_bits(xa), nibble_bits(m), nibble_bits(r)].concat()
+            }
+            Scheme::Ti => {
+                // Bit-major: x{bit}s{0..3}; share 0 closes the XOR.
+                let mut v = Vec::with_capacity(16);
+                for bit in 0..4u8 {
+                    let x = (t >> bit) & 1 == 1;
+                    let field = (mask_word >> (3 * bit)) & 0b111;
+                    let s1 = field & 1 == 1;
+                    let s2 = (field >> 1) & 1 == 1;
+                    let s3 = (field >> 2) & 1 == 1;
+                    let s0 = x ^ s1 ^ s2 ^ s3;
+                    v.extend_from_slice(&[s0, s1, s2, s3]);
+                }
+                v
+            }
+        }
+    }
+
+    /// Draw fresh uniform mask randomness and encode `t` (convenience
+    /// wrapper over [`InputEncoding::encode_masked`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= 16`.
+    pub fn encode<R: Rng + ?Sized>(&self, t: u8, rng: &mut R) -> Vec<bool> {
+        let bits = self.mask_bits();
+        let word = if bits == 0 {
+            0
+        } else {
+            rng.gen_range(0..(1u32 << bits))
+        };
+        self.encode_masked(t, word)
+    }
+
+    /// Recover the *unmasked* S-box output from a primary-input assignment
+    /// and the resulting outputs (used for functional verification; an
+    /// attacker cannot do this — the masks are secret).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have the wrong lengths.
+    pub fn unmask_output(&self, inputs: &[bool], outputs: &[bool]) -> u8 {
+        assert_eq!(inputs.len(), self.num_inputs());
+        assert_eq!(outputs.len(), self.num_outputs());
+        match self.scheme {
+            Scheme::Lut | Scheme::Opt => pack_nibble(&outputs[..4]),
+            Scheme::Glut => {
+                let mo = pack_nibble(&inputs[8..12]);
+                pack_nibble(&outputs[..4]) ^ mo
+            }
+            Scheme::Rsm | Scheme::RsmRom => {
+                let mi = pack_nibble(&inputs[4..8]);
+                pack_nibble(&outputs[..4]) ^ ((mi + 1) % 16)
+            }
+            Scheme::Isw => pack_nibble(&outputs[..4]) ^ pack_nibble(&outputs[4..8]),
+            Scheme::Ti => {
+                let mut v = 0u8;
+                for bit in 0..4 {
+                    let shares = &outputs[4 * bit..4 * bit + 4];
+                    let b = shares.iter().fold(false, |a, &s| a ^ s);
+                    v |= u8::from(b) << bit;
+                }
+                v
+            }
+        }
+    }
+
+    /// Recover the unmasked S-box *input* encoded by a primary-input
+    /// assignment (the class label of a stimulus).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` has the wrong length.
+    pub fn unmask_input(&self, inputs: &[bool]) -> u8 {
+        assert_eq!(inputs.len(), self.num_inputs());
+        match self.scheme {
+            Scheme::Lut | Scheme::Opt => pack_nibble(&inputs[..4]),
+            Scheme::Glut | Scheme::Rsm | Scheme::RsmRom => {
+                pack_nibble(&inputs[..4]) ^ pack_nibble(&inputs[4..8])
+            }
+            Scheme::Isw => pack_nibble(&inputs[..4]) ^ pack_nibble(&inputs[4..8]),
+            Scheme::Ti => {
+                let mut v = 0u8;
+                for bit in 0..4 {
+                    let shares = &inputs[4 * bit..4 * bit + 4];
+                    let b = shares.iter().fold(false, |a, &s| a ^ s);
+                    v |= u8::from(b) << bit;
+                }
+                v
+            }
+        }
+    }
+}
+
+fn nibble_bits(v: u8) -> [bool; 4] {
+    std::array::from_fn(|i| (v >> i) & 1 == 1)
+}
+
+fn pack_nibble(bits: &[bool]) -> u8 {
+    bits.iter()
+        .enumerate()
+        .fold(0u8, |acc, (i, &b)| acc | (u8::from(b) << i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn encode_round_trips_the_class_label() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        for scheme in Scheme::ALL {
+            let enc = InputEncoding::for_scheme(scheme);
+            for t in 0..16u8 {
+                for _ in 0..8 {
+                    let v = enc.encode(t, &mut rng);
+                    assert_eq!(v.len(), enc.num_inputs(), "{scheme}");
+                    assert_eq!(enc.unmask_input(&v), t, "{scheme} t={t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn masked_encodings_are_randomized() {
+        let mut rng = SmallRng::seed_from_u64(10);
+        for scheme in Scheme::ALL.iter().filter(|s| s.is_protected()) {
+            let enc = InputEncoding::for_scheme(*scheme);
+            let all_same = (0..16)
+                .map(|_| enc.encode(5, &mut rng))
+                .collect::<std::collections::HashSet<_>>()
+                .len()
+                == 1;
+            assert!(!all_same, "{scheme} encodings never vary");
+        }
+    }
+
+    #[test]
+    fn unprotected_encoding_is_the_identity() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let enc = InputEncoding::for_scheme(Scheme::Lut);
+        assert_eq!(
+            enc.encode(0b1010, &mut rng),
+            vec![false, true, false, true]
+        );
+    }
+
+    #[test]
+    fn random_bits_match_table_one() {
+        assert_eq!(Scheme::Glut.random_bits(), 8);
+        assert_eq!(Scheme::Rsm.random_bits(), 4);
+        assert_eq!(Scheme::RsmRom.random_bits(), 4);
+        assert_eq!(Scheme::Isw.random_bits(), 4);
+        assert_eq!(Scheme::Ti.random_bits(), 12);
+    }
+}

@@ -1,0 +1,152 @@
+//! Gate-level masking via ISW (Ishai–Sahai–Wagner) random-sharing gadgets.
+//!
+//! The construction starts from the OPT straight-line program and replaces
+//! every gate by its 2-share gadget (paper §IV-B):
+//!
+//! * XOR — share-wise (`d_i = a_i ⊕ b_i`);
+//! * NOT — invert share 0 only;
+//! * AND — the 1-random-bit ISW gadget
+//!   `y₀ = ((a₁∧b₁) ⊕ R) ⊕ (a₀∧b₀)`,
+//!   `y₁ = ((a₀∧b₁) ⊕ R) ⊕ (a₁∧b₀)`;
+//! * OR — De Morgan over the AND gadget (`a ∨ b = ¬(¬a ∧ ¬b)`), the
+//!   inversions applied to share 0.
+//!
+//! The gadget equations fix an evaluation order; in hardware nothing
+//! enforces it, and the resulting early-evaluation races are precisely the
+//! residual first-order leakage the paper attributes to ISW ([26]).
+
+use std::collections::HashMap;
+
+use sbox_netlist::{NetId, Netlist, NetlistBuilder};
+
+use crate::program::{SboxOp, OPT_PROGRAM};
+
+/// Build the ISW netlist
+/// (`xa0..3` share 0, `xb0..3` share 1, `r0..3` gadget randomness →
+/// `ya0..3`, `yb0..3`).
+pub fn build() -> Netlist {
+    let mut b = NetlistBuilder::new("sbox_isw");
+    let xa = b.input_bus("xa", 4);
+    let xb = b.input_bus("xb", 4);
+    let r = b.input_bus("r", 4);
+    let mut fresh = r.into_iter();
+
+    let mut env: HashMap<&'static str, (NetId, NetId)> = HashMap::new();
+    // Program x0 is the nibble's MSB = port index 3.
+    for (prog, port) in [("x0", 3usize), ("x1", 2), ("x2", 1), ("x3", 0)] {
+        env.insert(prog, (xa[port], xb[port]));
+    }
+
+    for op in OPT_PROGRAM {
+        let (dst, shares) = match *op {
+            SboxOp::Xor(d, a, c) => {
+                let (a0, a1) = env[a];
+                let (c0, c1) = env[c];
+                (d, (b.xor(a0, c0), b.xor(a1, c1)))
+            }
+            SboxOp::Not(d, a) => {
+                let (a0, a1) = env[a];
+                (d, (b.not(a0), a1))
+            }
+            SboxOp::And(d, a, c) => {
+                let rand = fresh.next().expect("one R per non-linear gadget");
+                (d, and_gadget(&mut b, env[a], env[c], rand))
+            }
+            SboxOp::Or(d, a, c) => {
+                let rand = fresh.next().expect("one R per non-linear gadget");
+                let (a0, a1) = env[a];
+                let (c0, c1) = env[c];
+                let na = (b.not(a0), a1);
+                let nc = (b.not(c0), c1);
+                let (y0, y1) = and_gadget(&mut b, na, nc, rand);
+                (d, (b.not(y0), y1))
+            }
+        };
+        env.insert(dst, shares);
+    }
+
+    // Program y0 is the output MSB = port index 3.
+    let order = ["y3", "y2", "y1", "y0"];
+    let ya: Vec<NetId> = order.iter().map(|k| env[*k].0).collect();
+    let yb: Vec<NetId> = order.iter().map(|k| env[*k].1).collect();
+    b.output_bus("ya", &ya);
+    b.output_bus("yb", &yb);
+    b.finish().expect("ISW structure is valid")
+}
+
+/// The 2-share ISW AND gadget with one fresh random bit.
+fn and_gadget(
+    b: &mut NetlistBuilder,
+    (a0, a1): (NetId, NetId),
+    (c0, c1): (NetId, NetId),
+    r: NetId,
+) -> (NetId, NetId) {
+    use sbox_netlist::CellType::And2;
+    // y0 = ((a1 ∧ c1) ⊕ R) ⊕ (a0 ∧ c0)
+    let p11 = b.gate(And2, &[a1, c1]);
+    let t0 = b.xor(p11, r);
+    let p00 = b.gate(And2, &[a0, c0]);
+    let y0 = b.xor(t0, p00);
+    // y1 = ((a0 ∧ c1) ⊕ R) ⊕ (a1 ∧ c0)
+    let p01 = b.gate(And2, &[a0, c1]);
+    let t1 = b.xor(p01, r);
+    let p10 = b.gate(And2, &[a1, c0]);
+    let y1 = b.xor(t1, p10);
+    (y0, y1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use present_cipher::SBOX;
+
+    /// Evaluate the ISW netlist and return the unmasked output nibble.
+    fn unmasked(nl: &Netlist, t: u8, mask: u8, rand: u8) -> u8 {
+        let xa = t ^ mask;
+        let word =
+            u64::from(xa) | (u64::from(mask) << 4) | (u64::from(rand) << 8);
+        let out = nl.evaluate_word(word);
+        ((out & 0xF) ^ (out >> 4)) as u8
+    }
+
+    #[test]
+    fn unmasked_output_is_the_sbox_for_every_mask_and_randomness() {
+        let nl = build();
+        for t in 0..16u8 {
+            for mask in 0..16u8 {
+                for rand in [0u8, 5, 10, 15] {
+                    assert_eq!(
+                        unmasked(&nl, t, mask, rand),
+                        SBOX[usize::from(t)],
+                        "t={t} m={mask} r={rand}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_table_one_exactly() {
+        let stats = build().stats();
+        // Paper: 16 AND, 34 XOR, 7 INV, 57 gates, 4 random bits.
+        assert_eq!(stats.family_count("AND"), 16);
+        assert_eq!(stats.family_count("XOR"), 34);
+        assert_eq!(stats.family_count("INV"), 7);
+        assert_eq!(stats.total_gates, 57);
+    }
+
+    #[test]
+    fn each_share_alone_is_mask_dependent() {
+        // Share 0 of the output must vary with the mask for a fixed t —
+        // otherwise it would be unmasked.
+        let nl = build();
+        let t = 0x9;
+        let mut seen = std::collections::HashSet::new();
+        for mask in 0..16u8 {
+            let xa = t ^ mask;
+            let word = u64::from(xa) | (u64::from(mask) << 4);
+            seen.insert(nl.evaluate_word(word) & 0xF);
+        }
+        assert!(seen.len() > 1, "share 0 leaked the unmasked output");
+    }
+}

@@ -1,0 +1,63 @@
+//! Unprotected LUT-style implementation: two-level AND/OR lookup logic.
+
+use present_cipher::SBOX;
+use sbox_netlist::synth::TruthTable;
+use sbox_netlist::{NetId, Netlist, NetlistBuilder};
+
+/// Emit one LUT S-box slice reading `inputs` (4 nets, LSB first) into an
+/// existing builder; returns the 4 output nets.
+///
+/// # Panics
+///
+/// Panics if `inputs.len() != 4`.
+pub fn emit(b: &mut NetlistBuilder, inputs: &[NetId]) -> Vec<NetId> {
+    assert_eq!(inputs.len(), 4);
+    let tt = TruthTable::from_fn(4, 4, |t| u64::from(SBOX[t as usize]));
+    tt.synthesize_sop(b, inputs)
+}
+
+/// Build the baseline lookup implementation: a minimized sum-of-products
+/// per output bit (the "4-bit lookup table … implemented using
+/// combinational logic" of paper §IV-A).
+pub fn build() -> Netlist {
+    let mut b = NetlistBuilder::new("sbox_lut");
+    let x = b.input_bus("x", 4);
+    let y = emit(&mut b, &x);
+    b.output_bus("y", &y);
+    b.finish().expect("LUT synthesis is structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn computes_the_sbox() {
+        let nl = build();
+        for t in 0..16u64 {
+            assert_eq!(nl.evaluate_word(t), u64::from(SBOX[t as usize]));
+        }
+    }
+
+    #[test]
+    fn uses_only_and_or_inv() {
+        let stats = build().stats();
+        assert_eq!(stats.family_count("XOR"), 0);
+        assert_eq!(stats.family_count("XNOR"), 0);
+        assert!(stats.family_count("AND") > 0);
+        assert!(stats.family_count("OR") > 0);
+        assert!(stats.family_count("INV") > 0);
+    }
+
+    #[test]
+    fn is_table_one_scale() {
+        // Paper: 32 gates, depth 8. Our minimizer lands in the same range.
+        let stats = build().stats();
+        assert!(
+            (20..=60).contains(&stats.total_gates),
+            "total {}",
+            stats.total_gates
+        );
+        assert!(stats.delay_gates <= 10, "depth {}", stats.delay_gates);
+    }
+}

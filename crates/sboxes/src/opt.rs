@@ -1,0 +1,80 @@
+//! Unprotected SAT-optimized implementation (14 gates, 4 non-linear).
+
+use std::collections::HashMap;
+
+use sbox_netlist::{NetId, Netlist, NetlistBuilder};
+
+use crate::program::{SboxOp, OPT_PROGRAM};
+
+/// Emit one OPT S-box slice reading `inputs` (4 nets, LSB first) into an
+/// existing builder; returns the 4 output nets (LSB first).
+///
+/// # Panics
+///
+/// Panics if `inputs.len() != 4`.
+pub fn emit(b: &mut NetlistBuilder, inputs: &[NetId]) -> Vec<NetId> {
+    assert_eq!(inputs.len(), 4);
+    let mut env: HashMap<&'static str, NetId> = HashMap::new();
+    // Program x0 is the nibble's MSB = port x3.
+    env.insert("x0", inputs[3]);
+    env.insert("x1", inputs[2]);
+    env.insert("x2", inputs[1]);
+    env.insert("x3", inputs[0]);
+    for op in OPT_PROGRAM {
+        let (dst, net) = match *op {
+            SboxOp::Xor(d, a, r) => (d, b.xor(env[a], env[r])),
+            SboxOp::And(d, a, r) => (d, b.and(&[env[a], env[r]])),
+            SboxOp::Or(d, a, r) => (d, b.or(&[env[a], env[r]])),
+            SboxOp::Not(d, a) => (d, b.not(env[a])),
+        };
+        env.insert(dst, net);
+    }
+    // Program y0 is the output MSB = port y3.
+    vec![env["y3"], env["y2"], env["y1"], env["y0"]]
+}
+
+/// Build the optimized netlist by emitting the straight-line program
+/// one cell per operation.
+///
+/// The program registers are MSB-first; the netlist ports follow the
+/// workspace's LSB-first convention (`x0` = bit 0).
+pub fn build() -> Netlist {
+    let mut b = NetlistBuilder::new("sbox_opt");
+    let ports = b.input_bus("x", 4);
+    let outs = emit(&mut b, &ports);
+    b.output_bus("y", &outs);
+    b.finish().expect("OPT program is structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use present_cipher::SBOX;
+
+    #[test]
+    fn computes_the_sbox() {
+        let nl = build();
+        for t in 0..16u64 {
+            assert_eq!(nl.evaluate_word(t), u64::from(SBOX[t as usize]), "t={t}");
+        }
+    }
+
+    #[test]
+    fn matches_table_one_exactly() {
+        let stats = build().stats();
+        assert_eq!(stats.family_count("AND"), 2);
+        assert_eq!(stats.family_count("OR"), 2);
+        assert_eq!(stats.family_count("XOR"), 9);
+        assert_eq!(stats.family_count("INV"), 1);
+        assert_eq!(stats.total_gates, 14);
+    }
+
+    #[test]
+    fn xor_heavy_path_is_slower_than_lut_despite_equal_depth() {
+        let opt = build().stats();
+        let lut = crate::lut::build().stats();
+        // Paper: both have comparable gate depth but OPT's XOR-rich path
+        // has the longer propagation time.
+        assert!(opt.delay_ps > lut.delay_ps, "{} !> {}", opt.delay_ps, lut.delay_ps);
+    }
+}

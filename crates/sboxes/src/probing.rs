@@ -1,0 +1,142 @@
+//! First-order probing analysis of the masked netlists.
+//!
+//! For every internal net, compute the conditional distribution of its
+//! *value* given the unmasked class `t`, exhaustively over the mask space.
+//! A net whose distribution depends on `t` is a first-order probe point:
+//! an adversary measuring just that net's (average) value learns something
+//! about the secret. This is the "bit probing model" the paper notes
+//! masking schemes are usually assessed in — and the static counterpart of
+//! the dynamic (glitch) leakage the simulator measures.
+
+use sbox_netlist::Netlist;
+
+use crate::{InputEncoding, SboxCircuit};
+
+/// The probing profile of one netlist: per-net worst-case bias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbingProfile {
+    /// For each net: `max_t |P(net = 1 | t) − P(net = 1 | 0)|` over all
+    /// classes, with the probability taken over the full mask space.
+    pub value_bias: Vec<f64>,
+}
+
+impl ProbingProfile {
+    /// The largest bias over all *driven* (internal/output) nets.
+    pub fn max_bias(&self, netlist: &Netlist) -> f64 {
+        self.value_bias
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| netlist.nets()[*i].driver().is_some())
+            .map(|(_, &b)| b)
+            .fold(0.0, f64::max)
+    }
+
+    /// Nets whose bias exceeds `threshold`, most biased first.
+    pub fn biased_nets(&self, threshold: f64) -> Vec<(usize, f64)> {
+        let mut v: Vec<(usize, f64)> = self
+            .value_bias
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(_, b)| b > threshold)
+            .collect();
+        v.sort_by(|a, b| b.1.total_cmp(&a.1));
+        v
+    }
+}
+
+/// Exhaustively evaluate the circuit over its whole (class × mask) space
+/// and profile every net's class-conditional value distribution.
+///
+/// # Panics
+///
+/// Panics if the scheme has more than 16 mask bits (the enumeration would
+/// exceed 2²⁰ evaluations).
+pub fn analyze(circuit: &SboxCircuit) -> ProbingProfile {
+    let encoding: &InputEncoding = circuit.encoding();
+    let mask_bits = encoding.mask_bits();
+    assert!(mask_bits <= 16, "mask space too large to enumerate");
+    let netlist = circuit.netlist();
+    let mask_count = 1u32 << mask_bits;
+    let mut ones = vec![[0u32; 16]; netlist.nets().len()];
+    for t in 0..16u8 {
+        for mask in 0..mask_count {
+            let inputs = encoding.encode_masked(t, mask);
+            let values = netlist.evaluate_nets(&inputs);
+            for (slot, &v) in ones.iter_mut().zip(&values) {
+                slot[usize::from(t)] += u32::from(v);
+            }
+        }
+    }
+    let denom = f64::from(mask_count);
+    let value_bias = ones
+        .iter()
+        .map(|per_class| {
+            let p0 = f64::from(per_class[0]) / denom;
+            per_class
+                .iter()
+                .map(|&c| (f64::from(c) / denom - p0).abs())
+                .fold(0.0, f64::max)
+        })
+        .collect();
+    ProbingProfile { value_bias }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scheme;
+
+    #[test]
+    fn unprotected_nets_are_maximally_biased() {
+        let profile = analyze(&SboxCircuit::build(Scheme::Opt));
+        let circuit = SboxCircuit::build(Scheme::Opt);
+        // With no masks, every output net's value is a deterministic
+        // function of t: bias 1 for at least one net.
+        assert_eq!(profile.max_bias(circuit.netlist()), 1.0);
+    }
+
+    #[test]
+    fn isw_nets_are_unbiased_in_the_value_domain() {
+        // ISW's first-order security: every single wire's value
+        // distribution is class-independent (the leakage the paper finds
+        // is *dynamic* — glitches — not value bias).
+        let circuit = SboxCircuit::build(Scheme::Isw);
+        let profile = analyze(&circuit);
+        assert!(
+            profile.max_bias(circuit.netlist()) < 1e-9,
+            "max bias {}",
+            profile.max_bias(circuit.netlist())
+        );
+    }
+
+    #[test]
+    fn ti_nets_are_unbiased_in_the_value_domain() {
+        let circuit = SboxCircuit::build(Scheme::Ti);
+        let profile = analyze(&circuit);
+        assert!(
+            profile.max_bias(circuit.netlist()) < 1e-9,
+            "max bias {}",
+            profile.max_bias(circuit.netlist())
+        );
+    }
+
+    #[test]
+    fn tabulated_masking_has_static_product_bias() {
+        // The flat SOP of a masked table necessarily contains product
+        // terms that pin (A_i, MI_i) pairs — their mean activity is
+        // class-dependent. This is the structural root of the paper's
+        // "tabulated masking provides less security" finding.
+        let circuit = SboxCircuit::build(Scheme::Rsm);
+        let profile = analyze(&circuit);
+        let max = profile.max_bias(circuit.netlist());
+        assert!(max > 0.01, "expected product-term bias, got {max}");
+        // But the *outputs* stay perfectly masked.
+        for (_, net) in circuit.netlist().outputs() {
+            assert!(
+                profile.value_bias[net.index()] < 1e-9,
+                "masked output is biased"
+            );
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! The SAT-optimized 14-gate PRESENT S-box as a straight-line program.
+//!
+//! The circuit (2 AND, 2 OR, 9 XOR, 1 INV) follows the published
+//! gate-optimal decomposition of the PRESENT S-box (Courtois–Hulme–
+//! Mourouzis style, the circuit family referenced by the paper's NIST
+//! "Circuit Complexity" citation). Keeping it as a named-register program
+//! lets both the plain [`crate::Scheme::Opt`] netlist and the
+//! [`crate::Scheme::Isw`] gadget transformation interpret the *same*
+//! structure, as the paper does ("ISW starts from the OPT netlist").
+//!
+//! Register naming convention: program variables `x0..x3` and `y0..y3` are
+//! **MSB-first** (`x0` is bit 3 of the nibble); the netlist emitters remap
+//! to the workspace-wide LSB-first port order.
+
+/// One straight-line operation on named registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SboxOp {
+    /// `dst = a ^ b`
+    Xor(&'static str, &'static str, &'static str),
+    /// `dst = a & b`
+    And(&'static str, &'static str, &'static str),
+    /// `dst = a | b`
+    Or(&'static str, &'static str, &'static str),
+    /// `dst = !a`
+    Not(&'static str, &'static str),
+}
+
+/// The 14-gate program. Inputs `x0..x3` (MSB-first), outputs `y0..y3`
+/// (MSB-first). Reassigned temporaries are SSA-renamed (`t2`, `t2b`, …).
+pub const OPT_PROGRAM: &[SboxOp] = &[
+    SboxOp::Xor("t1", "x2", "x1"),
+    SboxOp::And("t2", "x1", "t1"),
+    SboxOp::Xor("t3", "x0", "t2"),
+    SboxOp::Xor("y3", "x3", "t3"),
+    SboxOp::And("t2b", "t1", "t3"),
+    SboxOp::Xor("t1b", "t1", "y3"),
+    SboxOp::Xor("t2c", "t2b", "x1"),
+    SboxOp::Or("t4", "x3", "t2c"),
+    SboxOp::Xor("y2", "t1b", "t4"),
+    SboxOp::Not("t5", "x3"),
+    SboxOp::Xor("t2d", "t2c", "t5"),
+    SboxOp::Xor("y0", "y2", "t2d"),
+    SboxOp::Or("t2e", "t2d", "t1b"),
+    SboxOp::Xor("y1", "t3", "t2e"),
+];
+
+/// Evaluate the program in software on one nibble (LSB-first packing, like
+/// the rest of the workspace).
+///
+/// # Panics
+///
+/// Panics if `t >= 16`.
+pub fn evaluate(t: u8) -> u8 {
+    assert!(t < 16);
+    let mut env = std::collections::HashMap::new();
+    // Program x0 is the nibble's MSB.
+    for i in 0..4usize {
+        env.insert(format!("x{i}"), (t >> (3 - i)) & 1 == 1);
+    }
+    for op in OPT_PROGRAM {
+        let (dst, v) = match *op {
+            SboxOp::Xor(d, a, b) => (d, env[a] ^ env[b]),
+            SboxOp::And(d, a, b) => (d, env[a] & env[b]),
+            SboxOp::Or(d, a, b) => (d, env[a] | env[b]),
+            SboxOp::Not(d, a) => (d, !env[a]),
+        };
+        env.insert(dst.to_string(), v);
+    }
+    (0..4usize).fold(0u8, |acc, i| {
+        acc | (u8::from(env[&format!("y{i}")]) << (3 - i))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use present_cipher::SBOX;
+
+    #[test]
+    fn program_computes_the_present_sbox() {
+        for t in 0..16u8 {
+            assert_eq!(evaluate(t), SBOX[usize::from(t)], "t={t}");
+        }
+    }
+
+    #[test]
+    fn program_has_the_table_one_gate_mix() {
+        let mut xor = 0;
+        let mut and = 0;
+        let mut or = 0;
+        let mut not = 0;
+        for op in OPT_PROGRAM {
+            match op {
+                SboxOp::Xor(..) => xor += 1,
+                SboxOp::And(..) => and += 1,
+                SboxOp::Or(..) => or += 1,
+                SboxOp::Not(..) => not += 1,
+            }
+        }
+        assert_eq!((and, or, xor, not), (2, 2, 9, 1));
+    }
+
+    #[test]
+    fn program_is_single_assignment() {
+        let mut defined = std::collections::HashSet::new();
+        for op in OPT_PROGRAM {
+            let dst = match op {
+                SboxOp::Xor(d, ..) | SboxOp::And(d, ..) | SboxOp::Or(d, ..) | SboxOp::Not(d, _) => d,
+            };
+            assert!(defined.insert(*dst), "register {dst} reassigned");
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Rotating S-box Masking: the low-entropy GLUT with `MO = (MI + 1) mod 16`.
+//!
+//! Because the output mask is *derived* from the input mask, the whole
+//! masked table collapses to one 8-input function
+//! `RSM(A, MI) = S(A ⊕ MI) ⊕ (MI + 1 mod 16)`, synthesized here — like
+//! GLUT — as flat two-level logic over the masked inputs (no unmasked
+//! intermediate nets). Halving the address width makes it far more compact
+//! than GLUT, as the paper's Table I reports (228 vs 772 gates).
+
+use present_cipher::SBOX;
+use sbox_netlist::synth::TruthTable;
+use sbox_netlist::{Netlist, NetlistBuilder};
+
+/// The RSM output for unpacked nibbles (reference model).
+pub fn rsm_output(a: u8, mi: u8) -> u8 {
+    SBOX[usize::from((a ^ mi) & 0xF)] ^ ((mi + 1) % 16)
+}
+
+/// Build the RSM netlist (`a0..3`, `mi0..3` → `y0..3`).
+pub fn build() -> Netlist {
+    let tt = TruthTable::from_fn(8, 4, |w| {
+        u64::from(rsm_output((w & 0xF) as u8, ((w >> 4) & 0xF) as u8))
+    });
+    let mut b = NetlistBuilder::new("sbox_rsm");
+    let a = b.input_bus("a", 4);
+    let mi = b.input_bus("mi", 4);
+    let inputs: Vec<_> = a.into_iter().chain(mi).collect();
+    let y = tt.synthesize_sop(&mut b, &inputs);
+    b.output_bus("y", &y);
+    b.finish().expect("RSM synthesis is structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masked_relation_holds_exhaustively() {
+        let nl = build();
+        for word in 0..256u64 {
+            let a = (word & 0xF) as u8;
+            let mi = ((word >> 4) & 0xF) as u8;
+            let y = nl.evaluate_word(word) as u8;
+            assert_eq!(y, rsm_output(a, mi), "a={a:X} mi={mi:X}");
+            assert_eq!(y ^ ((mi + 1) % 16), SBOX[usize::from(a ^ mi)]);
+        }
+    }
+
+    #[test]
+    fn is_more_compact_than_glut() {
+        let rsm = build().stats();
+        let glut = crate::glut::build().stats();
+        assert!(rsm.total_gates < glut.total_gates / 2, "{rsm}\n{glut}");
+        assert!(rsm.equivalent_gates < glut.equivalent_gates / 2.0);
+    }
+
+    #[test]
+    fn uses_no_xor_cells() {
+        let stats = build().stats();
+        assert_eq!(stats.family_count("XOR"), 0);
+        assert_eq!(stats.family_count("XNOR"), 0);
+        assert!(stats.family_count("AND") > 0);
+    }
+
+    #[test]
+    fn relates_to_glut_by_mask_rotation() {
+        // RSM(A, MI) = GLUT(A, MI, MI+1): cross-check against the GLUT
+        // netlist.
+        let rsm = build();
+        let glut = crate::glut::build();
+        for word in 0..256u64 {
+            let mi = (word >> 4) & 0xF;
+            let mo = (mi + 1) % 16;
+            let glut_word = word | (mo << 8);
+            assert_eq!(rsm.evaluate_word(word), glut.evaluate_word(glut_word));
+        }
+    }
+
+    #[test]
+    fn is_table_one_scale() {
+        // Paper: 134 AND, 74 OR, 20 INV → 228 gates, depth 11. A generic
+        // two-level cover of the same 8-input table lands within ~2.5×
+        // (the authors' commercial flow shares more logic).
+        let stats = build().stats();
+        assert!(
+            (100..=700).contains(&stats.total_gates),
+            "total {}",
+            stats.total_gates
+        );
+    }
+}

@@ -1,0 +1,166 @@
+//! ROM-style RSM: NOR/NAND/INV-only one-hot read-only memory with a
+//! synchronized datapath.
+//!
+//! Following the paper's description (§IV-B, after [24]): the design is
+//! built exclusively from NOR/NAND/INV cells; every address bit passes
+//! through a long inverter *synchronization chain* so all word-line inputs
+//! arrive nearly simultaneously regardless of which input toggled
+//! ("the datapath is synchronized for any input configuration"), and the
+//! storage plane is one-hot — only the selected word line and the bit lines
+//! it drives are active. The price is a very deep netlist (Table I lists a
+//! 120-gate critical path), which stretches switching activity across many
+//! sample points.
+
+use sbox_netlist::{CellType, NetId, Netlist, NetlistBuilder};
+
+use crate::rsm::rsm_output;
+
+/// Length of the per-input inverter synchronization chain (even, so
+/// polarity is preserved). 104 stages + decode + bit lines ≈ the paper's
+/// 120-gate depth.
+pub const SYNC_CHAIN_LENGTH: usize = 104;
+
+/// Build the RSM-ROM netlist (`a0..3`, `mi0..3` → `y0..3`).
+pub fn build() -> Netlist {
+    build_with_chain(SYNC_CHAIN_LENGTH)
+}
+
+/// Build with an explicit synchronization-chain length (ablation hook).
+///
+/// # Panics
+///
+/// Panics if `chain` is odd (the chain must preserve polarity).
+pub fn build_with_chain(chain: usize) -> Netlist {
+    assert!(chain.is_multiple_of(2), "chain must preserve polarity");
+    let mut b = NetlistBuilder::new("sbox_rsm_rom");
+    let a = b.input_bus("a", 4);
+    let mi = b.input_bus("mi", 4);
+    let addr: Vec<NetId> = a.into_iter().chain(mi).collect();
+
+    // Synchronization chains on every address bit.
+    let delayed: Vec<NetId> = addr
+        .iter()
+        .map(|&n| {
+            let mut x = n;
+            for _ in 0..chain {
+                x = b.not(x);
+            }
+            x
+        })
+        .collect();
+    let complements: Vec<NetId> = delayed.iter().map(|&n| b.not(n)).collect();
+
+    // Word lines, active low: w̄_v = NAND2(NOR4(low nibble lits),
+    // NOR4(high nibble lits)) where each literal is 0 iff its address bit
+    // matches v.
+    let word_bar: Vec<NetId> = (0..256usize)
+        .map(|v| {
+            let lit = |j: usize| {
+                if (v >> j) & 1 == 1 {
+                    complements[j]
+                } else {
+                    delayed[j]
+                }
+            };
+            let lo = b.gate(CellType::Nor4, &[lit(0), lit(1), lit(2), lit(3)]);
+            let hi = b.gate(CellType::Nor4, &[lit(4), lit(5), lit(6), lit(7)]);
+            b.gate(CellType::Nand2, &[lo, hi])
+        })
+        .collect();
+
+    // Bit lines: y_bit = ⋁_{v ∈ Sel} w_v = ¬⋀ w̄_v, built from NAND/INV.
+    let y: Vec<NetId> = (0..4usize)
+        .map(|bit| {
+            let selected: Vec<NetId> = (0..256usize)
+                .filter(|&v| (rsm_output((v & 0xF) as u8, (v >> 4) as u8) >> bit) & 1 == 1)
+                .map(|v| word_bar[v])
+                .collect();
+            let and_all = nand_inv_and_tree(&mut b, &selected);
+            b.not(and_all)
+        })
+        .collect();
+    b.output_bus("y", &y);
+    b.finish().expect("RSM-ROM structure is valid")
+}
+
+/// AND-reduce `terms` using only NAND4/NAND3/NAND2 and INV cells.
+fn nand_inv_and_tree(b: &mut NetlistBuilder, terms: &[NetId]) -> NetId {
+    assert!(!terms.is_empty());
+    let mut layer = terms.to_vec();
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(4));
+        let mut rest = layer.as_slice();
+        while !rest.is_empty() {
+            let take = match rest.len() {
+                5 => 3,
+                1..=4 => rest.len(),
+                _ => 4,
+            };
+            let (chunk, tail) = rest.split_at(take);
+            rest = tail;
+            let nand = match chunk.len() {
+                1 => {
+                    next.push(chunk[0]);
+                    continue;
+                }
+                2 => b.gate(CellType::Nand2, chunk),
+                3 => b.gate(CellType::Nand3, chunk),
+                4 => b.gate(CellType::Nand4, chunk),
+                _ => unreachable!(),
+            };
+            next.push(b.not(nand));
+        }
+        layer = next;
+    }
+    layer[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use present_cipher::SBOX;
+
+    #[test]
+    fn masked_relation_holds_exhaustively() {
+        let nl = build_with_chain(4); // short chain: same logic, fast test
+        for word in 0..256u64 {
+            let a = (word & 0xF) as u8;
+            let mi = ((word >> 4) & 0xF) as u8;
+            let y = nl.evaluate_word(word) as u8;
+            assert_eq!(y ^ ((mi + 1) % 16), SBOX[usize::from(a ^ mi)]);
+        }
+    }
+
+    #[test]
+    fn full_depth_variant_matches_short_variant_functionally() {
+        let deep = build();
+        let shallow = build_with_chain(2);
+        for word in [0u64, 0x3C, 0xA5, 0xFF, 0x7E] {
+            assert_eq!(deep.evaluate_word(word), shallow.evaluate_word(word));
+        }
+    }
+
+    #[test]
+    fn uses_only_inverting_cells() {
+        let stats = build().stats();
+        assert_eq!(stats.family_count("AND"), 0);
+        assert_eq!(stats.family_count("OR"), 0);
+        assert_eq!(stats.family_count("XOR"), 0);
+        assert!(stats.family_count("NOR") >= 500, "{stats}");
+        assert!(stats.family_count("NAND") > 0);
+        assert!(stats.family_count("INV") >= 500, "{stats}");
+    }
+
+    #[test]
+    fn has_the_deep_synchronized_path_of_table_one() {
+        let stats = build().stats();
+        assert!(
+            (100..=140).contains(&stats.delay_gates),
+            "depth {}",
+            stats.delay_gates
+        );
+        // By far the deepest implementation (paper: 120 vs ≤17 elsewhere).
+        let rsm = crate::rsm::build().stats();
+        assert!(stats.delay_gates > 5 * rsm.delay_gates);
+    }
+}

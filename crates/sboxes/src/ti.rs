@@ -1,0 +1,223 @@
+//! Threshold Implementation: 4-share direct sharing of the PRESENT S-box.
+//!
+//! The S-box has algebraic degree 3, so a glitch-robust direct sharing
+//! needs `d + 1 = 4` shares (paper §IV-B: "terms of order 3 … hence 4
+//! shares are needed"). Every ANF monomial `x_a·x_b·x_c` is expanded over
+//! the share decomposition `x = x⁰⊕x¹⊕x²⊕x³` into per-share product terms
+//! `x_aⁱ·x_bʲ·x_cᵏ`; each term is assigned to the output share whose index
+//! does **not** occur in `{i,j,k}` (smallest such index), which guarantees
+//! *non-completeness*: output share `s` never sees share `s` of any input,
+//! so no glitch inside its cone can combine all shares of a secret.
+//!
+//! Unlike ISW, no gate ordering must be preserved, and the whole function
+//! is a flat AND/XOR network — large (Table I: ≈1450 gates) but shallow.
+//! The constant bits of the ANF (S(0) = 0xC sets output bits 2 and 3)
+//! become the two XNOR cells Table I lists.
+
+use std::collections::HashMap;
+
+use sbox_netlist::{CellType, NetId, Netlist, NetlistBuilder};
+
+use crate::anf::present_sbox_anf;
+
+/// Number of shares.
+pub const SHARES: usize = 4;
+
+/// Build the TI netlist (inputs `x{bit}s{share}` bit-major, outputs
+/// `y{bit}s{share}` bit-major).
+pub fn build() -> Netlist {
+    let mut b = NetlistBuilder::new("sbox_ti");
+    // x[bit][share]
+    let x: Vec<Vec<NetId>> = (0..4)
+        .map(|bit| {
+            (0..SHARES)
+                .map(|s| b.input(format!("x{bit}s{s}")))
+                .collect()
+        })
+        .collect();
+
+    let anf = present_sbox_anf();
+    // Product-term cache keyed by the sorted (variable, share) list so
+    // identical share-products are computed once across all outputs.
+    let mut term_cache: HashMap<Vec<(usize, usize)>, NetId> = HashMap::new();
+
+    let mut outputs: Vec<NetId> = Vec::with_capacity(16);
+    for (bit, monomials) in anf.iter().enumerate() {
+        // terms[s] = nets XORed into output share s; plus a constant-1 flag.
+        let mut terms: Vec<Vec<NetId>> = vec![Vec::new(); SHARES];
+        let mut constant = [false; SHARES];
+        for &m in monomials {
+            let vars: Vec<usize> = (0..4).filter(|v| (m >> v) & 1 == 1).collect();
+            if vars.is_empty() {
+                // Constant-1 monomial: attach to output share 0.
+                constant[0] ^= true;
+                continue;
+            }
+            for assignment in share_tuples(vars.len()) {
+                let key: Vec<(usize, usize)> = vars
+                    .iter()
+                    .zip(&assignment)
+                    .map(|(&v, &s)| (v, s))
+                    .collect();
+                let sigma = (0..SHARES)
+                    .find(|s| !assignment.contains(s))
+                    .expect("4 shares, ≤3 indices: a free share always exists");
+                let net = *term_cache.entry(key.clone()).or_insert_with(|| {
+                    let nets: Vec<NetId> = key.iter().map(|&(v, s)| x[v][s]).collect();
+                    match nets.len() {
+                        1 => nets[0],
+                        2 => b.gate(CellType::And2, &nets),
+                        3 => b.gate(CellType::And3, &nets),
+                        _ => unreachable!("degree ≤ 3"),
+                    }
+                });
+                terms[sigma].push(net);
+            }
+        }
+        for s in 0..SHARES {
+            // The degenerate-case anchor must respect non-completeness:
+            // never share s itself.
+            let anchor = x[bit][(s + 1) % SHARES];
+            let net = xor_tree_with_constant(&mut b, &terms[s], constant[s], anchor);
+            outputs.push(net);
+        }
+    }
+
+    for (i, &net) in outputs.iter().enumerate() {
+        let bit = i / SHARES;
+        let s = i % SHARES;
+        b.output(format!("y{bit}s{s}"), net);
+    }
+    b.finish().expect("TI structure is valid")
+}
+
+/// All `SHARES^k` index tuples for a degree-`k` monomial.
+fn share_tuples(k: usize) -> Vec<Vec<usize>> {
+    let mut tuples = vec![Vec::new()];
+    for _ in 0..k {
+        tuples = tuples
+            .into_iter()
+            .flat_map(|t| {
+                (0..SHARES).map(move |s| {
+                    let mut t2 = t.clone();
+                    t2.push(s);
+                    t2
+                })
+            })
+            .collect();
+    }
+    tuples
+}
+
+/// XOR-reduce `terms`, folding in an optional constant 1 by turning the
+/// final XOR2 into an XNOR2. Degenerate cases synthesize constants from
+/// `anchor` (`x ⊕ x = 0`, `x ⊙ x = 1`).
+fn xor_tree_with_constant(
+    b: &mut NetlistBuilder,
+    terms: &[NetId],
+    constant: bool,
+    anchor: NetId,
+) -> NetId {
+    match (terms.len(), constant) {
+        (0, false) => b.xor(anchor, anchor),
+        (0, true) => b.xnor(anchor, anchor),
+        (1, false) => terms[0],
+        (1, true) => {
+            let zero = b.xor(anchor, anchor);
+            b.xnor(terms[0], zero)
+        }
+        (_, false) => b.xor_tree(terms),
+        (_, true) => {
+            let head = b.xor_tree(&terms[..terms.len() - 1]);
+            b.xnor(head, terms[terms.len() - 1])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use present_cipher::SBOX;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn eval_unmasked(nl: &Netlist, t: u8, rng: &mut SmallRng) -> u8 {
+        let mut inputs = Vec::with_capacity(16);
+        for bit in 0..4 {
+            let xbit = (t >> bit) & 1 == 1;
+            let s1 = rng.gen::<bool>();
+            let s2 = rng.gen::<bool>();
+            let s3 = rng.gen::<bool>();
+            inputs.extend_from_slice(&[xbit ^ s1 ^ s2 ^ s3, s1, s2, s3]);
+        }
+        let out = nl.evaluate(&inputs);
+        let mut v = 0u8;
+        for bit in 0..4 {
+            let b = out[4 * bit..4 * bit + 4].iter().fold(false, |a, &s| a ^ s);
+            v |= u8::from(b) << bit;
+        }
+        v
+    }
+
+    #[test]
+    fn unmasked_output_is_the_sbox_over_random_sharings() {
+        let nl = build();
+        let mut rng = SmallRng::seed_from_u64(77);
+        for t in 0..16u8 {
+            for _ in 0..64 {
+                assert_eq!(eval_unmasked(&nl, t, &mut rng), SBOX[usize::from(t)], "t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn non_completeness_holds_structurally() {
+        // Walk every output share's input cone: it must never contain
+        // share index s of ANY input bit.
+        let nl = build();
+        for (name, net) in nl.outputs() {
+            let share: usize = name[name.len() - 1..].parse().expect("share suffix");
+            // Reverse-reachability from the output net to primary inputs.
+            let mut stack = vec![*net];
+            let mut seen = std::collections::HashSet::new();
+            while let Some(n) = stack.pop() {
+                if !seen.insert(n) {
+                    continue;
+                }
+                if let Some(driver) = nl.net(n).driver() {
+                    stack.extend(nl.gate(driver).inputs().iter().copied());
+                } else if let Some(input_name) = nl.net(n).name() {
+                    let in_share: usize =
+                        input_name[input_name.len() - 1..].parse().expect("suffix");
+                    assert_ne!(
+                        in_share, share,
+                        "output {name} depends on input {input_name}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn has_table_one_character() {
+        let stats = build().stats();
+        // Paper: 800 AND, 647 XOR, 2 XNOR, 1450 total, depth 9, no INV.
+        // Our term cache shares identical share-products across outputs,
+        // so the AND count lands lower (the XOR plane matches closely).
+        assert_eq!(stats.family_count("XNOR"), 2, "{stats}");
+        assert_eq!(stats.family_count("INV"), 0);
+        assert!(stats.family_count("AND") >= 200, "{stats}");
+        assert!(stats.family_count("XOR") >= 300, "{stats}");
+        assert!(stats.delay_gates <= 12, "depth {}", stats.delay_gates);
+        // The largest netlist of the seven by far.
+        let isw = crate::isw::build().stats();
+        assert!(stats.equivalent_gates > 10.0 * isw.equivalent_gates);
+    }
+
+    #[test]
+    fn share_tuples_enumerates_all_assignments() {
+        assert_eq!(share_tuples(1).len(), 4);
+        assert_eq!(share_tuples(2).len(), 16);
+        assert_eq!(share_tuples(3).len(), 64);
+    }
+}

@@ -1,0 +1,42 @@
+//! End-to-end CPA key recovery against an unprotected and a masked S-box:
+//! the attack the paper's leakage metrics predict.
+//!
+//! ```sh
+//! cargo run --release --example key_recovery
+//! ```
+
+use acquisition::{acquire_cpa, ProtocolConfig};
+use sbox_circuits::{SboxCircuit, Scheme};
+use sca_attacks::{cpa_attack, success_rate_curve, LeakageModel};
+
+fn main() {
+    let key = 0x4;
+    let config = ProtocolConfig::default();
+    for scheme in [Scheme::Lut, Scheme::Isw] {
+        let circuit = SboxCircuit::build(scheme);
+        let data = acquire_cpa(&circuit, &config, key, 512);
+        let result = cpa_attack(&data.plaintexts, &data.traces, LeakageModel::OutputTransition);
+        println!("=== {scheme} (true key {key:X}) ===");
+        println!("per-guess peak correlations:");
+        for (k, score) in result.scores.iter().enumerate() {
+            let marker = if k == usize::from(key) { "  ← true key" } else { "" };
+            println!("  k̂={k:X}  ρ={score:.4}{marker}");
+        }
+        println!(
+            "best guess: {:X} (rank of true key: {})",
+            result.best_guess(),
+            result.key_rank(key)
+        );
+        let curve = success_rate_curve(
+            &data.plaintexts,
+            &data.traces,
+            key,
+            LeakageModel::OutputTransition,
+            &[32, 128, 512],
+            8,
+        );
+        println!("success rate vs traces: {curve:?}\n");
+    }
+    println!("the unprotected table falls to first-order CPA; the ISW gadgets");
+    println!("randomize the intermediate, so the same attack fails at this budget.");
+}

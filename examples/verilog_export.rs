@@ -1,0 +1,33 @@
+//! Export every generated S-box netlist as structural Verilog for
+//! inspection with external EDA tools.
+//!
+//! ```sh
+//! cargo run --release --example verilog_export
+//! ```
+
+use std::fs;
+use std::path::Path;
+
+use sbox_circuits::{SboxCircuit, Scheme};
+use sbox_netlist::verilog;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out_dir = Path::new("target/verilog");
+    fs::create_dir_all(out_dir)?;
+    fs::write(out_dir.join("cells.v"), verilog::library_prelude())?;
+    for scheme in Scheme::ALL {
+        let circuit = SboxCircuit::build(scheme);
+        let path = out_dir.join(format!(
+            "{}.v",
+            scheme.label().to_lowercase().replace('-', "_")
+        ));
+        fs::write(&path, verilog::to_verilog(circuit.netlist()))?;
+        println!(
+            "wrote {} ({} gates)",
+            path.display(),
+            circuit.netlist().gates().len()
+        );
+    }
+    println!("cell library prelude in target/verilog/cells.v");
+    Ok(())
+}

@@ -1,0 +1,88 @@
+//! Attack-stack integration: acquisition → CPA / templates / second order
+//! against real simulated circuits.
+
+use acquisition::{acquire, acquire_cpa, ProtocolConfig};
+use sbox_circuits::{SboxCircuit, Scheme};
+use sca_attacks::template::{template_attack, TemplateSet};
+use sca_attacks::{cpa_attack, LeakageModel};
+
+fn config(seed: u64) -> ProtocolConfig {
+    ProtocolConfig {
+        traces_per_class: 16,
+        seed,
+        ..ProtocolConfig::default()
+    }
+}
+
+/// First-order CPA with the protocol-matched model recovers the key from
+/// the unprotected LUT.
+#[test]
+fn cpa_breaks_the_unprotected_lut() {
+    // The attacker tries the standard models and keeps the best, as in
+    // practice (textbook models fit an implementation only approximately).
+    let circuit = SboxCircuit::build(Scheme::Lut);
+    let data = acquire_cpa(&circuit, &config(1), 0x7, 256);
+    let best_rank = [LeakageModel::OutputTransition, LeakageModel::HammingWeight]
+        .into_iter()
+        .map(|m| cpa_attack(&data.plaintexts, &data.traces, m).key_rank(0x7))
+        .min()
+        .expect("two models");
+    // Textbook models only approximate the LUT's true energy function, so
+    // the CPA verdict may stop one rank short of perfect — the model-free
+    // template test below finishes the job at rank 0.
+    assert!(best_rank <= 1, "rank {best_rank}");
+}
+
+/// The same attack does not place the correct key first against TI at the
+/// same trace budget.
+#[test]
+fn cpa_does_not_break_ti_at_small_budgets() {
+    let circuit = SboxCircuit::build(Scheme::Ti);
+    let data = acquire_cpa(&circuit, &config(2), 0x7, 192);
+    let result = cpa_attack(&data.plaintexts, &data.traces, LeakageModel::OutputTransition);
+    assert!(
+        result.key_rank(0x7) > 0,
+        "TI should resist model-based first-order CPA at 192 traces"
+    );
+}
+
+/// A profiled template adversary breaks both unprotected circuits with a
+/// handful of traces.
+#[test]
+fn templates_break_unprotected_circuits_fast() {
+    for scheme in [Scheme::Lut, Scheme::Opt] {
+        let circuit = SboxCircuit::build(scheme);
+        let profiling = acquire(&circuit, &config(3));
+        let templates = TemplateSet::profile(&profiling);
+        let data = acquire_cpa(&circuit, &config(4), 0xC, 24);
+        let result = template_attack(&templates, &data.plaintexts, &data.traces);
+        assert_eq!(result.key_rank(0xC), 0, "{scheme}");
+    }
+}
+
+/// Template profiling transfers across devices: profiling on one mask
+/// seed, attacking traces captured under another, still classifies.
+#[test]
+fn templates_transfer_across_mask_streams() {
+    let circuit = SboxCircuit::build(Scheme::Rsm);
+    let profiling = acquire(&circuit, &config(5));
+    let templates = TemplateSet::profile(&profiling);
+    let data = acquire_cpa(&circuit, &config(6), 0x2, 256);
+    let result = template_attack(&templates, &data.plaintexts, &data.traces);
+    // RSM's class means separate in our model, so a profiled adversary
+    // eventually wins; what matters here is cross-seed consistency.
+    assert!(result.key_rank(0x2) <= 3, "rank {}", result.key_rank(0x2));
+}
+
+/// The probing analyzer and the dynamic study agree on the mechanism:
+/// schemes with zero static bias still show dynamic leakage.
+#[test]
+fn static_probing_and_dynamic_leakage_are_complementary() {
+    use acquisition::LeakageStudy;
+    let circuit = SboxCircuit::build(Scheme::Isw);
+    let profile = sbox_circuits::probing::analyze(&circuit);
+    assert!(profile.max_bias(circuit.netlist()) < 1e-9);
+    let study = LeakageStudy::new(config(7));
+    let leak = study.run(Scheme::Isw).spectrum.total_leakage_power();
+    assert!(leak > 0.0, "dynamic (glitch) leakage must still exist");
+}

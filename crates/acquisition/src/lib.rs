@@ -31,5 +31,8 @@
 mod protocol;
 mod study;
 
-pub use protocol::{acquire, acquire_cpa, acquire_with_derating, CpaAcquisition, ProtocolConfig};
+pub use protocol::{
+    acquire, acquire_cpa, acquire_with_derating, capture_stimulus, classified_schedule,
+    cpa_schedule, cpa_seed, trace_seed, CpaAcquisition, ProtocolConfig, Stimulus, NUM_CLASSES,
+};
 pub use study::{AgedOutcome, LeakageStudy, StudyOutcome};

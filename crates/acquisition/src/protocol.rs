@@ -1,6 +1,20 @@
 //! Class-balanced two-phase trace capture.
+//!
+//! Acquisition is split into two pure stages so it can be sharded:
+//!
+//! 1. **Scheduling** ([`classified_schedule`], [`cpa_schedule`]) — all
+//!    mask/plaintext randomness is drawn here, sequentially, from the
+//!    protocol seed, producing a list of [`Stimulus`] records;
+//! 2. **Capture** ([`capture_stimulus`]) — simulating one stimulus, with
+//!    measurement noise (if configured) seeded per trace via
+//!    [`trace_seed`], so trace `i` is the same no matter which worker or
+//!    in which order it is captured.
+//!
+//! The sequential [`acquire`] / [`acquire_cpa`] entry points and the
+//! parallel executor in the `sca-campaign` crate both compose these same
+//! stages, which is what makes their outputs bit-identical.
 
-use gatesim::{Derating, SamplingConfig, SimConfig, Simulator};
+use gatesim::{CaptureStats, Derating, SamplingConfig, SimConfig, Simulator};
 use leakage_core::ClassifiedTraces;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -35,6 +49,65 @@ impl Default for ProtocolConfig {
 /// Number of classes (the PRESENT S-box input space).
 pub const NUM_CLASSES: usize = 16;
 
+/// One scheduled trace: the label it will carry (class index for the
+/// leakage protocol, plaintext nibble for CPA) and the input vectors the
+/// circuit transitions between.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stimulus {
+    /// Class index or plaintext nibble.
+    pub label: u16,
+    /// Input vector the circuit settles on before t = 0.
+    pub initial: Vec<bool>,
+    /// Input vector applied at t = 0.
+    pub final_inputs: Vec<bool>,
+}
+
+/// Derive the measurement-noise seed of trace `index` from the campaign
+/// seed (a SplitMix64-style finalizer over both words).
+///
+/// Seeding per trace — rather than threading one generator through the
+/// capture loop — is what lets a sharded executor produce bit-identical
+/// traces for any worker count, including the sequential paths in this
+/// crate.
+pub fn trace_seed(campaign_seed: u64, index: u64) -> u64 {
+    let mut z = campaign_seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The full, shuffled stimulus schedule of the leakage protocol; all mask
+/// randomness is drawn here, from `config.seed`, before any simulation.
+pub fn classified_schedule(circuit: &SboxCircuit, config: &ProtocolConfig) -> Vec<Stimulus> {
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    stimuli(circuit, config, &mut rng)
+        .into_iter()
+        .map(|(class, initial, final_inputs)| Stimulus {
+            label: class as u16,
+            initial,
+            final_inputs,
+        })
+        .collect()
+}
+
+/// Capture one scheduled stimulus, seeding measurement noise from
+/// `seed` (obtain it via [`trace_seed`]). Returns the power trace and
+/// the simulator's event counters.
+pub fn capture_stimulus(
+    sim: &Simulator<'_>,
+    stimulus: &Stimulus,
+    sampling: &SamplingConfig,
+    seed: u64,
+) -> (Vec<f64>, CaptureStats) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    sim.capture_with_rng_stats(
+        &stimulus.initial,
+        &stimulus.final_inputs,
+        sampling,
+        &mut rng,
+    )
+}
+
 /// Acquire a class-balanced trace set from a fresh (unaged) device.
 pub fn acquire(circuit: &SboxCircuit, config: &ProtocolConfig) -> ClassifiedTraces {
     let derating = Derating::fresh(circuit.netlist());
@@ -48,11 +121,15 @@ pub fn acquire_with_derating(
     derating: &Derating,
 ) -> ClassifiedTraces {
     let sim = Simulator::with_derating(circuit.netlist(), &config.sim, derating);
-    let mut rng = SmallRng::seed_from_u64(config.seed);
     let mut set = ClassifiedTraces::new(NUM_CLASSES, config.sampling.samples);
-    for (class, initial, final_inputs) in stimuli(circuit, config, &mut rng) {
-        let trace = sim.capture_with_rng(&initial, &final_inputs, &config.sampling, &mut rng);
-        set.push(class, trace);
+    for (i, stimulus) in classified_schedule(circuit, config).iter().enumerate() {
+        let (trace, _) = capture_stimulus(
+            &sim,
+            stimulus,
+            &config.sampling,
+            trace_seed(config.seed, i as u64),
+        );
+        set.push(usize::from(stimulus.label), trace);
     }
     set
 }
@@ -125,9 +202,43 @@ pub struct CpaAcquisition {
     pub traces: Vec<Vec<f64>>,
 }
 
-/// Acquire an attack dataset: uniformly random plaintext nibbles, the
-/// round-key addition `t = p ⊕ k` applied in the (unmasked) stimulus
-/// domain, masks fresh per trace.
+/// The CPA stimulus schedule: uniformly random plaintext nibbles (stored
+/// as each stimulus' label), the round-key addition `t = p ⊕ k` applied
+/// in the (unmasked) stimulus domain, masks fresh per trace. All
+/// randomness is drawn here, from `config.seed`, before any simulation.
+///
+/// # Panics
+///
+/// Panics if `key >= 16` or `traces == 0`.
+pub fn cpa_schedule(
+    circuit: &SboxCircuit,
+    config: &ProtocolConfig,
+    key: u8,
+    traces: usize,
+) -> Vec<Stimulus> {
+    assert!(key < 16);
+    assert!(traces > 0);
+    let mut rng = SmallRng::seed_from_u64(cpa_seed(config));
+    (0..traces)
+        .map(|_| {
+            let p: u8 = rng.gen_range(0..16);
+            let t = p ^ key;
+            Stimulus {
+                label: u16::from(p),
+                initial: circuit.encoding().encode(0, &mut rng),
+                final_inputs: circuit.encoding().encode(t, &mut rng),
+            }
+        })
+        .collect()
+}
+
+/// The seed domain of the CPA protocol (kept distinct from the leakage
+/// protocol so the two never share mask or noise streams).
+pub fn cpa_seed(config: &ProtocolConfig) -> u64 {
+    config.seed ^ 0xC0FF_EE00
+}
+
+/// Acquire an attack dataset (see [`cpa_schedule`] for the protocol).
 ///
 /// # Panics
 ///
@@ -138,19 +249,18 @@ pub fn acquire_cpa(
     key: u8,
     traces: usize,
 ) -> CpaAcquisition {
-    assert!(key < 16);
-    assert!(traces > 0);
     let sim = Simulator::new(circuit.netlist(), &config.sim);
-    let mut rng = SmallRng::seed_from_u64(config.seed ^ 0xC0FF_EE00);
+    let schedule = cpa_schedule(circuit, config, key, traces);
     let mut plaintexts = Vec::with_capacity(traces);
     let mut out = Vec::with_capacity(traces);
-    for _ in 0..traces {
-        let p: u8 = rng.gen_range(0..16);
-        let t = p ^ key;
-        let initial = circuit.encoding().encode(0, &mut rng);
-        let final_inputs = circuit.encoding().encode(t, &mut rng);
-        let trace = sim.capture_with_rng(&initial, &final_inputs, &config.sampling, &mut rng);
-        plaintexts.push(p);
+    for (i, stimulus) in schedule.iter().enumerate() {
+        let (trace, _) = capture_stimulus(
+            &sim,
+            stimulus,
+            &config.sampling,
+            trace_seed(cpa_seed(config), i as u64),
+        );
+        plaintexts.push(stimulus.label as u8);
         out.push(trace);
     }
     CpaAcquisition {
@@ -265,6 +375,44 @@ mod tests {
             l
         };
         assert_ne!(labels, sorted, "stimulus order should be shuffled");
+    }
+
+    #[test]
+    fn schedule_and_per_trace_seeds_reproduce_acquire() {
+        // Capturing the schedule out of order with per-trace seeds must
+        // agree with the sequential path — the invariant the parallel
+        // campaign executor stands on.
+        let circuit = SboxCircuit::build(Scheme::Isw);
+        let config = small_config();
+        let sequential = acquire(&circuit, &config);
+        let sim = gatesim::Simulator::new(circuit.netlist(), &config.sim);
+        let schedule = classified_schedule(&circuit, &config);
+        let mut traces: Vec<(usize, Vec<f64>)> = schedule
+            .iter()
+            .enumerate()
+            .rev() // deliberately reversed capture order
+            .map(|(i, s)| {
+                let (t, _) =
+                    capture_stimulus(&sim, s, &config.sampling, trace_seed(config.seed, i as u64));
+                (i, t)
+            })
+            .collect();
+        traces.sort_by_key(|(i, _)| *i);
+        let mut set = ClassifiedTraces::new(NUM_CLASSES, config.sampling.samples);
+        for ((_, trace), s) in traces.into_iter().zip(&schedule) {
+            set.push(usize::from(s.label), trace);
+        }
+        assert_eq!(set, sequential);
+    }
+
+    #[test]
+    fn trace_seeds_decorrelate() {
+        let a = trace_seed(1, 0);
+        let b = trace_seed(1, 1);
+        let c = trace_seed(2, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, trace_seed(1, 0));
     }
 
     #[test]

@@ -143,8 +143,7 @@ impl BtiModel {
         let mut out = Vec::with_capacity(schedule.phases().len());
         for phase in schedule.phases() {
             if phase.stressed {
-                let before =
-                    self.prefactor_v * effective_stress_months.powf(self.time_exponent);
+                let before = self.prefactor_v * effective_stress_months.powf(self.time_exponent);
                 effective_stress_months += phase.months;
                 let after = self.prefactor_v * effective_stress_months.powf(self.time_exponent);
                 let delta = (after - before).max(0.0);

@@ -158,7 +158,11 @@ mod tests {
     #[test]
     fn aging_is_monotone_in_time() {
         let nl = toy();
-        let dev = AgedDevice::new(&nl, ActivityProfile::uniform(&nl), AgingConditions::default());
+        let dev = AgedDevice::new(
+            &nl,
+            ActivityProfile::uniform(&nl),
+            AgingConditions::default(),
+        );
         let mut last_delay = 1.0;
         let mut last_current = 1.0;
         for months in [0.0, 6.0, 12.0, 24.0, 48.0] {
@@ -173,7 +177,11 @@ mod tests {
     #[test]
     fn fresh_device_is_identity() {
         let nl = toy();
-        let dev = AgedDevice::new(&nl, ActivityProfile::uniform(&nl), AgingConditions::default());
+        let dev = AgedDevice::new(
+            &nl,
+            ActivityProfile::uniform(&nl),
+            AgingConditions::default(),
+        );
         let d = dev.derating_at_months(0.0);
         assert_eq!(d.delay_factor(0), 1.0);
         assert_eq!(d.current_factor(0), 1.0);
@@ -184,7 +192,11 @@ mod tests {
         // The paper's Fig. 7 shows total leakage dropping ≈5–10 % over
         // 4 years; amplitude factors should land in the same ballpark.
         let nl = toy();
-        let dev = AgedDevice::new(&nl, ActivityProfile::uniform(&nl), AgingConditions::default());
+        let dev = AgedDevice::new(
+            &nl,
+            ActivityProfile::uniform(&nl),
+            AgingConditions::default(),
+        );
         let d = dev.derating_at_months(48.0);
         let cf = d.current_factor(0);
         assert!(cf < 0.99 && cf > 0.88, "current factor {cf}");
@@ -193,7 +205,11 @@ mod tests {
     #[test]
     fn degradation_decelerates() {
         let nl = toy();
-        let dev = AgedDevice::new(&nl, ActivityProfile::uniform(&nl), AgingConditions::default());
+        let dev = AgedDevice::new(
+            &nl,
+            ActivityProfile::uniform(&nl),
+            AgingConditions::default(),
+        );
         let y1 = dev.delta_vth_v(0, 12.0);
         let y2 = dev.delta_vth_v(0, 24.0) - y1;
         let y4 = dev.delta_vth_v(0, 48.0) - dev.delta_vth_v(0, 36.0);
@@ -203,7 +219,11 @@ mod tests {
     #[test]
     fn timeline_has_two_month_steps() {
         let nl = toy();
-        let dev = AgedDevice::new(&nl, ActivityProfile::uniform(&nl), AgingConditions::default());
+        let dev = AgedDevice::new(
+            &nl,
+            ActivityProfile::uniform(&nl),
+            AgingConditions::default(),
+        );
         let tl = dev.timeline(2.0, 48.0);
         assert_eq!(tl.len(), 25);
         assert_eq!(tl[0].0, 0.0);

@@ -218,8 +218,8 @@ mod tests {
             .map(|&p| {
                 let hw = f64::from(sbox(p ^ key).count_ones());
                 vec![
-                    rng.gen::<f64>(),                        // pure noise sample
-                    hw + noise * (rng.gen::<f64>() - 0.5),   // leaking sample
+                    rng.gen::<f64>(),                      // pure noise sample
+                    hw + noise * (rng.gen::<f64>() - 0.5), // leaking sample
                 ]
             })
             .collect();
@@ -233,7 +233,11 @@ mod tests {
             let r = cpa_attack(&p, &t, LeakageModel::HammingWeight);
             assert_eq!(r.best_guess(), key, "key {key}");
             assert_eq!(r.key_rank(key), 0);
-            assert_eq!(r.peak_samples[usize::from(key)], 1, "peak at leaking sample");
+            assert_eq!(
+                r.peak_samples[usize::from(key)],
+                1,
+                "peak at leaking sample"
+            );
         }
     }
 
@@ -256,8 +260,7 @@ mod tests {
     #[test]
     fn success_rate_increases_with_traces() {
         let (p, t) = synthetic_dataset(0xC, 512, 8.0, 11);
-        let curve =
-            success_rate_curve(&p, &t, 0xC, LeakageModel::HammingWeight, &[8, 256], 16);
+        let curve = success_rate_curve(&p, &t, 0xC, LeakageModel::HammingWeight, &[8, 256], 16);
         assert!(curve[1].1 >= curve[0].1, "{curve:?}");
         assert!(curve[1].1 > 0.9);
     }

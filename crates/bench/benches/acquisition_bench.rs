@@ -18,11 +18,9 @@ fn bench_acquisition(c: &mut Criterion) {
     for scheme in [Scheme::Opt, Scheme::Rsm, Scheme::Isw, Scheme::Ti] {
         let circuit = SboxCircuit::build(scheme);
         let config = small_protocol();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(scheme.label()),
-            &(),
-            |b, ()| b.iter(|| acquire(&circuit, &config)),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(scheme.label()), &(), |b, ()| {
+            b.iter(|| acquire(&circuit, &config))
+        });
     }
     group.finish();
 }

@@ -1,0 +1,87 @@
+//! Campaign-engine throughput: traces/second through the sharded
+//! executor at 1/2/4/8 workers, and the cold-acquire versus warm-cache
+//! cost of a full campaign cell.
+
+use std::path::{Path, PathBuf};
+
+use campaign::{CacheMode, Campaign, CampaignConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sbox_circuits::Scheme;
+
+fn small_protocol() -> acquisition::ProtocolConfig {
+    acquisition::ProtocolConfig {
+        traces_per_class: 4,
+        ..acquisition::ProtocolConfig::default()
+    }
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("sbox-leakage-bench-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn campaign_in(dir: &Path, workers: usize, cache: CacheMode) -> Campaign {
+    Campaign::new(CampaignConfig {
+        protocol: small_protocol(),
+        workers,
+        cache,
+        store_dir: dir.join("traces"),
+        log_path: dir.join("runs.jsonl"),
+        ..CampaignConfig::default()
+    })
+}
+
+/// Cold acquisition (cache off, every iteration simulates): scaling of
+/// the sharded executor with worker count.
+fn bench_workers(c: &mut Criterion) {
+    let traces = small_protocol().traces_per_class as u64 * 16;
+    let mut group = c.benchmark_group("campaign/acquire_cold");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(traces));
+    for workers in [1usize, 2, 4, 8] {
+        let dir = scratch(&format!("cold{workers}"));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{workers}workers")),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let mut campaign = campaign_in(&dir, workers, CacheMode::Off);
+                    campaign.acquire(Scheme::Isw)
+                })
+            },
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    group.finish();
+}
+
+/// Warm cache (store primed once): each iteration is a fresh campaign
+/// that serves the same cell from disk without simulating.
+fn bench_warm_cache(c: &mut Criterion) {
+    let traces = small_protocol().traces_per_class as u64 * 16;
+    let dir = scratch("warm");
+    campaign_in(&dir, 1, CacheMode::ReadWrite).acquire(Scheme::Isw);
+
+    let mut group = c.benchmark_group("campaign/acquire_warm");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(traces));
+    group.bench_function("store_hit", |b| {
+        b.iter(|| {
+            let mut campaign = campaign_in(&dir, 1, CacheMode::ReadWrite);
+            let outcome = campaign.acquire(Scheme::Isw);
+            assert!(outcome.cache_hit);
+            outcome
+        })
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_workers, bench_warm_cache
+}
+criterion_main!(benches);

@@ -22,11 +22,9 @@ fn bench_evaluation(c: &mut Criterion) {
     for scheme in [Scheme::Lut, Scheme::Glut, Scheme::Ti] {
         let circuit = SboxCircuit::build(scheme);
         let inputs = vec![false; circuit.netlist().num_inputs()];
-        group.bench_with_input(
-            BenchmarkId::from_parameter(scheme.label()),
-            &(),
-            |b, ()| b.iter(|| circuit.netlist().evaluate(&inputs)),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(scheme.label()), &(), |b, ()| {
+            b.iter(|| circuit.netlist().evaluate(&inputs))
+        });
     }
     group.finish();
 

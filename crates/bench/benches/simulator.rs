@@ -15,11 +15,9 @@ fn bench_transitions(c: &mut Criterion) {
         let mut rng = SmallRng::seed_from_u64(1);
         let initial = circuit.encoding().encode(0, &mut rng);
         let final_inputs = circuit.encoding().encode(9, &mut rng);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(scheme.label()),
-            &(),
-            |b, ()| b.iter(|| sim.transition(&initial, &final_inputs)),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(scheme.label()), &(), |b, ()| {
+            b.iter(|| sim.transition(&initial, &final_inputs))
+        });
     }
     group.finish();
 }
@@ -44,7 +42,13 @@ fn bench_capture_and_ablation(c: &mut Criterion) {
             &shape,
             |b, &shape| {
                 b.iter(|| {
-                    sample_waveform(&record.events, &sampling, 1.5, |g| sim.gate_delay_ps(g), shape)
+                    sample_waveform(
+                        &record.events,
+                        &sampling,
+                        1.5,
+                        |g| sim.gate_delay_ps(g),
+                        shape,
+                    )
                 })
             },
         );

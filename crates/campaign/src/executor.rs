@@ -1,0 +1,235 @@
+//! The sharded acquisition executor: a `std::thread` worker pool that
+//! captures a stimulus schedule in parallel.
+//!
+//! Determinism: trace `i`'s value depends only on the (pre-computed)
+//! schedule entry `i` and its per-trace seed `trace_seed(base_seed, i)`
+//! — never on which worker captured it or when. Workers pull fixed-size
+//! index chunks from a shared atomic cursor (dynamic load balancing: the
+//! seven netlists differ ~10× in event count per trace) and results are
+//! written back by index, so the output is bit-identical for any worker
+//! count, including 1.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use acquisition::{capture_stimulus, trace_seed, Stimulus};
+use gatesim::{CaptureStats, SamplingConfig, Simulator};
+
+/// Indices are claimed in chunks of this size — small enough to balance
+/// the ~10× per-scheme cost spread at 1024 traces, large enough that the
+/// atomic cursor never contends.
+const CHUNK: usize = 16;
+
+/// What one worker did, for the utilization report.
+#[derive(Debug, Clone)]
+pub struct WorkerLoad {
+    /// Traces this worker captured.
+    pub traces: usize,
+    /// Wall-clock time this worker spent capturing (not waiting).
+    pub busy: Duration,
+}
+
+/// Timing and accounting of one executor run.
+#[derive(Debug, Clone)]
+pub struct ExecutorReport {
+    /// Worker count actually used.
+    pub workers: usize,
+    /// Per-worker load.
+    pub loads: Vec<WorkerLoad>,
+    /// End-to-end wall time of the parallel section.
+    pub wall: Duration,
+    /// Aggregated simulator event counters.
+    pub stats: CaptureStats,
+}
+
+impl ExecutorReport {
+    /// Fraction of `workers × wall` spent capturing (1.0 = perfectly
+    /// balanced, no idle tails).
+    pub fn utilization(&self) -> f64 {
+        let busy: f64 = self.loads.iter().map(|l| l.busy.as_secs_f64()).sum();
+        let capacity = self.wall.as_secs_f64() * self.workers as f64;
+        if capacity > 0.0 {
+            (busy / capacity).min(1.0)
+        } else {
+            1.0
+        }
+    }
+
+    /// Traces captured per second of wall time.
+    pub fn traces_per_sec(&self) -> f64 {
+        let n: usize = self.loads.iter().map(|l| l.traces).sum();
+        if self.wall.as_secs_f64() > 0.0 {
+            n as f64 / self.wall.as_secs_f64()
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Resolve a requested worker count: 0 means "all available cores".
+pub fn resolve_workers(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    }
+}
+
+/// Capture `schedule` with `workers` threads, seeding trace `i`'s
+/// measurement noise from `trace_seed(base_seed, i)`.
+///
+/// Returns the traces in schedule order plus the run report. With
+/// `workers == 1` everything runs inline on the caller's thread (no pool
+/// overhead), which also serves as the reference for the determinism
+/// guarantee.
+pub fn capture_schedule(
+    sim: &Simulator<'_>,
+    schedule: &[Stimulus],
+    sampling: &SamplingConfig,
+    base_seed: u64,
+    workers: usize,
+) -> (Vec<Vec<f64>>, ExecutorReport) {
+    let workers = resolve_workers(workers).min(schedule.len()).max(1);
+    let started = Instant::now();
+
+    if workers == 1 {
+        let mut stats = CaptureStats::default();
+        let busy_start = Instant::now();
+        let traces: Vec<Vec<f64>> = schedule
+            .iter()
+            .enumerate()
+            .map(|(i, stimulus)| {
+                let (trace, s) =
+                    capture_stimulus(sim, stimulus, sampling, trace_seed(base_seed, i as u64));
+                stats.merge(&s);
+                trace
+            })
+            .collect();
+        let busy = busy_start.elapsed();
+        let report = ExecutorReport {
+            workers: 1,
+            loads: vec![WorkerLoad {
+                traces: schedule.len(),
+                busy,
+            }],
+            wall: started.elapsed(),
+            stats,
+        };
+        return (traces, report);
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, Vec<(usize, Vec<f64>)>, CaptureStats, Duration)>();
+
+    std::thread::scope(|scope| {
+        for worker in 0..workers {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            scope.spawn(move || {
+                let mut captured: Vec<(usize, Vec<f64>)> = Vec::new();
+                let mut stats = CaptureStats::default();
+                let mut busy = Duration::ZERO;
+                loop {
+                    let start = cursor.fetch_add(CHUNK, Ordering::Relaxed);
+                    if start >= schedule.len() {
+                        break;
+                    }
+                    let end = (start + CHUNK).min(schedule.len());
+                    let t0 = Instant::now();
+                    for (i, stimulus) in schedule[start..end].iter().enumerate() {
+                        let index = start + i;
+                        let (trace, s) = capture_stimulus(
+                            sim,
+                            stimulus,
+                            sampling,
+                            trace_seed(base_seed, index as u64),
+                        );
+                        stats.merge(&s);
+                        captured.push((index, trace));
+                    }
+                    busy += t0.elapsed();
+                }
+                // The receiver outlives the scope; a send can only fail if
+                // the parent panicked, in which case the scope unwinds
+                // anyway.
+                let _ = tx.send((worker, captured, stats, busy));
+            });
+        }
+        drop(tx);
+    });
+
+    let mut traces: Vec<Vec<f64>> = vec![Vec::new(); schedule.len()];
+    let mut loads: Vec<WorkerLoad> = (0..workers)
+        .map(|_| WorkerLoad {
+            traces: 0,
+            busy: Duration::ZERO,
+        })
+        .collect();
+    let mut stats = CaptureStats::default();
+    for (worker, captured, worker_stats, busy) in rx {
+        loads[worker].traces = captured.len();
+        loads[worker].busy = busy;
+        stats.merge(&worker_stats);
+        for (index, trace) in captured {
+            traces[index] = trace;
+        }
+    }
+
+    let report = ExecutorReport {
+        workers,
+        loads,
+        wall: started.elapsed(),
+        stats,
+    };
+    (traces, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acquisition::{classified_schedule, ProtocolConfig};
+    use sbox_circuits::{SboxCircuit, Scheme};
+
+    fn small_config() -> ProtocolConfig {
+        ProtocolConfig {
+            traces_per_class: 4,
+            ..ProtocolConfig::default()
+        }
+    }
+
+    #[test]
+    fn any_worker_count_is_bit_identical() {
+        let circuit = SboxCircuit::build(Scheme::Rsm);
+        let config = small_config();
+        let sim = Simulator::new(circuit.netlist(), &config.sim);
+        let schedule = classified_schedule(&circuit, &config);
+        let (reference, r1) = capture_schedule(&sim, &schedule, &config.sampling, config.seed, 1);
+        assert_eq!(r1.workers, 1);
+        for workers in [2, 3, 8] {
+            let (traces, report) =
+                capture_schedule(&sim, &schedule, &config.sampling, config.seed, workers);
+            assert_eq!(traces, reference, "{workers} workers");
+            assert_eq!(
+                report.loads.iter().map(|l| l.traces).sum::<usize>(),
+                schedule.len()
+            );
+            assert_eq!(report.stats, r1.stats, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn worker_resolution_and_utilization_bounds() {
+        assert_eq!(resolve_workers(3), 3);
+        assert!(resolve_workers(0) >= 1);
+        let circuit = SboxCircuit::build(Scheme::Opt);
+        let config = small_config();
+        let sim = Simulator::new(circuit.netlist(), &config.sim);
+        let schedule = classified_schedule(&circuit, &config);
+        let (_, report) = capture_schedule(&sim, &schedule, &config.sampling, config.seed, 2);
+        let u = report.utilization();
+        assert!((0.0..=1.0).contains(&u), "utilization {u}");
+        assert!(report.traces_per_sec() > 0.0);
+        assert!(report.stats.events > 0);
+    }
+}

@@ -1,0 +1,513 @@
+//! The trace-acquisition campaign engine: the single entry point for
+//! acquiring, persisting, and reusing the paper's trace sets.
+//!
+//! A [`Campaign`] composes four pieces:
+//!
+//! * the **sharded executor** ([`capture_schedule`]) — a `std::thread`
+//!   worker pool over the two-stage protocol split in `acquisition`
+//!   (schedule first, capture per trace), bit-identical for any worker
+//!   count including 1;
+//! * the **trace store** ([`StoreWriter`]/[`StoreReader`]) — the
+//!   versioned, checksummed `SCTR` binary format under
+//!   `results/traces/`;
+//! * the **content-addressed cache** ([`TraceCache`]) — acquisitions
+//!   keyed by everything that determines their values, so re-running an
+//!   experiment (or a later experiment sharing a cell) reads the store
+//!   instead of simulating;
+//! * **run observability** ([`RunLog`]) — per-stage timings, simulator
+//!   event counts, cache hit/miss counters and worker utilization,
+//!   printed as a table and appended to `results/campaign_runs.jsonl`.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use campaign::{Campaign, CampaignConfig};
+//! use sbox_circuits::Scheme;
+//!
+//! let mut campaign = Campaign::new(CampaignConfig::default());
+//! let isw = campaign.acquire(Scheme::Isw);
+//! println!("TLP = {}", isw.spectrum.total_leakage_power());
+//! println!("{}", campaign.log().summary_table());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod digest;
+mod executor;
+mod report;
+mod store;
+
+pub use cache::{config_digest, CacheMode, CampaignKey, TraceCache};
+pub use digest::{fnv1a, Digest};
+pub use executor::{capture_schedule, resolve_workers, ExecutorReport, WorkerLoad};
+pub use report::{RunLog, RunReport, Stage, StageTimer};
+pub use store::{
+    CpaRecords, StoreError, StoreKind, StoreMeta, StoreReader, StoreWriter, MAGIC, VERSION,
+};
+
+use std::path::PathBuf;
+
+use acquisition::{
+    classified_schedule, cpa_schedule, cpa_seed, CpaAcquisition, LeakageStudy, ProtocolConfig,
+    NUM_CLASSES,
+};
+use aging::AgingConditions;
+use gatesim::{CaptureStats, Derating, Simulator};
+use leakage_core::{ClassifiedTraces, LeakageSpectrum};
+use sbox_circuits::{SboxCircuit, Scheme};
+
+/// Everything a campaign needs to know: the acquisition protocol, the
+/// device conditions, and the execution/persistence policy.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// The acquisition protocol (trace budget, sampling, power model,
+    /// seed).
+    pub protocol: ProtocolConfig,
+    /// Aging stress conditions (used for any age > 0).
+    pub conditions: AgingConditions,
+    /// Worker threads for the sharded executor; 0 means all cores.
+    pub workers: usize,
+    /// Cache policy.
+    pub cache: CacheMode,
+    /// Directory of `SCTR` store files.
+    pub store_dir: PathBuf,
+    /// JSONL sink for run reports.
+    pub log_path: PathBuf,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        Self {
+            protocol: ProtocolConfig::default(),
+            conditions: AgingConditions::default(),
+            workers: 0,
+            cache: CacheMode::ReadWrite,
+            store_dir: PathBuf::from("results/traces"),
+            log_path: PathBuf::from("results/campaign_runs.jsonl"),
+        }
+    }
+}
+
+impl CampaignConfig {
+    /// A campaign with a specific protocol and the default policy.
+    pub fn with_protocol(protocol: ProtocolConfig) -> Self {
+        Self {
+            protocol,
+            ..Self::default()
+        }
+    }
+}
+
+/// One acquired (or cache-served) classified trace set with its
+/// Walsh–Hadamard projection.
+#[derive(Debug, Clone)]
+pub struct CampaignOutcome {
+    /// The implementation measured.
+    pub scheme: Scheme,
+    /// Device age in months (0.0 = fresh).
+    pub age_months: f64,
+    /// The class-balanced trace set.
+    pub traces: ClassifiedTraces,
+    /// The leakage spectrum of the class means.
+    pub spectrum: LeakageSpectrum,
+    /// Whether this outcome was read from the store.
+    pub cache_hit: bool,
+}
+
+/// The campaign engine. Owns the cache and the run log; each
+/// `acquire*` call is one observed, cacheable unit.
+#[derive(Debug)]
+pub struct Campaign {
+    config: CampaignConfig,
+    cache: TraceCache,
+    log: RunLog,
+}
+
+impl Campaign {
+    /// A campaign with the given configuration.
+    pub fn new(config: CampaignConfig) -> Self {
+        let cache = TraceCache::new(config.store_dir.clone(), config.cache);
+        Self {
+            config,
+            cache,
+            log: RunLog::new(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &CampaignConfig {
+        &self.config
+    }
+
+    /// The run log accumulated so far.
+    pub fn log(&self) -> &RunLog {
+        &self.log
+    }
+
+    /// Acquire the classified set for a fresh device.
+    pub fn acquire(&mut self, scheme: Scheme) -> CampaignOutcome {
+        self.acquire_aged(scheme, 0.0)
+    }
+
+    /// Acquire the classified set at a device age in months.
+    ///
+    /// Age 0 uses identity derating and is bit-identical to the
+    /// sequential `acquisition::acquire` path; ages > 0 match
+    /// `LeakageStudy::run_aged` (the device is aged by its own protocol
+    /// workload).
+    pub fn acquire_aged(&mut self, scheme: Scheme, months: f64) -> CampaignOutcome {
+        let mut timer = StageTimer::new();
+        let key = self.classified_key(scheme, months);
+
+        if let Some(reader) = self.lookup(&key, &mut timer) {
+            match reader.read_classified() {
+                Ok(traces) => return self.classified_hit(scheme, months, traces, timer),
+                Err(e) => eprintln!(
+                    "campaign cache: {} failed mid-read ({e}); re-acquiring",
+                    self.cache.path_for(&key).display()
+                ),
+            }
+        }
+
+        timer.stage("build");
+        let circuit = SboxCircuit::build(scheme);
+        timer.stage("age");
+        let derating = self.derating(&circuit, months);
+        let sim = Simulator::with_derating(circuit.netlist(), &self.config.protocol.sim, &derating);
+
+        timer.stage("acquire");
+        let schedule = classified_schedule(&circuit, &self.config.protocol);
+        let (raw, exec) = capture_schedule(
+            &sim,
+            &schedule,
+            &self.config.protocol.sampling,
+            self.config.protocol.seed,
+            self.config.workers,
+        );
+        let mut traces = ClassifiedTraces::new(NUM_CLASSES, self.config.protocol.sampling.samples);
+        for (stimulus, trace) in schedule.iter().zip(raw) {
+            traces.push(usize::from(stimulus.label), trace);
+        }
+
+        self.persist(&key, schedule.iter().map(|s| s.label), &traces, &mut timer);
+
+        timer.stage("analyze");
+        let spectrum = LeakageSpectrum::from_class_means(&traces.class_means());
+        self.report(&key, &exec, timer);
+        CampaignOutcome {
+            scheme,
+            age_months: months,
+            traces,
+            spectrum,
+            cache_hit: false,
+        }
+    }
+
+    /// Acquire one scheme over a sequence of device ages (the Fig. 7
+    /// sweep), each cell independently cached.
+    pub fn run_aged(&mut self, scheme: Scheme, ages_months: &[f64]) -> Vec<CampaignOutcome> {
+        ages_months
+            .iter()
+            .map(|&months| self.acquire_aged(scheme, months))
+            .collect()
+    }
+
+    /// Acquire a CPA attack dataset (known key nibble, random
+    /// plaintexts), cached like any other campaign cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key >= 16` or `traces == 0`.
+    pub fn acquire_cpa(&mut self, scheme: Scheme, key: u8, traces: usize) -> CpaAcquisition {
+        assert!(key < 16);
+        assert!(traces > 0);
+        let mut timer = StageTimer::new();
+        let cache_key = self.cpa_key(scheme, key, traces);
+
+        if let Some(reader) = self.lookup(&cache_key, &mut timer) {
+            match reader.read_cpa() {
+                Ok((key, plaintexts, traces)) => {
+                    let n = traces.len();
+                    self.report_hit(&cache_key, n, timer);
+                    return CpaAcquisition {
+                        key,
+                        plaintexts,
+                        traces,
+                    };
+                }
+                Err(e) => eprintln!(
+                    "campaign cache: {} failed mid-read ({e}); re-acquiring",
+                    self.cache.path_for(&cache_key).display()
+                ),
+            }
+        }
+
+        timer.stage("build");
+        let circuit = SboxCircuit::build(scheme);
+        let sim = Simulator::new(circuit.netlist(), &self.config.protocol.sim);
+
+        timer.stage("acquire");
+        let schedule = cpa_schedule(&circuit, &self.config.protocol, key, traces);
+        let (raw, exec) = capture_schedule(
+            &sim,
+            &schedule,
+            &self.config.protocol.sampling,
+            cpa_seed(&self.config.protocol),
+            self.config.workers,
+        );
+
+        if self.cache.writes_enabled() {
+            timer.stage("store");
+            let records = schedule
+                .iter()
+                .map(|s| s.label)
+                .zip(raw.iter().map(Vec::as_slice));
+            if let Err(e) = self.write_store(&cache_key, records) {
+                eprintln!("campaign cache: persisting CPA set failed ({e}); continuing");
+            }
+        }
+
+        self.report(&cache_key, &exec, timer);
+        CpaAcquisition {
+            key,
+            plaintexts: schedule.iter().map(|s| s.label as u8).collect(),
+            traces: raw,
+        }
+    }
+
+    /// Print the summary table and append the run reports to the JSONL
+    /// log. Returns the number of lines appended.
+    pub fn finish(&self) -> std::io::Result<usize> {
+        print!("{}", self.log.summary_table());
+        self.log.append_jsonl(&self.config.log_path)
+    }
+
+    fn classified_key(&self, scheme: Scheme, months: f64) -> CampaignKey {
+        CampaignKey {
+            kind: StoreKind::Classified,
+            implementation: scheme.label().to_string(),
+            seed: self.config.protocol.seed,
+            traces: (self.config.protocol.traces_per_class * NUM_CLASSES) as u32,
+            samples: self.config.protocol.sampling.samples as u32,
+            age_months: months,
+            class_or_key: NUM_CLASSES as u16,
+            config_digest: config_digest(&self.config.protocol, &self.config.conditions),
+        }
+    }
+
+    fn cpa_key(&self, scheme: Scheme, key: u8, traces: usize) -> CampaignKey {
+        CampaignKey {
+            kind: StoreKind::Cpa,
+            implementation: scheme.label().to_string(),
+            seed: self.config.protocol.seed,
+            traces: traces as u32,
+            samples: self.config.protocol.sampling.samples as u32,
+            age_months: 0.0,
+            class_or_key: u16::from(key),
+            config_digest: config_digest(&self.config.protocol, &self.config.conditions),
+        }
+    }
+
+    fn derating(&self, circuit: &SboxCircuit, months: f64) -> Derating {
+        if months == 0.0 {
+            // Identical to derating_at_months(0.0), without profiling the
+            // stress workload.
+            Derating::fresh(circuit.netlist())
+        } else {
+            LeakageStudy::new(self.config.protocol.clone())
+                .with_conditions(self.config.conditions.clone())
+                .aged_device(circuit)
+                .derating_at_months(months)
+        }
+    }
+
+    fn lookup(&mut self, key: &CampaignKey, timer: &mut StageTimer) -> Option<StoreReader> {
+        timer.stage("load");
+        self.cache.lookup(key)
+    }
+
+    fn persist<I: Iterator<Item = u16>>(
+        &mut self,
+        key: &CampaignKey,
+        labels: I,
+        traces: &ClassifiedTraces,
+        timer: &mut StageTimer,
+    ) {
+        if !self.cache.writes_enabled() {
+            return;
+        }
+        timer.stage("store");
+        // `ClassifiedTraces` preserves acquisition order, so zipping the
+        // schedule's labels back over its records reconstructs them.
+        let records = labels.zip(traces.iter().map(|(_, t)| t));
+        if let Err(e) = self.write_store(key, records) {
+            eprintln!("campaign cache: persisting trace set failed ({e}); continuing");
+        }
+    }
+
+    fn write_store<'a, I>(&self, key: &CampaignKey, records: I) -> Result<(), StoreError>
+    where
+        I: Iterator<Item = (u16, &'a [f64])>,
+    {
+        let mut writer = StoreWriter::create(&self.cache.path_for(key), key.expected_meta())?;
+        for (label, samples) in records {
+            writer.record(label, samples)?;
+        }
+        writer.finish()
+    }
+
+    fn classified_hit(
+        &mut self,
+        scheme: Scheme,
+        months: f64,
+        traces: ClassifiedTraces,
+        mut timer: StageTimer,
+    ) -> CampaignOutcome {
+        timer.stage("analyze");
+        let spectrum = LeakageSpectrum::from_class_means(&traces.class_means());
+        let key = self.classified_key(scheme, months);
+        self.report_hit(&key, traces.len(), timer);
+        CampaignOutcome {
+            scheme,
+            age_months: months,
+            traces,
+            spectrum,
+            cache_hit: true,
+        }
+    }
+
+    fn report_hit(&mut self, key: &CampaignKey, traces: usize, timer: StageTimer) {
+        self.log.push(RunReport {
+            implementation: key.implementation.clone(),
+            age_months: key.age_months,
+            traces,
+            workers: 1,
+            cache_hit: true,
+            stats: CaptureStats::default(),
+            worker_utilization: 1.0,
+            stages: timer.finish(),
+        });
+    }
+
+    fn report(&mut self, key: &CampaignKey, exec: &ExecutorReport, timer: StageTimer) {
+        self.log.push(RunReport {
+            implementation: key.implementation.clone(),
+            age_months: key.age_months,
+            traces: key.traces as usize,
+            workers: exec.workers,
+            cache_hit: false,
+            stats: exec.stats,
+            worker_utilization: exec.utilization(),
+            stages: timer.finish(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("campaign-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    fn small_campaign(dir: &Path, cache: CacheMode) -> Campaign {
+        Campaign::new(CampaignConfig {
+            protocol: ProtocolConfig {
+                traces_per_class: 2,
+                ..ProtocolConfig::default()
+            },
+            workers: 2,
+            cache,
+            store_dir: dir.to_path_buf(),
+            log_path: dir.join("runs.jsonl"),
+            ..CampaignConfig::default()
+        })
+    }
+
+    #[test]
+    fn matches_sequential_acquisition_exactly() {
+        let dir = tmp_dir("seq");
+        let mut campaign = small_campaign(&dir, CacheMode::Off);
+        let outcome = campaign.acquire(Scheme::Opt);
+        let circuit = SboxCircuit::build(Scheme::Opt);
+        let reference = acquisition::acquire(&circuit, &campaign.config().protocol);
+        assert_eq!(outcome.traces, reference);
+        assert!(!outcome.cache_hit);
+    }
+
+    #[test]
+    fn second_acquisition_hits_the_cache_with_zero_sim_events() {
+        let dir = tmp_dir("hit");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut campaign = small_campaign(&dir, CacheMode::ReadWrite);
+        let first = campaign.acquire(Scheme::Rsm);
+        let second = campaign.acquire(Scheme::Rsm);
+        assert!(!first.cache_hit);
+        assert!(second.cache_hit);
+        assert_eq!(first.traces, second.traces);
+        assert_eq!(
+            first.spectrum.total_leakage_power(),
+            second.spectrum.total_leakage_power()
+        );
+        let reports = campaign.log().reports();
+        assert_eq!(reports.len(), 2);
+        assert!(reports[0].stats.events > 0);
+        assert_eq!(reports[1].stats.events, 0, "hit must not simulate");
+        assert_eq!(campaign.log().cache_hits(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn aged_cells_cache_independently_of_fresh() {
+        let dir = tmp_dir("aged");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut campaign = small_campaign(&dir, CacheMode::ReadWrite);
+        let sweep = campaign.run_aged(Scheme::Opt, &[0.0, 24.0]);
+        assert_eq!(sweep.len(), 2);
+        assert!(sweep.iter().all(|o| !o.cache_hit));
+        assert!(
+            sweep[1].spectrum.total_leakage_power() < sweep[0].spectrum.total_leakage_power(),
+            "aging must reduce leakage"
+        );
+        // A fresh acquire now hits the age-0 cell written by the sweep.
+        assert!(campaign.acquire(Scheme::Opt).cache_hit);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cpa_round_trips_through_the_cache() {
+        let dir = tmp_dir("cpa");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut campaign = small_campaign(&dir, CacheMode::ReadWrite);
+        let first = campaign.acquire_cpa(Scheme::Opt, 0xB, 24);
+        let second = campaign.acquire_cpa(Scheme::Opt, 0xB, 24);
+        assert_eq!(first, second);
+        assert_eq!(first.key, 0xB);
+        assert_eq!(first.traces.len(), 24);
+        let circuit = SboxCircuit::build(Scheme::Opt);
+        let reference = acquisition::acquire_cpa(&circuit, &campaign.config().protocol, 0xB, 24);
+        assert_eq!(first, reference);
+        assert_eq!(campaign.log().cache_hits(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn finish_appends_one_line_per_run() {
+        let dir = tmp_dir("finish");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut campaign = small_campaign(&dir, CacheMode::ReadWrite);
+        campaign.acquire(Scheme::Lut);
+        campaign.acquire(Scheme::Lut);
+        assert_eq!(campaign.finish().expect("finish"), 2);
+        let text = std::fs::read_to_string(dir.join("runs.jsonl")).expect("read");
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("\"cache_hit\":true"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,361 @@
+//! Run observability: per-stage wall-clock timings, simulator event
+//! counts, cache hit/miss counters, and worker utilization — printed as
+//! a summary table and appended as JSON lines to
+//! `results/campaign_runs.jsonl` so the repository accumulates a
+//! performance trajectory across sessions.
+
+use std::fmt::Write as _;
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use gatesim::CaptureStats;
+
+/// A named wall-clock span within one campaign run.
+#[derive(Debug, Clone)]
+pub struct Stage {
+    /// Stage name (`build`, `age`, `acquire`, `analyze`, `store`, …).
+    pub name: &'static str,
+    /// Elapsed wall time.
+    pub elapsed: Duration,
+}
+
+/// Times stages by construction order; hand it back to the report.
+#[derive(Debug)]
+pub struct StageTimer {
+    stages: Vec<Stage>,
+    current: Option<(&'static str, Instant)>,
+}
+
+impl Default for StageTimer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StageTimer {
+    /// An empty timer.
+    pub fn new() -> Self {
+        Self {
+            stages: Vec::new(),
+            current: None,
+        }
+    }
+
+    /// Close the running stage (if any) and open a new one.
+    pub fn stage(&mut self, name: &'static str) {
+        self.close();
+        self.current = Some((name, Instant::now()));
+    }
+
+    /// Close the running stage and return everything recorded.
+    pub fn finish(mut self) -> Vec<Stage> {
+        self.close();
+        self.stages
+    }
+
+    fn close(&mut self) {
+        if let Some((name, start)) = self.current.take() {
+            self.stages.push(Stage {
+                name,
+                elapsed: start.elapsed(),
+            });
+        }
+    }
+}
+
+/// The record of one campaign acquisition (one `(implementation, age)`
+/// cell), whether served from cache or simulated.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Implementation label, e.g. `"ISW"`.
+    pub implementation: String,
+    /// Device age in months.
+    pub age_months: f64,
+    /// Total traces in the set.
+    pub traces: usize,
+    /// Worker threads used (1 when served from cache).
+    pub workers: usize,
+    /// Whether the set was read from the store instead of simulated.
+    pub cache_hit: bool,
+    /// Aggregated simulator event counters (all zero on a cache hit).
+    pub stats: CaptureStats,
+    /// Fraction of `workers × acquire-wall` spent capturing.
+    pub worker_utilization: f64,
+    /// Per-stage timings, in execution order.
+    pub stages: Vec<Stage>,
+}
+
+impl RunReport {
+    /// Total wall time across all stages.
+    pub fn total_seconds(&self) -> f64 {
+        self.stages.iter().map(|s| s.elapsed.as_secs_f64()).sum()
+    }
+
+    /// Wall time of one stage (0.0 if absent).
+    pub fn stage_seconds(&self, name: &str) -> f64 {
+        // Folded from +0.0 explicitly: an empty `Iterator::<f64>::sum()`
+        // yields -0.0, which prints as "-0.000" in the summary table.
+        self.stages
+            .iter()
+            .filter(|s| s.name == name)
+            .fold(0.0, |acc, s| acc + s.elapsed.as_secs_f64())
+    }
+
+    /// Traces per second of acquire-stage wall time (`None` when served
+    /// from cache or the stage is missing).
+    pub fn acquire_throughput(&self) -> Option<f64> {
+        let secs = self.stage_seconds("acquire");
+        (!self.cache_hit && secs > 0.0).then(|| self.traces as f64 / secs)
+    }
+
+    /// Serialize as one JSON object (hand-rolled: the environment has no
+    /// serde, and the schema is flat).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(256);
+        s.push('{');
+        let _ = write!(s, "\"implementation\":{}", json_str(&self.implementation));
+        let _ = write!(s, ",\"age_months\":{}", json_f64(self.age_months));
+        let _ = write!(s, ",\"traces\":{}", self.traces);
+        let _ = write!(s, ",\"workers\":{}", self.workers);
+        let _ = write!(s, ",\"cache_hit\":{}", self.cache_hit);
+        let _ = write!(s, ",\"sim_events\":{}", self.stats.events);
+        let _ = write!(s, ",\"full_transitions\":{}", self.stats.full_transitions);
+        let _ = write!(s, ",\"absorbed_glitches\":{}", self.stats.absorbed_glitches);
+        let _ = write!(
+            s,
+            ",\"worker_utilization\":{}",
+            json_f64(self.worker_utilization)
+        );
+        let _ = write!(s, ",\"total_seconds\":{}", json_f64(self.total_seconds()));
+        s.push_str(",\"stages\":{");
+        for (i, stage) in self.stages.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{}:{}",
+                json_str(stage.name),
+                json_f64(stage.elapsed.as_secs_f64())
+            );
+        }
+        s.push_str("}}");
+        s
+    }
+}
+
+/// Accumulates every run of one campaign session: cache counters, the
+/// summary table, and the JSONL sink.
+#[derive(Debug, Default)]
+pub struct RunLog {
+    reports: Vec<RunReport>,
+}
+
+impl RunLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one run.
+    pub fn push(&mut self, report: RunReport) {
+        self.reports.push(report);
+    }
+
+    /// All runs so far.
+    pub fn reports(&self) -> &[RunReport] {
+        &self.reports
+    }
+
+    /// Cache hits so far.
+    pub fn cache_hits(&self) -> usize {
+        self.reports.iter().filter(|r| r.cache_hit).count()
+    }
+
+    /// Cache misses (i.e. real acquisitions) so far.
+    pub fn cache_misses(&self) -> usize {
+        self.reports.len() - self.cache_hits()
+    }
+
+    /// Append every run as one JSON line each; the file accumulates
+    /// across sessions. Returns how many lines were written.
+    pub fn append_jsonl(&self, path: &Path) -> std::io::Result<usize> {
+        if self.reports.is_empty() {
+            return Ok(0);
+        }
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut f = OpenOptions::new().create(true).append(true).open(path)?;
+        for r in &self.reports {
+            writeln!(f, "{}", r.to_json())?;
+        }
+        Ok(self.reports.len())
+    }
+
+    /// The human summary: one row per run plus the cache totals.
+    pub fn summary_table(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "{:<9} {:>4} {:>7} {:>4} {:>6} {:>10} {:>6} {:>9} {:>9}",
+            "impl", "age", "traces", "wrk", "cache", "events", "util", "acq(s)", "total(s)"
+        );
+        for r in &self.reports {
+            let _ = writeln!(
+                s,
+                "{:<9} {:>4.0} {:>7} {:>4} {:>6} {:>10} {:>6.2} {:>9.3} {:>9.3}",
+                r.implementation,
+                r.age_months,
+                r.traces,
+                r.workers,
+                if r.cache_hit { "hit" } else { "miss" },
+                r.stats.events,
+                r.worker_utilization,
+                r.stage_seconds("acquire"),
+                r.total_seconds(),
+            );
+        }
+        let _ = writeln!(
+            s,
+            "cache: {} hits / {} misses over {} runs",
+            self.cache_hits(),
+            self.cache_misses(),
+            self.reports.len()
+        );
+        s
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        // JSON has no Inf/NaN; null is the conventional degradation.
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(hit: bool) -> RunReport {
+        RunReport {
+            implementation: "ISW".into(),
+            age_months: 12.0,
+            traces: 64,
+            workers: 4,
+            cache_hit: hit,
+            stats: CaptureStats {
+                events: if hit { 0 } else { 4242 },
+                full_transitions: if hit { 0 } else { 4000 },
+                absorbed_glitches: if hit { 0 } else { 242 },
+                settle_time_ps: 900.0,
+            },
+            worker_utilization: 0.93,
+            stages: vec![
+                Stage {
+                    name: "build",
+                    elapsed: Duration::from_millis(5),
+                },
+                Stage {
+                    name: "acquire",
+                    elapsed: Duration::from_millis(120),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn missing_stage_is_positive_zero_seconds() {
+        let secs = report(false).stage_seconds("no-such-stage");
+        assert_eq!(secs, 0.0);
+        assert!(secs.is_sign_positive(), "must not print as -0.000");
+    }
+
+    #[test]
+    fn json_lines_are_flat_and_parseable_by_eye() {
+        let j = report(false).to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        for field in [
+            "\"implementation\":\"ISW\"",
+            "\"age_months\":12",
+            "\"workers\":4",
+            "\"cache_hit\":false",
+            "\"sim_events\":4242",
+            "\"stages\":{\"build\":",
+        ] {
+            assert!(j.contains(field), "{field} missing from {j}");
+        }
+        assert!(!j.contains('\n'));
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_f64(f64::NAN), "null");
+    }
+
+    #[test]
+    fn stage_timer_orders_and_sums() {
+        let mut t = StageTimer::new();
+        t.stage("a");
+        t.stage("b");
+        let stages = t.finish();
+        assert_eq!(stages.len(), 2);
+        assert_eq!(stages[0].name, "a");
+        assert_eq!(stages[1].name, "b");
+    }
+
+    #[test]
+    fn log_counts_hits_and_appends_jsonl() {
+        let mut log = RunLog::new();
+        log.push(report(false));
+        log.push(report(true));
+        log.push(report(true));
+        assert_eq!(log.cache_hits(), 2);
+        assert_eq!(log.cache_misses(), 1);
+        let table = log.summary_table();
+        assert!(table.contains("hit") && table.contains("miss"));
+        assert!(table.contains("cache: 2 hits / 1 misses over 3 runs"));
+
+        let mut path = std::env::temp_dir();
+        path.push(format!("campaign-log-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(log.append_jsonl(&path).expect("append"), 3);
+        assert_eq!(log.append_jsonl(&path).expect("append"), 3);
+        let text = std::fs::read_to_string(&path).expect("read");
+        assert_eq!(text.lines().count(), 6, "appends accumulate");
+        assert!(text.ends_with('\n'));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn throughput_only_counts_real_acquisitions() {
+        assert!(report(false).acquire_throughput().expect("miss") > 0.0);
+        assert!(report(true).acquire_throughput().is_none());
+    }
+}

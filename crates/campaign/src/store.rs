@@ -1,0 +1,526 @@
+//! `SCTR` — the versioned binary trace-store format.
+//!
+//! One file holds one acquired trace set (the unit a campaign caches).
+//! Layout, all integers and floats little-endian:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "SCTR"
+//! 4       2     format version (currently 1)
+//! 6       2     kind: 0 = classified leakage protocol, 1 = CPA dataset
+//! 8       2     num_classes (classified) / secret key nibble (CPA)
+//! 10      2     implementation-name length n
+//! 12      n     implementation name, UTF-8
+//! 12+n    8     campaign seed (u64)
+//! 20+n    8     device age in months (f64)
+//! 28+n    8     acquisition-config digest (u64)
+//! 36+n    4     trace count (u32)
+//! 40+n    4     samples per trace (u32)
+//! 44+n    —     records: per trace a u16 label + samples × f64
+//! end-8   8     FNV-1a/64 checksum of every preceding byte
+//! ```
+//!
+//! Versioning rules: the magic and version are checked before anything
+//! else is parsed; a reader never guesses at unknown versions (bump the
+//! version on any layout change and keep old readers refusing new files
+//! loudly). The checksum covers header *and* records, so truncation and
+//! bit-rot are both detected.
+//!
+//! The reader streams records through a fixed reusable buffer
+//! ([`StoreReader::for_each_record`]) rather than materializing the file,
+//! so consumers that only fold over traces (means, spectra) never hold
+//! more than one record in memory.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+use leakage_core::ClassifiedTraces;
+
+use crate::digest::Digest;
+
+/// A CPA dataset as read back from a store: the known key nibble, the
+/// per-trace plaintext nibbles, and the traces themselves.
+pub type CpaRecords = (u8, Vec<u8>, Vec<Vec<f64>>);
+
+/// File magic.
+pub const MAGIC: [u8; 4] = *b"SCTR";
+/// Current format version.
+pub const VERSION: u16 = 1;
+
+/// What protocol produced a store's records (decides how its `u16`
+/// per-record labels and the `class_or_key` header field are read).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreKind {
+    /// Class-balanced leakage protocol; labels are class indices.
+    Classified,
+    /// CPA attack dataset; labels are plaintext nibbles.
+    Cpa,
+}
+
+impl StoreKind {
+    fn to_u16(self) -> u16 {
+        match self {
+            StoreKind::Classified => 0,
+            StoreKind::Cpa => 1,
+        }
+    }
+
+    fn from_u16(v: u16) -> Result<Self, StoreError> {
+        match v {
+            0 => Ok(StoreKind::Classified),
+            1 => Ok(StoreKind::Cpa),
+            other => Err(StoreError::Format(format!("unknown store kind {other}"))),
+        }
+    }
+}
+
+/// Everything the header records about an acquisition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreMeta {
+    /// Protocol that produced the records.
+    pub kind: StoreKind,
+    /// Implementation (netlist) name, e.g. `"ISW"`.
+    pub name: String,
+    /// Campaign seed the schedule and noise were derived from.
+    pub seed: u64,
+    /// Device age in months (0.0 = fresh).
+    pub age_months: f64,
+    /// Digest of the full acquisition configuration (see `cache`).
+    pub config_digest: u64,
+    /// Number of classes (classified) or the secret key nibble (CPA).
+    pub class_or_key: u16,
+    /// Number of trace records.
+    pub traces: u32,
+    /// Samples per trace.
+    pub samples: u32,
+}
+
+/// Reading or writing a store failed.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file is not a valid `SCTR` store (or an unsupported version).
+    Format(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "trace store I/O error: {e}"),
+            StoreError::Format(m) => write!(f, "trace store format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// A writer that checksums as it streams records to disk.
+///
+/// The record count promised in `meta.traces` is enforced on
+/// [`StoreWriter::finish`]; a mismatch is a format error and the partial
+/// file is removed.
+#[derive(Debug)]
+pub struct StoreWriter {
+    path: PathBuf,
+    out: BufWriter<File>,
+    digest: Digest,
+    meta: StoreMeta,
+    written: u32,
+}
+
+impl StoreWriter {
+    /// Create `path` (and its parent directories) and write the header.
+    pub fn create(path: &Path, meta: StoreMeta) -> Result<Self, StoreError> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut w = Self {
+            path: path.to_path_buf(),
+            out: BufWriter::new(File::create(path)?),
+            digest: Digest::new(),
+            meta: meta.clone(),
+            written: 0,
+        };
+        let name = meta.name.as_bytes();
+        if name.len() > usize::from(u16::MAX) {
+            return Err(StoreError::Format("implementation name too long".into()));
+        }
+        w.emit(&MAGIC)?;
+        w.emit(&VERSION.to_le_bytes())?;
+        w.emit(&meta.kind.to_u16().to_le_bytes())?;
+        w.emit(&meta.class_or_key.to_le_bytes())?;
+        w.emit(&(name.len() as u16).to_le_bytes())?;
+        w.emit(name)?;
+        w.emit(&meta.seed.to_le_bytes())?;
+        w.emit(&meta.age_months.to_le_bytes())?;
+        w.emit(&meta.config_digest.to_le_bytes())?;
+        w.emit(&meta.traces.to_le_bytes())?;
+        w.emit(&meta.samples.to_le_bytes())?;
+        Ok(w)
+    }
+
+    /// Append one labelled trace record.
+    pub fn record(&mut self, label: u16, samples: &[f64]) -> Result<(), StoreError> {
+        if samples.len() != self.meta.samples as usize {
+            return Err(StoreError::Format(format!(
+                "record has {} samples, header promises {}",
+                samples.len(),
+                self.meta.samples
+            )));
+        }
+        if self.written == self.meta.traces {
+            return Err(StoreError::Format(format!(
+                "more than {} records written",
+                self.meta.traces
+            )));
+        }
+        self.emit(&label.to_le_bytes())?;
+        let mut buf = Vec::with_capacity(samples.len() * 8);
+        for &s in samples {
+            buf.extend_from_slice(&s.to_le_bytes());
+        }
+        self.emit(&buf)?;
+        self.written += 1;
+        Ok(())
+    }
+
+    /// Write the trailing checksum and flush. Consumes the writer.
+    pub fn finish(mut self) -> Result<(), StoreError> {
+        if self.written != self.meta.traces {
+            let _ = std::fs::remove_file(&self.path);
+            return Err(StoreError::Format(format!(
+                "{} records written, header promises {}",
+                self.written, self.meta.traces
+            )));
+        }
+        let checksum = self.digest.finish();
+        self.out.write_all(&checksum.to_le_bytes())?;
+        self.out.flush()?;
+        Ok(())
+    }
+
+    fn emit(&mut self, bytes: &[u8]) -> Result<(), StoreError> {
+        self.digest.bytes(bytes);
+        self.out.write_all(bytes)?;
+        Ok(())
+    }
+}
+
+/// A chunked reader: the header is parsed eagerly, records stream on
+/// demand through one reusable buffer.
+#[derive(Debug)]
+pub struct StoreReader {
+    meta: StoreMeta,
+    input: BufReader<File>,
+    digest: Digest,
+    record_buf: Vec<u8>,
+}
+
+impl StoreReader {
+    /// Open a store and validate its magic, version, and header shape.
+    pub fn open(path: &Path) -> Result<Self, StoreError> {
+        let mut input = BufReader::new(File::open(path)?);
+        let mut digest = Digest::new();
+
+        let magic = read_array::<4>(&mut input, &mut digest)?;
+        if magic != MAGIC {
+            return Err(StoreError::Format(format!(
+                "bad magic {magic:02x?} (not an SCTR trace store)"
+            )));
+        }
+        let version = u16::from_le_bytes(read_array(&mut input, &mut digest)?);
+        if version != VERSION {
+            return Err(StoreError::Format(format!(
+                "unsupported store version {version} (this reader understands {VERSION})"
+            )));
+        }
+        let kind = StoreKind::from_u16(u16::from_le_bytes(read_array(&mut input, &mut digest)?))?;
+        let class_or_key = u16::from_le_bytes(read_array(&mut input, &mut digest)?);
+        let name_len = u16::from_le_bytes(read_array(&mut input, &mut digest)?);
+        let mut name_bytes = vec![0u8; usize::from(name_len)];
+        input.read_exact(&mut name_bytes)?;
+        digest.bytes(&name_bytes);
+        let name = String::from_utf8(name_bytes)
+            .map_err(|_| StoreError::Format("implementation name is not UTF-8".into()))?;
+        let seed = u64::from_le_bytes(read_array(&mut input, &mut digest)?);
+        let age_months = f64::from_le_bytes(read_array(&mut input, &mut digest)?);
+        let config_digest = u64::from_le_bytes(read_array(&mut input, &mut digest)?);
+        let traces = u32::from_le_bytes(read_array(&mut input, &mut digest)?);
+        let samples = u32::from_le_bytes(read_array(&mut input, &mut digest)?);
+
+        let record_bytes = 2 + 8 * samples as usize;
+        Ok(Self {
+            meta: StoreMeta {
+                kind,
+                name,
+                seed,
+                age_months,
+                config_digest,
+                class_or_key,
+                traces,
+                samples,
+            },
+            input,
+            digest,
+            record_buf: vec![0u8; record_bytes],
+        })
+    }
+
+    /// The parsed header.
+    pub fn meta(&self) -> &StoreMeta {
+        &self.meta
+    }
+
+    /// Stream every record through `f` as `(label, samples)`, then verify
+    /// the trailing checksum. The samples slice borrows the reader's
+    /// internal buffer and is only valid for the duration of the call.
+    pub fn for_each_record(
+        mut self,
+        mut f: impl FnMut(u16, &[f64]),
+    ) -> Result<StoreMeta, StoreError> {
+        let mut samples = vec![0.0f64; self.meta.samples as usize];
+        for _ in 0..self.meta.traces {
+            self.input.read_exact(&mut self.record_buf).map_err(|e| {
+                if e.kind() == io::ErrorKind::UnexpectedEof {
+                    StoreError::Format("store truncated mid-record".into())
+                } else {
+                    StoreError::Io(e)
+                }
+            })?;
+            self.digest.bytes(&self.record_buf);
+            let label = u16::from_le_bytes([self.record_buf[0], self.record_buf[1]]);
+            for (slot, chunk) in samples.iter_mut().zip(self.record_buf[2..].chunks_exact(8)) {
+                *slot = f64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            f(label, &samples);
+        }
+        let expect = self.digest.finish();
+        let mut trailer = [0u8; 8];
+        self.input.read_exact(&mut trailer).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                StoreError::Format("store truncated before checksum".into())
+            } else {
+                StoreError::Io(e)
+            }
+        })?;
+        let stored = u64::from_le_bytes(trailer);
+        if stored != expect {
+            return Err(StoreError::Format(format!(
+                "checksum mismatch: stored {stored:#018x}, computed {expect:#018x}"
+            )));
+        }
+        Ok(self.meta)
+    }
+
+    /// Read a classified store back into a [`ClassifiedTraces`] set
+    /// (records keep their acquisition order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store's kind is not [`StoreKind::Classified`].
+    pub fn read_classified(self) -> Result<ClassifiedTraces, StoreError> {
+        assert_eq!(
+            self.meta.kind,
+            StoreKind::Classified,
+            "not a classified store"
+        );
+        let num_classes = usize::from(self.meta.class_or_key);
+        let mut set = ClassifiedTraces::new(num_classes, self.meta.samples as usize);
+        let mut bad_label = None;
+        self.for_each_record(|label, samples| {
+            if usize::from(label) < num_classes {
+                set.push(usize::from(label), samples.to_vec());
+            } else {
+                bad_label.get_or_insert(label);
+            }
+        })?;
+        if let Some(label) = bad_label {
+            return Err(StoreError::Format(format!(
+                "class label {label} out of range (< {num_classes})"
+            )));
+        }
+        Ok(set)
+    }
+
+    /// Read a CPA store back as `(key, plaintexts, traces)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store's kind is not [`StoreKind::Cpa`].
+    pub fn read_cpa(self) -> Result<CpaRecords, StoreError> {
+        assert_eq!(self.meta.kind, StoreKind::Cpa, "not a CPA store");
+        let key = self.meta.class_or_key as u8;
+        let mut plaintexts = Vec::with_capacity(self.meta.traces as usize);
+        let mut traces = Vec::with_capacity(self.meta.traces as usize);
+        self.for_each_record(|label, samples| {
+            plaintexts.push(label as u8);
+            traces.push(samples.to_vec());
+        })?;
+        Ok((key, plaintexts, traces))
+    }
+}
+
+fn read_array<const N: usize>(
+    input: &mut BufReader<File>,
+    digest: &mut Digest,
+) -> Result<[u8; N], StoreError> {
+    let mut buf = [0u8; N];
+    input.read_exact(&mut buf).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            StoreError::Format("store truncated mid-header".into())
+        } else {
+            StoreError::Io(e)
+        }
+    })?;
+    digest.bytes(&buf);
+    Ok(buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(traces: u32, samples: u32) -> StoreMeta {
+        StoreMeta {
+            kind: StoreKind::Classified,
+            name: "TESTIMPL".into(),
+            seed: 0xD47E_2022,
+            age_months: 12.0,
+            config_digest: 0xABCD_EF01_2345_6789,
+            class_or_key: 16,
+            traces,
+            samples,
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("sctr-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn round_trips_meta_and_records() {
+        let path = tmp("roundtrip.sctr");
+        let m = meta(3, 4);
+        let records: Vec<(u16, Vec<f64>)> = vec![
+            (0, vec![1.0, -2.5, 3.25, 0.0]),
+            (7, vec![f64::MIN_POSITIVE, 1e300, -0.0, 42.0]),
+            (15, vec![0.125, 0.25, 0.5, 1.0]),
+        ];
+        let mut w = StoreWriter::create(&path, m.clone()).expect("create");
+        for (label, samples) in &records {
+            w.record(*label, samples).expect("record");
+        }
+        w.finish().expect("finish");
+
+        let r = StoreReader::open(&path).expect("open");
+        assert_eq!(r.meta(), &m);
+        let mut back = Vec::new();
+        r.for_each_record(|label, samples| back.push((label, samples.to_vec())))
+            .expect("read");
+        assert_eq!(back, records);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let path = tmp("corrupt.sctr");
+        let mut w = StoreWriter::create(&path, meta(1, 2)).expect("create");
+        w.record(3, &[1.0, 2.0]).expect("record");
+        w.finish().expect("finish");
+        // Flip one payload byte.
+        let mut bytes = std::fs::read(&path).expect("read");
+        let idx = bytes.len() - 12; // inside the last record's samples
+        bytes[idx] ^= 0x40;
+        std::fs::write(&path, &bytes).expect("write");
+        let err = StoreReader::open(&path)
+            .expect("open")
+            .for_each_record(|_, _| {})
+            .expect_err("checksum must fail");
+        assert!(matches!(err, StoreError::Format(m) if m.contains("checksum")));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let path = tmp("truncated.sctr");
+        let mut w = StoreWriter::create(&path, meta(2, 2)).expect("create");
+        w.record(0, &[1.0, 2.0]).expect("record");
+        w.record(1, &[3.0, 4.0]).expect("record");
+        w.finish().expect("finish");
+        let bytes = std::fs::read(&path).expect("read");
+        std::fs::write(&path, &bytes[..bytes.len() - 20]).expect("write");
+        let err = StoreReader::open(&path)
+            .expect("open")
+            .for_each_record(|_, _| {})
+            .expect_err("truncation must fail");
+        assert!(matches!(err, StoreError::Format(m) if m.contains("truncated")));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn wrong_magic_and_version_are_refused() {
+        let path = tmp("magic.sctr");
+        std::fs::write(&path, b"NOPE0000000000000000").expect("write");
+        assert!(matches!(
+            StoreReader::open(&path),
+            Err(StoreError::Format(m)) if m.contains("magic")
+        ));
+        // Valid magic, future version.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&99u16.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 32]);
+        std::fs::write(&path, &bytes).expect("write");
+        assert!(matches!(
+            StoreReader::open(&path),
+            Err(StoreError::Format(m)) if m.contains("version")
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn writer_enforces_promised_record_count() {
+        let path = tmp("count.sctr");
+        let mut w = StoreWriter::create(&path, meta(2, 1)).expect("create");
+        w.record(0, &[1.0]).expect("record");
+        assert!(w.finish().is_err(), "missing record must fail finish");
+        assert!(!path.exists(), "partial file must be removed");
+
+        let mut w = StoreWriter::create(&path, meta(1, 1)).expect("create");
+        w.record(0, &[1.0]).expect("record");
+        assert!(w.record(1, &[2.0]).is_err(), "extra record must fail");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn classified_round_trip_preserves_order_and_classes() {
+        let path = tmp("classified.sctr");
+        let mut m = meta(4, 2);
+        m.class_or_key = 4;
+        let mut w = StoreWriter::create(&path, m).expect("create");
+        for (label, v) in [(2u16, 1.0), (0, 2.0), (3, 3.0), (2, 4.0)] {
+            w.record(label, &[v, v + 0.5]).expect("record");
+        }
+        w.finish().expect("finish");
+        let set = StoreReader::open(&path)
+            .expect("open")
+            .read_classified()
+            .expect("classified");
+        assert_eq!(set.len(), 4);
+        assert_eq!(set.class_counts(), vec![1, 0, 2, 1]);
+        let order: Vec<usize> = set.iter().map(|(c, _)| c).collect();
+        assert_eq!(order, vec![2, 0, 3, 2]);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -39,8 +39,7 @@ pub fn snr(set: &ClassifiedTraces) -> Vec<f64> {
                 })
                 .sum::<f64>()
                 / set.len() as f64;
-            let noise: f64 =
-                (0..num_classes).map(|c| within[c][s]).sum::<f64>() / set.len() as f64;
+            let noise: f64 = (0..num_classes).map(|c| within[c][s]).sum::<f64>() / set.len() as f64;
             if noise == 0.0 {
                 // Noise-free: either a constant sample (no signal) or a
                 // perfectly class-determined one (infinite SNR).
@@ -107,12 +106,7 @@ pub fn nicv(set: &ClassifiedTraces) -> Vec<f64> {
 /// # Panics
 ///
 /// Panics if a key is not a nibble or `bit >= 4`.
-pub fn confusion_coefficient(
-    sbox: &[u8; 16],
-    key_a: u8,
-    key_b: u8,
-    bit: usize,
-) -> f64 {
+pub fn confusion_coefficient(sbox: &[u8; 16], key_a: u8, key_b: u8, bit: usize) -> f64 {
     assert!(key_a < 16 && key_b < 16 && bit < 4);
     let differing = (0..16u8)
         .filter(|&p| {

@@ -155,9 +155,7 @@ mod tests {
     /// Class means whose sample 0 is constant and sample 1 equals bit 0 of
     /// the class index.
     fn toy_means() -> Vec<Vec<f64>> {
-        (0..16usize)
-            .map(|c| vec![5.0, (c & 1) as f64])
-            .collect()
+        (0..16usize).map(|c| vec![5.0, (c & 1) as f64]).collect()
     }
 
     #[test]

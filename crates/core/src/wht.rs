@@ -88,8 +88,9 @@ mod tests {
 
     #[test]
     fn parseval_holds() {
-        let f = vec![0.3, 1.7, -0.4, 2.2, 0.0, -1.1, 0.9, 0.5,
-                     1.3, -0.7, 0.2, 0.8, -2.0, 0.1, 0.6, -0.9];
+        let f = vec![
+            0.3, 1.7, -0.4, 2.2, 0.0, -1.1, 0.9, 0.5, 1.3, -0.7, 0.2, 0.8, -2.0, 0.1, 0.6, -0.9,
+        ];
         let a = spectrum_of(&f);
         let ef: f64 = f.iter().map(|x| x * x).sum();
         let ea: f64 = a.iter().map(|x| x * x).sum();
@@ -98,13 +99,18 @@ mod tests {
 
     #[test]
     fn spectrum_matches_naive_definition() {
-        let f = vec![0.5, 2.0, -1.0, 4.0, 0.25, -3.0, 1.5, 0.75,
-                     2.5, -0.5, 3.25, 1.0, -2.25, 0.1, -0.6, 1.9];
+        let f = vec![
+            0.5, 2.0, -1.0, 4.0, 0.25, -3.0, 1.5, 0.75, 2.5, -0.5, 3.25, 1.0, -2.25, 0.1, -0.6, 1.9,
+        ];
         let fast = spectrum_of(&f);
         for (u, &fast_u) in fast.iter().enumerate() {
             let naive: f64 = (0..16usize)
                 .map(|t| {
-                    let sign = if (u & t).count_ones() % 2 == 1 { -1.0 } else { 1.0 };
+                    let sign = if (u & t).count_ones() % 2 == 1 {
+                        -1.0
+                    } else {
+                        1.0
+                    };
                     f[t] * sign
                 })
                 .sum::<f64>()
@@ -119,8 +125,16 @@ mod tests {
             for v in 0..16usize {
                 let dot: f64 = (0..16usize)
                     .map(|t| {
-                        let su = if (u & t).count_ones() % 2 == 1 { -0.25 } else { 0.25 };
-                        let sv = if (v & t).count_ones() % 2 == 1 { -0.25 } else { 0.25 };
+                        let su = if (u & t).count_ones() % 2 == 1 {
+                            -0.25
+                        } else {
+                            0.25
+                        };
+                        let sv = if (v & t).count_ones() % 2 == 1 {
+                            -0.25
+                        } else {
+                            0.25
+                        };
                         su * sv
                     })
                     .sum();

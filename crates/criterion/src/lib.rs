@@ -1,0 +1,353 @@
+//! A workspace-local, dependency-free stand-in for the subset of the
+//! [Criterion](https://docs.rs/criterion) API the `bench` crate uses.
+//!
+//! The build environment cannot reach crates.io, so the real Criterion
+//! cannot be fetched; this crate is wired in through a path dependency
+//! under the same package name so every `benches/*.rs` file compiles
+//! unchanged. It measures wall-clock time with `std::time::Instant`:
+//! each benchmark is warmed up, then timed over `sample_size` samples of
+//! adaptively chosen iteration counts, and the per-iteration min / median
+//! / max are printed. No plots, no statistics beyond that — enough to
+//! compare orders of magnitude and track regressions by eye or script.
+//!
+//! Command-line behaviour: positional arguments are substring filters on
+//! benchmark names (as with real Criterion); `--quick` or `--test` runs
+//! every benchmark exactly once (used by CI smoke runs); other flags are
+//! accepted and ignored.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    filters: Vec<String>,
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filters = Vec::new();
+        let mut quick = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--quick" | "--test" => quick = true,
+                a if a.starts_with('-') => {}
+                a => filters.push(a.to_string()),
+            }
+        }
+        Self {
+            sample_size: 20,
+            filters,
+            quick,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        if self.enabled(id) {
+            let mut b = Bencher::new(self.sample_size, self.quick);
+            f(&mut b);
+            b.report(id, None);
+        }
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    fn enabled(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f.as_str()))
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Declare how many elements/bytes one iteration processes, so the
+    /// report can derive a rate.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let full = self.full_id(&id.into());
+        if self.criterion.enabled(&full) {
+            let n = self.sample_size.unwrap_or(self.criterion.sample_size);
+            let mut b = Bencher::new(n, self.criterion.quick);
+            f(&mut b);
+            b.report(&full, self.throughput);
+        }
+        self
+    }
+
+    /// Run one benchmark with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Close the group (a no-op here; kept for API compatibility).
+    pub fn finish(self) {}
+
+    fn full_id(&self, id: &BenchmarkId) -> String {
+        match (&id.function, &id.parameter) {
+            (Some(f), Some(p)) => format!("{}/{f}/{p}", self.name),
+            (Some(f), None) => format!("{}/{f}", self.name),
+            (None, Some(p)) => format!("{}/{p}", self.name),
+            (None, None) => self.name.clone(),
+        }
+    }
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// A parameter value only (the group name identifies the function).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self {
+            function: Some(s.to_string()),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self {
+            function: Some(s),
+            parameter: None,
+        }
+    }
+}
+
+/// Units one iteration is measured in, for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Times the closure handed to it by a benchmark definition.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    quick: bool,
+    /// Per-iteration durations of each timed sample.
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(sample_size: usize, quick: bool) -> Self {
+        Self {
+            sample_size,
+            quick,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Measure a routine. The routine's output is passed through
+    /// [`black_box`] so the optimizer cannot delete the work.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.quick {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+            return;
+        }
+        // Warm-up & calibration: time one iteration, then size samples to
+        // ~5 ms (at least 1 iteration) so cheap routines are resolvable.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters =
+            (Duration::from_millis(5).as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u32;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / iters);
+        }
+    }
+
+    fn report(&self, id: &str, throughput: Option<Throughput>) {
+        if self.samples.is_empty() {
+            println!("{id:<48} (no measurement — Bencher::iter never called)");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        let rate = throughput.map_or(String::new(), |t| {
+            let per_sec = |n: u64| n as f64 / median.as_secs_f64();
+            match t {
+                Throughput::Elements(n) => format!("  {:>12.1} elem/s", per_sec(n)),
+                Throughput::Bytes(n) => format!("  {:>12.1} B/s", per_sec(n)),
+            }
+        });
+        println!(
+            "{id:<48} time: [{} {} {}]{rate}",
+            fmt_duration(sorted[0]),
+            fmt_duration(median),
+            fmt_duration(*sorted.last().expect("non-empty")),
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Define a group of benchmark functions, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define the benchmark entry point, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut b = Bencher::new(3, false);
+        b.iter(|| black_box(1 + 1));
+        assert_eq!(b.samples.len(), 3);
+    }
+
+    #[test]
+    fn quick_mode_runs_once() {
+        let mut b = Bencher::new(10, true);
+        let mut calls = 0;
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert_eq!(b.samples.len(), 1);
+    }
+
+    #[test]
+    fn benchmark_ids_compose() {
+        let mut c = Criterion {
+            sample_size: 1,
+            filters: vec!["never-matches".into()],
+            quick: true,
+        };
+        let mut g = c.benchmark_group("grp");
+        assert_eq!(g.full_id(&BenchmarkId::from_parameter("p")), "grp/p");
+        assert_eq!(g.full_id(&BenchmarkId::new("f", 3)), "grp/f/3");
+        assert_eq!(g.full_id(&BenchmarkId::from("plain")), "grp/plain");
+        // Filtered-out benchmarks must not execute.
+        let mut ran = false;
+        g.bench_function("skipped", |b| {
+            ran = true;
+            b.iter(|| ());
+        });
+        g.finish();
+        assert!(!ran);
+    }
+
+    #[test]
+    fn durations_format_with_sane_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500.0 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50 ms");
+    }
+}

@@ -16,7 +16,7 @@ fn leak(config: ProtocolConfig, scheme: Scheme) -> f64 {
 }
 
 fn main() {
-    let mut csv = CsvSink::new("ablations", "knob,value,lut,isw");
+    let mut csv = CsvSink::new("ablations", ["knob", "value", "lut", "isw"]);
     println!("Power-model ablations (total leakage, LUT vs ISW)\n");
 
     println!("absorbed-glitch energy fraction:");
@@ -30,7 +30,12 @@ fn main() {
         };
         let (l, i) = (leak(cfg.clone(), Scheme::Lut), leak(cfg, Scheme::Isw));
         println!("  {absorbed:>4}: LUT {:>10}  ISW {:>10}", sci(l), sci(i));
-        csv.row(format_args!("absorbed,{absorbed},{l:.6e},{i:.6e}"));
+        csv.fields([
+            "absorbed".into(),
+            absorbed.to_string(),
+            format!("{l:.6e}"),
+            format!("{i:.6e}"),
+        ]);
     }
 
     println!("process-variation σ:");
@@ -44,7 +49,12 @@ fn main() {
         };
         let (l, i) = (leak(cfg.clone(), Scheme::Lut), leak(cfg, Scheme::Isw));
         println!("  {sigma:>4}: LUT {:>10}  ISW {:>10}", sci(l), sci(i));
-        csv.row(format_args!("sigma,{sigma},{l:.6e},{i:.6e}"));
+        csv.fields([
+            "sigma".into(),
+            sigma.to_string(),
+            format!("{l:.6e}"),
+            format!("{i:.6e}"),
+        ]);
     }
 
     println!("measurement noise σ (mW):");
@@ -58,7 +68,12 @@ fn main() {
         };
         let (l, i) = (leak(cfg.clone(), Scheme::Lut), leak(cfg, Scheme::Isw));
         println!("  {noise:>4}: LUT {:>10}  ISW {:>10}", sci(l), sci(i));
-        csv.row(format_args!("noise,{noise},{l:.6e},{i:.6e}"));
+        csv.fields([
+            "noise".into(),
+            noise.to_string(),
+            format!("{l:.6e}"),
+            format!("{i:.6e}"),
+        ]);
     }
 
     println!("traces per class (estimation floor):");
@@ -69,7 +84,12 @@ fn main() {
         };
         let (l, i) = (leak(cfg.clone(), Scheme::Lut), leak(cfg, Scheme::Isw));
         println!("  {tpc:>4}: LUT {:>10}  ISW {:>10}", sci(l), sci(i));
-        csv.row(format_args!("traces_per_class,{tpc},{l:.6e},{i:.6e}"));
+        csv.fields([
+            "traces_per_class".into(),
+            tpc.to_string(),
+            format!("{l:.6e}"),
+            format!("{i:.6e}"),
+        ]);
     }
     csv.finish();
 }

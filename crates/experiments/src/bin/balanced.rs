@@ -18,9 +18,20 @@ fn main() {
     let study = LeakageStudy::new(config.clone());
     let mut csv = CsvSink::new(
         "balanced",
-        "scheme,leak_plain,leak_balanced,skew_plain_ps,skew_balanced_ps,gates_plain,gates_balanced",
+        [
+            "scheme",
+            "leak_plain",
+            "leak_balanced",
+            "skew_plain_ps",
+            "skew_balanced_ps",
+            "gates_plain",
+            "gates_balanced",
+        ],
     );
-    println!("Delay-balancing ablation ({} traces/class)", config.traces_per_class);
+    println!(
+        "Delay-balancing ablation ({} traces/class)",
+        config.traces_per_class
+    );
     println!(
         "{:9} {:>12} {:>12} {:>9} {:>10} {:>8} {:>9}",
         "scheme", "plain", "balanced", "skew(ps)", "skew-bal", "gates", "gates-bal"
@@ -39,9 +50,8 @@ fn main() {
 
         let leak_plain = study.run(scheme).spectrum.total_leakage_power();
         let traces = acquisition::acquire(&balanced, &config);
-        let leak_balanced =
-            leakage_core::LeakageSpectrum::from_class_means(&traces.class_means())
-                .total_leakage_power();
+        let leak_balanced = leakage_core::LeakageSpectrum::from_class_means(&traces.class_means())
+            .total_leakage_power();
         println!(
             "{:9} {:>12} {:>12} {:>9.0} {:>10.0} {:>8} {:>9}",
             scheme.label(),
@@ -52,18 +62,19 @@ fn main() {
             gates_plain,
             gates_bal
         );
-        csv.row(format_args!(
-            "{},{:.6e},{:.6e},{:.1},{:.1},{},{}",
-            scheme.label(),
-            leak_plain,
-            leak_balanced,
-            skew_plain,
-            skew_bal,
-            gates_plain,
-            gates_bal
-        ));
+        csv.fields([
+            scheme.label().to_string(),
+            format!("{leak_plain:.6e}"),
+            format!("{leak_balanced:.6e}"),
+            format!("{skew_plain:.1}"),
+            format!("{skew_bal:.1}"),
+            gates_plain.to_string(),
+            gates_bal.to_string(),
+        ]);
         eprintln!("balanced {scheme}");
     }
-    println!("\nleakage removed by balancing is glitch-borne; the remainder is value/amplitude leakage.");
+    println!(
+        "\nleakage removed by balancing is glitch-borne; the remainder is value/amplitude leakage."
+    );
     csv.finish();
 }

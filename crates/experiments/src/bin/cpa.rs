@@ -16,7 +16,17 @@ fn main() {
 
     let mut csv = CsvSink::new(
         "cpa",
-        "scheme,model,traces,best_guess,key_rank,peak_corr,guessing_entropy,sr_256,sr_all",
+        [
+            "scheme",
+            "model",
+            "traces",
+            "best_guess",
+            "key_rank",
+            "peak_corr",
+            "guessing_entropy",
+            "sr_256",
+            "sr_all",
+        ],
     );
     println!("CPA key recovery (true key = {key:X}, {traces} traces, transition model)");
     println!(
@@ -65,17 +75,17 @@ fn main() {
             sr[0].1,
             sr[1].1
         );
-        csv.row(format_args!(
-            "{},transition,{},{:X},{},{:.6},{:.4},{:.4},{:.4}",
-            scheme.label(),
-            traces,
-            result.best_guess(),
-            rank,
-            result.scores[usize::from(result.best_guess())],
-            ge,
-            sr[0].1,
-            sr[1].1
-        ));
+        csv.fields([
+            scheme.label().to_string(),
+            "transition".to_string(),
+            traces.to_string(),
+            format!("{:X}", result.best_guess()),
+            rank.to_string(),
+            format!("{:.6}", result.scores[usize::from(result.best_guess())]),
+            format!("{ge:.4}"),
+            format!("{:.4}", sr[0].1),
+            format!("{:.4}", sr[1].1),
+        ]);
         eprintln!("attacked {scheme}");
     }
     println!("\nunprotected implementations should fall to first-order CPA;");

@@ -18,7 +18,7 @@ fn main() {
     };
     let alternating = model.trajectory(&StressSchedule::alternating(1.0, 3));
 
-    let mut csv = CsvSink::new("fig1", "month,continuous_v,alternating_v");
+    let mut csv = CsvSink::new("fig1", ["month", "continuous_v", "alternating_v"]);
     println!("Fig. 1 — NBTI ΔVth (V), continuous vs alternating stress");
     println!("{:>5} {:>14} {:>14}", "month", "continuous", "alternating");
     for m in 0..6 {
@@ -28,12 +28,11 @@ fn main() {
             continuous[m],
             alternating[m]
         );
-        csv.row(format_args!(
-            "{},{:.6},{:.6}",
-            m + 1,
-            continuous[m],
-            alternating[m]
-        ));
+        csv.fields([
+            (m + 1).to_string(),
+            format!("{:.6}", continuous[m]),
+            format!("{:.6}", alternating[m]),
+        ]);
     }
     let ratio = alternating[5] / continuous[5];
     println!("final alternating/continuous ratio: {ratio:.3} (recovery credit)");

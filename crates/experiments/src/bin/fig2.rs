@@ -1,25 +1,20 @@
 //! Fig. 2: average power of ISW classified by the 16 unmasked final
 //! values, 100 samples over 2 ns.
 
-use acquisition::LeakageStudy;
-use experiments::{protocol_from_args, CsvSink};
+use experiments::{campaign_from_args, finish_campaign, CsvSink};
 use sbox_circuits::Scheme;
 
 fn main() {
-    let study = LeakageStudy::new(protocol_from_args());
-    let outcome = study.run(Scheme::Isw);
+    let mut campaign = campaign_from_args();
+    let outcome = campaign.acquire(Scheme::Isw);
     let means = outcome.traces.class_means();
 
-    let mut csv = CsvSink::new(
-        "fig2",
-        &format!(
-            "sample,{}",
-            (0..16).map(|c| format!("class{c}")).collect::<Vec<_>>().join(",")
-        ),
-    );
+    let mut header = vec!["sample".to_string()];
+    header.extend((0..16).map(|c| format!("class{c}")));
+    let mut csv = CsvSink::new("fig2", header);
     println!(
         "Fig. 2 — ISW average power per class (mW), {} traces/class",
-        study.config().traces_per_class
+        campaign.config().protocol.traces_per_class
     );
     println!("showing every 5th of 100 samples; full resolution in results/fig2.csv");
     print!("{:>6}", "T");
@@ -35,15 +30,9 @@ fn main() {
             }
             println!();
         }
-        csv.row(format_args!(
-            "{},{}",
-            t,
-            means
-                .iter()
-                .map(|m| format!("{:.6}", m[t]))
-                .collect::<Vec<_>>()
-                .join(",")
-        ));
+        let mut row = vec![t.to_string()];
+        row.extend(means.iter().map(|m| format!("{:.6}", m[t])));
+        csv.fields(row);
     }
     // The headline property of the figure: the 16 class curves separate.
     let energies: Vec<f64> = means.iter().map(|m| m.iter().sum::<f64>() * 20.0).collect();
@@ -51,4 +40,5 @@ fn main() {
     let max = energies.iter().cloned().fold(0.0, f64::max);
     println!("class mean energies span {min:.1} – {max:.1} fJ (classes are distinguishable)");
     csv.finish();
+    finish_campaign(&campaign);
 }

@@ -26,13 +26,9 @@ fn main() {
     let counts = doubling_counts(16, outcome.traces.len());
     let sweep = coefficient_convergence(&outcome.traces, &counts, t_ref);
 
-    let mut csv = CsvSink::new(
-        "fig3",
-        &format!(
-            "traces,rms_error,{}",
-            (0..16).map(|u| format!("a{u}")).collect::<Vec<_>>().join(",")
-        ),
-    );
+    let mut header = vec!["traces".to_string(), "rms_error".to_string()];
+    header.extend((0..16).map(|u| format!("a{u}")));
+    let mut csv = CsvSink::new("fig3", header);
     println!("Fig. 3 — ISW coefficient convergence at sample T={t_ref}");
     println!("{:>7} {:>12}  a_u (u = 1..15)", "traces", "rms vs 1024");
     for point in &sweep {
@@ -41,21 +37,19 @@ fn main() {
             print!("{a:>8.4}");
         }
         println!("  …");
-        csv.row(format_args!(
-            "{},{:.6},{}",
-            point.traces,
-            point.rms_error_vs_final,
-            point
-                .coefficients
-                .iter()
-                .map(|a| format!("{a:.6}"))
-                .collect::<Vec<_>>()
-                .join(",")
-        ));
+        let mut row = vec![
+            point.traces.to_string(),
+            format!("{:.6}", point.rms_error_vs_final),
+        ];
+        row.extend(point.coefficients.iter().map(|a| format!("{a:.6}")));
+        csv.fields(row);
     }
     let first = sweep.first().expect("non-empty").rms_error_vs_final;
     let half = sweep[sweep.len() / 2].rms_error_vs_final;
-    println!("rms error at {} traces: {first:.4}; at {} traces: {half:.4} — rapid convergence",
-        sweep[0].traces, sweep[sweep.len() / 2].traces);
+    println!(
+        "rms error at {} traces: {first:.4}; at {} traces: {half:.4} — rapid convergence",
+        sweep[0].traces,
+        sweep[sweep.len() / 2].traces
+    );
     csv.finish();
 }

@@ -10,13 +10,9 @@ fn main() {
     let outcome = study.run(Scheme::Isw);
     let spectrum = &outcome.spectrum;
 
-    let mut csv = CsvSink::new(
-        "fig4",
-        &format!(
-            "sample,{}",
-            (1..16).map(|u| format!("a{u}")).collect::<Vec<_>>().join(",")
-        ),
-    );
+    let mut header = vec!["sample".to_string()];
+    header.extend((1..16).map(|u| format!("a{u}")));
+    let mut csv = CsvSink::new("fig4", header);
     println!("Fig. 4 — ISW leakage coefficients a_u(T) (u ≠ 0)");
     println!("showing the 6 strongest sources; all 15 in results/fig4.csv");
     let dominant = spectrum.dominant_sources();
@@ -33,14 +29,9 @@ fn main() {
             }
             println!();
         }
-        csv.row(format_args!(
-            "{},{}",
-            t,
-            (1..16)
-                .map(|u| format!("{:.6}", spectrum.coefficient(u, t)))
-                .collect::<Vec<_>>()
-                .join(",")
-        ));
+        let mut row = vec![t.to_string()];
+        row.extend((1..16).map(|u| format!("{:.6}", spectrum.coefficient(u, t))));
+        csv.fields(row);
     }
     println!("\nsource ranking by window-summed energy:");
     for (u, e) in dominant.iter().take(8) {

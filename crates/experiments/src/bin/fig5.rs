@@ -19,7 +19,10 @@ fn main() {
     println!("Fig. 5 — trace sampling protocol (GLUT shown)");
     println!("phase 1: settle on a random encoding of class 0");
     println!("  inputs: {}", bits(&initial));
-    println!("  (unmasked: {:X})", circuit.encoding().unmask_input(&initial));
+    println!(
+        "  (unmasked: {:X})",
+        circuit.encoding().unmask_input(&initial)
+    );
     println!("phase 2: at t = 0 apply a random encoding of the final value");
     println!("  inputs: {}", bits(&final_inputs));
     println!(
@@ -42,13 +45,13 @@ fn main() {
         record.settle_time_ps()
     );
     println!("power trace (mW), one column per 20 ps sample:");
-    let mut csv = CsvSink::new("fig5", "sample,power_mw");
+    let mut csv = CsvSink::new("fig5", ["sample", "power_mw"]);
     for (t, p) in trace.iter().enumerate() {
         if t < 30 {
             let bar = "#".repeat((p * 1.0).min(60.0) as usize);
             println!("  T={t:>3} {p:>8.3} {bar}");
         }
-        csv.row(format_args!("{t},{p:.6}"));
+        csv.fields([t.to_string(), format!("{p:.6}")]);
     }
     csv.finish();
 }

@@ -1,33 +1,28 @@
 //! Fig. 6: `LeakagePower(T)` over the first 20 sample points for every
 //! implementation — the "points of interest" where leakage shows up.
 
-use acquisition::LeakageStudy;
-use experiments::{protocol_from_args, sci, CsvSink};
+use experiments::{campaign_from_args, finish_campaign, sci, CsvSink};
 use sbox_circuits::Scheme;
 
 fn main() {
-    let study = LeakageStudy::new(protocol_from_args());
+    let mut campaign = campaign_from_args();
     let mut series = Vec::new();
     for scheme in Scheme::ALL {
-        let outcome = study.run(scheme);
+        let outcome = campaign.acquire(scheme);
         series.push((scheme, outcome.spectrum.leakage_power_series()));
         eprintln!("measured {scheme}");
     }
 
-    let mut csv = CsvSink::new(
-        "fig6",
-        &format!(
-            "sample,{}",
-            Scheme::ALL
-                .iter()
-                .map(|s| s.label().to_lowercase().replace('-', "_"))
-                .collect::<Vec<_>>()
-                .join(",")
-        ),
+    let mut header = vec!["sample".to_string()];
+    header.extend(
+        Scheme::ALL
+            .iter()
+            .map(|s| s.label().to_lowercase().replace('-', "_")),
     );
+    let mut csv = CsvSink::new("fig6", header);
     println!(
         "Fig. 6 — LeakagePower(T) = Σ_u≠0 a_u²(T), first 20 samples, {} traces/class",
-        study.config().traces_per_class
+        campaign.config().protocol.traces_per_class
     );
     print!("{:>4}", "T");
     for (s, _) in &series {
@@ -42,15 +37,9 @@ fn main() {
             }
             println!();
         }
-        csv.row(format_args!(
-            "{},{}",
-            t,
-            series
-                .iter()
-                .map(|(_, lp)| format!("{:.6e}", lp[t]))
-                .collect::<Vec<_>>()
-                .join(",")
-        ));
+        let mut row = vec![t.to_string()];
+        row.extend(series.iter().map(|(_, lp)| format!("{:.6e}", lp[t])));
+        csv.fields(row);
     }
     println!("\npoints of interest (argmax per scheme):");
     for (s, lp) in &series {
@@ -62,4 +51,5 @@ fn main() {
         println!("  {:8} peak at T={t:<3} ({})", s.label(), sci(*v));
     }
     csv.finish();
+    finish_campaign(&campaign);
 }

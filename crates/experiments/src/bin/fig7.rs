@@ -2,21 +2,27 @@
 //! aged devices, split into single-bit and multi-bit (glitch) components,
 //! with the single-bit/total ratios reported in §V-B.2.
 
-use acquisition::LeakageStudy;
-use experiments::{protocol_from_args, sci, CsvSink};
+use experiments::{campaign_from_args, finish_campaign, sci, CsvSink};
 use sbox_circuits::Scheme;
 
 fn main() {
-    let study = LeakageStudy::new(protocol_from_args());
+    let mut campaign = campaign_from_args();
     let ages = [0.0, 12.0, 24.0, 36.0, 48.0];
 
     let mut csv = CsvSink::new(
         "fig7",
-        "scheme,age_months,total,single_bit,multi_bit,single_bit_ratio",
+        [
+            "scheme",
+            "age_months",
+            "total",
+            "single_bit",
+            "multi_bit",
+            "single_bit_ratio",
+        ],
     );
     println!(
         "Fig. 7 — total leakage power over device age, {} traces/class",
-        study.config().traces_per_class
+        campaign.config().protocol.traces_per_class
     );
     println!(
         "{:9} {:>5} {:>12} {:>12} {:>12} {:>8}",
@@ -27,9 +33,9 @@ fn main() {
         ages.iter().map(|&a| (a, Vec::new(), Vec::new())).collect();
     let mut fresh_totals = Vec::new();
     for scheme in Scheme::ALL {
-        let outcomes = study.run_aged(scheme, &ages);
+        let outcomes = campaign.run_aged(scheme, &ages);
         for (i, aged) in outcomes.iter().enumerate() {
-            let sp = &aged.outcome.spectrum;
+            let sp = &aged.spectrum;
             let (total, single, multi) = (
                 sp.total_leakage_power(),
                 sp.total_single_bit(),
@@ -38,27 +44,26 @@ fn main() {
             println!(
                 "{:9} {:>5.0} {:>12} {:>12} {:>12} {:>8.4}",
                 scheme.label(),
-                aged.months,
+                aged.age_months,
                 sci(total),
                 sci(single),
                 sci(multi),
                 sp.single_bit_ratio()
             );
-            csv.row(format_args!(
-                "{},{},{:.6e},{:.6e},{:.6e},{:.6}",
-                scheme.label(),
-                aged.months,
-                total,
-                single,
-                multi,
-                sp.single_bit_ratio()
-            ));
+            csv.fields([
+                scheme.label().to_string(),
+                aged.age_months.to_string(),
+                format!("{total:.6e}"),
+                format!("{single:.6e}"),
+                format!("{multi:.6e}"),
+                format!("{:.6}", sp.single_bit_ratio()),
+            ]);
             if scheme.is_protected() {
                 ratio_by_age[i].1.push(sp.single_bit_ratio());
             } else {
                 ratio_by_age[i].2.push(sp.single_bit_ratio());
             }
-            if aged.months == 0.0 {
+            if aged.age_months == 0.0 {
                 fresh_totals.push((scheme, total));
             }
         }
@@ -78,4 +83,5 @@ fn main() {
         println!("  {:8} {}", s.label(), sci(*total));
     }
     csv.finish();
+    finish_campaign(&campaign);
 }

@@ -1,18 +1,19 @@
 //! Fig. 8: leakage power of the ISW implementation over 4 years of usage —
 //! leakage decreases with age, fastest in the first year.
 
-use acquisition::LeakageStudy;
-use experiments::{protocol_from_args, sci, CsvSink};
+use experiments::{campaign_from_args, finish_campaign, sci, CsvSink};
 use sbox_circuits::Scheme;
 
 fn main() {
-    let study = LeakageStudy::new(protocol_from_args());
+    let mut campaign = campaign_from_args();
     let ages = [0.0, 12.0, 24.0, 36.0, 48.0];
-    let outcomes = study.run_aged(Scheme::Isw, &ages);
+    let outcomes = campaign.run_aged(Scheme::Isw, &ages);
 
     let mut csv = CsvSink::new(
         "fig8",
-        "sample,month0,month12,month24,month36,month48",
+        [
+            "sample", "month0", "month12", "month24", "month36", "month48",
+        ],
     );
     println!("Fig. 8 — ISW LeakagePower(T) at ages 0–48 months");
     print!("{:>4}", "T");
@@ -22,7 +23,7 @@ fn main() {
     println!();
     let series: Vec<Vec<f64>> = outcomes
         .iter()
-        .map(|o| o.outcome.spectrum.leakage_power_series())
+        .map(|o| o.spectrum.leakage_power_series())
         .collect();
     for t in 0..100 {
         if t < 20 {
@@ -32,24 +33,18 @@ fn main() {
             }
             println!();
         }
-        csv.row(format_args!(
-            "{},{}",
-            t,
-            series
-                .iter()
-                .map(|s| format!("{:.6e}", s[t]))
-                .collect::<Vec<_>>()
-                .join(",")
-        ));
+        let mut row = vec![t.to_string()];
+        row.extend(series.iter().map(|s| format!("{:.6e}", s[t])));
+        csv.fields(row);
     }
 
     println!("\ntotal leakage vs age:");
     let totals: Vec<f64> = outcomes
         .iter()
-        .map(|o| o.outcome.spectrum.total_leakage_power())
+        .map(|o| o.spectrum.total_leakage_power())
         .collect();
     for (o, total) in outcomes.iter().zip(&totals) {
-        println!("  {:>3.0} months: {}", o.months, sci(*total));
+        println!("  {:>3.0} months: {}", o.age_months, sci(*total));
     }
     let y1 = totals[0] - totals[1];
     let y4 = totals[3] - totals[4];
@@ -60,4 +55,5 @@ fn main() {
         y1 > y4
     );
     csv.finish();
+    finish_campaign(&campaign);
 }

@@ -2,20 +2,27 @@
 //! PRESENT S-box confusion coefficients that make it "the most leaking
 //! function in symmetric cryptography" (paper §IV, citing Fei et al.).
 
-use acquisition::{acquire, ProtocolConfig};
-use experiments::{protocol_from_args, CsvSink};
+use experiments::{campaign_from_args, finish_campaign, CsvSink};
 use leakage_core::metrics::{confusion_contrast, nicv, snr};
 use present_cipher::SBOX;
-use sbox_circuits::{SboxCircuit, Scheme};
+use sbox_circuits::Scheme;
 
 fn main() {
-    let config: ProtocolConfig = protocol_from_args();
-    let mut csv = CsvSink::new("metrics", "scheme,max_snr,max_nicv,argmax_sample");
-    println!("SNR / NICV per implementation ({} traces/class)", config.traces_per_class);
-    println!("{:9} {:>10} {:>10} {:>8}", "scheme", "max SNR", "max NICV", "at T");
+    let mut campaign = campaign_from_args();
+    let mut csv = CsvSink::new(
+        "metrics",
+        ["scheme", "max_snr", "max_nicv", "argmax_sample"],
+    );
+    println!(
+        "SNR / NICV per implementation ({} traces/class)",
+        campaign.config().protocol.traces_per_class
+    );
+    println!(
+        "{:9} {:>10} {:>10} {:>8}",
+        "scheme", "max SNR", "max NICV", "at T"
+    );
     for scheme in Scheme::ALL {
-        let circuit = SboxCircuit::build(scheme);
-        let set = acquire(&circuit, &config);
+        let set = campaign.acquire(scheme).traces;
         let s = snr(&set);
         let v = nicv(&set);
         let (t, &max_nicv) = v
@@ -23,17 +30,29 @@ fn main() {
             .enumerate()
             .max_by(|a, b| a.1.total_cmp(b.1))
             .expect("non-empty");
-        let max_snr = s.iter().cloned().filter(|x| x.is_finite()).fold(0.0, f64::max);
+        let max_snr = s
+            .iter()
+            .cloned()
+            .filter(|x| x.is_finite())
+            .fold(0.0, f64::max);
         let snr_text = if max_snr > 1e6 {
             "≈inf".to_string() // deterministic traces: zero within-class variance
         } else {
             format!("{max_snr:.4}")
         };
-        println!("{:9} {:>10} {:>10.4} {:>8}", scheme.label(), snr_text, max_nicv, t);
-        csv.row(format_args!(
-            "{},{max_snr:.6},{max_nicv:.6},{t}",
-            scheme.label()
-        ));
+        println!(
+            "{:9} {:>10} {:>10.4} {:>8}",
+            scheme.label(),
+            snr_text,
+            max_nicv,
+            t
+        );
+        csv.fields([
+            scheme.label().to_string(),
+            format!("{max_snr:.6}"),
+            format!("{max_nicv:.6}"),
+            t.to_string(),
+        ]);
         eprintln!("measured {scheme}");
     }
 
@@ -44,4 +63,5 @@ fn main() {
     }
     println!("non-degenerate variance of κ across key pairs = good CPA distinguishability.");
     csv.finish();
+    finish_campaign(&campaign);
 }

@@ -1,17 +1,48 @@
 //! Run every reproduction binary in sequence (light configuration).
+//!
+//! The binaries share the campaign trace cache under `results/traces/`:
+//! the first binary to need a given `(implementation, age)` cell
+//! simulates and persists it, every later binary reads it back, so each
+//! distinct acquisition happens at most once per sweep. The per-run
+//! reports land in `results/campaign_runs.jsonl`; a cache summary over
+//! this sweep's lines is printed at the end.
 
+use std::path::Path;
 use std::process::Command;
+
+fn jsonl_lines(path: &Path) -> Vec<String> {
+    std::fs::read_to_string(path)
+        .map(|s| s.lines().map(str::to_string).collect())
+        .unwrap_or_default()
+}
 
 fn main() {
     let bins = [
-        "table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "theorem1",
-        "cpa", "template", "metrics", "ablations", "balanced", "second_order", "sr_curves",
+        "table1",
+        "fig1",
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "theorem1",
+        "cpa",
+        "template",
+        "metrics",
+        "ablations",
+        "balanced",
+        "second_order",
+        "sr_curves",
     ];
     let exe_dir = std::env::current_exe()
         .expect("own path")
         .parent()
         .expect("bin dir")
         .to_path_buf();
+    let log_path = Path::new("results/campaign_runs.jsonl");
+    let lines_before = jsonl_lines(log_path).len();
     let mut failures = Vec::new();
     for bin in bins {
         println!("\n================================================================");
@@ -24,6 +55,22 @@ fn main() {
             Err(e) => failures.push(format!("{bin}: {e}")),
         }
     }
+
+    let after = jsonl_lines(log_path);
+    let new_lines = &after[lines_before.min(after.len())..];
+    if !new_lines.is_empty() {
+        let hits = new_lines
+            .iter()
+            .filter(|l| l.contains("\"cache_hit\":true"))
+            .count();
+        println!(
+            "\ncampaign cache over this sweep: {hits} hits / {} misses across {} runs",
+            new_lines.len() - hits,
+            new_lines.len()
+        );
+        println!("(per-run timings in {})", log_path.display());
+    }
+
     if failures.is_empty() {
         println!("\nall experiments completed; CSVs in results/");
     } else {

@@ -19,21 +19,25 @@ fn main() {
     let data = acquire_cpa(&circuit, &config, key, traces);
 
     println!("ISW, true key {key:X}, {traces} traces");
-    let mut csv = CsvSink::new("second_order", "order,best_guess,rank,peak_corr");
+    let mut csv = CsvSink::new("second_order", ["order", "best_guess", "rank", "peak_corr"]);
 
-    let first = cpa_attack(&data.plaintexts, &data.traces, LeakageModel::OutputTransition);
+    let first = cpa_attack(
+        &data.plaintexts,
+        &data.traces,
+        LeakageModel::OutputTransition,
+    );
     println!(
         "1st-order CPA : guess {:X}, rank {}, peak ρ {:.4}",
         first.best_guess(),
         first.key_rank(key),
         first.scores[usize::from(first.best_guess())]
     );
-    csv.row(format_args!(
-        "1,{:X},{},{:.6}",
-        first.best_guess(),
-        first.key_rank(key),
-        first.scores[usize::from(first.best_guess())]
-    ));
+    csv.fields([
+        "1".to_string(),
+        format!("{:X}", first.best_guess()),
+        first.key_rank(key).to_string(),
+        format!("{:.6}", first.scores[usize::from(first.best_guess())]),
+    ]);
 
     // Combine the active window (first 16 samples — ISW settles in ~300 ps).
     let pairs = window_pairs(0..16);
@@ -50,12 +54,12 @@ fn main() {
         second.scores[usize::from(second.best_guess())],
         pairs.len()
     );
-    csv.row(format_args!(
-        "2,{:X},{},{:.6}",
-        second.best_guess(),
-        second.key_rank(key),
-        second.scores[usize::from(second.best_guess())]
-    ));
+    csv.fields([
+        "2".to_string(),
+        format!("{:X}", second.best_guess()),
+        second.key_rank(key).to_string(),
+        format!("{:.6}", second.scores[usize::from(second.best_guess())]),
+    ]);
     println!(
         "\nsecond-order rank {} vs first-order rank {}: the centered product\nrecombines the two ISW shares.",
         second.key_rank(key),

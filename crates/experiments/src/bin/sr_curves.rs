@@ -3,9 +3,10 @@
 //! that "points of interest … increase the probability of attack
 //! success".
 
-use acquisition::{acquire_cpa, ProtocolConfig};
-use experiments::CsvSink;
-use sbox_circuits::{SboxCircuit, Scheme};
+use acquisition::ProtocolConfig;
+use campaign::Campaign;
+use experiments::{campaign_config, finish_campaign, CsvSink};
+use sbox_circuits::Scheme;
 use sca_attacks::{success_rate_curve, LeakageModel};
 
 fn main() {
@@ -14,21 +15,14 @@ fn main() {
         .and_then(|a| a.parse().ok())
         .unwrap_or(1024);
     let key = 0x5;
+    let mut campaign = Campaign::new(campaign_config(ProtocolConfig::default()));
     let counts: Vec<usize> = [16usize, 32, 64, 128, 256, 512, 1024]
         .into_iter()
         .filter(|&c| c <= max_traces)
         .collect();
-    let mut csv = CsvSink::new(
-        "sr_curves",
-        &format!(
-            "scheme,{}",
-            counts
-                .iter()
-                .map(|c| format!("sr_{c}"))
-                .collect::<Vec<_>>()
-                .join(",")
-        ),
-    );
+    let mut header = vec!["scheme".to_string()];
+    header.extend(counts.iter().map(|c| format!("sr_{c}")));
+    let mut csv = CsvSink::new("sr_curves", header);
     println!("CPA success rate vs traces (transition model, true key {key:X})");
     print!("{:9}", "scheme");
     for c in &counts {
@@ -36,8 +30,7 @@ fn main() {
     }
     println!();
     for scheme in Scheme::ALL {
-        let circuit = SboxCircuit::build(scheme);
-        let data = acquire_cpa(&circuit, &ProtocolConfig::default(), key, max_traces);
+        let data = campaign.acquire_cpa(scheme, key, max_traces);
         let curve = success_rate_curve(
             &data.plaintexts,
             &data.traces,
@@ -51,16 +44,11 @@ fn main() {
             print!(" {sr:>6.2}");
         }
         println!();
-        csv.row(format_args!(
-            "{},{}",
-            scheme.label(),
-            curve
-                .iter()
-                .map(|(_, sr)| format!("{sr:.3}"))
-                .collect::<Vec<_>>()
-                .join(",")
-        ));
+        let mut row = vec![scheme.label().to_string()];
+        row.extend(curve.iter().map(|(_, sr)| format!("{sr:.3}")));
+        csv.fields(row);
         eprintln!("swept {scheme}");
     }
     csv.finish();
+    finish_campaign(&campaign);
 }

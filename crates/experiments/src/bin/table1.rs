@@ -12,23 +12,71 @@ use sbox_netlist::NetlistStats;
 const PAPER: [(Scheme, [u32; 8], u32, f64, u32, u32); 7] = [
     (Scheme::Lut, [18, 7, 0, 7, 0, 0, 0, 0], 32, 41.0, 8, 0),
     (Scheme::Opt, [2, 2, 9, 1, 0, 0, 0, 0], 14, 29.0, 8, 0),
-    (Scheme::Glut, [580, 180, 0, 12, 0, 0, 0, 0], 772, 1183.0, 15, 8),
+    (
+        Scheme::Glut,
+        [580, 180, 0, 12, 0, 0, 0, 0],
+        772,
+        1183.0,
+        15,
+        8,
+    ),
     (Scheme::Rsm, [134, 74, 0, 20, 0, 0, 0, 0], 228, 373.5, 11, 4),
-    (Scheme::RsmRom, [0, 0, 0, 510, 0, 16, 716, 0], 1242, 1121.0, 120, 4),
+    (
+        Scheme::RsmRom,
+        [0, 0, 0, 510, 0, 16, 716, 0],
+        1242,
+        1121.0,
+        120,
+        4,
+    ),
     (Scheme::Isw, [16, 0, 34, 7, 0, 0, 0, 0], 57, 112.5, 17, 4),
-    (Scheme::Ti, [800, 0, 647, 0, 1, 0, 0, 2], 1450, 2423.5, 9, 12),
+    (
+        Scheme::Ti,
+        [800, 0, 647, 0, 1, 0, 0, 2],
+        1450,
+        2423.5,
+        9,
+        12,
+    ),
 ];
 
 fn main() {
     let mut csv = CsvSink::new(
         "table1",
-        "scheme,and,or,xor,inv,buf,nand,nor,xnor,total,equ,delay_gates,delay_ps,random_bits",
+        [
+            "scheme",
+            "and",
+            "or",
+            "xor",
+            "inv",
+            "buf",
+            "nand",
+            "nor",
+            "xnor",
+            "total",
+            "equ",
+            "delay_gates",
+            "delay_ps",
+            "random_bits",
+        ],
     );
     println!("Table I — gate-level specification (ours vs paper)");
     println!(
         "{:9} {:>5} {:>5} {:>5} {:>5} {:>5} {:>5} {:>5} {:>5} {:>6} {:>8} {:>6} {:>8} {:>4}",
-        "scheme", "AND", "OR", "XOR", "INV", "BUF", "NAND", "NOR", "XNOR", "total", "equ",
-        "delay", "ps", "rnd"
+        "scheme",
+        "AND",
+        "OR",
+        "XOR",
+        "INV",
+        "BUF",
+        "NAND",
+        "NOR",
+        "XNOR",
+        "total",
+        "equ",
+        "delay",
+        "ps",
+        "rnd"
     );
     for (scheme, fam, total, equ, delay, rnd) in PAPER {
         let circuit = SboxCircuit::build(scheme);
@@ -59,23 +107,16 @@ fn main() {
             "", fam[0], fam[1], fam[2], fam[3], fam[4], fam[5], fam[6], fam[7], total, equ,
             delay, "-", rnd
         );
-        csv.row(format_args!(
-            "{},{},{},{},{},{},{},{},{},{},{:.1},{},{:.0},{}",
-            scheme.label(),
-            ours[0],
-            ours[1],
-            ours[2],
-            ours[3],
-            ours[4],
-            ours[5],
-            ours[6],
-            ours[7],
-            stats.total_gates,
-            stats.equivalent_gates,
-            stats.delay_gates,
-            stats.delay_ps,
-            scheme.random_bits()
-        ));
+        let mut row = vec![scheme.label().to_string()];
+        row.extend(ours.iter().map(usize::to_string));
+        row.extend([
+            stats.total_gates.to_string(),
+            format!("{:.1}", stats.equivalent_gates),
+            stats.delay_gates.to_string(),
+            format!("{:.0}", stats.delay_ps),
+            scheme.random_bits().to_string(),
+        ]);
+        csv.fields(row);
     }
     csv.finish();
 }

@@ -16,9 +16,15 @@ fn main() {
         .and_then(|a| a.parse().ok())
         .unwrap_or(256);
     let key = 0xA;
-    let mut csv = CsvSink::new("template", "scheme,attack_traces,best_guess,rank");
+    let mut csv = CsvSink::new(
+        "template",
+        ["scheme", "attack_traces", "best_guess", "rank"],
+    );
     println!("template attack (profiling: 64/class on a clone; true key {key:X})");
-    println!("{:9} {:>7} {:>6} {:>5}", "scheme", "traces", "guess", "rank");
+    println!(
+        "{:9} {:>7} {:>6} {:>5}",
+        "scheme", "traces", "guess", "rank"
+    );
     for scheme in Scheme::ALL {
         let circuit = SboxCircuit::build(scheme);
         // Profiling set on the clone (same die model, different mask seed).
@@ -40,13 +46,12 @@ fn main() {
             result.best_guess(),
             result.key_rank(key)
         );
-        csv.row(format_args!(
-            "{},{},{:X},{}",
-            scheme.label(),
-            attack_traces,
-            result.best_guess(),
-            result.key_rank(key)
-        ));
+        csv.fields([
+            scheme.label().to_string(),
+            attack_traces.to_string(),
+            format!("{:X}", result.best_guess()),
+            result.key_rank(key).to_string(),
+        ]);
         eprintln!("attacked {scheme}");
     }
     println!("\nprofiled attacks need no leakage model: every unprotected circuit");

@@ -5,6 +5,12 @@
 //! `results/<name>.csv` for plotting. Run them with `--release`; pass a
 //! number as the first argument to override the traces-per-class budget
 //! (default 64, the paper's 1024-trace protocol).
+//!
+//! Trace acquisition goes through the [`campaign`] engine: acquisitions
+//! are sharded across worker threads (`SCA_WORKERS`, default all cores),
+//! persisted as `SCTR` stores under `results/traces/`, and re-served from
+//! that cache on every later run of the same cell (`SCA_CACHE=off` to
+//! disable, `SCA_CACHE=refresh` to re-simulate but still persist).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -14,6 +20,7 @@ use std::io::Write as _;
 use std::path::PathBuf;
 
 use acquisition::ProtocolConfig;
+use campaign::{CacheMode, Campaign, CampaignConfig};
 
 /// Parse the common CLI: optional traces-per-class override.
 pub fn protocol_from_args() -> ProtocolConfig {
@@ -27,8 +34,73 @@ pub fn protocol_from_args() -> ProtocolConfig {
     }
 }
 
+/// The campaign policy shared by every binary: workers from
+/// `SCA_WORKERS` (0 or unset = all cores), cache mode from `SCA_CACHE`
+/// (`off`, `refresh`, default read-write), stores and the run log under
+/// `results/`.
+pub fn campaign_config(protocol: ProtocolConfig) -> CampaignConfig {
+    let workers = std::env::var("SCA_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let cache = match std::env::var("SCA_CACHE").as_deref() {
+        Ok("off") => CacheMode::Off,
+        Ok("refresh") => CacheMode::WriteOnly,
+        _ => CacheMode::ReadWrite,
+    };
+    CampaignConfig {
+        protocol,
+        workers,
+        cache,
+        ..CampaignConfig::default()
+    }
+}
+
+/// A [`Campaign`] wired to the common CLI and environment.
+pub fn campaign_from_args() -> Campaign {
+    Campaign::new(campaign_config(protocol_from_args()))
+}
+
+/// Print the campaign's summary table and append its run reports to
+/// `results/campaign_runs.jsonl` (best-effort; the figures themselves
+/// are the primary artifact).
+pub fn finish_campaign(campaign: &Campaign) {
+    if campaign.log().reports().is_empty() {
+        return;
+    }
+    println!("\ncampaign report:");
+    if let Err(e) = campaign.finish() {
+        eprintln!("warning: cannot append campaign log: {e}");
+    }
+}
+
+/// Escape one CSV field per RFC 4180: fields containing a comma, quote,
+/// or line break are quoted, with embedded quotes doubled.
+pub fn csv_escape(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Join fields into one escaped CSV row (no trailing newline; the sink
+/// adds exactly one per row).
+pub fn csv_row<I>(fields: I) -> String
+where
+    I: IntoIterator,
+    I::Item: AsRef<str>,
+{
+    fields
+        .into_iter()
+        .map(|f| csv_escape(f.as_ref()))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
 /// A CSV sink under `results/` that echoes nothing (stdout printing is the
-/// caller's job — the file is for plotting).
+/// caller's job — the file is for plotting). All rows go through
+/// [`csv_row`], so fields are escaped and every row ends in a newline.
 #[derive(Debug)]
 pub struct CsvSink {
     path: PathBuf,
@@ -37,18 +109,26 @@ pub struct CsvSink {
 
 impl CsvSink {
     /// Start a CSV file named `results/<name>.csv` with a header row.
-    pub fn new(name: &str, header: &str) -> Self {
+    pub fn new<I>(name: &str, header: I) -> Self
+    where
+        I: IntoIterator,
+        I::Item: AsRef<str>,
+    {
         let mut path = PathBuf::from("results");
         path.push(format!("{name}.csv"));
         Self {
             path,
-            rows: vec![header.to_string()],
+            rows: vec![csv_row(header)],
         }
     }
 
-    /// Append one row.
-    pub fn row(&mut self, fields: std::fmt::Arguments<'_>) {
-        self.rows.push(fields.to_string());
+    /// Append one row of fields.
+    pub fn fields<I>(&mut self, fields: I)
+    where
+        I: IntoIterator,
+        I::Item: AsRef<str>,
+    {
+        self.rows.push(csv_row(fields));
     }
 
     /// Write the file (best-effort; failures are reported, not fatal —
@@ -91,5 +171,32 @@ mod tests {
         let p = ProtocolConfig::default();
         assert_eq!(p.traces_per_class, 64);
         assert_eq!(p.sampling.samples, 100);
+    }
+
+    #[test]
+    fn plain_fields_pass_through() {
+        assert_eq!(csv_escape("RSM-ROM"), "RSM-ROM");
+        assert_eq!(csv_escape("1.25e-3"), "1.25e-3");
+        assert_eq!(csv_escape(""), "");
+    }
+
+    #[test]
+    fn special_fields_are_quoted() {
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(csv_escape("two\nlines"), "\"two\nlines\"");
+    }
+
+    #[test]
+    fn rows_join_escaped_fields() {
+        assert_eq!(csv_row(["a", "b,c", "d"]), "a,\"b,c\",d");
+        assert_eq!(csv_row(Vec::<String>::new()), "");
+    }
+
+    #[test]
+    fn campaign_config_defaults_are_sane() {
+        let c = campaign_config(ProtocolConfig::default());
+        assert_eq!(c.store_dir, PathBuf::from("results/traces"));
+        assert_eq!(c.log_path, PathBuf::from("results/campaign_runs.jsonl"));
     }
 }

@@ -58,6 +58,43 @@ impl TransitionRecord {
     }
 }
 
+/// Event counters of one capture, cheap enough to aggregate across a
+/// whole campaign (the `TransitionRecord` itself holds per-event detail
+/// that trace acquisition does not need to keep).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CaptureStats {
+    /// Total supply events (full transitions + absorbed glitches).
+    pub events: usize,
+    /// Completed output transitions.
+    pub full_transitions: usize,
+    /// Glitch pulses absorbed by inertial filtering.
+    pub absorbed_glitches: usize,
+    /// Time of the last event in ps (0.0 when nothing switched).
+    pub settle_time_ps: f64,
+}
+
+impl CaptureStats {
+    /// Accumulate another capture's counters into this one
+    /// (`settle_time_ps` keeps the maximum).
+    pub fn merge(&mut self, other: &CaptureStats) {
+        self.events += other.events;
+        self.full_transitions += other.full_transitions;
+        self.absorbed_glitches += other.absorbed_glitches;
+        self.settle_time_ps = self.settle_time_ps.max(other.settle_time_ps);
+    }
+}
+
+impl From<&TransitionRecord> for CaptureStats {
+    fn from(record: &TransitionRecord) -> Self {
+        Self {
+            events: record.events.len(),
+            full_transitions: record.full_transitions(),
+            absorbed_glitches: record.absorbed_glitches(),
+            settle_time_ps: record.settle_time_ps(),
+        }
+    }
+}
+
 /// An event-driven timing/power simulator bound to one netlist.
 ///
 /// Construction samples the per-gate process variation from
@@ -146,13 +183,7 @@ impl<'a> Simulator<'a> {
         // Apply the new primary inputs at t = 0 and seed the queue with the
         // gates they feed.
         let mut touched: Vec<GateId> = Vec::new();
-        for (idx, (&net, &v)) in self
-            .netlist
-            .inputs()
-            .iter()
-            .zip(final_inputs)
-            .enumerate()
-        {
+        for (idx, (&net, &v)) in self.netlist.inputs().iter().zip(final_inputs).enumerate() {
             let _ = idx;
             if values[net.index()] != v {
                 values[net.index()] = v;
@@ -162,7 +193,15 @@ impl<'a> Simulator<'a> {
         touched.sort();
         touched.dedup();
         for g in touched {
-            self.schedule(g, 0.0, &values, &mut pending, &mut heap, &mut seq, &mut events);
+            self.schedule(
+                g,
+                0.0,
+                &values,
+                &mut pending,
+                &mut heap,
+                &mut seq,
+                &mut events,
+            );
         }
 
         let mut last_switch = vec![f64::NEG_INFINITY; self.netlist.gates().len()];
@@ -196,7 +235,15 @@ impl<'a> Simulator<'a> {
                 absorbed: false,
             });
             for &load in self.netlist.net(out_net).loads() {
-                self.schedule(load, t, &values, &mut pending, &mut heap, &mut seq, &mut events);
+                self.schedule(
+                    load,
+                    t,
+                    &values,
+                    &mut pending,
+                    &mut heap,
+                    &mut seq,
+                    &mut events,
+                );
             }
         }
 
@@ -242,8 +289,7 @@ impl<'a> Simulator<'a> {
                         gate: g,
                         time_ps: tp,
                         rising: !cur,
-                        energy_fj: self.energy_fj[g.index()]
-                            * self.config.absorbed_energy_fraction,
+                        energy_fj: self.energy_fj[g.index()] * self.config.absorbed_energy_fraction,
                         absorbed: true,
                     });
                 }
@@ -291,9 +337,7 @@ impl<'a> Simulator<'a> {
         let mut noise_seed = self.config.seed ^ 0x9e37_79b9_7f4a_7c15;
         for (i, &b) in initial.iter().chain(final_inputs).enumerate() {
             if b {
-                noise_seed = noise_seed
-                    .rotate_left(7)
-                    .wrapping_add(0x100 + i as u64);
+                noise_seed = noise_seed.rotate_left(7).wrapping_add(0x100 + i as u64);
             }
         }
         let mut rng = SmallRng::seed_from_u64(noise_seed);
@@ -309,6 +353,21 @@ impl<'a> Simulator<'a> {
         sampling: &SamplingConfig,
         rng: &mut R,
     ) -> Vec<f64> {
+        self.capture_with_rng_stats(initial, final_inputs, sampling, rng)
+            .0
+    }
+
+    /// Like [`Simulator::capture_with_rng`] but also returning the event
+    /// counters of the underlying transition, so callers (the campaign
+    /// engine's run reports) can account for simulator work without
+    /// re-simulating.
+    pub fn capture_with_rng_stats<R: Rng>(
+        &self,
+        initial: &[bool],
+        final_inputs: &[bool],
+        sampling: &SamplingConfig,
+        rng: &mut R,
+    ) -> (Vec<f64>, CaptureStats) {
         let record = self.transition(initial, final_inputs);
         let mut samples = sample_waveform(
             &record.events,
@@ -322,7 +381,7 @@ impl<'a> Simulator<'a> {
                 *s += self.config.noise_mw * gaussian(rng);
             }
         }
-        samples
+        (samples, CaptureStats::from(&record))
     }
 }
 
@@ -464,10 +523,13 @@ mod tests {
             .sum();
         assert!(absorbed > 0.0);
         // With absorption cost disabled the glitch is free.
-        let free = Simulator::new(&nl, &SimConfig {
-            absorbed_energy_fraction: 0.0,
-            ..quiet_config()
-        });
+        let free = Simulator::new(
+            &nl,
+            &SimConfig {
+                absorbed_energy_fraction: 0.0,
+                ..quiet_config()
+            },
+        );
         let rec_free = free.transition(&[false], &[true]);
         assert_eq!(rec_free.absorbed_glitches(), 0);
     }
@@ -526,11 +588,8 @@ mod tests {
         let nl = b.finish().expect("valid");
         let cfg = quiet_config();
         let fresh = Simulator::new(&nl, &cfg);
-        let aged = Simulator::with_derating(
-            &nl,
-            &cfg,
-            &Derating::from_factors(vec![1.2], vec![0.9]),
-        );
+        let aged =
+            Simulator::with_derating(&nl, &cfg, &Derating::from_factors(vec![1.2], vec![0.9]));
         let rf = fresh.transition(&[false], &[true]);
         let ra = aged.transition(&[false], &[true]);
         assert!(ra.settle_time_ps() > rf.settle_time_ps());

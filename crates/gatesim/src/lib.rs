@@ -57,6 +57,6 @@ pub mod vcd;
 
 pub use config::{SamplingConfig, SimConfig};
 pub use derating::Derating;
-pub use engine::{Simulator, SwitchEvent, TransitionRecord};
+pub use engine::{CaptureStats, Simulator, SwitchEvent, TransitionRecord};
 pub use power::{sample_waveform, PulseShape};
 pub use profile::ActivityProfile;

@@ -134,7 +134,13 @@ mod tests {
             window_ps: 100.0,
             samples: 100,
         };
-        let one = sample_waveform(&[event(10.0, 5.0)], &sampling, 2.0, |_| 10.0, PulseShape::Triangular);
+        let one = sample_waveform(
+            &[event(10.0, 5.0)],
+            &sampling,
+            2.0,
+            |_| 10.0,
+            PulseShape::Triangular,
+        );
         let two = sample_waveform(
             &[event(10.0, 5.0), event(10.0, 5.0)],
             &sampling,
@@ -153,7 +159,13 @@ mod tests {
             window_ps: 100.0,
             samples: 100,
         };
-        let samples = sample_waveform(&[event(500.0, 5.0)], &sampling, 2.0, |_| 10.0, PulseShape::Triangular);
+        let samples = sample_waveform(
+            &[event(500.0, 5.0)],
+            &sampling,
+            2.0,
+            |_| 10.0,
+            PulseShape::Triangular,
+        );
         assert!(samples.iter().all(|&s| s == 0.0));
     }
 

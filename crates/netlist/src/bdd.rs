@@ -130,10 +130,7 @@ impl Bdd {
         if let Some(&cached) = self.ite_cache.get(&(f, g, h)) {
             return cached;
         }
-        let top = self
-            .var_of(f)
-            .min(self.var_of(g))
-            .min(self.var_of(h));
+        let top = self.var_of(f).min(self.var_of(g)).min(self.var_of(h));
         let (f0, f1) = self.cofactors(f, top);
         let (g0, g1) = self.cofactors(g, top);
         let (h0, h1) = self.cofactors(h, top);
@@ -207,14 +204,10 @@ impl Bdd {
                     let x = self.xor(ins[0], ins[1]);
                     self.not(x)
                 }
-                And2 | And3 | And4 => ins[1..]
-                    .iter()
-                    .fold(ins[0], |acc, &x| self.and(acc, x)),
+                And2 | And3 | And4 => ins[1..].iter().fold(ins[0], |acc, &x| self.and(acc, x)),
                 Or2 | Or3 | Or4 => ins[1..].iter().fold(ins[0], |acc, &x| self.or(acc, x)),
                 Nand2 | Nand3 | Nand4 => {
-                    let a = ins[1..]
-                        .iter()
-                        .fold(ins[0], |acc, &x| self.and(acc, x));
+                    let a = ins[1..].iter().fold(ins[0], |acc, &x| self.and(acc, x));
                     self.not(a)
                 }
                 Nor2 | Nor3 | Nor4 => {

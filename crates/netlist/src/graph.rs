@@ -245,7 +245,9 @@ impl Netlist {
     /// Panics if the netlist has more than 64 inputs or outputs.
     pub fn evaluate_word(&self, inputs: u64) -> u64 {
         assert!(self.num_inputs() <= 64 && self.num_outputs() <= 64);
-        let bits: Vec<bool> = (0..self.num_inputs()).map(|i| (inputs >> i) & 1 == 1).collect();
+        let bits: Vec<bool> = (0..self.num_inputs())
+            .map(|i| (inputs >> i) & 1 == 1)
+            .collect();
         self.evaluate(&bits)
             .iter()
             .enumerate()
@@ -503,8 +505,7 @@ impl NetlistBuilder {
         }
         // Every used net must be driven or a primary input.
         for (i, net) in self.nets.iter().enumerate() {
-            let used = !net.loads.is_empty()
-                || self.outputs.iter().any(|(_, n)| n.index() == i);
+            let used = !net.loads.is_empty() || self.outputs.iter().any(|(_, n)| n.index() == i);
             if used && net.driver.is_none() && !net.is_input {
                 return Err(NetlistError::Undriven { net: i });
             }

@@ -148,9 +148,9 @@ impl TruthTable {
             let cover = greedy_cover(&on, &primes);
             let mut terms = Vec::with_capacity(cover.len());
             for imp in cover {
-                let net = *product_cache.entry(imp).or_insert_with(|| {
-                    emit_product(builder, inputs, &mut inverted, imp)
-                });
+                let net = *product_cache
+                    .entry(imp)
+                    .or_insert_with(|| emit_product(builder, inputs, &mut inverted, imp));
                 terms.push(net);
             }
             outs.push(builder.or(&terms));
@@ -307,13 +307,7 @@ pub fn decoder(builder: &mut NetlistBuilder, inputs: &[NetId]) -> Vec<NetId> {
             let literals: Vec<NetId> = inputs
                 .iter()
                 .enumerate()
-                .map(|(i, &n)| {
-                    if (v >> i) & 1 == 1 {
-                        n
-                    } else {
-                        complements[i]
-                    }
-                })
+                .map(|(i, &n)| if (v >> i) & 1 == 1 { n } else { complements[i] })
                 .collect();
             builder.and(&literals)
         })
@@ -448,9 +442,7 @@ mod tests {
         let outs = tt.synthesize_sop(&mut b, &ins);
         b.output_bus("y", &outs);
         let nl = b.finish().expect("valid");
-        let ands = nl
-            .stats()
-            .family_count("AND");
+        let ands = nl.stats().family_count("AND");
         assert_eq!(ands, 1, "product term should be shared");
     }
 }

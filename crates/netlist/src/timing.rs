@@ -29,12 +29,7 @@ impl TimingReport {
     pub fn critical_delay_ps(&self) -> f64 {
         self.critical_path
             .last()
-            .map_or(0.0, |_| {
-                self.arrival_ps
-                    .iter()
-                    .cloned()
-                    .fold(0.0, f64::max)
-            })
+            .map_or(0.0, |_| self.arrival_ps.iter().cloned().fold(0.0, f64::max))
     }
 
     /// The maximum arrival-time skew across the input pins of a gate —
@@ -106,11 +101,7 @@ pub fn analyze_with(netlist: &Netlist, delay_ps: impl Fn(GateId) -> f64) -> Timi
             *r = clock.max(arrival[i]);
         }
     }
-    let slack: Vec<f64> = required
-        .iter()
-        .zip(&arrival)
-        .map(|(r, a)| r - a)
-        .collect();
+    let slack: Vec<f64> = required.iter().zip(&arrival).map(|(r, a)| r - a).collect();
 
     // Critical path: walk back from the worst output through the
     // worst-arrival input at each stage.

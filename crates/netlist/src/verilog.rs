@@ -77,12 +77,7 @@ pub fn library_prelude() -> String {
     for cell in crate::ALL_CELL_TYPES {
         let n = cell.arity();
         let ins: Vec<String> = (0..n).map(|i| format!("i{i}")).collect();
-        let _ = writeln!(
-            out,
-            "module {} (o, {});",
-            cell.mnemonic(),
-            ins.join(", ")
-        );
+        let _ = writeln!(out, "module {} (o, {});", cell.mnemonic(), ins.join(", "));
         let _ = writeln!(out, "  output o;");
         for i in &ins {
             let _ = writeln!(out, "  input {i};");
@@ -272,7 +267,13 @@ fn net_name(netlist: &Netlist, n: NetId) -> String {
 fn sanitize(s: &str) -> String {
     let mut out: String = s
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if out.chars().next().is_none_or(|c| c.is_ascii_digit()) {
         out.insert(0, '_');

@@ -149,7 +149,7 @@ mod tests {
     /// Test vectors from Table 5 ("Test vectors") of the PRESENT paper.
     #[test]
     fn present80_published_vectors() {
-        let cases: [( [u8; 10], u64, u64 ); 4] = [
+        let cases: [([u8; 10], u64, u64); 4] = [
             ([0x00; 10], 0x0000_0000_0000_0000, 0x5579_C138_7B22_8445),
             ([0xFF; 10], 0x0000_0000_0000_0000, 0xE72C_46C0_F594_5049),
             ([0x00; 10], 0xFFFF_FFFF_FFFF_FFFF, 0xA112_FFC7_2F68_417B),

@@ -92,12 +92,7 @@ mod tests {
 
     #[test]
     fn player_round_trips() {
-        for s in [
-            0u64,
-            u64::MAX,
-            0x0123_4567_89AB_CDEF,
-            0xDEAD_BEEF_F00D_CAFE,
-        ] {
+        for s in [0u64, u64::MAX, 0x0123_4567_89AB_CDEF, 0xDEAD_BEEF_F00D_CAFE] {
             assert_eq!(player_inv(player(s)), s);
             assert_eq!(player(player_inv(s)), s);
         }

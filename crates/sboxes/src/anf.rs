@@ -43,9 +43,7 @@ pub fn monomials(table: &[bool]) -> Vec<u32> {
 
 /// Evaluate an ANF (list of monomials) on a packed input word.
 pub fn evaluate_anf(monomials: &[u32], x: u32) -> bool {
-    monomials
-        .iter()
-        .fold(false, |acc, &m| acc ^ (x & m == m))
+    monomials.iter().fold(false, |acc, &m| acc ^ (x & m == m))
 }
 
 /// Algebraic degree of an ANF.

@@ -51,10 +51,10 @@ impl InputEncoding {
     pub fn mask_fields(&self) -> &'static [usize] {
         match self.scheme {
             Scheme::Lut | Scheme::Opt => &[],
-            Scheme::Glut => &[4, 4],          // MI, MO
+            Scheme::Glut => &[4, 4],              // MI, MO
             Scheme::Rsm | Scheme::RsmRom => &[4], // MI
-            Scheme::Isw => &[4, 4],           // sharing mask M, gadget R
-            Scheme::Ti => &[3, 3, 3, 3],      // (s1,s2,s3) per input bit
+            Scheme::Isw => &[4, 4],               // sharing mask M, gadget R
+            Scheme::Ti => &[3, 3, 3, 3],          // (s1,s2,s3) per input bit
         }
     }
 
@@ -239,10 +239,7 @@ mod tests {
     fn unprotected_encoding_is_the_identity() {
         let mut rng = SmallRng::seed_from_u64(11);
         let enc = InputEncoding::for_scheme(Scheme::Lut);
-        assert_eq!(
-            enc.encode(0b1010, &mut rng),
-            vec![false, true, false, true]
-        );
+        assert_eq!(enc.encode(0b1010, &mut rng), vec![false, true, false, true]);
     }
 
     #[test]

@@ -87,9 +87,8 @@ mod tests {
             let mi = ((word >> 4) & 0xF) as u8;
             let t = a ^ mi;
             let s = SBOX[usize::from(t)];
-            let values = nl.evaluate_nets(
-                &(0..12).map(|i| (word >> i) & 1 == 1).collect::<Vec<_>>(),
-            );
+            let values =
+                nl.evaluate_nets(&(0..12).map(|i| (word >> i) & 1 == 1).collect::<Vec<_>>());
             for (n, &v) in values.iter().enumerate() {
                 for bit in 0..4 {
                     if v != ((t >> bit) & 1 == 1) {

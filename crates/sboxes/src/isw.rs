@@ -103,8 +103,7 @@ mod tests {
     /// Evaluate the ISW netlist and return the unmasked output nibble.
     fn unmasked(nl: &Netlist, t: u8, mask: u8, rand: u8) -> u8 {
         let xa = t ^ mask;
-        let word =
-            u64::from(xa) | (u64::from(mask) << 4) | (u64::from(rand) << 8);
+        let word = u64::from(xa) | (u64::from(mask) << 4) | (u64::from(rand) << 8);
         let out = nl.evaluate_word(word);
         ((out & 0xF) ^ (out >> 4)) as u8
     }

@@ -41,8 +41,8 @@ mod glut;
 mod isw;
 mod lut;
 mod opt;
-pub mod program;
 pub mod probing;
+pub mod program;
 pub mod round1;
 mod rsm;
 mod rsmrom;
@@ -166,7 +166,11 @@ impl SboxCircuit {
     pub fn from_parts(scheme: Scheme, netlist: Netlist) -> Self {
         let encoding = InputEncoding::for_scheme(scheme);
         assert_eq!(netlist.num_inputs(), encoding.num_inputs(), "input ports");
-        assert_eq!(netlist.num_outputs(), encoding.num_outputs(), "output ports");
+        assert_eq!(
+            netlist.num_outputs(),
+            encoding.num_outputs(),
+            "output ports"
+        );
         Self {
             scheme,
             netlist,

@@ -75,6 +75,11 @@ mod tests {
         let lut = crate::lut::build().stats();
         // Paper: both have comparable gate depth but OPT's XOR-rich path
         // has the longer propagation time.
-        assert!(opt.delay_ps > lut.delay_ps, "{} !> {}", opt.delay_ps, lut.delay_ps);
+        assert!(
+            opt.delay_ps > lut.delay_ps,
+            "{} !> {}",
+            opt.delay_ps,
+            lut.delay_ps
+        );
     }
 }

@@ -105,7 +105,9 @@ mod tests {
         let mut defined = std::collections::HashSet::new();
         for op in OPT_PROGRAM {
             let dst = match op {
-                SboxOp::Xor(d, ..) | SboxOp::And(d, ..) | SboxOp::Or(d, ..) | SboxOp::Not(d, _) => d,
+                SboxOp::Xor(d, ..) | SboxOp::And(d, ..) | SboxOp::Or(d, ..) | SboxOp::Not(d, _) => {
+                    d
+                }
             };
             assert!(defined.insert(*dst), "register {dst} reassigned");
         }

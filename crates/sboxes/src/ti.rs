@@ -165,7 +165,11 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(77);
         for t in 0..16u8 {
             for _ in 0..64 {
-                assert_eq!(eval_unmasked(&nl, t, &mut rng), SBOX[usize::from(t)], "t={t}");
+                assert_eq!(
+                    eval_unmasked(&nl, t, &mut rng),
+                    SBOX[usize::from(t)],
+                    "t={t}"
+                );
             }
         }
     }

@@ -6,6 +6,7 @@
 //! ```
 
 use acquisition::{LeakageStudy, ProtocolConfig};
+use campaign::{Campaign, CampaignConfig};
 use sbox_circuits::{SboxCircuit, Scheme};
 
 fn main() {
@@ -31,17 +32,19 @@ fn main() {
     }
 
     println!("\nleakage over the device lifetime:");
-    let outcomes = study.run_aged(scheme, &[0.0, 12.0, 24.0, 36.0, 48.0]);
-    let fresh = outcomes[0].outcome.spectrum.total_leakage_power();
+    let mut campaign = Campaign::new(CampaignConfig::default());
+    let outcomes = campaign.run_aged(scheme, &[0.0, 12.0, 24.0, 36.0, 48.0]);
+    let fresh = outcomes[0].spectrum.total_leakage_power();
     for aged in &outcomes {
-        let total = aged.outcome.spectrum.total_leakage_power();
+        let total = aged.spectrum.total_leakage_power();
         println!(
             "  {:>3.0} months: {:.4e} ({:+.1}% vs fresh)",
-            aged.months,
+            aged.age_months,
             total,
             100.0 * (total - fresh) / fresh
         );
     }
     println!("\nmasking does not weaken with age: leakage only decreases, so a");
-    println!("device secure when new stays at least as secure through its lifetime.");
+    println!("device secure when new stays at least as secure through its lifetime.\n");
+    let _ = campaign.finish();
 }

@@ -5,21 +5,28 @@
 //! cargo run --release --example key_recovery
 //! ```
 
-use acquisition::{acquire_cpa, ProtocolConfig};
-use sbox_circuits::{SboxCircuit, Scheme};
+use campaign::{Campaign, CampaignConfig};
+use sbox_circuits::Scheme;
 use sca_attacks::{cpa_attack, success_rate_curve, LeakageModel};
 
 fn main() {
     let key = 0x4;
-    let config = ProtocolConfig::default();
+    let mut campaign = Campaign::new(CampaignConfig::default());
     for scheme in [Scheme::Lut, Scheme::Isw] {
-        let circuit = SboxCircuit::build(scheme);
-        let data = acquire_cpa(&circuit, &config, key, 512);
-        let result = cpa_attack(&data.plaintexts, &data.traces, LeakageModel::OutputTransition);
+        let data = campaign.acquire_cpa(scheme, key, 512);
+        let result = cpa_attack(
+            &data.plaintexts,
+            &data.traces,
+            LeakageModel::OutputTransition,
+        );
         println!("=== {scheme} (true key {key:X}) ===");
         println!("per-guess peak correlations:");
         for (k, score) in result.scores.iter().enumerate() {
-            let marker = if k == usize::from(key) { "  ← true key" } else { "" };
+            let marker = if k == usize::from(key) {
+                "  ← true key"
+            } else {
+                ""
+            };
             println!("  k̂={k:X}  ρ={score:.4}{marker}");
         }
         println!(
@@ -38,5 +45,6 @@ fn main() {
         println!("success rate vs traces: {curve:?}\n");
     }
     println!("the unprotected table falls to first-order CPA; the ISW gadgets");
-    println!("randomize the intermediate, so the same attack fails at this budget.");
+    println!("randomize the intermediate, so the same attack fails at this budget.\n");
+    let _ = campaign.finish();
 }

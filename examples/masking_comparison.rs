@@ -6,11 +6,11 @@
 //! cargo run --release --example masking_comparison
 //! ```
 
-use acquisition::{LeakageStudy, ProtocolConfig};
+use campaign::{Campaign, CampaignConfig};
 use sbox_circuits::{SboxCircuit, Scheme};
 
 fn main() {
-    let study = LeakageStudy::new(ProtocolConfig::default());
+    let mut campaign = Campaign::new(CampaignConfig::default());
     println!(
         "{:9} {:>6} {:>9} {:>7} {:>12} {:>12} {:>9}",
         "scheme", "gates", "equ", "depth", "total-leak", "multi-bit", "1b-ratio"
@@ -19,7 +19,7 @@ fn main() {
     for scheme in Scheme::ALL {
         let circuit = SboxCircuit::build(scheme);
         let stats = circuit.netlist().stats();
-        let outcome = study.run(scheme);
+        let outcome = campaign.acquire(scheme);
         let sp = &outcome.spectrum;
         println!(
             "{:9} {:>6} {:>9.1} {:>7} {:>12.4e} {:>12.4e} {:>9.3}",
@@ -38,4 +38,6 @@ fn main() {
     for (i, (scheme, leak)) in ranking.iter().enumerate() {
         println!("  {}. {:8} {:.4e}", i + 1, scheme.label(), leak);
     }
+    println!();
+    let _ = campaign.finish();
 }

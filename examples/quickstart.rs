@@ -1,11 +1,16 @@
-//! Quickstart: build a masked S-box, capture the paper's trace protocol,
-//! and project the class means onto the Walsh–Hadamard basis.
+//! Quickstart: build a masked S-box, capture the paper's trace protocol
+//! through the campaign engine, and project the class means onto the
+//! Walsh–Hadamard basis.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
+//!
+//! The campaign persists the acquired traces under `results/traces/`;
+//! run the example twice and the second run serves them from the cache
+//! without simulating (see the campaign report it prints).
 
-use acquisition::{LeakageStudy, ProtocolConfig};
+use campaign::{Campaign, CampaignConfig};
 use sbox_circuits::{SboxCircuit, Scheme};
 
 fn main() {
@@ -27,9 +32,10 @@ fn main() {
         present_cipher::sbox(0x6)
     );
 
-    // 3. Acquire the paper's 1024-trace protocol and compute the leakage.
-    let study = LeakageStudy::new(ProtocolConfig::default());
-    let outcome = study.run(Scheme::Isw);
+    // 3. Acquire the paper's 1024-trace protocol (parallel, cached) and
+    //    compute the leakage.
+    let mut campaign = Campaign::new(CampaignConfig::default());
+    let outcome = campaign.acquire(Scheme::Isw);
     let spectrum = &outcome.spectrum;
     println!(
         "total leakage power      : {:.4e}",
@@ -44,4 +50,6 @@ fn main() {
     for (u, e) in spectrum.dominant_sources().iter().take(3) {
         println!("  u = {u:2} ({u:04b}): {e:.4e}");
     }
+    println!();
+    let _ = campaign.finish();
 }

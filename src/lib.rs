@@ -25,6 +25,7 @@
 
 pub use acquisition;
 pub use aging;
+pub use campaign;
 pub use gatesim;
 pub use leakage_core as analysis;
 pub use present_cipher as present;

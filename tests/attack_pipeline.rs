@@ -39,7 +39,11 @@ fn cpa_breaks_the_unprotected_lut() {
 fn cpa_does_not_break_ti_at_small_budgets() {
     let circuit = SboxCircuit::build(Scheme::Ti);
     let data = acquire_cpa(&circuit, &config(2), 0x7, 192);
-    let result = cpa_attack(&data.plaintexts, &data.traces, LeakageModel::OutputTransition);
+    let result = cpa_attack(
+        &data.plaintexts,
+        &data.traces,
+        LeakageModel::OutputTransition,
+    );
     assert!(
         result.key_rank(0x7) > 0,
         "TI should resist model-based first-order CPA at 192 traces"

@@ -53,9 +53,7 @@ fn rsm_matches_an_independent_golden_model() {
         let tt = TruthTable::from_fn(8, 4, |w| {
             let a = (w & 0xF) as u8;
             let mi = ((w >> 4) & 0xF) as u8;
-            u64::from(
-                present_cipher::sbox(a ^ mi) ^ ((mi + 1) % 16),
-            )
+            u64::from(present_cipher::sbox(a ^ mi) ^ ((mi + 1) % 16))
         });
         let mut b = NetlistBuilder::new("rsm_golden");
         let ins = b.input_bus("x", 8);
@@ -103,8 +101,7 @@ fn collapse_ti(ti: &Netlist) -> Netlist {
     }
     for &gid in ti.topo_order() {
         let gate = ti.gate(gid);
-        let ins: Vec<sbox_netlist::NetId> =
-            gate.inputs().iter().map(|n| map[&n.index()]).collect();
+        let ins: Vec<sbox_netlist::NetId> = gate.inputs().iter().map(|n| map[&n.index()]).collect();
         let out = b.gate(gate.cell(), &ins);
         map.insert(gate.output().index(), out);
     }
@@ -121,7 +118,6 @@ fn collapse_ti(ti: &Netlist) -> Netlist {
     }
     b.finish().expect("valid collapse")
 }
-
 
 /// The round-1 datapath with OPT slices formally equals the one with LUT
 /// slices — 128-variable BDD equivalence.

@@ -1,64 +1,95 @@
-//! Property-based tests (proptest) on the core data structures and
-//! invariants of the workspace.
+//! Property-style tests on the core data structures and invariants of the
+//! workspace.
+//!
+//! These were originally written with `proptest`; the build environment
+//! has no registry access, so each property is now exercised over a
+//! seeded randomized sweep (plus the interesting boundary cases) with the
+//! workspace's own `rand`. Failures print the iteration seed so a case
+//! can be replayed by hand.
 
 use leakage_core::{spectrum_of, ClassifiedTraces, LeakageSpectrum};
-use proptest::prelude::*;
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use sbox_circuits::{InputEncoding, Scheme};
 use sbox_netlist::synth::{greedy_cover, prime_implicants, TruthTable};
 use sbox_netlist::NetlistBuilder;
 
-proptest! {
-    /// The Walsh–Hadamard transform is an involution and preserves energy
-    /// (Parseval) on arbitrary 16-point functions.
-    #[test]
-    fn wht_involution_and_parseval(f in proptest::collection::vec(-100.0f64..100.0, 16)) {
+const SWEEPS: usize = 64;
+
+/// The Walsh–Hadamard transform is an involution and preserves energy
+/// (Parseval) on arbitrary 16-point functions.
+#[test]
+fn wht_involution_and_parseval() {
+    let mut rng = SmallRng::seed_from_u64(0x57A7_0001);
+    for case in 0..SWEEPS {
+        let f: Vec<f64> = (0..16).map(|_| rng.gen_range(-100.0..100.0)).collect();
         let a = spectrum_of(&f);
         let back = spectrum_of(&a);
         for (x, y) in f.iter().zip(&back) {
-            prop_assert!((x - y).abs() < 1e-9);
+            assert!((x - y).abs() < 1e-9, "case {case}: {x} != {y}");
         }
         let ef: f64 = f.iter().map(|x| x * x).sum();
         let ea: f64 = a.iter().map(|x| x * x).sum();
-        prop_assert!((ef - ea).abs() < 1e-6 * ef.max(1.0));
+        assert!(
+            (ef - ea).abs() < 1e-6 * ef.max(1.0),
+            "case {case}: energy {ef} vs {ea}"
+        );
     }
+}
 
-    /// Adding a constant to every trace changes only the u = 0 component.
-    #[test]
-    fn constant_offsets_never_leak(offset in -50.0f64..50.0, seed in 0u64..1000) {
-        let mut rng = SmallRng::seed_from_u64(seed);
+/// Adding a constant to every trace changes only the u = 0 component.
+#[test]
+fn constant_offsets_never_leak() {
+    let mut rng = SmallRng::seed_from_u64(0x57A7_0002);
+    for case in 0..SWEEPS {
+        let offset = rng.gen_range(-50.0..50.0);
         let mut plain = ClassifiedTraces::new(16, 4);
         let mut shifted = ClassifiedTraces::new(16, 4);
         for i in 0..64usize {
             let class = i % 16;
-            let t: Vec<f64> = (0..4).map(|_| rand::Rng::gen::<f64>(&mut rng)).collect();
+            let t: Vec<f64> = (0..4).map(|_| rng.gen::<f64>()).collect();
             shifted.push(class, t.iter().map(|x| x + offset).collect());
             plain.push(class, t);
         }
         let a = LeakageSpectrum::from_class_means(&plain.class_means());
         let b = LeakageSpectrum::from_class_means(&shifted.class_means());
         for t in 0..4 {
-            prop_assert!((a.leakage_power(t) - b.leakage_power(t)).abs() < 1e-9);
+            assert!(
+                (a.leakage_power(t) - b.leakage_power(t)).abs() < 1e-9,
+                "case {case}, sample {t}"
+            );
         }
     }
+}
 
-    /// Every encoding round-trips its class label for arbitrary masks.
-    #[test]
-    fn encodings_round_trip(t in 0u8..16, word in 0u32..(1 << 12)) {
+/// Every encoding round-trips its class label for arbitrary masks.
+#[test]
+fn encodings_round_trip() {
+    let mut rng = SmallRng::seed_from_u64(0x57A7_0003);
+    for case in 0..SWEEPS {
+        let t = rng.gen_range(0u8..16);
+        let word = rng.gen_range(0u32..(1 << 12));
         for scheme in Scheme::ALL {
             let enc = InputEncoding::for_scheme(scheme);
             let bits = enc.mask_bits();
-            let mask = if bits == 0 { 0 } else { word & ((1 << bits) - 1) };
+            let mask = if bits == 0 {
+                0
+            } else {
+                word & ((1 << bits) - 1)
+            };
             let v = enc.encode_masked(t, mask);
-            prop_assert_eq!(v.len(), enc.num_inputs());
-            prop_assert_eq!(enc.unmask_input(&v), t);
+            assert_eq!(v.len(), enc.num_inputs(), "case {case}, {scheme}");
+            assert_eq!(enc.unmask_input(&v), t, "case {case}, {scheme}");
         }
     }
+}
 
-    /// Two-level synthesis is exact on random 4-input / 2-output tables.
-    #[test]
-    fn sop_synthesis_is_exact(words in proptest::collection::vec(0u64..4, 16)) {
+/// Two-level synthesis is exact on random 4-input / 2-output tables.
+#[test]
+fn sop_synthesis_is_exact() {
+    let mut rng = SmallRng::seed_from_u64(0x57A7_0004);
+    for case in 0..SWEEPS {
+        let words: Vec<u64> = (0..16).map(|_| rng.gen_range(0u64..4)).collect();
         let tt = TruthTable::from_words(4, 2, words.clone());
         let mut b = NetlistBuilder::new("prop_sop");
         let ins = b.input_bus("x", 4);
@@ -66,33 +97,54 @@ proptest! {
         b.output_bus("y", &outs);
         let nl = b.finish().expect("valid");
         for (t, w) in words.iter().enumerate() {
-            prop_assert_eq!(nl.evaluate_word(t as u64), *w);
+            assert_eq!(nl.evaluate_word(t as u64), *w, "case {case}, t={t}");
         }
     }
+}
 
-    /// Prime implicants cover exactly the on-set: soundness and
-    /// completeness of the cover on random on-sets.
-    #[test]
-    fn qm_cover_is_sound_and_complete(mask in 1u32..0xFFFF) {
+/// Prime implicants cover exactly the on-set: soundness and completeness
+/// of the cover on random (and boundary) on-sets.
+#[test]
+fn qm_cover_is_sound_and_complete() {
+    let mut rng = SmallRng::seed_from_u64(0x57A7_0005);
+    let masks = (0..SWEEPS as u32)
+        .map(|_| rng.gen_range(1u32..0xFFFF))
+        .chain([1, 0xFFFE, 0x8000, 0x5555, 0xAAAA]);
+    for mask in masks {
         let on: Vec<u32> = (0..16u32).filter(|t| (mask >> t) & 1 == 1).collect();
         let primes = prime_implicants(&on, 4);
         let cover = greedy_cover(&on, &primes);
         for t in 0..16u32 {
             let covered = cover.iter().any(|p| p.covers(t));
-            prop_assert_eq!(covered, on.contains(&t), "t={}", t);
+            assert_eq!(covered, on.contains(&t), "mask={mask:#x} t={t}");
         }
     }
+}
 
-    /// PRESENT encrypt/decrypt round-trip for arbitrary keys and blocks.
-    #[test]
-    fn present_round_trip(key in proptest::array::uniform10(0u8..=255), block: u64) {
+/// PRESENT encrypt/decrypt round-trip for arbitrary keys and blocks.
+#[test]
+fn present_round_trip() {
+    let mut rng = SmallRng::seed_from_u64(0x57A7_0006);
+    for case in 0..SWEEPS {
+        let mut key = [0u8; 10];
+        rng.fill_bytes(&mut key);
+        let block: u64 = rng.gen();
         let cipher = present_cipher::Present80::new(key);
-        prop_assert_eq!(cipher.decrypt_block(cipher.encrypt_block(block)), block);
+        assert_eq!(
+            cipher.decrypt_block(cipher.encrypt_block(block)),
+            block,
+            "case {case}: key {key:02x?} block {block:#x}"
+        );
     }
+}
 
-    /// The netlist reduction helpers are correct for arbitrary widths.
-    #[test]
-    fn reductions_match_folds(bits in proptest::collection::vec(any::<bool>(), 1..24)) {
+/// The netlist reduction helpers are correct for arbitrary widths.
+#[test]
+fn reductions_match_folds() {
+    let mut rng = SmallRng::seed_from_u64(0x57A7_0007);
+    for case in 0..SWEEPS {
+        let width = rng.gen_range(1usize..24);
+        let bits: Vec<bool> = (0..width).map(|_| rng.gen()).collect();
         let mut b = NetlistBuilder::new("prop_reduce");
         let ins = b.input_bus("x", bits.len());
         let and = b.and(&ins);
@@ -103,8 +155,12 @@ proptest! {
         b.output("xor", xor);
         let nl = b.finish().expect("valid");
         let out = nl.evaluate(&bits);
-        prop_assert_eq!(out[0], bits.iter().all(|&x| x));
-        prop_assert_eq!(out[1], bits.iter().any(|&x| x));
-        prop_assert_eq!(out[2], bits.iter().fold(false, |a, &x| a ^ x));
+        assert_eq!(out[0], bits.iter().all(|&x| x), "case {case} and");
+        assert_eq!(out[1], bits.iter().any(|&x| x), "case {case} or");
+        assert_eq!(
+            out[2],
+            bits.iter().fold(false, |a, &x| a ^ x),
+            "case {case} xor"
+        );
     }
 }

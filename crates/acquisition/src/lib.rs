@@ -33,6 +33,7 @@ mod study;
 
 pub use protocol::{
     acquire, acquire_cpa, acquire_with_derating, capture_stimulus, classified_schedule,
-    cpa_schedule, cpa_seed, trace_seed, CpaAcquisition, ProtocolConfig, Stimulus, NUM_CLASSES,
+    cpa_schedule, cpa_seed, trace_seed, try_capture_stimulus, CaptureError, CpaAcquisition,
+    ProtocolConfig, Stimulus, NUM_CLASSES,
 };
 pub use study::{AgedOutcome, LeakageStudy, StudyOutcome};

@@ -62,6 +62,64 @@ pub struct Stimulus {
     pub final_inputs: Vec<bool>,
 }
 
+impl Stimulus {
+    /// Check that this stimulus fits a circuit with `expected_inputs`
+    /// primary inputs.
+    ///
+    /// The simulator asserts these lengths deep inside its transition
+    /// loop; validating up front turns a guaranteed-to-repeat panic into
+    /// a typed error the campaign executor can quarantine immediately
+    /// instead of burning retries on.
+    pub fn validate(&self, expected_inputs: usize) -> Result<(), CaptureError> {
+        for (what, vector) in [("initial", &self.initial), ("final", &self.final_inputs)] {
+            if vector.len() != expected_inputs {
+                return Err(CaptureError::InputWidth {
+                    label: self.label,
+                    vector: what,
+                    got: vector.len(),
+                    expected: expected_inputs,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A stimulus that cannot be captured on the simulator it was handed to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CaptureError {
+    /// An input vector's width does not match the circuit.
+    InputWidth {
+        /// The stimulus' label (class or plaintext nibble).
+        label: u16,
+        /// Which vector is wrong (`"initial"` or `"final"`).
+        vector: &'static str,
+        /// The vector's length.
+        got: usize,
+        /// The circuit's primary input count.
+        expected: usize,
+    },
+}
+
+impl std::fmt::Display for CaptureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CaptureError::InputWidth {
+                label,
+                vector,
+                got,
+                expected,
+            } => write!(
+                f,
+                "stimulus (label {label}) has a {vector} vector of {got} inputs; \
+                 the circuit has {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CaptureError {}
+
 /// Derive the measurement-noise seed of trace `index` from the campaign
 /// seed (a SplitMix64-style finalizer over both words).
 ///
@@ -106,6 +164,19 @@ pub fn capture_stimulus(
         sampling,
         &mut rng,
     )
+}
+
+/// [`capture_stimulus`], but validating the stimulus against the
+/// simulator's circuit first and returning a typed [`CaptureError`]
+/// instead of panicking on a malformed schedule entry.
+pub fn try_capture_stimulus(
+    sim: &Simulator<'_>,
+    stimulus: &Stimulus,
+    sampling: &SamplingConfig,
+    seed: u64,
+) -> Result<(Vec<f64>, CaptureStats), CaptureError> {
+    stimulus.validate(sim.netlist().num_inputs())?;
+    Ok(capture_stimulus(sim, stimulus, sampling, seed))
 }
 
 /// Acquire a class-balanced trace set from a fresh (unaged) device.
@@ -403,6 +474,27 @@ mod tests {
             set.push(usize::from(s.label), trace);
         }
         assert_eq!(set, sequential);
+    }
+
+    #[test]
+    fn malformed_stimuli_fail_validation_with_a_typed_error() {
+        let circuit = SboxCircuit::build(Scheme::Opt);
+        let config = small_config();
+        let sim = gatesim::Simulator::new(circuit.netlist(), &config.sim);
+        let good = classified_schedule(&circuit, &config).remove(0);
+        assert!(good.validate(circuit.netlist().num_inputs()).is_ok());
+        assert!(try_capture_stimulus(&sim, &good, &config.sampling, 1).is_ok());
+
+        let mut bad = good.clone();
+        bad.final_inputs.push(false);
+        let err = bad
+            .validate(circuit.netlist().num_inputs())
+            .expect_err("wrong width must fail");
+        assert!(err.to_string().contains("final vector"));
+        assert_eq!(
+            try_capture_stimulus(&sim, &bad, &config.sampling, 1),
+            Err(err)
+        );
     }
 
     #[test]

@@ -1,10 +1,11 @@
 //! Campaign-engine throughput: traces/second through the sharded
-//! executor at 1/2/4/8 workers, and the cold-acquire versus warm-cache
-//! cost of a full campaign cell.
+//! executor at 1/2/4/8 workers, the cold-acquire versus warm-cache cost
+//! of a full campaign cell, and the overhead of the fault-tolerance
+//! machinery (panic isolation + retry) when faults actually fire.
 
 use std::path::{Path, PathBuf};
 
-use campaign::{CacheMode, Campaign, CampaignConfig};
+use campaign::{CacheMode, Campaign, CampaignConfig, FaultPlan};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use sbox_circuits::Scheme;
 
@@ -79,9 +80,42 @@ fn bench_warm_cache(c: &mut Criterion) {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Fault-recovery overhead: the same cold acquisition with a 10%
+/// transient panic rate — every tenth trace unwinds once and is retried
+/// — versus the catch-unwind wrapper alone (no faults). The gap between
+/// this and `acquire_cold/4workers` is the price of recovery.
+fn bench_fault_recovery(c: &mut Criterion) {
+    let traces = small_protocol().traces_per_class as u64 * 16;
+    let mut group = c.benchmark_group("campaign/acquire_faulted");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(traces));
+    for (name, faults) in [
+        ("no_faults", FaultPlan::none()),
+        ("retry_10pct", FaultPlan::none().with_panic_rate(7, 0.1)),
+    ] {
+        let dir = scratch(&format!("faulted-{name}"));
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut campaign = Campaign::new(CampaignConfig {
+                    protocol: small_protocol(),
+                    workers: 4,
+                    cache: CacheMode::Off,
+                    store_dir: dir.join("traces"),
+                    log_path: dir.join("runs.jsonl"),
+                    faults: faults.clone(),
+                    ..CampaignConfig::default()
+                });
+                campaign.acquire(Scheme::Isw)
+            })
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_workers, bench_warm_cache
+    targets = bench_workers, bench_warm_cache, bench_fault_recovery
 }
 criterion_main!(benches);

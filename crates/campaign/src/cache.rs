@@ -173,6 +173,15 @@ impl TraceCache {
         self.dir.join(key.file_name())
     }
 
+    /// The `SCKP` checkpoint path a key maps to: the store path plus a
+    /// `.ckpt` suffix, so an interrupted acquisition never shadows a
+    /// finished store.
+    pub fn checkpoint_path(&self, key: &CampaignKey) -> PathBuf {
+        let mut name = key.file_name();
+        name.push_str(".ckpt");
+        self.dir.join(name)
+    }
+
     /// Open the store for `key` if it exists and its header matches the
     /// key exactly. Corrupt or mismatched stores degrade to `None` (the
     /// caller re-acquires and overwrites).

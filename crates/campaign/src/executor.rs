@@ -1,5 +1,6 @@
 //! The sharded acquisition executor: a `std::thread` worker pool that
-//! captures a stimulus schedule in parallel.
+//! captures a stimulus schedule in parallel, isolating and recovering
+//! from per-trace failures.
 //!
 //! Determinism: trace `i`'s value depends only on the (pre-computed)
 //! schedule entry `i` and its per-trace seed `trace_seed(base_seed, i)`
@@ -8,13 +9,29 @@
 //! seven netlists differ ~10× in event count per trace) and results are
 //! written back by index, so the output is bit-identical for any worker
 //! count, including 1.
+//!
+//! Fault tolerance: each capture runs inside `catch_unwind`, so one
+//! panicking trace cannot unwind the worker scope and lose everything
+//! already captured. A failed index is retried up to
+//! [`ExecPolicy::max_retries`] times — the per-trace seed is re-derived,
+//! so a successful retry is bit-identical to a never-failed capture —
+//! and an index that keeps failing is **quarantined** into the
+//! [`ExecutorReport`] while the rest of the run completes. When a
+//! [`ResumeState`] carries a checkpoint, completed traces stream to it
+//! as they arrive and previously checkpointed indices are skipped, so a
+//! killed run resumes instead of restarting.
 
+use std::collections::HashSet;
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
 use acquisition::{capture_stimulus, trace_seed, Stimulus};
 use gatesim::{CaptureStats, SamplingConfig, Simulator};
+
+use crate::fault::{FaultPlan, InjectedFault};
+use crate::store::CheckpointWriter;
 
 /// Indices are claimed in chunks of this size — small enough to balance
 /// the ~10× per-scheme cost spread at 1024 traces, large enough that the
@@ -30,6 +47,64 @@ pub struct WorkerLoad {
     pub busy: Duration,
 }
 
+/// One schedule index the executor gave up on: every allowed attempt
+/// panicked or failed validation.
+#[derive(Debug, Clone)]
+pub struct CaptureFailure {
+    /// The schedule index that could not be captured.
+    pub index: usize,
+    /// Capture attempts made (1 + retries).
+    pub attempts: u32,
+    /// The final failure's message.
+    pub message: String,
+}
+
+/// Execution policy: parallelism and failure handling.
+#[derive(Debug, Clone)]
+pub struct ExecPolicy {
+    /// Worker threads; 0 means all available cores.
+    pub workers: usize,
+    /// Retries per failing index after its first attempt. Retries
+    /// re-derive the same per-trace seed, so a recovered capture is
+    /// bit-identical to one that never failed.
+    pub max_retries: u32,
+    /// Fault-injection plan (inert by default).
+    pub faults: FaultPlan,
+}
+
+impl Default for ExecPolicy {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            max_retries: 2,
+            faults: FaultPlan::none(),
+        }
+    }
+}
+
+/// What a resumed run already knows, and where new progress should be
+/// flushed.
+#[derive(Debug, Default)]
+pub struct ResumeState<'a> {
+    /// Traces completed by a previous (killed or quarantined) run, as
+    /// `(schedule index, samples)`. Out-of-range indices are ignored.
+    pub completed: Vec<(usize, Vec<f64>)>,
+    /// Checkpoint sink for newly completed traces (`None` = no
+    /// checkpointing). Write failures degrade to a warning in the
+    /// report; they never fail the run.
+    pub checkpoint: Option<&'a mut CheckpointWriter>,
+    /// Sync the checkpoint after this many newly captured traces
+    /// (0 = only at the end of the run).
+    pub sync_every: usize,
+}
+
+impl ResumeState<'_> {
+    /// A run starting from nothing, with no checkpointing.
+    pub fn fresh() -> Self {
+        Self::default()
+    }
+}
+
 /// Timing and accounting of one executor run.
 #[derive(Debug, Clone)]
 pub struct ExecutorReport {
@@ -39,8 +114,18 @@ pub struct ExecutorReport {
     pub loads: Vec<WorkerLoad>,
     /// End-to-end wall time of the parallel section.
     pub wall: Duration,
-    /// Aggregated simulator event counters.
+    /// Aggregated simulator event counters (newly simulated traces only
+    /// — resumed traces cost zero events).
     pub stats: CaptureStats,
+    /// Indices that failed at least once but succeeded on a retry.
+    pub retried: usize,
+    /// Indices that failed every allowed attempt; their slots in the
+    /// returned trace vector are empty.
+    pub quarantined: Vec<CaptureFailure>,
+    /// Traces served from the resume state instead of simulated.
+    pub resumed: usize,
+    /// Non-fatal degradations (checkpoint write failures, …).
+    pub warnings: Vec<String>,
 }
 
 impl ExecutorReport {
@@ -76,13 +161,21 @@ pub fn resolve_workers(requested: usize) -> usize {
     }
 }
 
+/// One worker's progress on one chunk of indices.
+struct ChunkResult {
+    worker: usize,
+    captured: Vec<(usize, Vec<f64>)>,
+    failures: Vec<CaptureFailure>,
+    stats: CaptureStats,
+    busy: Duration,
+    retried: usize,
+}
+
 /// Capture `schedule` with `workers` threads, seeding trace `i`'s
 /// measurement noise from `trace_seed(base_seed, i)`.
 ///
-/// Returns the traces in schedule order plus the run report. With
-/// `workers == 1` everything runs inline on the caller's thread (no pool
-/// overhead), which also serves as the reference for the determinism
-/// guarantee.
+/// The compatibility entry point: default retry policy, no fault
+/// injection, no resume. See [`capture_schedule_with`].
 pub fn capture_schedule(
     sim: &Simulator<'_>,
     schedule: &[Stimulus],
@@ -90,76 +183,61 @@ pub fn capture_schedule(
     base_seed: u64,
     workers: usize,
 ) -> (Vec<Vec<f64>>, ExecutorReport) {
-    let workers = resolve_workers(workers).min(schedule.len()).max(1);
+    capture_schedule_with(
+        sim,
+        schedule,
+        sampling,
+        base_seed,
+        &ExecPolicy {
+            workers,
+            ..ExecPolicy::default()
+        },
+        ResumeState::fresh(),
+    )
+}
+
+/// Capture `schedule` under an explicit [`ExecPolicy`] and
+/// [`ResumeState`].
+///
+/// Returns the traces in schedule order plus the run report. Quarantined
+/// indices (listed in [`ExecutorReport::quarantined`]) keep an empty
+/// `Vec` in their slot. With one worker everything runs inline on the
+/// caller's thread (no pool overhead), which also serves as the
+/// reference for the determinism guarantee.
+pub fn capture_schedule_with(
+    sim: &Simulator<'_>,
+    schedule: &[Stimulus],
+    sampling: &SamplingConfig,
+    base_seed: u64,
+    policy: &ExecPolicy,
+    resume: ResumeState<'_>,
+) -> (Vec<Vec<f64>>, ExecutorReport) {
+    let workers = resolve_workers(policy.workers).min(schedule.len()).max(1);
     let started = Instant::now();
 
-    if workers == 1 {
-        let mut stats = CaptureStats::default();
-        let busy_start = Instant::now();
-        let traces: Vec<Vec<f64>> = schedule
-            .iter()
-            .enumerate()
-            .map(|(i, stimulus)| {
-                let (trace, s) =
-                    capture_stimulus(sim, stimulus, sampling, trace_seed(base_seed, i as u64));
-                stats.merge(&s);
-                trace
-            })
-            .collect();
-        let busy = busy_start.elapsed();
-        let report = ExecutorReport {
-            workers: 1,
-            loads: vec![WorkerLoad {
-                traces: schedule.len(),
-                busy,
-            }],
-            wall: started.elapsed(),
-            stats,
-        };
-        return (traces, report);
-    }
-
-    let cursor = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, Vec<(usize, Vec<f64>)>, CaptureStats, Duration)>();
-
-    std::thread::scope(|scope| {
-        for worker in 0..workers {
-            let tx = tx.clone();
-            let cursor = &cursor;
-            scope.spawn(move || {
-                let mut captured: Vec<(usize, Vec<f64>)> = Vec::new();
-                let mut stats = CaptureStats::default();
-                let mut busy = Duration::ZERO;
-                loop {
-                    let start = cursor.fetch_add(CHUNK, Ordering::Relaxed);
-                    if start >= schedule.len() {
-                        break;
-                    }
-                    let end = (start + CHUNK).min(schedule.len());
-                    let t0 = Instant::now();
-                    for (i, stimulus) in schedule[start..end].iter().enumerate() {
-                        let index = start + i;
-                        let (trace, s) = capture_stimulus(
-                            sim,
-                            stimulus,
-                            sampling,
-                            trace_seed(base_seed, index as u64),
-                        );
-                        stats.merge(&s);
-                        captured.push((index, trace));
-                    }
-                    busy += t0.elapsed();
-                }
-                // The receiver outlives the scope; a send can only fail if
-                // the parent panicked, in which case the scope unwinds
-                // anyway.
-                let _ = tx.send((worker, captured, stats, busy));
-            });
-        }
-        drop(tx);
-    });
-
     let mut traces: Vec<Vec<f64>> = vec![Vec::new(); schedule.len()];
+    let mut filled = vec![false; schedule.len()];
+    let mut resumed = 0usize;
+    for (index, samples) in resume.completed {
+        if index < schedule.len() && !filled[index] {
+            traces[index] = samples;
+            filled[index] = true;
+            resumed += 1;
+        }
+    }
+    let skip: HashSet<usize> = filled
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &f)| f.then_some(i))
+        .collect();
+
+    let mut sink = CheckpointSink {
+        writer: resume.checkpoint,
+        sync_every: resume.sync_every,
+        since_sync: 0,
+        warning: None,
+    };
+
     let mut loads: Vec<WorkerLoad> = (0..workers)
         .map(|_| WorkerLoad {
             traces: 0,
@@ -167,27 +245,268 @@ pub fn capture_schedule(
         })
         .collect();
     let mut stats = CaptureStats::default();
-    for (worker, captured, worker_stats, busy) in rx {
-        loads[worker].traces = captured.len();
-        loads[worker].busy = busy;
-        stats.merge(&worker_stats);
-        for (index, trace) in captured {
-            traces[index] = trace;
+    let mut retried = 0usize;
+    let mut quarantined: Vec<CaptureFailure> = Vec::new();
+
+    if workers == 1 {
+        for chunk_start in (0..schedule.len()).step_by(CHUNK) {
+            let chunk_end = (chunk_start + CHUNK).min(schedule.len());
+            let result = capture_chunk(
+                sim,
+                schedule,
+                sampling,
+                base_seed,
+                policy,
+                0,
+                chunk_start..chunk_end,
+                &skip,
+            );
+            absorb(
+                result,
+                &mut traces,
+                &mut loads,
+                &mut stats,
+                &mut retried,
+                &mut quarantined,
+                &mut sink,
+                schedule,
+            );
         }
+    } else {
+        let cursor = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<ChunkResult>();
+        std::thread::scope(|scope| {
+            for worker in 0..workers {
+                let tx = tx.clone();
+                let cursor = &cursor;
+                let skip = &skip;
+                scope.spawn(move || loop {
+                    let start = cursor.fetch_add(CHUNK, Ordering::Relaxed);
+                    if start >= schedule.len() {
+                        break;
+                    }
+                    let end = (start + CHUNK).min(schedule.len());
+                    let result = capture_chunk(
+                        sim,
+                        schedule,
+                        sampling,
+                        base_seed,
+                        policy,
+                        worker,
+                        start..end,
+                        skip,
+                    );
+                    // The receiver outlives the workers; a send can only
+                    // fail if the parent panicked, in which case the
+                    // scope unwinds anyway.
+                    if tx.send(result).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            // Collect on the caller's thread while workers run, so
+            // checkpoint frames land on disk as progress is made, not
+            // after the fact.
+            for result in rx {
+                absorb(
+                    result,
+                    &mut traces,
+                    &mut loads,
+                    &mut stats,
+                    &mut retried,
+                    &mut quarantined,
+                    &mut sink,
+                    schedule,
+                );
+            }
+        });
     }
+
+    let mut warnings = Vec::new();
+    sink.finish(&mut warnings);
+    quarantined.sort_by_key(|f| f.index);
 
     let report = ExecutorReport {
         workers,
         loads,
         wall: started.elapsed(),
         stats,
+        retried,
+        quarantined,
+        resumed,
+        warnings,
     };
     (traces, report)
+}
+
+/// Fold one chunk's outcome into the run accumulators and the
+/// checkpoint.
+#[allow(clippy::too_many_arguments)]
+fn absorb(
+    result: ChunkResult,
+    traces: &mut [Vec<f64>],
+    loads: &mut [WorkerLoad],
+    stats: &mut CaptureStats,
+    retried: &mut usize,
+    quarantined: &mut Vec<CaptureFailure>,
+    sink: &mut CheckpointSink<'_>,
+    schedule: &[Stimulus],
+) {
+    loads[result.worker].traces += result.captured.len();
+    loads[result.worker].busy += result.busy;
+    stats.merge(&result.stats);
+    *retried += result.retried;
+    quarantined.extend(result.failures);
+    for (index, trace) in result.captured {
+        sink.push(index, schedule[index].label, &trace);
+        traces[index] = trace;
+    }
+}
+
+/// Capture every non-skipped index in `range`, retrying failures per
+/// `policy` and quarantining indices that keep failing.
+#[allow(clippy::too_many_arguments)]
+fn capture_chunk(
+    sim: &Simulator<'_>,
+    schedule: &[Stimulus],
+    sampling: &SamplingConfig,
+    base_seed: u64,
+    policy: &ExecPolicy,
+    worker: usize,
+    range: std::ops::Range<usize>,
+    skip: &HashSet<usize>,
+) -> ChunkResult {
+    let mut captured = Vec::with_capacity(range.len());
+    let mut failures = Vec::new();
+    let mut stats = CaptureStats::default();
+    let mut retried = 0usize;
+    let t0 = Instant::now();
+    for index in range {
+        if skip.contains(&index) {
+            continue;
+        }
+        match capture_index(sim, &schedule[index], sampling, base_seed, index, policy) {
+            Ok((trace, s, attempts)) => {
+                stats.merge(&s);
+                if attempts > 1 {
+                    retried += 1;
+                }
+                captured.push((index, trace));
+            }
+            Err(failure) => failures.push(failure),
+        }
+    }
+    ChunkResult {
+        worker,
+        captured,
+        failures,
+        stats,
+        busy: t0.elapsed(),
+        retried,
+    }
+}
+
+/// Capture one index with panic isolation and bounded, seed-stable
+/// retries. Returns the trace, its stats, and how many attempts it took.
+fn capture_index(
+    sim: &Simulator<'_>,
+    stimulus: &Stimulus,
+    sampling: &SamplingConfig,
+    base_seed: u64,
+    index: usize,
+    policy: &ExecPolicy,
+) -> Result<(Vec<f64>, CaptureStats, u32), CaptureFailure> {
+    // A stimulus that cannot fit this simulator fails the same way on
+    // every attempt — quarantine immediately with a typed message
+    // instead of burning retries on panics.
+    if let Err(e) = stimulus.validate(sim.netlist().num_inputs()) {
+        return Err(CaptureFailure {
+            index,
+            attempts: 1,
+            message: e.to_string(),
+        });
+    }
+    let attempts = policy.max_retries + 1;
+    let mut last = String::new();
+    for attempt in 0..attempts {
+        // Re-derived fresh each attempt: a retry replays the identical
+        // noise stream, so recovery is bit-identical.
+        let seed = trace_seed(base_seed, index as u64);
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+            policy.faults.maybe_inject_capture(index, attempt);
+            capture_stimulus(sim, stimulus, sampling, seed)
+        }));
+        match outcome {
+            Ok((trace, stats)) => return Ok((trace, stats, attempt + 1)),
+            Err(payload) => last = panic_message(payload.as_ref()),
+        }
+    }
+    Err(CaptureFailure {
+        index,
+        attempts,
+        message: last,
+    })
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(fault) = payload.downcast_ref::<InjectedFault>() {
+        fault.to_string()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "capture panicked with a non-string payload".to_string()
+    }
+}
+
+/// Streams completed traces to the checkpoint, degrading to a warning
+/// (and no further writes) on the first failure.
+struct CheckpointSink<'a> {
+    writer: Option<&'a mut CheckpointWriter>,
+    sync_every: usize,
+    since_sync: usize,
+    warning: Option<String>,
+}
+
+impl CheckpointSink<'_> {
+    fn push(&mut self, index: usize, label: u16, samples: &[f64]) {
+        let Some(writer) = self.writer.as_deref_mut() else {
+            return;
+        };
+        let outcome = writer.record(index as u32, label, samples).and_then(|()| {
+            self.since_sync += 1;
+            if self.sync_every > 0 && self.since_sync >= self.sync_every {
+                self.since_sync = 0;
+                writer.sync()
+            } else {
+                Ok(())
+            }
+        });
+        if let Err(e) = outcome {
+            self.warning = Some(format!(
+                "checkpoint write failed ({e}); continuing without checkpoints"
+            ));
+            self.writer = None;
+        }
+    }
+
+    fn finish(mut self, warnings: &mut Vec<String>) {
+        if let Some(writer) = self.writer.take() {
+            if let Err(e) = writer.sync() {
+                self.warning = Some(format!("checkpoint final sync failed ({e})"));
+            }
+        }
+        warnings.extend(self.warning.take());
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::store::resume_checkpoint;
     use acquisition::{classified_schedule, ProtocolConfig};
     use sbox_circuits::{SboxCircuit, Scheme};
 
@@ -215,6 +534,9 @@ mod tests {
                 schedule.len()
             );
             assert_eq!(report.stats, r1.stats, "{workers} workers");
+            assert!(report.quarantined.is_empty());
+            assert_eq!(report.retried, 0);
+            assert_eq!(report.resumed, 0);
         }
     }
 
@@ -231,5 +553,135 @@ mod tests {
         assert!((0.0..=1.0).contains(&u), "utilization {u}");
         assert!(report.traces_per_sec() > 0.0);
         assert!(report.stats.events > 0);
+    }
+
+    #[test]
+    fn transient_faults_are_retried_bit_identically() {
+        let circuit = SboxCircuit::build(Scheme::Opt);
+        let config = small_config();
+        let sim = Simulator::new(circuit.netlist(), &config.sim);
+        let schedule = classified_schedule(&circuit, &config);
+        let (reference, _) = capture_schedule(&sim, &schedule, &config.sampling, config.seed, 1);
+        for workers in [1usize, 4] {
+            let policy = ExecPolicy {
+                workers,
+                max_retries: 2,
+                faults: FaultPlan::none().with_transient_panics([0, 9, 31, 63]),
+            };
+            let (traces, report) = capture_schedule_with(
+                &sim,
+                &schedule,
+                &config.sampling,
+                config.seed,
+                &policy,
+                ResumeState::fresh(),
+            );
+            assert_eq!(traces, reference, "{workers} workers");
+            assert_eq!(report.retried, 4, "{workers} workers");
+            assert!(report.quarantined.is_empty());
+        }
+    }
+
+    #[test]
+    fn sticky_faults_quarantine_without_losing_the_rest() {
+        let circuit = SboxCircuit::build(Scheme::Opt);
+        let config = small_config();
+        let sim = Simulator::new(circuit.netlist(), &config.sim);
+        let schedule = classified_schedule(&circuit, &config);
+        let (reference, _) = capture_schedule(&sim, &schedule, &config.sampling, config.seed, 1);
+        let policy = ExecPolicy {
+            workers: 3,
+            max_retries: 1,
+            faults: FaultPlan::none().with_sticky_panics([5, 40]),
+        };
+        let (traces, report) = capture_schedule_with(
+            &sim,
+            &schedule,
+            &config.sampling,
+            config.seed,
+            &policy,
+            ResumeState::fresh(),
+        );
+        assert_eq!(
+            report
+                .quarantined
+                .iter()
+                .map(|f| f.index)
+                .collect::<Vec<_>>(),
+            vec![5, 40]
+        );
+        assert!(report.quarantined.iter().all(|f| f.attempts == 2));
+        assert!(report.quarantined[0].message.contains("injected"));
+        for (i, trace) in traces.iter().enumerate() {
+            if i == 5 || i == 40 {
+                assert!(trace.is_empty(), "quarantined slot must stay empty");
+            } else {
+                assert_eq!(*trace, reference[i], "surviving trace {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn resume_skips_completed_indices_and_checkpoints_new_ones() {
+        let circuit = SboxCircuit::build(Scheme::Opt);
+        let config = small_config();
+        let sim = Simulator::new(circuit.netlist(), &config.sim);
+        let schedule = classified_schedule(&circuit, &config);
+        let (reference, clean) =
+            capture_schedule(&sim, &schedule, &config.sampling, config.seed, 1);
+
+        let path = std::env::temp_dir().join(format!(
+            "executor-resume-{}-{:?}.sckp",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let meta = crate::store::StoreMeta {
+            kind: crate::store::StoreKind::Classified,
+            name: "OPT".into(),
+            seed: config.seed,
+            age_months: 0.0,
+            config_digest: 1,
+            class_or_key: 16,
+            traces: schedule.len() as u32,
+            samples: config.sampling.samples as u32,
+        };
+        let (_, mut writer) = resume_checkpoint(&path, &meta).expect("ckpt");
+
+        // First 40 indices "already done" by a previous run.
+        let completed: Vec<(usize, Vec<f64>)> =
+            reference.iter().take(40).cloned().enumerate().collect();
+        let (traces, report) = capture_schedule_with(
+            &sim,
+            &schedule,
+            &config.sampling,
+            config.seed,
+            &ExecPolicy {
+                workers: 2,
+                ..ExecPolicy::default()
+            },
+            ResumeState {
+                completed,
+                checkpoint: Some(&mut writer),
+                sync_every: 8,
+            },
+        );
+        assert_eq!(traces, reference, "resumed run must be bit-identical");
+        assert_eq!(report.resumed, 40);
+        assert!(
+            report.stats.events < clean.stats.events,
+            "resume must not re-simulate completed indices"
+        );
+        drop(writer);
+        let (records, _) = resume_checkpoint(&path, &meta).expect("reread");
+        assert_eq!(
+            records.len(),
+            schedule.len() - 40,
+            "only newly captured indices are checkpointed"
+        );
+        let mut seen: Vec<u32> = records.iter().map(|r| r.0).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (40..schedule.len() as u32).collect::<Vec<_>>());
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -18,6 +18,17 @@
 //!   event counts, cache hit/miss counters and worker utilization,
 //!   printed as a table and appended to `results/campaign_runs.jsonl`.
 //!
+//! The engine is fault-tolerant end to end: per-trace capture panics are
+//! isolated (`catch_unwind`), retried with the same re-derived seed
+//! (bit-identical recovery), and quarantined into the run report when
+//! they keep failing; completed traces stream to an `SCKP` checkpoint so
+//! a killed run resumes instead of restarting; and store / cache /
+//! run-log write failures degrade to warnings in the report — the
+//! figures are the primary artifact, so persistence problems never abort
+//! an acquisition. The [`FaultPlan`] harness (armed via `SCA_FAULTS`)
+//! injects capture panics, store I/O errors, and torn writes
+//! deterministically so these paths are tested rather than trusted.
+//!
 //! # Example
 //!
 //! ```no_run
@@ -35,26 +46,35 @@
 
 mod cache;
 mod digest;
+mod error;
 mod executor;
+mod fault;
 mod report;
 mod store;
 
 pub use cache::{config_digest, CacheMode, CampaignKey, TraceCache};
 pub use digest::{fnv1a, Digest};
-pub use executor::{capture_schedule, resolve_workers, ExecutorReport, WorkerLoad};
+pub use error::CampaignError;
+pub use executor::{
+    capture_schedule, capture_schedule_with, resolve_workers, CaptureFailure, ExecPolicy,
+    ExecutorReport, ResumeState, WorkerLoad,
+};
+pub use fault::{FaultPlan, InjectedFault};
 pub use report::{RunLog, RunReport, Stage, StageTimer};
 pub use store::{
-    CpaRecords, StoreError, StoreKind, StoreMeta, StoreReader, StoreWriter, MAGIC, VERSION,
+    resume_checkpoint, CheckpointRecords, CheckpointWriter, CpaRecords, StoreError, StoreKind,
+    StoreMeta, StoreReader, StoreWriter, CHECKPOINT_MAGIC, MAGIC, VERSION,
 };
 
+use std::collections::HashSet;
 use std::path::PathBuf;
 
 use acquisition::{
     classified_schedule, cpa_schedule, cpa_seed, CpaAcquisition, LeakageStudy, ProtocolConfig,
-    NUM_CLASSES,
+    Stimulus, NUM_CLASSES,
 };
 use aging::AgingConditions;
-use gatesim::{CaptureStats, Derating, Simulator};
+use gatesim::{CaptureStats, Derating, SamplingConfig, Simulator};
 use leakage_core::{ClassifiedTraces, LeakageSpectrum};
 use sbox_circuits::{SboxCircuit, Scheme};
 
@@ -75,6 +95,18 @@ pub struct CampaignConfig {
     pub store_dir: PathBuf,
     /// JSONL sink for run reports.
     pub log_path: PathBuf,
+    /// Retries per failing trace index after its first attempt (retries
+    /// re-derive the same per-trace seed, so recovery is bit-identical).
+    pub max_retries: u32,
+    /// Flush completed traces to an `SCKP` checkpoint every this many
+    /// captures, so a killed run resumes instead of restarting. `0`
+    /// disables checkpointing; it is also off whenever the cache cannot
+    /// write ([`CacheMode::Off`]).
+    pub checkpoint_every: usize,
+    /// Deterministic fault injection (inert by default; the default
+    /// config arms it from `SCA_FAULTS` so CI can exercise the
+    /// degradation paths across the whole suite).
+    pub faults: FaultPlan,
 }
 
 impl Default for CampaignConfig {
@@ -86,6 +118,9 @@ impl Default for CampaignConfig {
             cache: CacheMode::ReadWrite,
             store_dir: PathBuf::from("results/traces"),
             log_path: PathBuf::from("results/campaign_runs.jsonl"),
+            max_retries: 2,
+            checkpoint_every: 64,
+            faults: FaultPlan::from_env().clone(),
         }
     }
 }
@@ -179,19 +214,33 @@ impl Campaign {
 
         timer.stage("acquire");
         let schedule = classified_schedule(&circuit, &self.config.protocol);
-        let (raw, exec) = capture_schedule(
-            &sim,
-            &schedule,
-            &self.config.protocol.sampling,
-            self.config.protocol.seed,
-            self.config.workers,
-        );
+        let (raw, mut exec) = self.execute(&key, &sim, &schedule, self.config.protocol.seed);
+
+        // Quarantined indices have empty slots; the surviving traces
+        // still form a usable (if slightly unbalanced) classified set.
+        let dropped: HashSet<usize> = exec.quarantined.iter().map(|f| f.index).collect();
         let mut traces = ClassifiedTraces::new(NUM_CLASSES, self.config.protocol.sampling.samples);
-        for (stimulus, trace) in schedule.iter().zip(raw) {
-            traces.push(usize::from(stimulus.label), trace);
+        for (index, (stimulus, trace)) in schedule.iter().zip(raw).enumerate() {
+            if !dropped.contains(&index) {
+                traces.push(usize::from(stimulus.label), trace);
+            }
         }
 
-        self.persist(&key, schedule.iter().map(|s| s.label), &traces, &mut timer);
+        if exec.quarantined.is_empty() {
+            let warning = self.persist(&key, schedule.iter().map(|s| s.label), &traces, &mut timer);
+            exec.warnings.extend(warning);
+        } else {
+            // An incomplete set must never be cached as complete; the
+            // checkpoint keeps the survivors so the next run only
+            // re-simulates the missing indices.
+            exec.warnings.push(
+                CampaignError::Incomplete {
+                    quarantined: exec.quarantined.iter().map(|f| f.index).collect(),
+                    scheduled: schedule.len(),
+                }
+                .to_string(),
+            );
+        }
 
         timer.stage("analyze");
         let spectrum = LeakageSpectrum::from_class_means(&traces.class_means());
@@ -250,23 +299,32 @@ impl Campaign {
 
         timer.stage("acquire");
         let schedule = cpa_schedule(&circuit, &self.config.protocol, key, traces);
-        let (raw, exec) = capture_schedule(
-            &sim,
-            &schedule,
-            &self.config.protocol.sampling,
-            cpa_seed(&self.config.protocol),
-            self.config.workers,
-        );
+        let (raw, mut exec) =
+            self.execute(&cache_key, &sim, &schedule, cpa_seed(&self.config.protocol));
 
-        if self.cache.writes_enabled() {
-            timer.stage("store");
-            let records = schedule
-                .iter()
-                .map(|s| s.label)
-                .zip(raw.iter().map(Vec::as_slice));
-            if let Err(e) = self.write_store(&cache_key, records) {
-                eprintln!("campaign cache: persisting CPA set failed ({e}); continuing");
+        if exec.quarantined.is_empty() {
+            if self.cache.writes_enabled() {
+                timer.stage("store");
+                let records = schedule
+                    .iter()
+                    .map(|s| s.label)
+                    .zip(raw.iter().map(Vec::as_slice));
+                if let Err(e) = self.write_store(&cache_key, records) {
+                    exec.warnings.push(format!(
+                        "persisting CPA set failed ({e}); continuing uncached"
+                    ));
+                } else {
+                    let _ = std::fs::remove_file(self.cache.checkpoint_path(&cache_key));
+                }
             }
+        } else {
+            exec.warnings.push(
+                CampaignError::Incomplete {
+                    quarantined: exec.quarantined.iter().map(|f| f.index).collect(),
+                    scheduled: schedule.len(),
+                }
+                .to_string(),
+            );
         }
 
         self.report(&cache_key, &exec, timer);
@@ -328,22 +386,90 @@ impl Campaign {
         self.cache.lookup(key)
     }
 
+    /// Run the executor for one campaign cell, resuming from (and
+    /// streaming progress to) the cell's `SCKP` checkpoint when
+    /// checkpointing is enabled. Checkpoint problems never fail the
+    /// acquisition — they degrade to warnings in the report.
+    fn execute(
+        &mut self,
+        key: &CampaignKey,
+        sim: &Simulator<'_>,
+        schedule: &[Stimulus],
+        base_seed: u64,
+    ) -> (Vec<Vec<f64>>, ExecutorReport) {
+        let policy = ExecPolicy {
+            workers: self.config.workers,
+            max_retries: self.config.max_retries,
+            faults: self.config.faults.clone(),
+        };
+        let sampling: &SamplingConfig = &self.config.protocol.sampling;
+
+        let checkpointing = self.cache.writes_enabled() && self.config.checkpoint_every > 0;
+        let path = self.cache.checkpoint_path(key);
+        let mut warnings = Vec::new();
+        let mut writer: Option<CheckpointWriter> = None;
+        let mut completed = Vec::new();
+        if checkpointing {
+            if !self.cache.reads_enabled() {
+                // Refresh mode (`SCA_CACHE=refresh`) must re-simulate, so
+                // a stale checkpoint cannot be resumed from.
+                let _ = std::fs::remove_file(&path);
+            }
+            if let Some(dir) = path.parent() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            match resume_checkpoint(&path, &key.expected_meta()) {
+                Ok((records, w)) => {
+                    completed = records
+                        .into_iter()
+                        .map(|(index, _label, samples)| (index as usize, samples))
+                        .collect();
+                    writer = Some(w);
+                }
+                Err(e) => warnings.push(format!(
+                    "checkpoint {} unavailable ({e}); running without checkpoints",
+                    path.display()
+                )),
+            }
+        }
+
+        let resume = ResumeState {
+            completed,
+            checkpoint: writer.as_mut(),
+            sync_every: self.config.checkpoint_every,
+        };
+        let (raw, mut exec) =
+            capture_schedule_with(sim, schedule, sampling, base_seed, &policy, resume);
+        warnings.append(&mut exec.warnings);
+        exec.warnings = warnings;
+        (raw, exec)
+    }
+
+    /// Write the finished classified set to the store and retire its
+    /// checkpoint. Returns a warning instead of an error: persistence
+    /// failures degrade (the traces are already in memory).
     fn persist<I: Iterator<Item = u16>>(
         &mut self,
         key: &CampaignKey,
         labels: I,
         traces: &ClassifiedTraces,
         timer: &mut StageTimer,
-    ) {
+    ) -> Option<String> {
         if !self.cache.writes_enabled() {
-            return;
+            return None;
         }
         timer.stage("store");
         // `ClassifiedTraces` preserves acquisition order, so zipping the
         // schedule's labels back over its records reconstructs them.
         let records = labels.zip(traces.iter().map(|(_, t)| t));
-        if let Err(e) = self.write_store(key, records) {
-            eprintln!("campaign cache: persisting trace set failed ({e}); continuing");
+        match self.write_store(key, records) {
+            Ok(()) => {
+                let _ = std::fs::remove_file(self.cache.checkpoint_path(key));
+                None
+            }
+            Err(e) => Some(format!(
+                "persisting trace set failed ({e}); continuing uncached"
+            )),
         }
     }
 
@@ -351,11 +477,25 @@ impl Campaign {
     where
         I: Iterator<Item = (u16, &'a [f64])>,
     {
-        let mut writer = StoreWriter::create(&self.cache.path_for(key), key.expected_meta())?;
+        if let Some(e) = self.config.faults.store_write_error() {
+            return Err(e);
+        }
+        let path = self.cache.path_for(key);
+        let mut writer = StoreWriter::create(&path, key.expected_meta())?;
         for (label, samples) in records {
             writer.record(label, samples)?;
         }
-        writer.finish()
+        writer.finish()?;
+        if let Some(bytes) = self.config.faults.torn_store_bytes() {
+            // A torn write: the writer reported success but the file is
+            // short. The next lookup must degrade to a miss.
+            std::fs::OpenOptions::new()
+                .write(true)
+                .open(&path)
+                .and_then(|f| f.set_len(bytes))
+                .map_err(StoreError::Io)?;
+        }
+        Ok(())
     }
 
     fn classified_hit(
@@ -388,6 +528,10 @@ impl Campaign {
             stats: CaptureStats::default(),
             worker_utilization: 1.0,
             stages: timer.finish(),
+            retried: 0,
+            quarantined: 0,
+            resumed: 0,
+            warnings: Vec::new(),
         });
     }
 
@@ -401,6 +545,10 @@ impl Campaign {
             stats: exec.stats,
             worker_utilization: exec.utilization(),
             stages: timer.finish(),
+            retried: exec.retried,
+            quarantined: exec.quarantined.len(),
+            resumed: exec.resumed,
+            warnings: exec.warnings.clone(),
         });
     }
 }

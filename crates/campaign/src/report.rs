@@ -85,6 +85,18 @@ pub struct RunReport {
     pub worker_utilization: f64,
     /// Per-stage timings, in execution order.
     pub stages: Vec<Stage>,
+    /// Trace indices that failed at least once but were recovered by a
+    /// seed-stable retry.
+    pub retried: usize,
+    /// Trace indices that failed every allowed attempt and were dropped
+    /// from the set.
+    pub quarantined: usize,
+    /// Traces served from a previous run's checkpoint instead of
+    /// simulated.
+    pub resumed: usize,
+    /// Non-fatal degradations (store/cache/checkpoint/report write
+    /// failures that the run survived).
+    pub warnings: Vec<String>,
 }
 
 impl RunReport {
@@ -129,6 +141,17 @@ impl RunReport {
             json_f64(self.worker_utilization)
         );
         let _ = write!(s, ",\"total_seconds\":{}", json_f64(self.total_seconds()));
+        let _ = write!(s, ",\"retried\":{}", self.retried);
+        let _ = write!(s, ",\"quarantined\":{}", self.quarantined);
+        let _ = write!(s, ",\"resumed\":{}", self.resumed);
+        s.push_str(",\"warnings\":[");
+        for (i, w) in self.warnings.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&json_str(w));
+        }
+        s.push(']');
         s.push_str(",\"stages\":{");
         for (i, stage) in self.stages.iter().enumerate() {
             if i > 0 {
@@ -181,6 +204,11 @@ impl RunLog {
 
     /// Append every run as one JSON line each; the file accumulates
     /// across sessions. Returns how many lines were written.
+    ///
+    /// Durable: the file is flushed and synced before returning, so a
+    /// crash immediately after a campaign cannot lose its run records.
+    /// Callers treat a returned error as a warning — a broken run log
+    /// never aborts a campaign.
     pub fn append_jsonl(&self, path: &Path) -> std::io::Result<usize> {
         if self.reports.is_empty() {
             return Ok(0);
@@ -192,6 +220,8 @@ impl RunLog {
         for r in &self.reports {
             writeln!(f, "{}", r.to_json())?;
         }
+        f.flush()?;
+        f.sync_all()?;
         Ok(self.reports.len())
     }
 
@@ -200,13 +230,24 @@ impl RunLog {
         let mut s = String::new();
         let _ = writeln!(
             s,
-            "{:<9} {:>4} {:>7} {:>4} {:>6} {:>10} {:>6} {:>9} {:>9}",
-            "impl", "age", "traces", "wrk", "cache", "events", "util", "acq(s)", "total(s)"
+            "{:<9} {:>4} {:>7} {:>4} {:>6} {:>10} {:>6} {:>5} {:>5} {:>5} {:>9} {:>9}",
+            "impl",
+            "age",
+            "traces",
+            "wrk",
+            "cache",
+            "events",
+            "util",
+            "rtry",
+            "quar",
+            "rsmd",
+            "acq(s)",
+            "total(s)"
         );
         for r in &self.reports {
             let _ = writeln!(
                 s,
-                "{:<9} {:>4.0} {:>7} {:>4} {:>6} {:>10} {:>6.2} {:>9.3} {:>9.3}",
+                "{:<9} {:>4.0} {:>7} {:>4} {:>6} {:>10} {:>6.2} {:>5} {:>5} {:>5} {:>9.3} {:>9.3}",
                 r.implementation,
                 r.age_months,
                 r.traces,
@@ -214,6 +255,9 @@ impl RunLog {
                 if r.cache_hit { "hit" } else { "miss" },
                 r.stats.events,
                 r.worker_utilization,
+                r.retried,
+                r.quarantined,
+                r.resumed,
                 r.stage_seconds("acquire"),
                 r.total_seconds(),
             );
@@ -225,6 +269,15 @@ impl RunLog {
             self.cache_misses(),
             self.reports.len()
         );
+        for r in &self.reports {
+            for w in &r.warnings {
+                let _ = writeln!(
+                    s,
+                    "warning: {} age {:.0}: {w}",
+                    r.implementation, r.age_months
+                );
+            }
+        }
         s
     }
 }
@@ -286,6 +339,10 @@ mod tests {
                     elapsed: Duration::from_millis(120),
                 },
             ],
+            retried: if hit { 0 } else { 1 },
+            quarantined: 0,
+            resumed: 0,
+            warnings: Vec::new(),
         }
     }
 
@@ -306,11 +363,28 @@ mod tests {
             "\"workers\":4",
             "\"cache_hit\":false",
             "\"sim_events\":4242",
+            "\"retried\":1",
+            "\"quarantined\":0",
+            "\"resumed\":0",
+            "\"warnings\":[]",
             "\"stages\":{\"build\":",
         ] {
             assert!(j.contains(field), "{field} missing from {j}");
         }
         assert!(!j.contains('\n'));
+
+        let mut warned = report(false);
+        warned
+            .warnings
+            .push("store write failed: \"disk full\"".into());
+        let j = warned.to_json();
+        assert!(j.contains("\"warnings\":[\"store write failed: \\\"disk full\\\"\"]"));
+        let table = {
+            let mut log = RunLog::new();
+            log.push(warned);
+            log.summary_table()
+        };
+        assert!(table.contains("warning: ISW age 12: store write failed"));
     }
 
     #[test]

@@ -30,10 +30,31 @@
 //! ([`StoreReader::for_each_record`]) rather than materializing the file,
 //! so consumers that only fold over traces (means, spectra) never hold
 //! more than one record in memory.
+//!
+//! # Checkpoints (`SCKP`)
+//!
+//! A crashed or killed campaign must not lose hours of simulation, so
+//! the executor periodically flushes completed traces to a sibling
+//! *checkpoint* file (`<store>.ckpt`). Unlike `SCTR` — whose single
+//! trailing checksum makes a file all-or-nothing — a checkpoint is a
+//! sequence of **self-delimiting frames**, each carrying its own FNV
+//! checksum:
+//!
+//! ```text
+//! magic "SCKP", version, the SCTR header fields, header FNV-1a/64
+//! frame*: index u32 | label u16 | samples × f64 | frame FNV-1a/64
+//! ```
+//!
+//! A torn tail (the crash case) therefore salvages every frame before
+//! the tear: [`resume_checkpoint`] validates frames in order, truncates
+//! the file back to the last intact frame, and hands back both the
+//! salvaged records and a writer positioned to append. Resumed runs
+//! re-derive the same per-trace seeds for the remaining indices, so the
+//! merged result is byte-identical to an uninterrupted run.
 
 use std::fmt;
-use std::fs::File;
-use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 use leakage_core::ClassifiedTraces;
@@ -46,7 +67,9 @@ pub type CpaRecords = (u8, Vec<u8>, Vec<Vec<f64>>);
 
 /// File magic.
 pub const MAGIC: [u8; 4] = *b"SCTR";
-/// Current format version.
+/// Checkpoint-file magic.
+pub const CHECKPOINT_MAGIC: [u8; 4] = *b"SCKP";
+/// Current format version (shared by stores and checkpoints).
 pub const VERSION: u16 = 1;
 
 /// What protocol produced a store's records (decides how its `u16`
@@ -150,21 +173,9 @@ impl StoreWriter {
             meta: meta.clone(),
             written: 0,
         };
-        let name = meta.name.as_bytes();
-        if name.len() > usize::from(u16::MAX) {
-            return Err(StoreError::Format("implementation name too long".into()));
-        }
         w.emit(&MAGIC)?;
         w.emit(&VERSION.to_le_bytes())?;
-        w.emit(&meta.kind.to_u16().to_le_bytes())?;
-        w.emit(&meta.class_or_key.to_le_bytes())?;
-        w.emit(&(name.len() as u16).to_le_bytes())?;
-        w.emit(name)?;
-        w.emit(&meta.seed.to_le_bytes())?;
-        w.emit(&meta.age_months.to_le_bytes())?;
-        w.emit(&meta.config_digest.to_le_bytes())?;
-        w.emit(&meta.traces.to_le_bytes())?;
-        w.emit(&meta.samples.to_le_bytes())?;
+        w.emit(&meta_bytes(&meta)?)?;
         Ok(w)
     }
 
@@ -243,32 +254,27 @@ impl StoreReader {
                 "unsupported store version {version} (this reader understands {VERSION})"
             )));
         }
-        let kind = StoreKind::from_u16(u16::from_le_bytes(read_array(&mut input, &mut digest)?))?;
-        let class_or_key = u16::from_le_bytes(read_array(&mut input, &mut digest)?);
-        let name_len = u16::from_le_bytes(read_array(&mut input, &mut digest)?);
-        let mut name_bytes = vec![0u8; usize::from(name_len)];
-        input.read_exact(&mut name_bytes)?;
-        digest.bytes(&name_bytes);
-        let name = String::from_utf8(name_bytes)
-            .map_err(|_| StoreError::Format("implementation name is not UTF-8".into()))?;
-        let seed = u64::from_le_bytes(read_array(&mut input, &mut digest)?);
-        let age_months = f64::from_le_bytes(read_array(&mut input, &mut digest)?);
-        let config_digest = u64::from_le_bytes(read_array(&mut input, &mut digest)?);
-        let traces = u32::from_le_bytes(read_array(&mut input, &mut digest)?);
-        let samples = u32::from_le_bytes(read_array(&mut input, &mut digest)?);
+        let meta = parse_meta(&mut input, &mut digest)?;
 
-        let record_bytes = 2 + 8 * samples as usize;
+        // Sanity-check the header against the file's actual length
+        // *before* sizing any buffer from it: a corrupted trace or
+        // sample count must produce a format error, not a multi-gigabyte
+        // allocation (the checksum would catch the corruption, but only
+        // after the damage).
+        let expected = 44u128
+            + meta.name.len() as u128
+            + u128::from(meta.traces) * (2 + 8 * u128::from(meta.samples))
+            + 8;
+        let actual = u128::from(input.get_ref().metadata()?.len());
+        if actual != expected {
+            return Err(StoreError::Format(format!(
+                "store is {actual} bytes but its header implies {expected}"
+            )));
+        }
+
+        let record_bytes = 2 + 8 * meta.samples as usize;
         Ok(Self {
-            meta: StoreMeta {
-                kind,
-                name,
-                seed,
-                age_months,
-                config_digest,
-                class_or_key,
-                traces,
-                samples,
-            },
+            meta,
             input,
             digest,
             record_buf: vec![0u8; record_bytes],
@@ -370,7 +376,7 @@ impl StoreReader {
 }
 
 fn read_array<const N: usize>(
-    input: &mut BufReader<File>,
+    input: &mut impl Read,
     digest: &mut Digest,
 ) -> Result<[u8; N], StoreError> {
     let mut buf = [0u8; N];
@@ -383,6 +389,229 @@ fn read_array<const N: usize>(
     })?;
     digest.bytes(&buf);
     Ok(buf)
+}
+
+/// The header fields after magic+version, in wire order.
+fn meta_bytes(meta: &StoreMeta) -> Result<Vec<u8>, StoreError> {
+    let name = meta.name.as_bytes();
+    if name.len() > usize::from(u16::MAX) {
+        return Err(StoreError::Format("implementation name too long".into()));
+    }
+    let mut buf = Vec::with_capacity(38 + name.len());
+    buf.extend_from_slice(&meta.kind.to_u16().to_le_bytes());
+    buf.extend_from_slice(&meta.class_or_key.to_le_bytes());
+    buf.extend_from_slice(&(name.len() as u16).to_le_bytes());
+    buf.extend_from_slice(name);
+    buf.extend_from_slice(&meta.seed.to_le_bytes());
+    buf.extend_from_slice(&meta.age_months.to_le_bytes());
+    buf.extend_from_slice(&meta.config_digest.to_le_bytes());
+    buf.extend_from_slice(&meta.traces.to_le_bytes());
+    buf.extend_from_slice(&meta.samples.to_le_bytes());
+    Ok(buf)
+}
+
+/// Parse the header fields after magic+version, absorbing them into
+/// `digest` exactly as [`meta_bytes`] emitted them.
+fn parse_meta(input: &mut impl Read, digest: &mut Digest) -> Result<StoreMeta, StoreError> {
+    let kind = StoreKind::from_u16(u16::from_le_bytes(read_array(input, digest)?))?;
+    let class_or_key = u16::from_le_bytes(read_array(input, digest)?);
+    let name_len = u16::from_le_bytes(read_array(input, digest)?);
+    let mut name_bytes = vec![0u8; usize::from(name_len)];
+    input.read_exact(&mut name_bytes).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            StoreError::Format("store truncated mid-header".into())
+        } else {
+            StoreError::Io(e)
+        }
+    })?;
+    digest.bytes(&name_bytes);
+    let name = String::from_utf8(name_bytes)
+        .map_err(|_| StoreError::Format("implementation name is not UTF-8".into()))?;
+    let seed = u64::from_le_bytes(read_array(input, digest)?);
+    let age_months = f64::from_le_bytes(read_array(input, digest)?);
+    let config_digest = u64::from_le_bytes(read_array(input, digest)?);
+    let traces = u32::from_le_bytes(read_array(input, digest)?);
+    let samples = u32::from_le_bytes(read_array(input, digest)?);
+    Ok(StoreMeta {
+        kind,
+        name,
+        seed,
+        age_months,
+        config_digest,
+        class_or_key,
+        traces,
+        samples,
+    })
+}
+
+/// Salvaged checkpoint records: `(schedule index, label, samples)`.
+pub type CheckpointRecords = Vec<(u32, u16, Vec<f64>)>;
+
+/// An appending writer of `SCKP` checkpoint frames. Obtain one via
+/// [`resume_checkpoint`]; call [`CheckpointWriter::sync`] at whatever
+/// durability cadence the campaign wants.
+#[derive(Debug)]
+pub struct CheckpointWriter {
+    out: BufWriter<File>,
+    samples: usize,
+    traces: u32,
+}
+
+impl CheckpointWriter {
+    /// Append one completed trace as a self-checksummed frame.
+    pub fn record(&mut self, index: u32, label: u16, samples: &[f64]) -> Result<(), StoreError> {
+        if samples.len() != self.samples {
+            return Err(StoreError::Format(format!(
+                "checkpoint frame has {} samples, header promises {}",
+                samples.len(),
+                self.samples
+            )));
+        }
+        if index >= self.traces {
+            return Err(StoreError::Format(format!(
+                "checkpoint frame index {index} out of range (< {})",
+                self.traces
+            )));
+        }
+        let mut frame = Vec::with_capacity(6 + samples.len() * 8);
+        frame.extend_from_slice(&index.to_le_bytes());
+        frame.extend_from_slice(&label.to_le_bytes());
+        for &s in samples {
+            frame.extend_from_slice(&s.to_le_bytes());
+        }
+        let checksum = crate::digest::fnv1a(&frame);
+        self.out.write_all(&frame)?;
+        self.out.write_all(&checksum.to_le_bytes())?;
+        Ok(())
+    }
+
+    /// Flush buffered frames and push them to the device, so a kill
+    /// after this call loses nothing written before it.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.out.flush()?;
+        self.out.get_ref().sync_data()?;
+        Ok(())
+    }
+}
+
+/// Open (or create) the checkpoint at `path` for the acquisition
+/// described by `expect`.
+///
+/// Returns every intact frame already on disk plus a writer positioned
+/// to append after them. Degradation rules:
+///
+/// * missing file → empty records, fresh header;
+/// * unreadable/mismatched header (a different run's checkpoint, a
+///   corrupt byte, an unknown version) → the file is reset to a fresh
+///   header and zero records — never trusted, never fatal;
+/// * torn or corrupt frame → every frame *before* it is salvaged, the
+///   file is truncated back to the last intact frame, appending resumes
+///   from there.
+///
+/// Only a real I/O error (permissions, disk) is returned as `Err`; the
+/// caller then runs without checkpointing.
+pub fn resume_checkpoint(
+    path: &Path,
+    expect: &StoreMeta,
+) -> Result<(CheckpointRecords, CheckpointWriter), StoreError> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let header = checkpoint_header(expect)?;
+    let frame_len = 4 + 2 + 8 * expect.samples as usize + 8;
+
+    let (records, valid_len) = match File::open(path) {
+        Ok(f) => salvage_frames(BufReader::new(f), &header, expect, frame_len),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => (Vec::new(), 0),
+        Err(e) => return Err(StoreError::Io(e)),
+    };
+
+    // The salvaged prefix is kept; `set_len` below trims exactly to it.
+    let file = OpenOptions::new()
+        .write(true)
+        .create(true)
+        .truncate(false)
+        .open(path)?;
+    if valid_len == 0 {
+        file.set_len(0)?;
+        let mut out = BufWriter::new(file);
+        out.write_all(&header)?;
+        out.flush()?;
+        out.get_ref().sync_data()?;
+        Ok((
+            records,
+            CheckpointWriter {
+                out,
+                samples: expect.samples as usize,
+                traces: expect.traces,
+            },
+        ))
+    } else {
+        file.set_len(valid_len)?;
+        let mut out = BufWriter::new(file);
+        out.seek(SeekFrom::End(0))?;
+        Ok((
+            records,
+            CheckpointWriter {
+                out,
+                samples: expect.samples as usize,
+                traces: expect.traces,
+            },
+        ))
+    }
+}
+
+/// The full `SCKP` header (magic, version, meta fields, header FNV).
+fn checkpoint_header(meta: &StoreMeta) -> Result<Vec<u8>, StoreError> {
+    let mut header = Vec::new();
+    header.extend_from_slice(&CHECKPOINT_MAGIC);
+    header.extend_from_slice(&VERSION.to_le_bytes());
+    header.extend_from_slice(&meta_bytes(meta)?);
+    let checksum = crate::digest::fnv1a(&header);
+    header.extend_from_slice(&checksum.to_le_bytes());
+    Ok(header)
+}
+
+/// Read everything trustworthy out of an existing checkpoint: if the
+/// header matches `expect` byte for byte, every frame whose checksum
+/// verifies, in order, stopping at the first tear. Returns the records
+/// and the byte length of the trusted prefix (0 = header unusable,
+/// start over).
+fn salvage_frames(
+    mut input: BufReader<File>,
+    header: &[u8],
+    expect: &StoreMeta,
+    frame_len: usize,
+) -> (CheckpointRecords, u64) {
+    let mut on_disk = vec![0u8; header.len()];
+    if input.read_exact(&mut on_disk).is_err() || on_disk != header {
+        return (Vec::new(), 0);
+    }
+    let mut records = Vec::new();
+    let mut valid_len = header.len() as u64;
+    let mut frame = vec![0u8; frame_len];
+    loop {
+        if input.read_exact(&mut frame).is_err() {
+            break; // EOF or torn tail: everything salvaged so far stands.
+        }
+        let body = &frame[..frame_len - 8];
+        let stored = u64::from_le_bytes(frame[frame_len - 8..].try_into().expect("8-byte tail"));
+        if crate::digest::fnv1a(body) != stored {
+            break; // corrupt frame: do not trust it or anything after it.
+        }
+        let index = u32::from_le_bytes(body[..4].try_into().expect("4-byte index"));
+        if index >= expect.traces {
+            break;
+        }
+        let label = u16::from_le_bytes(body[4..6].try_into().expect("2-byte label"));
+        let samples: Vec<f64> = body[6..]
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte sample")))
+            .collect();
+        records.push((index, label, samples));
+        valid_len += frame_len as u64;
+    }
+    (records, valid_len)
 }
 
 #[cfg(test)]
@@ -460,11 +689,10 @@ mod tests {
         w.finish().expect("finish");
         let bytes = std::fs::read(&path).expect("read");
         std::fs::write(&path, &bytes[..bytes.len() - 20]).expect("write");
-        let err = StoreReader::open(&path)
-            .expect("open")
-            .for_each_record(|_, _| {})
-            .expect_err("truncation must fail");
-        assert!(matches!(err, StoreError::Format(m) if m.contains("truncated")));
+        // The length sanity check refuses the file before any record is
+        // parsed (or any buffer sized from its header).
+        let err = StoreReader::open(&path).expect_err("truncation must fail");
+        assert!(matches!(err, StoreError::Format(m) if m.contains("header implies")));
         let _ = std::fs::remove_file(&path);
     }
 
@@ -500,6 +728,118 @@ mod tests {
         let mut w = StoreWriter::create(&path, meta(1, 1)).expect("create");
         w.record(0, &[1.0]).expect("record");
         assert!(w.record(1, &[2.0]).is_err(), "extra record must fail");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn checkpoint_round_trips_and_appends() {
+        let path = tmp("ckpt-roundtrip.sckp");
+        let _ = std::fs::remove_file(&path);
+        let m = meta(8, 3);
+        let (records, mut w) = resume_checkpoint(&path, &m).expect("fresh");
+        assert!(records.is_empty());
+        w.record(2, 7, &[1.0, 2.0, 3.0]).expect("r");
+        w.record(5, 1, &[-4.0, 0.0, f64::MIN_POSITIVE]).expect("r");
+        w.sync().expect("sync");
+        drop(w);
+
+        let (records, mut w) = resume_checkpoint(&path, &m).expect("resume");
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0], (2, 7, vec![1.0, 2.0, 3.0]));
+        assert_eq!(records[1].0, 5);
+        w.record(7, 0, &[9.0, 9.5, 10.0]).expect("append");
+        w.sync().expect("sync");
+        drop(w);
+        let (records, _) = resume_checkpoint(&path, &m).expect("reread");
+        assert_eq!(
+            records.iter().map(|r| r.0).collect::<Vec<_>>(),
+            vec![2, 5, 7]
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn checkpoint_salvages_everything_before_a_torn_tail() {
+        let path = tmp("ckpt-torn.sckp");
+        let _ = std::fs::remove_file(&path);
+        let m = meta(8, 2);
+        let (_, mut w) = resume_checkpoint(&path, &m).expect("fresh");
+        for i in 0..4u32 {
+            w.record(i, i as u16, &[i as f64, -(i as f64)]).expect("r");
+        }
+        w.sync().expect("sync");
+        drop(w);
+
+        // Tear mid-way through the last frame.
+        let full = std::fs::read(&path).expect("read");
+        std::fs::write(&path, &full[..full.len() - 5]).expect("tear");
+        let (records, mut w) = resume_checkpoint(&path, &m).expect("salvage");
+        assert_eq!(records.len(), 3, "intact frames survive the tear");
+        assert_eq!(records.last().expect("last").0, 2);
+
+        // Appending after the tear must not resurrect the torn frame.
+        w.record(6, 6, &[60.0, -60.0]).expect("append");
+        w.sync().expect("sync");
+        drop(w);
+        let (records, _) = resume_checkpoint(&path, &m).expect("reread");
+        assert_eq!(
+            records.iter().map(|r| r.0).collect::<Vec<_>>(),
+            vec![0, 1, 2, 6]
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn checkpoint_corrupt_frame_quarantines_its_suffix() {
+        let path = tmp("ckpt-corrupt.sckp");
+        let _ = std::fs::remove_file(&path);
+        let m = meta(8, 2);
+        let (_, mut w) = resume_checkpoint(&path, &m).expect("fresh");
+        for i in 0..3u32 {
+            w.record(i, 0, &[1.0, 2.0]).expect("r");
+        }
+        w.sync().expect("sync");
+        drop(w);
+        let mut bytes = std::fs::read(&path).expect("read");
+        let frame_len = 4 + 2 + 16 + 8;
+        let second_frame_start = bytes.len() - 2 * frame_len;
+        bytes[second_frame_start + 7] ^= 0x01;
+        std::fs::write(&path, &bytes).expect("corrupt");
+        let (records, _) = resume_checkpoint(&path, &m).expect("salvage");
+        assert_eq!(
+            records.iter().map(|r| r.0).collect::<Vec<_>>(),
+            vec![0],
+            "frames after a corrupt one are untrusted"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn checkpoint_for_a_different_run_is_reset_not_resumed() {
+        let path = tmp("ckpt-mismatch.sckp");
+        let _ = std::fs::remove_file(&path);
+        let (_, mut w) = resume_checkpoint(&path, &meta(4, 2)).expect("fresh");
+        w.record(0, 0, &[1.0, 2.0]).expect("r");
+        w.sync().expect("sync");
+        drop(w);
+
+        // Same path, different seed: the old frames must not leak in.
+        let mut other = meta(4, 2);
+        other.seed ^= 1;
+        let (records, _) = resume_checkpoint(&path, &other).expect("reset");
+        assert!(records.is_empty(), "mismatched checkpoint must reset");
+        let (records, _) = resume_checkpoint(&path, &other).expect("fresh again");
+        assert!(records.is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn checkpoint_writer_rejects_malformed_frames() {
+        let path = tmp("ckpt-shape.sckp");
+        let _ = std::fs::remove_file(&path);
+        let (_, mut w) = resume_checkpoint(&path, &meta(4, 2)).expect("fresh");
+        assert!(w.record(0, 0, &[1.0]).is_err(), "short frame");
+        assert!(w.record(4, 0, &[1.0, 2.0]).is_err(), "index out of range");
         let _ = std::fs::remove_file(&path);
     }
 

@@ -6,14 +6,28 @@
 //! distinct acquisition happens at most once per sweep. The per-run
 //! reports land in `results/campaign_runs.jsonl`; a cache summary over
 //! this sweep's lines is printed at the end.
+//!
+//! The sweep is failure-isolated: one crashing experiment records its
+//! error and the rest still run. A pass/fail summary table closes the
+//! sweep, and the exit status is non-zero iff anything failed. CLI
+//! arguments (the traces-per-class override) are forwarded to every
+//! binary.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::Command;
+use std::time::Instant;
 
 fn jsonl_lines(path: &Path) -> Vec<String> {
     std::fs::read_to_string(path)
         .map(|s| s.lines().map(str::to_string).collect())
         .unwrap_or_default()
+}
+
+/// One experiment's outcome in the sweep summary.
+struct SweepResult {
+    bin: &'static str,
+    outcome: Result<(), String>,
+    seconds: f64,
 }
 
 fn main() {
@@ -36,24 +50,40 @@ fn main() {
         "second_order",
         "sr_curves",
     ];
+    // Locating our own directory can only fail in exotic environments;
+    // degrade to bare names (resolved via PATH) rather than crashing the
+    // whole sweep before it starts.
     let exe_dir = std::env::current_exe()
-        .expect("own path")
-        .parent()
-        .expect("bin dir")
-        .to_path_buf();
+        .ok()
+        .and_then(|p| p.parent().map(Path::to_path_buf))
+        .unwrap_or_else(|| {
+            eprintln!("warning: cannot locate own binary directory; relying on PATH");
+            PathBuf::new()
+        });
+    let forwarded: Vec<String> = std::env::args().skip(1).collect();
     let log_path = Path::new("results/campaign_runs.jsonl");
     let lines_before = jsonl_lines(log_path).len();
-    let mut failures = Vec::new();
+
+    let mut results: Vec<SweepResult> = Vec::new();
     for bin in bins {
         println!("\n================================================================");
         println!("== {bin}");
         println!("================================================================");
-        let status = Command::new(exe_dir.join(bin)).status();
-        match status {
-            Ok(s) if s.success() => {}
-            Ok(s) => failures.push(format!("{bin}: exit {s}")),
-            Err(e) => failures.push(format!("{bin}: {e}")),
+        let started = Instant::now();
+        let status = Command::new(exe_dir.join(bin)).args(&forwarded).status();
+        let outcome = match status {
+            Ok(s) if s.success() => Ok(()),
+            Ok(s) => Err(format!("exit {s}")),
+            Err(e) => Err(e.to_string()),
+        };
+        if let Err(e) = &outcome {
+            eprintln!("error: {bin} failed ({e}); continuing with the remaining experiments");
         }
+        results.push(SweepResult {
+            bin,
+            outcome,
+            seconds: started.elapsed().as_secs_f64(),
+        });
     }
 
     let after = jsonl_lines(log_path);
@@ -71,10 +101,28 @@ fn main() {
         println!("(per-run timings in {})", log_path.display());
     }
 
-    if failures.is_empty() {
-        println!("\nall experiments completed; CSVs in results/");
+    let failed = results.iter().filter(|r| r.outcome.is_err()).count();
+    println!("\nsweep summary:");
+    println!(
+        "{:<14} {:>6} {:>9}  detail",
+        "experiment", "status", "time(s)"
+    );
+    for r in &results {
+        let (status, detail) = match &r.outcome {
+            Ok(()) => ("pass", String::new()),
+            Err(e) => ("FAIL", e.clone()),
+        };
+        println!("{:<14} {:>6} {:>9.1}  {detail}", r.bin, status, r.seconds);
+    }
+    println!(
+        "{failed} failed / {} passed of {} experiments",
+        results.len() - failed,
+        results.len()
+    );
+
+    if failed == 0 {
+        println!("all experiments completed; CSVs in results/");
     } else {
-        eprintln!("\nfailures: {failures:?}");
         std::process::exit(1);
     }
 }

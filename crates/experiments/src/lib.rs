@@ -11,6 +11,12 @@
 //! persisted as `SCTR` stores under `results/traces/`, and re-served from
 //! that cache on every later run of the same cell (`SCA_CACHE=off` to
 //! disable, `SCA_CACHE=refresh` to re-simulate but still persist).
+//! Failure handling is tunable too: `SCA_RETRIES` (capture retries per
+//! trace, default 2), `SCA_CHECKPOINT` (traces between checkpoint syncs,
+//! default 64, `0` disables resume), and `SCA_FAULTS` (the deterministic
+//! fault-injection harness; see the `campaign` crate docs for the
+//! grammar). A malformed value never fails silently: it warns on stderr,
+//! naming the bad value and the default used instead.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,24 +40,55 @@ pub fn protocol_from_args() -> ProtocolConfig {
     }
 }
 
+/// Parse an environment variable, warning on stderr (naming the bad
+/// value and the default used) when it is set but unusable. A typo must
+/// never silently fall back.
+fn env_parsed<T>(name: &str, default: T) -> T
+where
+    T: std::str::FromStr + std::fmt::Display + Copy,
+{
+    match std::env::var(name) {
+        Ok(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("warning: {name}={v:?} is not a valid value; using default {default}");
+            default
+        }),
+        Err(_) => default,
+    }
+}
+
+/// The cache mode named by `SCA_CACHE`, warning on values that are not
+/// `off` / `refresh` / `on` instead of silently defaulting.
+fn cache_mode_from_env() -> CacheMode {
+    match std::env::var("SCA_CACHE") {
+        Ok(v) => match v.as_str() {
+            "off" => CacheMode::Off,
+            "refresh" => CacheMode::WriteOnly,
+            "" | "on" => CacheMode::ReadWrite,
+            other => {
+                eprintln!(
+                    "warning: SCA_CACHE={other:?} is not one of off/refresh/on; \
+                     using default read-write"
+                );
+                CacheMode::ReadWrite
+            }
+        },
+        Err(_) => CacheMode::ReadWrite,
+    }
+}
+
 /// The campaign policy shared by every binary: workers from
 /// `SCA_WORKERS` (0 or unset = all cores), cache mode from `SCA_CACHE`
-/// (`off`, `refresh`, default read-write), stores and the run log under
-/// `results/`.
+/// (`off`, `refresh`, default read-write), capture retries from
+/// `SCA_RETRIES`, checkpoint cadence from `SCA_CHECKPOINT` (0 = no
+/// checkpoints), fault injection from `SCA_FAULTS`, stores and the run
+/// log under `results/`.
 pub fn campaign_config(protocol: ProtocolConfig) -> CampaignConfig {
-    let workers = std::env::var("SCA_WORKERS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0);
-    let cache = match std::env::var("SCA_CACHE").as_deref() {
-        Ok("off") => CacheMode::Off,
-        Ok("refresh") => CacheMode::WriteOnly,
-        _ => CacheMode::ReadWrite,
-    };
     CampaignConfig {
         protocol,
-        workers,
-        cache,
+        workers: env_parsed("SCA_WORKERS", 0usize),
+        cache: cache_mode_from_env(),
+        max_retries: env_parsed("SCA_RETRIES", 2u32),
+        checkpoint_every: env_parsed("SCA_CHECKPOINT", 64usize),
         ..CampaignConfig::default()
     }
 }
@@ -198,5 +235,20 @@ mod tests {
         let c = campaign_config(ProtocolConfig::default());
         assert_eq!(c.store_dir, PathBuf::from("results/traces"));
         assert_eq!(c.log_path, PathBuf::from("results/campaign_runs.jsonl"));
+        assert_eq!(c.max_retries, 2);
+        assert_eq!(c.checkpoint_every, 64);
+    }
+
+    #[test]
+    fn env_parsing_warns_and_defaults_on_garbage() {
+        // Unique variable names: the test process' environment is shared
+        // across threads.
+        std::env::set_var("SCA_TEST_ENV_GOOD", "7");
+        assert_eq!(env_parsed("SCA_TEST_ENV_GOOD", 0usize), 7);
+        std::env::set_var("SCA_TEST_ENV_BAD", "banana");
+        assert_eq!(env_parsed("SCA_TEST_ENV_BAD", 3usize), 3);
+        assert_eq!(env_parsed("SCA_TEST_ENV_UNSET", 5u32), 5);
+        std::env::remove_var("SCA_TEST_ENV_GOOD");
+        std::env::remove_var("SCA_TEST_ENV_BAD");
     }
 }

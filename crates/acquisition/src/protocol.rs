@@ -14,7 +14,7 @@
 //! parallel executor in the `sca-campaign` crate both compose these same
 //! stages, which is what makes their outputs bit-identical.
 
-use gatesim::{CaptureStats, Derating, SamplingConfig, SimConfig, Simulator};
+use gatesim::{CaptureSession, CaptureStats, Derating, SamplingConfig, SimConfig, Simulator};
 use leakage_core::ClassifiedTraces;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -166,6 +166,25 @@ pub fn capture_stimulus(
     )
 }
 
+/// [`capture_stimulus`] on a reusable [`CaptureSession`] — the hot path
+/// for capture loops. Bit-identical to the one-shot variant (the
+/// simulator's own capture runs on a temporary session), but the only
+/// per-trace allocation left is the returned trace itself.
+pub fn capture_stimulus_session(
+    session: &mut CaptureSession<'_>,
+    stimulus: &Stimulus,
+    sampling: &SamplingConfig,
+    seed: u64,
+) -> (Vec<f64>, CaptureStats) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    session.capture_with_rng_stats(
+        &stimulus.initial,
+        &stimulus.final_inputs,
+        sampling,
+        &mut rng,
+    )
+}
+
 /// [`capture_stimulus`], but validating the stimulus against the
 /// simulator's circuit first and returning a typed [`CaptureError`]
 /// instead of panicking on a malformed schedule entry.
@@ -177,6 +196,18 @@ pub fn try_capture_stimulus(
 ) -> Result<(Vec<f64>, CaptureStats), CaptureError> {
     stimulus.validate(sim.netlist().num_inputs())?;
     Ok(capture_stimulus(sim, stimulus, sampling, seed))
+}
+
+/// [`capture_stimulus_session`] with the same up-front validation as
+/// [`try_capture_stimulus`].
+pub fn try_capture_stimulus_session(
+    session: &mut CaptureSession<'_>,
+    stimulus: &Stimulus,
+    sampling: &SamplingConfig,
+    seed: u64,
+) -> Result<(Vec<f64>, CaptureStats), CaptureError> {
+    stimulus.validate(session.simulator().netlist().num_inputs())?;
+    Ok(capture_stimulus_session(session, stimulus, sampling, seed))
 }
 
 /// Acquire a class-balanced trace set from a fresh (unaged) device.
@@ -192,10 +223,11 @@ pub fn acquire_with_derating(
     derating: &Derating,
 ) -> ClassifiedTraces {
     let sim = Simulator::with_derating(circuit.netlist(), &config.sim, derating);
+    let mut session = sim.session();
     let mut set = ClassifiedTraces::new(NUM_CLASSES, config.sampling.samples);
     for (i, stimulus) in classified_schedule(circuit, config).iter().enumerate() {
-        let (trace, _) = capture_stimulus(
-            &sim,
+        let (trace, _) = capture_stimulus_session(
+            &mut session,
             stimulus,
             &config.sampling,
             trace_seed(config.seed, i as u64),
@@ -321,12 +353,13 @@ pub fn acquire_cpa(
     traces: usize,
 ) -> CpaAcquisition {
     let sim = Simulator::new(circuit.netlist(), &config.sim);
+    let mut session = sim.session();
     let schedule = cpa_schedule(circuit, config, key, traces);
     let mut plaintexts = Vec::with_capacity(traces);
     let mut out = Vec::with_capacity(traces);
     for (i, stimulus) in schedule.iter().enumerate() {
-        let (trace, _) = capture_stimulus(
-            &sim,
+        let (trace, _) = capture_stimulus_session(
+            &mut session,
             stimulus,
             &config.sampling,
             trace_seed(cpa_seed(config), i as u64),

@@ -113,9 +113,68 @@ fn bench_fault_recovery(c: &mut Criterion) {
     group.finish();
 }
 
+/// The executor's inner loop in isolation: one shard's worth of
+/// scheduled stimuli captured via the one-shot allocating
+/// `capture_stimulus` versus the reused per-worker `CaptureSession`
+/// (what the executor actually holds for its whole shard). Same
+/// schedule, same seeds, bit-identical traces — the gap is pure
+/// allocation and queue overhead.
+fn bench_shard_capture_paths(c: &mut Criterion) {
+    use acquisition::{
+        capture_stimulus, capture_stimulus_session, classified_schedule, trace_seed,
+    };
+    use gatesim::Simulator;
+
+    let protocol = small_protocol();
+    let circuit = sbox_circuits::SboxCircuit::build(Scheme::Isw);
+    let sim = Simulator::new(circuit.netlist(), &protocol.sim);
+    let schedule = classified_schedule(&circuit, &protocol);
+    let traces = schedule.len() as u64;
+
+    let mut group = c.benchmark_group("campaign/shard_capture");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(traces));
+    group.bench_function("alloc_per_trace", |b| {
+        b.iter(|| {
+            schedule
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    capture_stimulus(
+                        &sim,
+                        s,
+                        &protocol.sampling,
+                        trace_seed(protocol.seed, i as u64),
+                    )
+                    .1
+                })
+                .fold(0usize, |acc, stats| acc + stats.events)
+        })
+    });
+    let mut session = sim.session();
+    group.bench_function("session_per_worker", |b| {
+        b.iter(|| {
+            schedule
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    capture_stimulus_session(
+                        &mut session,
+                        s,
+                        &protocol.sampling,
+                        trace_seed(protocol.seed, i as u64),
+                    )
+                    .1
+                })
+                .fold(0usize, |acc, stats| acc + stats.events)
+        })
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_workers, bench_warm_cache, bench_fault_recovery
+    targets = bench_workers, bench_warm_cache, bench_fault_recovery, bench_shard_capture_paths
 }
 criterion_main!(benches);

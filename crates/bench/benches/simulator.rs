@@ -1,11 +1,14 @@
 //! Event-driven simulation throughput per scheme, plus power-model
-//! ablations (pulse shape, process-variation σ).
+//! ablations (pulse shape, process-variation σ) and the capture-path
+//! shootout: frozen pre-rework engine vs. allocating `Simulator` calls
+//! vs. a reused `CaptureSession`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gatesim::{sample_waveform, PulseShape, SamplingConfig, SimConfig, Simulator};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use sbox_circuits::{SboxCircuit, Scheme};
+use sca_bench::legacy::legacy_capture_with_rng_stats;
 
 fn bench_transitions(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulator/transition");
@@ -71,9 +74,54 @@ fn bench_capture_and_ablation(c: &mut Criterion) {
     group.finish();
 }
 
+/// The tentpole comparison on the ISW netlist: the frozen pre-rework
+/// path (`legacy`, heap queue + per-call allocation), the still-public
+/// allocating entry point (`alloc_per_capture`, which now runs on a
+/// temporary session), a session reused across iterations
+/// (`session_reuse`), and the fully allocation-free `capture_into` leg.
+/// All four produce bit-identical traces — see
+/// `sca_bench::legacy::tests`.
+fn bench_capture_paths(c: &mut Criterion) {
+    let circuit = SboxCircuit::build(Scheme::Isw);
+    let sim = Simulator::new(circuit.netlist(), &SimConfig::default());
+    let mut rng = SmallRng::seed_from_u64(3);
+    let initial = circuit.encoding().encode(0, &mut rng);
+    let final_inputs = circuit.encoding().encode(5, &mut rng);
+    let sampling = SamplingConfig::default();
+
+    let mut group = c.benchmark_group("simulator/capture_path_isw");
+    group.bench_function("legacy", |b| {
+        b.iter(|| {
+            let mut noise = SmallRng::seed_from_u64(11);
+            legacy_capture_with_rng_stats(&sim, &initial, &final_inputs, &sampling, &mut noise)
+        })
+    });
+    group.bench_function("alloc_per_capture", |b| {
+        b.iter(|| {
+            let mut noise = SmallRng::seed_from_u64(11);
+            sim.capture_with_rng_stats(&initial, &final_inputs, &sampling, &mut noise)
+        })
+    });
+    let mut session = sim.session();
+    group.bench_function("session_reuse", |b| {
+        b.iter(|| {
+            let mut noise = SmallRng::seed_from_u64(11);
+            session.capture_with_rng_stats(&initial, &final_inputs, &sampling, &mut noise)
+        })
+    });
+    let mut buf = Vec::new();
+    group.bench_function("session_capture_into", |b| {
+        b.iter(|| {
+            let mut noise = SmallRng::seed_from_u64(11);
+            session.capture_into(&initial, &final_inputs, &sampling, &mut noise, &mut buf)
+        })
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_transitions, bench_capture_and_ablation
+    targets = bench_transitions, bench_capture_and_ablation, bench_capture_paths
 }
 criterion_main!(benches);

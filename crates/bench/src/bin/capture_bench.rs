@@ -1,0 +1,253 @@
+//! Measured capture-throughput comparison → `BENCH_capture.json`.
+//!
+//! Runs the same single-threaded trace schedule (the acquisition
+//! protocol's classified schedule on the ISW netlist) through four
+//! capture paths and reports traces/sec and events/sec for each:
+//!
+//! * `legacy` — the frozen pre-rework engine (`BinaryHeap` queue,
+//!   per-call scratch allocation, full-buffer waveform indexing);
+//! * `alloc_per_capture` — today's allocating entry point
+//!   (`Simulator::capture_with_rng_stats`, a temporary session per call);
+//! * `session_reuse` — one [`gatesim::CaptureSession`] reused across the
+//!   whole schedule, as the campaign executor holds per worker;
+//! * `session_capture_into` — the same session rendering into one
+//!   reused sample buffer (no per-trace allocation at all).
+//!
+//! All four paths produce bit-identical traces (asserted here on the
+//! first pass and in `sca_bench::legacy`'s tests), so the ratios are
+//! pure engine cost. Usage:
+//!
+//! ```text
+//! cargo run --release -p sca-bench --bin capture_bench [--quick] [--out PATH]
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use acquisition::{classified_schedule, trace_seed, ProtocolConfig, Stimulus};
+use gatesim::{CaptureStats, SamplingConfig, Simulator};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sbox_circuits::{SboxCircuit, Scheme};
+use sca_bench::legacy::legacy_capture_with_rng_stats;
+
+struct Leg {
+    name: &'static str,
+    seconds: f64,
+    traces: usize,
+    events: usize,
+}
+
+impl Leg {
+    fn traces_per_sec(&self) -> f64 {
+        self.traces as f64 / self.seconds
+    }
+
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.seconds
+    }
+}
+
+/// A capture path under measurement: (stimulus, noise seed) → stats.
+type CaptureFn<'s> = Box<dyn FnMut(&Stimulus, u64) -> CaptureStats + 's>;
+
+/// One capture path under measurement.
+struct Runner<'s> {
+    name: &'static str,
+    capture: CaptureFn<'s>,
+}
+
+/// Time every runner over the schedule, `passes` times each,
+/// round-robin (leg A pass 1, leg B pass 1, …, leg A pass 2, …) so CPU
+/// warm-up and frequency drift hit all legs equally instead of biasing
+/// whichever leg runs first.
+fn measure(schedule: &[(Stimulus, u64)], passes: usize, mut runners: Vec<Runner<'_>>) -> Vec<Leg> {
+    // Warmup pass per leg: fault in allocations and caches.
+    for r in &mut runners {
+        let mut events = 0usize;
+        for (s, seed) in schedule {
+            events += (r.capture)(s, *seed).events;
+        }
+        let _ = events;
+    }
+
+    let mut seconds = vec![0.0f64; runners.len()];
+    let mut events = vec![0usize; runners.len()];
+    for _ in 0..passes {
+        for (i, r) in runners.iter_mut().enumerate() {
+            let start = Instant::now();
+            for (s, seed) in schedule {
+                events[i] += (r.capture)(s, *seed).events;
+            }
+            seconds[i] += start.elapsed().as_secs_f64();
+        }
+    }
+    runners
+        .iter()
+        .enumerate()
+        .map(|(i, r)| Leg {
+            name: r.name,
+            seconds: seconds[i],
+            traces: passes * schedule.len(),
+            events: events[i],
+        })
+        .collect()
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".into()
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_capture.json".into());
+
+    let protocol = ProtocolConfig {
+        traces_per_class: if quick { 4 } else { 64 },
+        ..ProtocolConfig::default()
+    };
+    let passes = if quick { 1 } else { 16 };
+    let circuit = SboxCircuit::build(Scheme::Isw);
+    let sim = Simulator::new(circuit.netlist(), &protocol.sim);
+    let sampling: SamplingConfig = protocol.sampling;
+    let schedule: Vec<(Stimulus, u64)> = classified_schedule(&circuit, &protocol)
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| (s, trace_seed(protocol.seed, i as u64)))
+        .collect();
+    eprintln!(
+        "capture_bench: {} gates, {} traces/pass x {passes} passes{}",
+        circuit.netlist().gates().len(),
+        schedule.len(),
+        if quick { " (quick)" } else { "" },
+    );
+
+    // Sanity: all four paths agree on the first stimulus before timing.
+    {
+        let (s, seed) = &schedule[0];
+        let mut r = SmallRng::seed_from_u64(*seed);
+        let reference =
+            legacy_capture_with_rng_stats(&sim, &s.initial, &s.final_inputs, &sampling, &mut r).0;
+        let mut session = sim.session();
+        let mut r = SmallRng::seed_from_u64(*seed);
+        let via_session = session
+            .capture_with_rng_stats(&s.initial, &s.final_inputs, &sampling, &mut r)
+            .0;
+        assert_eq!(reference, via_session, "legacy and session paths diverge");
+    }
+
+    let mut session_a = sim.session();
+    let mut session_b = sim.session();
+    let mut buf = Vec::new();
+    let legs = measure(
+        &schedule,
+        passes,
+        vec![
+            Runner {
+                name: "legacy",
+                capture: Box::new(|s, seed| {
+                    let mut rng = SmallRng::seed_from_u64(seed);
+                    legacy_capture_with_rng_stats(
+                        &sim,
+                        &s.initial,
+                        &s.final_inputs,
+                        &sampling,
+                        &mut rng,
+                    )
+                    .1
+                }),
+            },
+            Runner {
+                name: "alloc_per_capture",
+                capture: Box::new(|s, seed| {
+                    let mut rng = SmallRng::seed_from_u64(seed);
+                    sim.capture_with_rng_stats(&s.initial, &s.final_inputs, &sampling, &mut rng)
+                        .1
+                }),
+            },
+            Runner {
+                name: "session_reuse",
+                capture: Box::new(move |s, seed| {
+                    let mut rng = SmallRng::seed_from_u64(seed);
+                    session_a
+                        .capture_with_rng_stats(&s.initial, &s.final_inputs, &sampling, &mut rng)
+                        .1
+                }),
+            },
+            Runner {
+                name: "session_capture_into",
+                capture: Box::new(move |s, seed| {
+                    let mut rng = SmallRng::seed_from_u64(seed);
+                    session_b.capture_into(
+                        &s.initial,
+                        &s.final_inputs,
+                        &sampling,
+                        &mut rng,
+                        &mut buf,
+                    )
+                }),
+            },
+        ],
+    );
+    for leg in &legs {
+        eprintln!(
+            "  {:<22} {:>9.0} traces/s  {:>11.0} events/s  ({:.3}s)",
+            leg.name,
+            leg.traces_per_sec(),
+            leg.events_per_sec(),
+            leg.seconds,
+        );
+    }
+    let vs_legacy = legs[2].traces_per_sec() / legs[0].traces_per_sec();
+    let vs_alloc = legs[2].traces_per_sec() / legs[1].traces_per_sec();
+    eprintln!("  session_reuse speedup: {vs_legacy:.2}x vs legacy, {vs_alloc:.2}x vs alloc");
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"capture_throughput\",");
+    let _ = writeln!(json, "  \"netlist\": \"isw\",");
+    let _ = writeln!(json, "  \"gates\": {},", circuit.netlist().gates().len());
+    let _ = writeln!(json, "  \"samples_per_trace\": {},", sampling.samples);
+    let _ = writeln!(json, "  \"traces_per_pass\": {},", schedule.len());
+    let _ = writeln!(json, "  \"passes\": {passes},");
+    let _ = writeln!(json, "  \"threads\": 1,");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    json.push_str("  \"legs\": [\n");
+    for (i, leg) in legs.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"seconds\": {}, \"traces\": {}, \"events\": {}, \"traces_per_sec\": {}, \"events_per_sec\": {}}}{}",
+            leg.name,
+            json_f64(leg.seconds),
+            leg.traces,
+            leg.events,
+            json_f64(leg.traces_per_sec()),
+            json_f64(leg.events_per_sec()),
+            if i + 1 < legs.len() { "," } else { "" },
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"speedup_session_vs_legacy\": {},",
+        json_f64(vs_legacy)
+    );
+    let _ = writeln!(
+        json,
+        "  \"speedup_session_vs_alloc\": {}",
+        json_f64(vs_alloc)
+    );
+    json.push_str("}\n");
+    std::fs::write(&out_path, json).expect("write BENCH_capture.json");
+    eprintln!("wrote {out_path}");
+}

@@ -4,3 +4,11 @@
 //! Walsh–Hadamard transform, netlist generation/synthesis, event-driven
 //! simulation per scheme, trace acquisition, aging evaluation and CPA.
 //! Run with `cargo bench --workspace`.
+//!
+//! [`legacy`] freezes the pre-`CaptureSession` capture path (heap
+//! queue, per-call allocation, full-buffer waveform indexing) so the
+//! optimization can be measured against the code it replaced; the
+//! `capture_bench` binary runs that comparison and writes
+//! `BENCH_capture.json`.
+
+pub mod legacy;

@@ -27,8 +27,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
-use acquisition::{capture_stimulus, trace_seed, Stimulus};
-use gatesim::{CaptureStats, SamplingConfig, Simulator};
+use acquisition::{capture_stimulus_session, trace_seed, Stimulus};
+use gatesim::{CaptureSession, CaptureStats, SamplingConfig, Simulator};
 
 use crate::fault::{FaultPlan, InjectedFault};
 use crate::store::CheckpointWriter;
@@ -249,10 +249,13 @@ pub fn capture_schedule_with(
     let mut quarantined: Vec<CaptureFailure> = Vec::new();
 
     if workers == 1 {
+        // One session for the whole run: scratch buffers are reused
+        // across every capture, including retries.
+        let mut session = sim.session();
         for chunk_start in (0..schedule.len()).step_by(CHUNK) {
             let chunk_end = (chunk_start + CHUNK).min(schedule.len());
             let result = capture_chunk(
-                sim,
+                &mut session,
                 schedule,
                 sampling,
                 base_seed,
@@ -280,27 +283,34 @@ pub fn capture_schedule_with(
                 let tx = tx.clone();
                 let cursor = &cursor;
                 let skip = &skip;
-                scope.spawn(move || loop {
-                    let start = cursor.fetch_add(CHUNK, Ordering::Relaxed);
-                    if start >= schedule.len() {
-                        break;
-                    }
-                    let end = (start + CHUNK).min(schedule.len());
-                    let result = capture_chunk(
-                        sim,
-                        schedule,
-                        sampling,
-                        base_seed,
-                        policy,
-                        worker,
-                        start..end,
-                        skip,
-                    );
-                    // The receiver outlives the workers; a send can only
-                    // fail if the parent panicked, in which case the
-                    // scope unwinds anyway.
-                    if tx.send(result).is_err() {
-                        break;
+                scope.spawn(move || {
+                    // One persistent session per worker thread, reused
+                    // for its entire shard (retries included). Sessions
+                    // only borrow the simulator, so this is free of
+                    // synchronization.
+                    let mut session = sim.session();
+                    loop {
+                        let start = cursor.fetch_add(CHUNK, Ordering::Relaxed);
+                        if start >= schedule.len() {
+                            break;
+                        }
+                        let end = (start + CHUNK).min(schedule.len());
+                        let result = capture_chunk(
+                            &mut session,
+                            schedule,
+                            sampling,
+                            base_seed,
+                            policy,
+                            worker,
+                            start..end,
+                            skip,
+                        );
+                        // The receiver outlives the workers; a send can
+                        // only fail if the parent panicked, in which
+                        // case the scope unwinds anyway.
+                        if tx.send(result).is_err() {
+                            break;
+                        }
                     }
                 });
             }
@@ -364,11 +374,12 @@ fn absorb(
     }
 }
 
-/// Capture every non-skipped index in `range`, retrying failures per
-/// `policy` and quarantining indices that keep failing.
+/// Capture every non-skipped index in `range` on the worker's session,
+/// retrying failures per `policy` and quarantining indices that keep
+/// failing.
 #[allow(clippy::too_many_arguments)]
 fn capture_chunk(
-    sim: &Simulator<'_>,
+    session: &mut CaptureSession<'_>,
     schedule: &[Stimulus],
     sampling: &SamplingConfig,
     base_seed: u64,
@@ -386,7 +397,14 @@ fn capture_chunk(
         if skip.contains(&index) {
             continue;
         }
-        match capture_index(sim, &schedule[index], sampling, base_seed, index, policy) {
+        match capture_index(
+            session,
+            &schedule[index],
+            sampling,
+            base_seed,
+            index,
+            policy,
+        ) {
             Ok((trace, s, attempts)) => {
                 stats.merge(&s);
                 if attempts > 1 {
@@ -410,7 +428,7 @@ fn capture_chunk(
 /// Capture one index with panic isolation and bounded, seed-stable
 /// retries. Returns the trace, its stats, and how many attempts it took.
 fn capture_index(
-    sim: &Simulator<'_>,
+    session: &mut CaptureSession<'_>,
     stimulus: &Stimulus,
     sampling: &SamplingConfig,
     base_seed: u64,
@@ -420,7 +438,7 @@ fn capture_index(
     // A stimulus that cannot fit this simulator fails the same way on
     // every attempt — quarantine immediately with a typed message
     // instead of burning retries on panics.
-    if let Err(e) = stimulus.validate(sim.netlist().num_inputs()) {
+    if let Err(e) = stimulus.validate(session.simulator().netlist().num_inputs()) {
         return Err(CaptureFailure {
             index,
             attempts: 1,
@@ -431,11 +449,13 @@ fn capture_index(
     let mut last = String::new();
     for attempt in 0..attempts {
         // Re-derived fresh each attempt: a retry replays the identical
-        // noise stream, so recovery is bit-identical.
+        // noise stream, so recovery is bit-identical. The session resets
+        // its scratch on entry, so a panicked attempt cannot leak state
+        // into the retry.
         let seed = trace_seed(base_seed, index as u64);
         let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
             policy.faults.maybe_inject_capture(index, attempt);
-            capture_stimulus(sim, stimulus, sampling, seed)
+            capture_stimulus_session(session, stimulus, sampling, seed)
         }));
         match outcome {
             Ok((trace, stats)) => return Ok((trace, stats, attempt + 1)),

@@ -122,6 +122,15 @@ impl RunReport {
         (!self.cache_hit && secs > 0.0).then(|| self.traces as f64 / secs)
     }
 
+    /// Simulator events per second of acquire-stage wall time (`None`
+    /// when served from cache or the stage is missing) — the
+    /// scheme-independent measure of engine throughput, since the seven
+    /// netlists differ ~10× in events per trace.
+    pub fn event_throughput(&self) -> Option<f64> {
+        let secs = self.stage_seconds("acquire");
+        (!self.cache_hit && secs > 0.0).then(|| self.stats.events as f64 / secs)
+    }
+
     /// Serialize as one JSON object (hand-rolled: the environment has no
     /// serde, and the schema is flat).
     pub fn to_json(&self) -> String {
@@ -141,6 +150,16 @@ impl RunReport {
             json_f64(self.worker_utilization)
         );
         let _ = write!(s, ",\"total_seconds\":{}", json_f64(self.total_seconds()));
+        let _ = write!(
+            s,
+            ",\"traces_per_sec\":{}",
+            self.acquire_throughput().map_or("null".into(), json_f64)
+        );
+        let _ = write!(
+            s,
+            ",\"events_per_sec\":{}",
+            self.event_throughput().map_or("null".into(), json_f64)
+        );
         let _ = write!(s, ",\"retried\":{}", self.retried);
         let _ = write!(s, ",\"quarantined\":{}", self.quarantined);
         let _ = write!(s, ",\"resumed\":{}", self.resumed);
@@ -230,7 +249,7 @@ impl RunLog {
         let mut s = String::new();
         let _ = writeln!(
             s,
-            "{:<9} {:>4} {:>7} {:>4} {:>6} {:>10} {:>6} {:>5} {:>5} {:>5} {:>9} {:>9}",
+            "{:<9} {:>4} {:>7} {:>4} {:>6} {:>10} {:>6} {:>5} {:>5} {:>5} {:>9} {:>9} {:>8} {:>10}",
             "impl",
             "age",
             "traces",
@@ -242,12 +261,14 @@ impl RunLog {
             "quar",
             "rsmd",
             "acq(s)",
-            "total(s)"
+            "total(s)",
+            "tr/s",
+            "ev/s"
         );
         for r in &self.reports {
             let _ = writeln!(
                 s,
-                "{:<9} {:>4.0} {:>7} {:>4} {:>6} {:>10} {:>6.2} {:>5} {:>5} {:>5} {:>9.3} {:>9.3}",
+                "{:<9} {:>4.0} {:>7} {:>4} {:>6} {:>10} {:>6.2} {:>5} {:>5} {:>5} {:>9.3} {:>9.3} {:>8} {:>10}",
                 r.implementation,
                 r.age_months,
                 r.traces,
@@ -260,6 +281,10 @@ impl RunLog {
                 r.resumed,
                 r.stage_seconds("acquire"),
                 r.total_seconds(),
+                r.acquire_throughput()
+                    .map_or_else(|| "-".into(), |t| format!("{t:.0}")),
+                r.event_throughput()
+                    .map_or_else(|| "-".into(), |t| format!("{t:.0}")),
             );
         }
         let _ = writeln!(
@@ -431,5 +456,28 @@ mod tests {
     fn throughput_only_counts_real_acquisitions() {
         assert!(report(false).acquire_throughput().expect("miss") > 0.0);
         assert!(report(true).acquire_throughput().is_none());
+        assert!(report(false).event_throughput().expect("miss") > 0.0);
+        assert!(report(true).event_throughput().is_none());
+    }
+
+    #[test]
+    fn throughput_lands_in_jsonl_and_the_summary_table() {
+        let miss = report(false);
+        let j = miss.to_json();
+        assert!(j.contains("\"traces_per_sec\":"), "{j}");
+        assert!(j.contains("\"events_per_sec\":"), "{j}");
+        assert!(!j.contains("\"traces_per_sec\":null"), "miss has a rate");
+        let hit_json = report(true).to_json();
+        assert!(hit_json.contains("\"traces_per_sec\":null"), "{hit_json}");
+        assert!(hit_json.contains("\"events_per_sec\":null"), "{hit_json}");
+
+        let mut log = RunLog::new();
+        log.push(miss);
+        log.push(report(true));
+        let table = log.summary_table();
+        assert!(table.contains("tr/s") && table.contains("ev/s"), "{table}");
+        // The hit row shows "-" in both throughput columns.
+        let hit_row = table.lines().nth(2).expect("hit row");
+        assert!(hit_row.trim_end().ends_with('-'), "{hit_row}");
     }
 }

@@ -36,8 +36,11 @@ fn main() {
         1000.0 / sampling.period_ps()
     );
 
-    let trace = sim.capture(&initial, &final_inputs, &sampling);
-    let record = sim.transition(&initial, &final_inputs);
+    // One session for both the trace and the event record: the second
+    // run reuses every scratch buffer the first one warmed up.
+    let mut session = sim.session();
+    let trace = session.capture(&initial, &final_inputs, &sampling);
+    let record = session.transition(&initial, &final_inputs);
     println!(
         "\nresulting trace: {} switching events, {:.1} fJ, settled after {:.0} ps",
         record.events.len(),

@@ -1,13 +1,16 @@
 //! The event-driven simulation engine.
-
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+//!
+//! The event loop itself lives in [`crate::session::CaptureSession`];
+//! every entry point here runs on a (temporary) session, so the
+//! allocating and session-reuse paths share one implementation and are
+//! bit-identical by construction.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use sbox_netlist::{GateId, Netlist};
 
-use crate::power::{gaussian, sample_waveform, PulseShape};
+use crate::power::gaussian;
+use crate::session::CaptureSession;
 use crate::{Derating, SamplingConfig, SimConfig};
 
 /// One output transition (or absorbed glitch pulse) of one gate.
@@ -82,6 +85,17 @@ impl CaptureStats {
         self.absorbed_glitches += other.absorbed_glitches;
         self.settle_time_ps = self.settle_time_ps.max(other.settle_time_ps);
     }
+
+    /// Counters of one capture from its (time-sorted) event log.
+    pub fn from_events(events: &[SwitchEvent]) -> Self {
+        let absorbed = events.iter().filter(|e| e.absorbed).count();
+        Self {
+            events: events.len(),
+            full_transitions: events.len() - absorbed,
+            absorbed_glitches: absorbed,
+            settle_time_ps: events.last().map_or(0.0, |e| e.time_ps),
+        }
+    }
 }
 
 impl From<&TransitionRecord> for CaptureStats {
@@ -102,13 +116,13 @@ impl From<&TransitionRecord> for CaptureStats {
 /// die measured many times. See the [crate docs](crate) for an example.
 #[derive(Debug, Clone)]
 pub struct Simulator<'a> {
-    netlist: &'a Netlist,
-    config: SimConfig,
+    pub(crate) netlist: &'a Netlist,
+    pub(crate) config: SimConfig,
     /// Derated per-gate propagation delay in ps.
-    delay_ps: Vec<f64>,
+    pub(crate) delay_ps: Vec<f64>,
     /// Derated per-gate full-transition energy in fJ (intrinsic + fanout
     /// load at Vdd).
-    energy_fj: Vec<f64>,
+    pub(crate) energy_fj: Vec<f64>,
 }
 
 impl<'a> Simulator<'a> {
@@ -162,166 +176,39 @@ impl<'a> Simulator<'a> {
         self.delay_ps[gate.index()]
     }
 
+    /// Derated full-transition energy of a gate, in fJ (intrinsic cell
+    /// switching energy plus fanout load at the configured Vdd).
+    pub fn gate_energy_fj(&self, gate: GateId) -> f64 {
+        self.energy_fj[gate.index()]
+    }
+
+    /// Start a reusable capture session (simulation arena): all scratch
+    /// state the event loop needs is allocated once and cleared between
+    /// captures. Sessions borrow the simulator immutably, so one
+    /// simulator can back a session per worker thread.
+    pub fn session(&self) -> CaptureSession<'_> {
+        CaptureSession::new(self)
+    }
+
     /// Simulate the circuit settling into `initial`, then switching its
     /// primary inputs to `final_inputs` at t = 0, recording every supply
     /// event until quiescence.
+    ///
+    /// The timing/charge model: each gate output change propagates after
+    /// the gate's derated delay; a node re-toggling before its output
+    /// fully settles (a window of ~3 gate delays) never completes the
+    /// swing and draws proportionally less charge, and pulses narrower
+    /// than a gate's own delay are absorbed by the inertial-delay rule
+    /// (costing [`SimConfig::absorbed_energy_fraction`] of a full
+    /// swing). One-shot convenience over [`Simulator::session`]; reuse a
+    /// session in loops to skip the per-call scratch allocation.
     ///
     /// # Panics
     ///
     /// Panics if either input slice length differs from the netlist's
     /// primary input count.
     pub fn transition(&self, initial: &[bool], final_inputs: &[bool]) -> TransitionRecord {
-        assert_eq!(final_inputs.len(), self.netlist.num_inputs());
-        let mut values = self.netlist.evaluate_nets(initial);
-
-        // Pending scheduled output change per gate: (time, value, seq).
-        let mut pending: Vec<Option<(f64, bool, u64)>> = vec![None; self.netlist.gates().len()];
-        let mut heap: BinaryHeap<Reverse<HeapEntry>> = BinaryHeap::new();
-        let mut seq = 0u64;
-        let mut events: Vec<SwitchEvent> = Vec::new();
-
-        // Apply the new primary inputs at t = 0 and seed the queue with the
-        // gates they feed.
-        let mut touched: Vec<GateId> = Vec::new();
-        for (idx, (&net, &v)) in self.netlist.inputs().iter().zip(final_inputs).enumerate() {
-            let _ = idx;
-            if values[net.index()] != v {
-                values[net.index()] = v;
-                touched.extend(self.netlist.net(net).loads());
-            }
-        }
-        touched.sort();
-        touched.dedup();
-        for g in touched {
-            self.schedule(
-                g,
-                0.0,
-                &values,
-                &mut pending,
-                &mut heap,
-                &mut seq,
-                &mut events,
-            );
-        }
-
-        let mut last_switch = vec![f64::NEG_INFINITY; self.netlist.gates().len()];
-        while let Some(Reverse(entry)) = heap.pop() {
-            let gid = entry.gate;
-            let Some((t, v, s)) = pending[gid.index()] else {
-                continue; // cancelled
-            };
-            if s != entry.seq {
-                continue; // superseded
-            }
-            pending[gid.index()] = None;
-            let out_net = self.netlist.gate(gid).output();
-            debug_assert_ne!(values[out_net.index()], v);
-            values[out_net.index()] = v;
-            // A node re-toggling before its output fully settles never
-            // completes the swing: scale the drawn charge by the fraction
-            // of the swing achieved. The settling window is a few gate
-            // delays (output slew ≫ 50 % switching point), so glitch
-            // trains — edges spaced ~1 delay apart — draw noticeably less
-            // charge per edge than well-separated functional transitions.
-            let swing_ps = 3.0 * self.delay_ps[gid.index()];
-            let elapsed = t - last_switch[gid.index()];
-            let swing_fraction = (elapsed / swing_ps).min(1.0);
-            last_switch[gid.index()] = t;
-            events.push(SwitchEvent {
-                gate: gid,
-                time_ps: t,
-                rising: v,
-                energy_fj: self.energy_fj[gid.index()] * swing_fraction,
-                absorbed: false,
-            });
-            for &load in self.netlist.net(out_net).loads() {
-                self.schedule(
-                    load,
-                    t,
-                    &values,
-                    &mut pending,
-                    &mut heap,
-                    &mut seq,
-                    &mut events,
-                );
-            }
-        }
-
-        events.sort_by(|a, b| a.time_ps.total_cmp(&b.time_ps));
-        TransitionRecord {
-            events,
-            settled: values,
-        }
-    }
-
-    /// Evaluate gate `g` with the net values current at time `t_now` and
-    /// schedule / cancel its output event under inertial-delay semantics.
-    #[allow(clippy::too_many_arguments)]
-    fn schedule(
-        &self,
-        g: GateId,
-        t_now: f64,
-        values: &[bool],
-        pending: &mut [Option<(f64, bool, u64)>],
-        heap: &mut BinaryHeap<Reverse<HeapEntry>>,
-        seq: &mut u64,
-        events: &mut Vec<SwitchEvent>,
-    ) {
-        let gate = self.netlist.gate(g);
-        let mut pins = [false; 4];
-        for (slot, net) in pins.iter_mut().zip(gate.inputs()) {
-            *slot = values[net.index()];
-        }
-        let new_v = gate.cell().evaluate(&pins[..gate.inputs().len()]);
-        let cur = values[gate.output().index()];
-        match pending[g.index()] {
-            Some((tp, vp, _)) if vp == new_v => {
-                // Already heading to the right value; the earlier event
-                // stands (re-evaluation cannot arrive earlier).
-                let _ = tp;
-            }
-            Some((tp, _, _)) => {
-                // The scheduled swing is revoked before completing: the
-                // output made a partial excursion — an absorbed glitch.
-                pending[g.index()] = None;
-                if self.config.absorbed_energy_fraction > 0.0 {
-                    events.push(SwitchEvent {
-                        gate: g,
-                        time_ps: tp,
-                        rising: !cur,
-                        energy_fj: self.energy_fj[g.index()] * self.config.absorbed_energy_fraction,
-                        absorbed: true,
-                    });
-                }
-                if new_v != cur {
-                    self.push_event(g, t_now, new_v, pending, heap, seq);
-                }
-            }
-            None => {
-                if new_v != cur {
-                    self.push_event(g, t_now, new_v, pending, heap, seq);
-                }
-            }
-        }
-    }
-
-    fn push_event(
-        &self,
-        g: GateId,
-        t_now: f64,
-        value: bool,
-        pending: &mut [Option<(f64, bool, u64)>],
-        heap: &mut BinaryHeap<Reverse<HeapEntry>>,
-        seq: &mut u64,
-    ) {
-        *seq += 1;
-        let t = t_now + self.delay_ps[g.index()];
-        pending[g.index()] = Some((t, value, *seq));
-        heap.push(Reverse(HeapEntry {
-            time_ps: t,
-            seq: *seq,
-            gate: g,
-        }));
+        self.session().transition(initial, final_inputs)
     }
 
     /// Run [`Simulator::transition`] and render the power trace (mW per
@@ -334,13 +221,8 @@ impl<'a> Simulator<'a> {
         final_inputs: &[bool],
         sampling: &SamplingConfig,
     ) -> Vec<f64> {
-        let mut noise_seed = self.config.seed ^ 0x9e37_79b9_7f4a_7c15;
-        for (i, &b) in initial.iter().chain(final_inputs).enumerate() {
-            if b {
-                noise_seed = noise_seed.rotate_left(7).wrapping_add(0x100 + i as u64);
-            }
-        }
-        let mut rng = SmallRng::seed_from_u64(noise_seed);
+        let seed = stimulus_noise_seed(self.config.seed, initial, final_inputs);
+        let mut rng = SmallRng::seed_from_u64(seed);
         self.capture_with_rng(initial, final_inputs, sampling, &mut rng)
     }
 
@@ -368,44 +250,26 @@ impl<'a> Simulator<'a> {
         sampling: &SamplingConfig,
         rng: &mut R,
     ) -> (Vec<f64>, CaptureStats) {
-        let record = self.transition(initial, final_inputs);
-        let mut samples = sample_waveform(
-            &record.events,
-            sampling,
-            self.config.pulse_width_factor,
-            |g| self.delay_ps[g.index()],
-            PulseShape::Triangular,
-        );
-        if self.config.noise_mw > 0.0 {
-            for s in &mut samples {
-                *s += self.config.noise_mw * gaussian(rng);
-            }
+        self.session()
+            .capture_with_rng_stats(initial, final_inputs, sampling, rng)
+    }
+}
+
+/// The deterministic per-stimulus noise seed of [`Simulator::capture`]:
+/// a function of the config seed and the set input bits only, so
+/// repeated captures of the same pair see the same noise.
+pub(crate) fn stimulus_noise_seed(
+    config_seed: u64,
+    initial: &[bool],
+    final_inputs: &[bool],
+) -> u64 {
+    let mut noise_seed = config_seed ^ 0x9e37_79b9_7f4a_7c15;
+    for (i, &b) in initial.iter().chain(final_inputs).enumerate() {
+        if b {
+            noise_seed = noise_seed.rotate_left(7).wrapping_add(0x100 + i as u64);
         }
-        (samples, CaptureStats::from(&record))
     }
-}
-
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct HeapEntry {
-    time_ps: f64,
-    seq: u64,
-    gate: GateId,
-}
-
-impl Eq for HeapEntry {}
-
-impl Ord for HeapEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.time_ps
-            .total_cmp(&other.time_ps)
-            .then(self.seq.cmp(&other.seq))
-    }
-}
-
-impl PartialOrd for HeapEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
+    noise_seed
 }
 
 #[cfg(test)]

@@ -53,10 +53,12 @@ mod derating;
 mod engine;
 mod power;
 mod profile;
+mod session;
 pub mod vcd;
 
 pub use config::{SamplingConfig, SimConfig};
 pub use derating::Derating;
 pub use engine::{CaptureStats, Simulator, SwitchEvent, TransitionRecord};
-pub use power::{sample_waveform, PulseShape};
+pub use power::{sample_waveform, sample_waveform_into, PulseShape};
 pub use profile::ActivityProfile;
+pub use session::CaptureSession;

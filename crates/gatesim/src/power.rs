@@ -31,20 +31,43 @@ pub fn sample_waveform(
     gate_delay_ps: impl Fn(GateId) -> f64,
     shape: PulseShape,
 ) -> Vec<f64> {
+    let mut samples = Vec::new();
+    sample_waveform_into(
+        &mut samples,
+        events,
+        sampling,
+        pulse_width_factor,
+        gate_delay_ps,
+        shape,
+    );
+    samples
+}
+
+/// [`sample_waveform`] into a caller-owned buffer (cleared and resized
+/// to `sampling.samples`), so capture loops reuse one allocation.
+///
+/// Each event touches only the `[first, last)` bins its pulse overlaps
+/// — a narrow pulse late in the window costs a handful of bins, not a
+/// scan of the whole buffer.
+pub fn sample_waveform_into(
+    out: &mut Vec<f64>,
+    events: &[SwitchEvent],
+    sampling: &SamplingConfig,
+    pulse_width_factor: f64,
+    gate_delay_ps: impl Fn(GateId) -> f64,
+    shape: PulseShape,
+) {
     let dt = sampling.period_ps();
-    let mut samples = vec![0.0f64; sampling.samples];
+    out.clear();
+    out.resize(sampling.samples, 0.0);
     for e in events {
         let width = (pulse_width_factor * gate_delay_ps(e.gate)).max(1e-3);
         let start = e.time_ps;
         let end = start + width;
-        let first = ((start / dt).floor().max(0.0)) as usize;
+        let first = (((start / dt).floor().max(0.0)) as usize).min(sampling.samples);
         let last = ((end / dt).ceil() as usize).min(sampling.samples);
-        for (k, slot) in samples
-            .iter_mut()
-            .enumerate()
-            .take(last)
-            .skip(first.min(sampling.samples))
-        {
+        for (k, slot) in out[first..last.max(first)].iter_mut().enumerate() {
+            let k = k + first;
             let bin_lo = k as f64 * dt;
             let bin_hi = bin_lo + dt;
             let xa = ((bin_lo - start) / width).clamp(0.0, 1.0);
@@ -55,7 +78,6 @@ pub fn sample_waveform(
             }
         }
     }
-    samples
 }
 
 /// Fraction of a unit-energy pulse's charge delivered before normalized
@@ -167,6 +189,92 @@ mod tests {
             PulseShape::Triangular,
         );
         assert!(samples.iter().all(|&s| s == 0.0));
+    }
+
+    /// The pre-fix implementation (iterator `.take(last).skip(first)`
+    /// over the whole buffer), kept verbatim as the reference for the
+    /// slice-indexing rewrite.
+    fn reference_sample_waveform(
+        events: &[SwitchEvent],
+        sampling: &SamplingConfig,
+        pulse_width_factor: f64,
+        gate_delay_ps: impl Fn(GateId) -> f64,
+        shape: PulseShape,
+    ) -> Vec<f64> {
+        let dt = sampling.period_ps();
+        let mut samples = vec![0.0f64; sampling.samples];
+        for e in events {
+            let width = (pulse_width_factor * gate_delay_ps(e.gate)).max(1e-3);
+            let start = e.time_ps;
+            let end = start + width;
+            let first = ((start / dt).floor().max(0.0)) as usize;
+            let last = ((end / dt).ceil() as usize).min(sampling.samples);
+            for (k, slot) in samples
+                .iter_mut()
+                .enumerate()
+                .take(last)
+                .skip(first.min(sampling.samples))
+            {
+                let bin_lo = k as f64 * dt;
+                let bin_hi = bin_lo + dt;
+                let xa = ((bin_lo - start) / width).clamp(0.0, 1.0);
+                let xb = ((bin_hi - start) / width).clamp(0.0, 1.0);
+                let frac = pulse_cdf(shape, xb) - pulse_cdf(shape, xa);
+                if frac > 0.0 {
+                    *slot += e.energy_fj * frac / dt;
+                }
+            }
+        }
+        samples
+    }
+
+    #[test]
+    fn sliced_indexing_matches_the_old_path_on_random_event_sets() {
+        let gate = gate_id();
+        let mut rng = SmallRng::seed_from_u64(0xFACE);
+        for case in 0..50 {
+            let sampling = SamplingConfig {
+                window_ps: 500.0,
+                samples: 1 + (rng.gen::<usize>() % 400),
+            };
+            let n = rng.gen::<usize>() % 40;
+            let events: Vec<SwitchEvent> = (0..n)
+                .map(|_| SwitchEvent {
+                    gate,
+                    // Include events before, inside, at the edge of, and
+                    // beyond the sampling window.
+                    time_ps: rng.gen::<f64>() * 700.0 - 50.0,
+                    rising: rng.gen(),
+                    energy_fj: rng.gen::<f64>() * 10.0,
+                    absorbed: rng.gen(),
+                })
+                .collect();
+            let delay = 1.0 + rng.gen::<f64>() * 20.0;
+            for shape in [PulseShape::Triangular, PulseShape::Rectangular] {
+                let new = sample_waveform(&events, &sampling, 1.5, |_| delay, shape);
+                let old = reference_sample_waveform(&events, &sampling, 1.5, |_| delay, shape);
+                assert_eq!(new, old, "case {case} {shape:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn narrow_pulse_near_the_window_end_touches_only_its_bins() {
+        let sampling = SamplingConfig {
+            window_ps: 1000.0,
+            samples: 1000, // 1 ps bins
+        };
+        // A 2 ps pulse starting at 995 ps: only the last handful of bins
+        // may be nonzero — the slice rewrite never visits bins [0, 995).
+        let samples = sample_waveform(
+            &[event(995.0, 4.0)],
+            &sampling,
+            2.0,
+            |_| 1.0,
+            PulseShape::Rectangular,
+        );
+        assert!(samples[..995].iter().all(|&s| s == 0.0));
+        assert!(samples[995..].iter().any(|&s| s > 0.0));
     }
 
     #[test]

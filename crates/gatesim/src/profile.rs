@@ -62,15 +62,16 @@ impl ActivityProfile {
                 high_cycles[g] += 1;
             }
         }
+        let mut session = sim.session();
         for v in &vectors[1..] {
-            let rec = sim.transition(&prev, v);
-            for e in &rec.events {
+            let (events, settled) = session.simulate(&prev, v);
+            for e in events {
                 if !e.absorbed {
                     toggles[e.gate.index()] += 1;
                 }
             }
             for (g, gate) in netlist.gates().iter().enumerate() {
-                if rec.settled[gate.output().index()] {
+                if settled[gate.output().index()] {
                     high_cycles[g] += 1;
                 }
             }

@@ -202,6 +202,19 @@ impl Netlist {
     ///
     /// Panics if `inputs.len() != self.num_inputs()`.
     pub fn evaluate_nets(&self, inputs: &[bool]) -> Vec<bool> {
+        let mut values = Vec::new();
+        self.evaluate_nets_into(inputs, &mut values);
+        values
+    }
+
+    /// [`Netlist::evaluate_nets`] into a caller-owned buffer, so settle
+    /// loops (the simulator's capture sessions) reuse one allocation
+    /// across calls. The buffer is cleared and resized to the net count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.num_inputs()`.
+    pub fn evaluate_nets_into(&self, inputs: &[bool], values: &mut Vec<bool>) {
         assert_eq!(
             inputs.len(),
             self.inputs.len(),
@@ -210,18 +223,19 @@ impl Netlist {
             self.inputs.len(),
             inputs.len()
         );
-        let mut values = vec![false; self.nets.len()];
+        values.clear();
+        values.resize(self.nets.len(), false);
         for (net, &v) in self.inputs.iter().zip(inputs) {
             values[net.index()] = v;
         }
-        let mut pin_buf: Vec<bool> = Vec::with_capacity(4);
+        let mut pins = [false; 4];
         for &gid in &self.topo {
             let g = &self.gates[gid.index()];
-            pin_buf.clear();
-            pin_buf.extend(g.inputs.iter().map(|n| values[n.index()]));
-            values[g.output.index()] = g.cell.evaluate(&pin_buf);
+            for (slot, n) in pins.iter_mut().zip(&g.inputs) {
+                *slot = values[n.index()];
+            }
+            values[g.output.index()] = g.cell.evaluate(&pins[..g.inputs.len()]);
         }
-        values
     }
 
     /// Evaluate the primary outputs for the given primary-input assignment.

@@ -20,6 +20,8 @@ fn main() {
     for scheme in Scheme::ALL {
         let circuit = SboxCircuit::build(scheme);
         let sim = Simulator::new(circuit.netlist(), &SimConfig::default());
+        // One reused capture session per scheme: no per-trace allocation.
+        let mut session = sim.session();
         let fixed_class = 0x3u8;
         let mut fixed = Vec::new();
         let mut random = Vec::new();
@@ -27,11 +29,11 @@ fn main() {
             let initial = circuit.encoding().encode(0, &mut rng);
             if i % 2 == 0 {
                 let fin = circuit.encoding().encode(fixed_class, &mut rng);
-                fixed.push(sim.capture_with_rng(&initial, &fin, &sampling, &mut rng));
+                fixed.push(session.capture_with_rng(&initial, &fin, &sampling, &mut rng));
             } else {
                 let class = (i / 2 % 16) as u8;
                 let fin = circuit.encoding().encode(class, &mut rng);
-                random.push(sim.capture_with_rng(&initial, &fin, &sampling, &mut rng));
+                random.push(session.capture_with_rng(&initial, &fin, &sampling, &mut rng));
             }
         }
         let t = max_abs_t(&welch_t(&fixed, &random));

@@ -15,6 +15,7 @@
 //! stages, which is what makes their outputs bit-identical.
 
 use gatesim::{CaptureSession, CaptureStats, Derating, SamplingConfig, SimConfig, Simulator};
+use leakage_core::online::{SpectrumAccumulator, SpectrumStream, SumMode};
 use leakage_core::ClassifiedTraces;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -235,6 +236,55 @@ pub fn acquire_with_derating(
         set.push(usize::from(stimulus.label), trace);
     }
     set
+}
+
+/// Acquire the leakage protocol's trace set as a streaming fold: each
+/// trace is captured into a reused sample buffer and immediately folded
+/// into a [`SpectrumAccumulator`], so no trace is ever retained — peak
+/// memory is `O(classes × samples)` instead of `O(traces)`.
+///
+/// In [`SumMode::Exact`] the result's spectrum is bit-identical to
+/// `LeakageSpectrum::from_class_means(&acquire(..).class_means())`; in
+/// [`SumMode::Welford`] it agrees to rounding error (see the
+/// `leakage_core::online` docs for the tolerance policy). Either way the
+/// fold goes through the deterministic [`FOLD_CHUNK`]-sized merge tree,
+/// so the result also matches the sharded campaign executor bit-for-bit
+/// at any worker count.
+///
+/// [`FOLD_CHUNK`]: leakage_core::online::FOLD_CHUNK
+pub fn acquire_streaming(
+    circuit: &SboxCircuit,
+    config: &ProtocolConfig,
+    mode: SumMode,
+) -> SpectrumAccumulator {
+    let derating = Derating::fresh(circuit.netlist());
+    acquire_streaming_with_derating(circuit, config, &derating, mode)
+}
+
+/// [`acquire_streaming`] from a device with per-gate aging derating
+/// applied.
+pub fn acquire_streaming_with_derating(
+    circuit: &SboxCircuit,
+    config: &ProtocolConfig,
+    derating: &Derating,
+    mode: SumMode,
+) -> SpectrumAccumulator {
+    let sim = Simulator::with_derating(circuit.netlist(), &config.sim, derating);
+    let mut session = sim.session();
+    let mut stream = SpectrumStream::new(NUM_CLASSES, config.sampling.samples, mode);
+    let mut buf = Vec::new();
+    for (i, stimulus) in classified_schedule(circuit, config).iter().enumerate() {
+        let mut rng = SmallRng::seed_from_u64(trace_seed(config.seed, i as u64));
+        session.capture_into(
+            &stimulus.initial,
+            &stimulus.final_inputs,
+            &config.sampling,
+            &mut rng,
+            &mut buf,
+        );
+        stream.fold(usize::from(stimulus.label), &buf);
+    }
+    stream.finish()
 }
 
 /// The balanced, shuffled stimulus schedule: `(class, initial, final)`
@@ -527,6 +577,27 @@ mod tests {
         assert_eq!(
             try_capture_stimulus(&sim, &bad, &config.sampling, 1),
             Err(err)
+        );
+    }
+
+    #[test]
+    fn streaming_acquisition_matches_batch() {
+        let circuit = SboxCircuit::build(Scheme::Glut);
+        let config = small_config();
+        let batch = acquire(&circuit, &config);
+        let batch_spectrum = leakage_core::LeakageSpectrum::from_class_means(&batch.class_means());
+        let exact = acquire_streaming(&circuit, &config, SumMode::Exact);
+        assert_eq!(exact.len() as usize, batch.len());
+        assert_eq!(exact.class_counts(), batch.class_counts());
+        assert_eq!(
+            exact.spectrum(),
+            batch_spectrum,
+            "exact mode must be bitwise"
+        );
+        let welford = acquire_streaming(&circuit, &config, SumMode::Welford);
+        let tlp = batch_spectrum.total_leakage_power();
+        assert!(
+            (welford.spectrum().total_leakage_power() - tlp).abs() <= 1e-9 * tlp.abs().max(1.0)
         );
     }
 

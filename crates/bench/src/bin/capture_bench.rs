@@ -11,11 +11,17 @@
 //! * `session_reuse` — one [`gatesim::CaptureSession`] reused across the
 //!   whole schedule, as the campaign executor holds per worker;
 //! * `session_capture_into` — the same session rendering into one
-//!   reused sample buffer (no per-trace allocation at all).
+//!   reused sample buffer (no per-trace allocation at all);
+//! * `streaming_fold_exact` / `streaming_fold_welford` — the
+//!   `session_capture_into` path with each trace folded straight into a
+//!   [`leakage_core::SpectrumStream`] online accumulator (the campaign's
+//!   bounded-memory analysis mode), so the delta over
+//!   `session_capture_into` is the pure cost of the fold.
 //!
-//! All four paths produce bit-identical traces (asserted here on the
+//! All capture paths produce bit-identical traces (asserted here on the
 //! first pass and in `sca_bench::legacy`'s tests), so the ratios are
-//! pure engine cost. Usage:
+//! pure engine cost; the streaming legs additionally assert, once per
+//! pass, that the folded spectrum matches the batch analysis. Usage:
 //!
 //! ```text
 //! cargo run --release -p sca-bench --bin capture_bench [--quick] [--out PATH]
@@ -24,8 +30,9 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use acquisition::{classified_schedule, trace_seed, ProtocolConfig, Stimulus};
+use acquisition::{classified_schedule, trace_seed, ProtocolConfig, Stimulus, NUM_CLASSES};
 use gatesim::{CaptureStats, SamplingConfig, Simulator};
+use leakage_core::{ClassifiedTraces, LeakageSpectrum, SpectrumStream, SumMode};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use sbox_circuits::{SboxCircuit, Scheme};
@@ -146,9 +153,65 @@ fn main() {
         assert_eq!(reference, via_session, "legacy and session paths diverge");
     }
 
+    // Batch-analysis reference for the streaming legs' sanity check:
+    // the exact fold must reproduce this spectrum bitwise once per pass.
+    let batch_tlp = {
+        let mut session = sim.session();
+        let mut buf = Vec::new();
+        let mut set = ClassifiedTraces::new(NUM_CLASSES, sampling.samples);
+        for (s, seed) in &schedule {
+            let mut rng = SmallRng::seed_from_u64(*seed);
+            session.capture_into(&s.initial, &s.final_inputs, &sampling, &mut rng, &mut buf);
+            set.push(usize::from(s.label), buf.clone());
+        }
+        LeakageSpectrum::from_class_means(&set.class_means()).total_leakage_power()
+    };
+
+    let schedule_len = schedule.len() as u64;
     let mut session_a = sim.session();
     let mut session_b = sim.session();
     let mut buf = Vec::new();
+
+    // One runner per summation mode: capture into a reused buffer, fold
+    // into the online accumulator, and check the finished spectrum
+    // against the batch analysis each time a full pass has been folded.
+    let streaming_runner = |mode: SumMode, name: &'static str| {
+        let mut session = sim.session();
+        let mut buf = Vec::new();
+        let mut stream = SpectrumStream::new(NUM_CLASSES, sampling.samples, mode);
+        Runner {
+            name,
+            capture: Box::new(move |s: &Stimulus, seed: u64| {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let stats = session.capture_into(
+                    &s.initial,
+                    &s.final_inputs,
+                    &sampling,
+                    &mut rng,
+                    &mut buf,
+                );
+                stream.fold(usize::from(s.label), &buf);
+                if stream.folded() == schedule_len {
+                    let done = std::mem::replace(
+                        &mut stream,
+                        SpectrumStream::new(NUM_CLASSES, sampling.samples, mode),
+                    );
+                    let tlp = done.finish().spectrum().total_leakage_power();
+                    match mode {
+                        SumMode::Exact => assert_eq!(
+                            tlp, batch_tlp,
+                            "exact streamed fold diverged from batch analysis"
+                        ),
+                        SumMode::Welford => assert!(
+                            ((tlp - batch_tlp) / batch_tlp).abs() <= 1e-9,
+                            "welford streamed fold drifted past tolerance: {tlp} vs {batch_tlp}"
+                        ),
+                    }
+                }
+                stats
+            }),
+        }
+    };
     let legs = measure(
         &schedule,
         passes,
@@ -197,6 +260,8 @@ fn main() {
                     )
                 }),
             },
+            streaming_runner(SumMode::Exact, "streaming_fold_exact"),
+            streaming_runner(SumMode::Welford, "streaming_fold_welford"),
         ],
     );
     for leg in &legs {
@@ -211,6 +276,12 @@ fn main() {
     let vs_legacy = legs[2].traces_per_sec() / legs[0].traces_per_sec();
     let vs_alloc = legs[2].traces_per_sec() / legs[1].traces_per_sec();
     eprintln!("  session_reuse speedup: {vs_legacy:.2}x vs legacy, {vs_alloc:.2}x vs alloc");
+    let stream_exact_vs_batch = legs[4].traces_per_sec() / legs[3].traces_per_sec();
+    let stream_welford_vs_batch = legs[5].traces_per_sec() / legs[3].traces_per_sec();
+    eprintln!(
+        "  streaming fold throughput vs session_capture_into: \
+         {stream_exact_vs_batch:.3}x exact, {stream_welford_vs_batch:.3}x welford"
+    );
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -244,8 +315,18 @@ fn main() {
     );
     let _ = writeln!(
         json,
-        "  \"speedup_session_vs_alloc\": {}",
+        "  \"speedup_session_vs_alloc\": {},",
         json_f64(vs_alloc)
+    );
+    let _ = writeln!(
+        json,
+        "  \"throughput_streaming_exact_vs_batch\": {},",
+        json_f64(stream_exact_vs_batch)
+    );
+    let _ = writeln!(
+        json,
+        "  \"throughput_streaming_welford_vs_batch\": {}",
+        json_f64(stream_welford_vs_batch)
     );
     json.push_str("}\n");
     std::fs::write(&out_path, json).expect("write BENCH_capture.json");

@@ -21,7 +21,7 @@
 //! as they arrive and previously checkpointed indices are skipped, so a
 //! killed run resumes instead of restarting.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
@@ -29,6 +29,7 @@ use std::time::{Duration, Instant};
 
 use acquisition::{capture_stimulus_session, trace_seed, Stimulus};
 use gatesim::{CaptureSession, CaptureStats, SamplingConfig, Simulator};
+use leakage_core::online::{SpectrumAccumulator, SumMode, TreeReducer, FOLD_CHUNK};
 
 use crate::fault::{FaultPlan, InjectedFault};
 use crate::store::CheckpointWriter;
@@ -36,7 +37,12 @@ use crate::store::CheckpointWriter;
 /// Indices are claimed in chunks of this size — small enough to balance
 /// the ~10× per-scheme cost spread at 1024 traces, large enough that the
 /// atomic cursor never contends.
-const CHUNK: usize = 16;
+///
+/// Pinned to [`FOLD_CHUNK`] so the streaming fold's merge-tree leaves
+/// coincide with the executor's work units: a sequential
+/// `SpectrumStream` over the same schedule reproduces the sharded fold
+/// bit-for-bit.
+const CHUNK: usize = FOLD_CHUNK;
 
 /// What one worker did, for the utilization report.
 #[derive(Debug, Clone)]
@@ -124,6 +130,14 @@ pub struct ExecutorReport {
     pub quarantined: Vec<CaptureFailure>,
     /// Traces served from the resume state instead of simulated.
     pub resumed: usize,
+    /// Largest number of newly captured traces resident in memory at
+    /// once. Always 0 for the batch path (which by design retains every
+    /// trace); for the streaming fold it is bounded by
+    /// `O(workers × CHUNK)`, independent of schedule length.
+    pub peak_resident: usize,
+    /// Merge depth of the final streaming accumulator (0 for the batch
+    /// path and single-chunk streaming runs).
+    pub merge_depth: usize,
     /// Non-fatal degradations (checkpoint write failures, …).
     pub warnings: Vec<String>,
 }
@@ -345,9 +359,312 @@ pub fn capture_schedule_with(
         retried,
         quarantined,
         resumed,
+        peak_resident: 0,
+        merge_depth: 0,
         warnings,
     };
     (traces, report)
+}
+
+/// Shape and summation mode of the streaming analysis fold.
+#[derive(Debug, Clone)]
+pub struct StreamPolicy {
+    /// Number of classes (stimulus labels index into this range).
+    pub num_classes: usize,
+    /// Accumulator summation mode. [`SumMode::Exact`] makes the folded
+    /// spectrum bit-identical to the batch path; [`SumMode::Welford`]
+    /// is cheaper and bit-stable across worker counts only.
+    pub mode: SumMode,
+}
+
+/// One worker's progress on one chunk of the streaming fold.
+struct StreamChunk {
+    worker: usize,
+    /// Position of this chunk in the schedule's chunk sequence — the
+    /// leaf index of the deterministic merge tree.
+    seq: u64,
+    acc: SpectrumAccumulator,
+    /// Newly captured traces, retained only while a checkpoint sink
+    /// needs to persist them; empty otherwise.
+    raw: Vec<(usize, Vec<f64>)>,
+    captured: usize,
+    failures: Vec<CaptureFailure>,
+    stats: CaptureStats,
+    busy: Duration,
+    retried: usize,
+}
+
+/// Shared read-only context of one streaming fold run.
+struct StreamCtx<'a> {
+    schedule: &'a [Stimulus],
+    sampling: &'a SamplingConfig,
+    base_seed: u64,
+    policy: &'a ExecPolicy,
+    stream: &'a StreamPolicy,
+    /// Traces completed by a previous run, folded in place of
+    /// re-simulation at their schedule position.
+    resumed: HashMap<usize, Vec<f64>>,
+    /// Whether workers must retain raw traces for the checkpoint sink.
+    keep_raw: bool,
+    /// Newly captured traces currently resident (shared counter) and
+    /// its high-water mark.
+    resident: AtomicUsize,
+    peak: AtomicUsize,
+}
+
+impl StreamCtx<'_> {
+    fn note_resident(&self) {
+        let now = self.resident.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    fn release_resident(&self, n: usize) {
+        if n > 0 {
+            self.resident.fetch_sub(n, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Capture `schedule` like [`capture_schedule_with`], but fold every
+/// trace into a [`SpectrumAccumulator`] instead of retaining it:
+/// memory is `O(classes × samples)` plus `O(workers × CHUNK)` traces in
+/// flight, independent of schedule length.
+///
+/// Each worker folds the chunks it claims into chunk-local accumulators;
+/// the caller's thread merges them with a [`TreeReducer`] keyed by chunk
+/// position, so the tree shape — and the folded result — depends only on
+/// the schedule, never on the worker count or chunk completion order.
+/// Quarantined indices fold zero times, a retried index folds exactly
+/// once, and resumed traces fold at their schedule position without
+/// being re-simulated; newly captured traces still stream to the
+/// [`ResumeState`] checkpoint exactly as in the batch path.
+///
+/// The returned report's [`peak_resident`](ExecutorReport::peak_resident)
+/// and [`merge_depth`](ExecutorReport::merge_depth) fields are live in
+/// this mode. Note that resumed traces are held in memory for the
+/// duration of the run (they arrive as a batch from the checkpoint
+/// reader) and are not counted by `peak_resident`, which tracks newly
+/// captured traces only.
+pub fn fold_schedule_with(
+    sim: &Simulator<'_>,
+    schedule: &[Stimulus],
+    sampling: &SamplingConfig,
+    base_seed: u64,
+    policy: &ExecPolicy,
+    resume: ResumeState<'_>,
+    stream: &StreamPolicy,
+) -> (SpectrumAccumulator, ExecutorReport) {
+    let workers = resolve_workers(policy.workers).min(schedule.len()).max(1);
+    let started = Instant::now();
+
+    let mut resumed_map: HashMap<usize, Vec<f64>> = HashMap::new();
+    for (index, samples) in resume.completed {
+        if index < schedule.len() {
+            resumed_map.entry(index).or_insert(samples);
+        }
+    }
+    let resumed = resumed_map.len();
+    let keep_raw = resume.checkpoint.is_some();
+    let mut sink = CheckpointSink {
+        writer: resume.checkpoint,
+        sync_every: resume.sync_every,
+        since_sync: 0,
+        warning: None,
+    };
+
+    let ctx = StreamCtx {
+        schedule,
+        sampling,
+        base_seed,
+        policy,
+        stream,
+        resumed: resumed_map,
+        keep_raw,
+        resident: AtomicUsize::new(0),
+        peak: AtomicUsize::new(0),
+    };
+
+    let mut loads: Vec<WorkerLoad> = (0..workers)
+        .map(|_| WorkerLoad {
+            traces: 0,
+            busy: Duration::ZERO,
+        })
+        .collect();
+    let mut stats = CaptureStats::default();
+    let mut retried = 0usize;
+    let mut quarantined: Vec<CaptureFailure> = Vec::new();
+    let mut reducer = TreeReducer::new();
+
+    if workers == 1 {
+        let mut session = sim.session();
+        for chunk_start in (0..schedule.len()).step_by(CHUNK) {
+            let chunk_end = (chunk_start + CHUNK).min(schedule.len());
+            let result = fold_chunk(&mut session, &ctx, 0, chunk_start..chunk_end);
+            absorb_stream(
+                result,
+                &ctx,
+                &mut loads,
+                &mut stats,
+                &mut retried,
+                &mut quarantined,
+                &mut sink,
+                &mut reducer,
+            );
+        }
+    } else {
+        let cursor = AtomicUsize::new(0);
+        // A *bounded* channel: workers block once `workers` chunks are
+        // queued, so the number of raw traces in flight — and therefore
+        // peak memory — cannot grow with schedule length even if the
+        // collector falls behind.
+        let (tx, rx) = mpsc::sync_channel::<StreamChunk>(workers);
+        std::thread::scope(|scope| {
+            for worker in 0..workers {
+                let tx = tx.clone();
+                let cursor = &cursor;
+                let ctx = &ctx;
+                scope.spawn(move || {
+                    let mut session = sim.session();
+                    loop {
+                        let start = cursor.fetch_add(CHUNK, Ordering::Relaxed);
+                        if start >= ctx.schedule.len() {
+                            break;
+                        }
+                        let end = (start + CHUNK).min(ctx.schedule.len());
+                        let result = fold_chunk(&mut session, ctx, worker, start..end);
+                        if tx.send(result).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(tx);
+            for result in rx {
+                absorb_stream(
+                    result,
+                    &ctx,
+                    &mut loads,
+                    &mut stats,
+                    &mut retried,
+                    &mut quarantined,
+                    &mut sink,
+                    &mut reducer,
+                );
+            }
+        });
+    }
+
+    let mut warnings = Vec::new();
+    sink.finish(&mut warnings);
+    quarantined.sort_by_key(|f| f.index);
+
+    let acc = reducer.finish().unwrap_or_else(|| {
+        SpectrumAccumulator::new(stream.num_classes, sampling.samples, stream.mode)
+    });
+    let report = ExecutorReport {
+        workers,
+        loads,
+        wall: started.elapsed(),
+        stats,
+        retried,
+        quarantined,
+        resumed,
+        peak_resident: ctx.peak.load(Ordering::Relaxed),
+        merge_depth: acc.merge_depth(),
+        warnings,
+    };
+    (acc, report)
+}
+
+/// Fold one streamed chunk's outcome into the run accumulators, the
+/// checkpoint, and the merge tree.
+#[allow(clippy::too_many_arguments)]
+fn absorb_stream(
+    result: StreamChunk,
+    ctx: &StreamCtx<'_>,
+    loads: &mut [WorkerLoad],
+    stats: &mut CaptureStats,
+    retried: &mut usize,
+    quarantined: &mut Vec<CaptureFailure>,
+    sink: &mut CheckpointSink<'_>,
+    reducer: &mut TreeReducer,
+) {
+    loads[result.worker].traces += result.captured;
+    loads[result.worker].busy += result.busy;
+    stats.merge(&result.stats);
+    *retried += result.retried;
+    quarantined.extend(result.failures);
+    let raw_len = result.raw.len();
+    for (index, trace) in result.raw {
+        sink.push(index, ctx.schedule[index].label, &trace);
+    }
+    ctx.release_resident(raw_len);
+    reducer.push(result.seq, result.acc);
+}
+
+/// Fold every index in `range` (resumed, captured, or quarantined) into
+/// one chunk-local accumulator, in index order.
+fn fold_chunk(
+    session: &mut CaptureSession<'_>,
+    ctx: &StreamCtx<'_>,
+    worker: usize,
+    range: std::ops::Range<usize>,
+) -> StreamChunk {
+    let seq = (range.start / CHUNK) as u64;
+    let mut acc = SpectrumAccumulator::new(
+        ctx.stream.num_classes,
+        ctx.sampling.samples,
+        ctx.stream.mode,
+    );
+    let mut raw = Vec::new();
+    let mut captured = 0usize;
+    let mut failures = Vec::new();
+    let mut stats = CaptureStats::default();
+    let mut retried = 0usize;
+    let t0 = Instant::now();
+    for index in range {
+        let stimulus = &ctx.schedule[index];
+        if let Some(trace) = ctx.resumed.get(&index) {
+            acc.fold(usize::from(stimulus.label), trace);
+            continue;
+        }
+        match capture_index(
+            session,
+            stimulus,
+            ctx.sampling,
+            ctx.base_seed,
+            index,
+            ctx.policy,
+        ) {
+            Ok((trace, s, attempts)) => {
+                stats.merge(&s);
+                if attempts > 1 {
+                    retried += 1;
+                }
+                captured += 1;
+                ctx.note_resident();
+                acc.fold(usize::from(stimulus.label), &trace);
+                if ctx.keep_raw {
+                    raw.push((index, trace));
+                } else {
+                    drop(trace);
+                    ctx.release_resident(1);
+                }
+            }
+            Err(failure) => failures.push(failure),
+        }
+    }
+    StreamChunk {
+        worker,
+        seq,
+        acc,
+        raw,
+        captured,
+        failures,
+        stats,
+        busy: t0.elapsed(),
+        retried,
+    }
 }
 
 /// Fold one chunk's outcome into the run accumulators and the
@@ -638,6 +955,143 @@ mod tests {
             } else {
                 assert_eq!(*trace, reference[i], "surviving trace {i}");
             }
+        }
+    }
+
+    #[test]
+    fn streaming_fold_is_bit_identical_to_batch_at_any_worker_count() {
+        let circuit = SboxCircuit::build(Scheme::Isw);
+        let config = small_config();
+        let sim = Simulator::new(circuit.netlist(), &config.sim);
+        let schedule = classified_schedule(&circuit, &config);
+        let (traces, _) = capture_schedule(&sim, &schedule, &config.sampling, config.seed, 1);
+        let mut set = leakage_core::ClassifiedTraces::new(16, config.sampling.samples);
+        for (s, t) in schedule.iter().zip(traces) {
+            set.push(usize::from(s.label), t);
+        }
+        let batch = leakage_core::LeakageSpectrum::from_class_means(&set.class_means());
+
+        let stream = StreamPolicy {
+            num_classes: 16,
+            mode: SumMode::Exact,
+        };
+        let mut previous: Option<SpectrumAccumulator> = None;
+        for workers in [1usize, 2, 8] {
+            let (acc, report) = fold_schedule_with(
+                &sim,
+                &schedule,
+                &config.sampling,
+                config.seed,
+                &ExecPolicy {
+                    workers,
+                    ..ExecPolicy::default()
+                },
+                ResumeState::fresh(),
+                &stream,
+            );
+            assert_eq!(acc.spectrum(), batch, "{workers} workers vs batch");
+            assert_eq!(acc.len(), schedule.len() as u64);
+            if let Some(prev) = &previous {
+                assert_eq!(&acc, prev, "{workers} workers: accumulator drifted");
+            }
+            assert!(report.merge_depth > 0, "64 traces span multiple chunks");
+            previous = Some(acc);
+        }
+    }
+
+    #[test]
+    fn streaming_fold_bounds_resident_traces() {
+        let circuit = SboxCircuit::build(Scheme::Opt);
+        let config = ProtocolConfig {
+            traces_per_class: 16, // 256 traces
+            ..ProtocolConfig::default()
+        };
+        let sim = Simulator::new(circuit.netlist(), &config.sim);
+        let schedule = classified_schedule(&circuit, &config);
+        let workers = 4usize;
+        let (acc, report) = fold_schedule_with(
+            &sim,
+            &schedule,
+            &config.sampling,
+            config.seed,
+            &ExecPolicy {
+                workers,
+                ..ExecPolicy::default()
+            },
+            ResumeState::fresh(),
+            &StreamPolicy {
+                num_classes: 16,
+                mode: SumMode::Welford,
+            },
+        );
+        assert_eq!(acc.len(), 256);
+        // Without a checkpoint sink no raw trace outlives its fold: at
+        // most one capture per worker is resident at any instant.
+        assert!(
+            report.peak_resident <= workers,
+            "peak resident {} with {workers} workers",
+            report.peak_resident
+        );
+        // Accumulator state is O(classes × samples × log chunks), far
+        // below one float per trace sample.
+        assert!(
+            acc.resident_floats() < schedule.len() * config.sampling.samples,
+            "accumulator holds {} floats for {} traces",
+            acc.resident_floats(),
+            schedule.len()
+        );
+    }
+
+    #[test]
+    fn streaming_fold_quarantines_and_retries_like_batch() {
+        let circuit = SboxCircuit::build(Scheme::Opt);
+        let config = small_config();
+        let sim = Simulator::new(circuit.netlist(), &config.sim);
+        let schedule = classified_schedule(&circuit, &config);
+        let stream = StreamPolicy {
+            num_classes: 16,
+            mode: SumMode::Exact,
+        };
+        // Reference: clean streaming fold minus the sticky indices.
+        let (clean, _) = fold_schedule_with(
+            &sim,
+            &schedule,
+            &config.sampling,
+            config.seed,
+            &ExecPolicy::default(),
+            ResumeState::fresh(),
+            &stream,
+        );
+        for workers in [1usize, 3] {
+            let policy = ExecPolicy {
+                workers,
+                max_retries: 2,
+                faults: FaultPlan::none()
+                    .with_transient_panics([2, 17])
+                    .with_sticky_panics([5, 40]),
+            };
+            let (acc, report) = fold_schedule_with(
+                &sim,
+                &schedule,
+                &config.sampling,
+                config.seed,
+                &policy,
+                ResumeState::fresh(),
+                &stream,
+            );
+            assert_eq!(report.retried, 2, "{workers} workers");
+            assert_eq!(
+                report
+                    .quarantined
+                    .iter()
+                    .map(|f| f.index)
+                    .collect::<Vec<_>>(),
+                vec![5, 40]
+            );
+            // Retried indices folded exactly once, quarantined ones not
+            // at all: 62 of 64 traces.
+            assert_eq!(acc.len(), schedule.len() as u64 - 2, "{workers} workers");
+            assert_ne!(acc, clean, "quarantined traces must be absent");
         }
     }
 

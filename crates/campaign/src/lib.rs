@@ -56,8 +56,8 @@ pub use cache::{config_digest, CacheMode, CampaignKey, TraceCache};
 pub use digest::{fnv1a, Digest};
 pub use error::CampaignError;
 pub use executor::{
-    capture_schedule, capture_schedule_with, resolve_workers, CaptureFailure, ExecPolicy,
-    ExecutorReport, ResumeState, WorkerLoad,
+    capture_schedule, capture_schedule_with, fold_schedule_with, resolve_workers, CaptureFailure,
+    ExecPolicy, ExecutorReport, ResumeState, StreamPolicy, WorkerLoad,
 };
 pub use fault::{FaultPlan, InjectedFault};
 pub use report::{RunLog, RunReport, Stage, StageTimer};
@@ -73,6 +73,8 @@ use acquisition::{
     classified_schedule, cpa_schedule, cpa_seed, CpaAcquisition, LeakageStudy, ProtocolConfig,
     Stimulus, NUM_CLASSES,
 };
+pub use leakage_core::online::{SpectrumAccumulator, SpectrumStream, SumMode};
+
 use aging::AgingConditions;
 use gatesim::{CaptureStats, Derating, SamplingConfig, Simulator};
 use leakage_core::{ClassifiedTraces, LeakageSpectrum};
@@ -107,6 +109,15 @@ pub struct CampaignConfig {
     /// config arms it from `SCA_FAULTS` so CI can exercise the
     /// degradation paths across the whole suite).
     pub faults: FaultPlan,
+    /// Run `acquire_spectrum*` calls as a bounded-memory streaming fold
+    /// (traces are folded into online accumulators instead of
+    /// materialized). Batch `acquire*` calls are unaffected.
+    pub streaming: bool,
+    /// Summation mode of the streaming fold. The default,
+    /// [`SumMode::Exact`], makes streamed spectra bit-identical to the
+    /// batch path; [`SumMode::Welford`] trades that for a cheaper fold
+    /// while staying bit-stable across worker counts.
+    pub stream_mode: SumMode,
 }
 
 impl Default for CampaignConfig {
@@ -121,6 +132,8 @@ impl Default for CampaignConfig {
             max_retries: 2,
             checkpoint_every: 64,
             faults: FaultPlan::from_env().clone(),
+            streaming: false,
+            stream_mode: SumMode::Exact,
         }
     }
 }
@@ -149,6 +162,38 @@ pub struct CampaignOutcome {
     pub spectrum: LeakageSpectrum,
     /// Whether this outcome was read from the store.
     pub cache_hit: bool,
+}
+
+/// What [`Campaign::open_checkpoint`] hands back to an executor run:
+/// already-completed `(index, samples)` records, the live checkpoint
+/// writer (if checkpointing), and any degradation warnings.
+type CheckpointState = (
+    Vec<(usize, Vec<f64>)>,
+    Option<CheckpointWriter>,
+    Vec<String>,
+);
+
+/// One spectral analysis produced without materializing the trace set:
+/// the Walsh–Hadamard spectrum plus the class statistics of the online
+/// accumulator that was folded (streamed from the simulator or from a
+/// cached `SCTR` store, one trace resident at a time).
+#[derive(Debug, Clone)]
+pub struct SpectrumOutcome {
+    /// The implementation measured.
+    pub scheme: Scheme,
+    /// Device age in months (0.0 = fresh).
+    pub age_months: f64,
+    /// The leakage spectrum of the class means.
+    pub spectrum: LeakageSpectrum,
+    /// Traces folded per class (balanced unless captures were
+    /// quarantined).
+    pub class_counts: Vec<usize>,
+    /// Total traces folded into the spectrum.
+    pub traces_analyzed: usize,
+    /// Whether the traces came from the store instead of the simulator.
+    pub cache_hit: bool,
+    /// Whether the analysis ran as a bounded-memory streaming fold.
+    pub streamed: bool,
 }
 
 /// The campaign engine. Owns the cache and the run log; each
@@ -260,6 +305,110 @@ impl Campaign {
         ages_months
             .iter()
             .map(|&months| self.acquire_aged(scheme, months))
+            .collect()
+    }
+
+    /// The leakage spectrum for a fresh device, without retaining the
+    /// trace set (see [`Campaign::acquire_spectrum_aged`]).
+    pub fn acquire_spectrum(&mut self, scheme: Scheme) -> SpectrumOutcome {
+        self.acquire_spectrum_aged(scheme, 0.0)
+    }
+
+    /// The leakage spectrum at a device age, analyzed in bounded memory
+    /// when [`CampaignConfig::streaming`] is set.
+    ///
+    /// In streaming mode each worker folds its shard of the schedule
+    /// into a local [`SpectrumAccumulator`] and the shards merge in a
+    /// deterministic tree, so peak memory is O(classes × samples) — not
+    /// O(traces) — and the result is identical for any worker count. In
+    /// the default [`SumMode::Exact`] the spectrum is bit-identical to
+    /// the batch [`Campaign::acquire_aged`] path. Cache hits fold the
+    /// stored records one at a time instead of materializing the set;
+    /// misses simulate but keep no raw traces, so nothing is written to
+    /// the `SCTR` store (the `SCKP` checkpoint, when enabled, remains
+    /// the durable per-trace artifact and seeds a later batch run).
+    ///
+    /// With `streaming` off this simply delegates to the batch path and
+    /// summarizes its outcome.
+    pub fn acquire_spectrum_aged(&mut self, scheme: Scheme, months: f64) -> SpectrumOutcome {
+        if !self.config.streaming {
+            let outcome = self.acquire_aged(scheme, months);
+            let mut class_counts = vec![0usize; NUM_CLASSES];
+            for (class, _) in outcome.traces.iter() {
+                class_counts[class] += 1;
+            }
+            return SpectrumOutcome {
+                scheme,
+                age_months: months,
+                spectrum: outcome.spectrum,
+                class_counts,
+                traces_analyzed: outcome.traces.len(),
+                cache_hit: outcome.cache_hit,
+                streamed: false,
+            };
+        }
+
+        let mut timer = StageTimer::new();
+        let key = self.classified_key(scheme, months);
+
+        if let Some(reader) = self.lookup(&key, &mut timer) {
+            match Self::fold_store(reader, self.config.stream_mode) {
+                Ok(acc) => return self.spectrum_hit(scheme, months, acc, timer),
+                Err(e) => eprintln!(
+                    "campaign cache: {} failed mid-read ({e}); re-acquiring",
+                    self.cache.path_for(&key).display()
+                ),
+            }
+        }
+
+        timer.stage("build");
+        let circuit = SboxCircuit::build(scheme);
+        timer.stage("age");
+        let derating = self.derating(&circuit, months);
+        let sim = Simulator::with_derating(circuit.netlist(), &self.config.protocol.sim, &derating);
+
+        timer.stage("acquire");
+        let schedule = classified_schedule(&circuit, &self.config.protocol);
+        let (acc, mut exec) =
+            self.execute_streaming(&key, &sim, &schedule, self.config.protocol.seed);
+
+        if !exec.quarantined.is_empty() {
+            exec.warnings.push(
+                CampaignError::Incomplete {
+                    quarantined: exec.quarantined.iter().map(|f| f.index).collect(),
+                    scheduled: schedule.len(),
+                }
+                .to_string(),
+            );
+        }
+
+        timer.stage("analyze");
+        let spectrum = acc.spectrum();
+        let class_counts = acc.class_counts();
+        let traces_analyzed = acc.len() as usize;
+        self.report_streamed(&key, &exec, timer);
+        SpectrumOutcome {
+            scheme,
+            age_months: months,
+            spectrum,
+            class_counts,
+            traces_analyzed,
+            cache_hit: false,
+            streamed: true,
+        }
+    }
+
+    /// The Fig. 7 age sweep as streamed spectra: one
+    /// [`Campaign::acquire_spectrum_aged`] per age, each cell
+    /// independently cached.
+    pub fn run_aged_spectra(
+        &mut self,
+        scheme: Scheme,
+        ages_months: &[f64],
+    ) -> Vec<SpectrumOutcome> {
+        ages_months
+            .iter()
+            .map(|&months| self.acquire_spectrum_aged(scheme, months))
             .collect()
     }
 
@@ -397,13 +546,62 @@ impl Campaign {
         schedule: &[Stimulus],
         base_seed: u64,
     ) -> (Vec<Vec<f64>>, ExecutorReport) {
-        let policy = ExecPolicy {
+        let policy = self.exec_policy();
+        let (completed, mut writer, mut warnings) = self.open_checkpoint(key);
+        let sampling: &SamplingConfig = &self.config.protocol.sampling;
+        let resume = ResumeState {
+            completed,
+            checkpoint: writer.as_mut(),
+            sync_every: self.config.checkpoint_every,
+        };
+        let (raw, mut exec) =
+            capture_schedule_with(sim, schedule, sampling, base_seed, &policy, resume);
+        warnings.append(&mut exec.warnings);
+        exec.warnings = warnings;
+        (raw, exec)
+    }
+
+    /// The streaming counterpart of [`Campaign::execute`]: identical
+    /// checkpoint resume/flush wiring, but each worker folds its shard
+    /// into an accumulator instead of returning raw traces.
+    fn execute_streaming(
+        &mut self,
+        key: &CampaignKey,
+        sim: &Simulator<'_>,
+        schedule: &[Stimulus],
+        base_seed: u64,
+    ) -> (SpectrumAccumulator, ExecutorReport) {
+        let policy = self.exec_policy();
+        let stream = StreamPolicy {
+            num_classes: NUM_CLASSES,
+            mode: self.config.stream_mode,
+        };
+        let (completed, mut writer, mut warnings) = self.open_checkpoint(key);
+        let sampling: &SamplingConfig = &self.config.protocol.sampling;
+        let resume = ResumeState {
+            completed,
+            checkpoint: writer.as_mut(),
+            sync_every: self.config.checkpoint_every,
+        };
+        let (acc, mut exec) =
+            fold_schedule_with(sim, schedule, sampling, base_seed, &policy, resume, &stream);
+        warnings.append(&mut exec.warnings);
+        exec.warnings = warnings;
+        (acc, exec)
+    }
+
+    fn exec_policy(&self) -> ExecPolicy {
+        ExecPolicy {
             workers: self.config.workers,
             max_retries: self.config.max_retries,
             faults: self.config.faults.clone(),
-        };
-        let sampling: &SamplingConfig = &self.config.protocol.sampling;
+        }
+    }
 
+    /// Open (or resume) the cell's `SCKP` checkpoint. Returns the
+    /// already-completed records, the live writer, and any degradation
+    /// warnings; checkpoint problems never fail an acquisition.
+    fn open_checkpoint(&mut self, key: &CampaignKey) -> CheckpointState {
         let checkpointing = self.cache.writes_enabled() && self.config.checkpoint_every > 0;
         let path = self.cache.checkpoint_path(key);
         let mut warnings = Vec::new();
@@ -432,17 +630,17 @@ impl Campaign {
                 )),
             }
         }
+        (completed, writer, warnings)
+    }
 
-        let resume = ResumeState {
-            completed,
-            checkpoint: writer.as_mut(),
-            sync_every: self.config.checkpoint_every,
-        };
-        let (raw, mut exec) =
-            capture_schedule_with(sim, schedule, sampling, base_seed, &policy, resume);
-        warnings.append(&mut exec.warnings);
-        exec.warnings = warnings;
-        (raw, exec)
+    /// Fold every record of a cached store into an accumulator, one
+    /// record resident at a time.
+    fn fold_store(reader: StoreReader, mode: SumMode) -> Result<SpectrumAccumulator, StoreError> {
+        let meta = reader.meta();
+        let mut stream =
+            SpectrumStream::new(usize::from(meta.class_or_key), meta.samples as usize, mode);
+        reader.for_each_record(|label, samples| stream.fold(usize::from(label), samples))?;
+        Ok(stream.finish())
     }
 
     /// Write the finished classified set to the store and retire its
@@ -519,6 +717,41 @@ impl Campaign {
     }
 
     fn report_hit(&mut self, key: &CampaignKey, traces: usize, timer: StageTimer) {
+        self.push_hit_report(key, traces, timer, false, 0, 0);
+    }
+
+    fn spectrum_hit(
+        &mut self,
+        scheme: Scheme,
+        months: f64,
+        acc: SpectrumAccumulator,
+        mut timer: StageTimer,
+    ) -> SpectrumOutcome {
+        timer.stage("analyze");
+        let key = self.classified_key(scheme, months);
+        // A cache-hit fold keeps one record resident at a time.
+        self.push_hit_report(&key, acc.len() as usize, timer, true, 1, acc.merge_depth());
+        SpectrumOutcome {
+            scheme,
+            age_months: months,
+            spectrum: acc.spectrum(),
+            class_counts: acc.class_counts(),
+            traces_analyzed: acc.len() as usize,
+            cache_hit: true,
+            streamed: true,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn push_hit_report(
+        &mut self,
+        key: &CampaignKey,
+        traces: usize,
+        timer: StageTimer,
+        streamed: bool,
+        peak_resident: usize,
+        merge_depth: usize,
+    ) {
         self.log.push(RunReport {
             implementation: key.implementation.clone(),
             age_months: key.age_months,
@@ -531,11 +764,28 @@ impl Campaign {
             retried: 0,
             quarantined: 0,
             resumed: 0,
+            streamed,
+            peak_resident,
+            merge_depth,
             warnings: Vec::new(),
         });
     }
 
     fn report(&mut self, key: &CampaignKey, exec: &ExecutorReport, timer: StageTimer) {
+        self.push_exec_report(key, exec, timer, false);
+    }
+
+    fn report_streamed(&mut self, key: &CampaignKey, exec: &ExecutorReport, timer: StageTimer) {
+        self.push_exec_report(key, exec, timer, true);
+    }
+
+    fn push_exec_report(
+        &mut self,
+        key: &CampaignKey,
+        exec: &ExecutorReport,
+        timer: StageTimer,
+        streamed: bool,
+    ) {
         self.log.push(RunReport {
             implementation: key.implementation.clone(),
             age_months: key.age_months,
@@ -548,6 +798,9 @@ impl Campaign {
             retried: exec.retried,
             quarantined: exec.quarantined.len(),
             resumed: exec.resumed,
+            streamed,
+            peak_resident: exec.peak_resident,
+            merge_depth: exec.merge_depth,
             warnings: exec.warnings.clone(),
         });
     }
@@ -643,6 +896,62 @@ mod tests {
         assert_eq!(first, reference);
         assert_eq!(campaign.log().cache_hits(), 1);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn streamed_spectrum_is_bit_identical_to_batch() {
+        let dir = tmp_dir("stream-exact");
+        let batch = small_campaign(&dir, CacheMode::Off).acquire(Scheme::Glut);
+        for workers in [1, 2, 8] {
+            let mut campaign = small_campaign(&dir, CacheMode::Off);
+            campaign.config.streaming = true;
+            campaign.config.workers = workers;
+            let streamed = campaign.acquire_spectrum(Scheme::Glut);
+            assert!(streamed.streamed);
+            assert!(!streamed.cache_hit);
+            assert_eq!(streamed.spectrum, batch.spectrum, "workers = {workers}");
+            assert_eq!(streamed.traces_analyzed, batch.traces.len());
+            assert!(streamed.class_counts.iter().all(|&c| c == 2));
+            let report = campaign.log().reports().last().unwrap().clone();
+            assert!(report.streamed);
+            assert!(report.peak_resident >= 1);
+            assert!(
+                report.peak_resident <= workers,
+                "uncheckpointed fold must keep at most one trace per worker"
+            );
+        }
+    }
+
+    #[test]
+    fn streamed_cache_hit_folds_the_store_without_materializing() {
+        let dir = tmp_dir("stream-hit");
+        let _ = std::fs::remove_dir_all(&dir);
+        let batch = small_campaign(&dir, CacheMode::ReadWrite).acquire(Scheme::Ti);
+        let mut campaign = small_campaign(&dir, CacheMode::ReadWrite);
+        campaign.config.streaming = true;
+        let hit = campaign.acquire_spectrum(Scheme::Ti);
+        assert!(hit.cache_hit);
+        assert!(hit.streamed);
+        assert_eq!(hit.spectrum, batch.spectrum);
+        assert_eq!(hit.traces_analyzed, batch.traces.len());
+        let report = campaign.log().reports().last().unwrap();
+        assert_eq!(report.stats.events, 0, "hit must not simulate");
+        assert_eq!(report.peak_resident, 1, "fold keeps one record resident");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spectrum_without_streaming_delegates_to_batch() {
+        let dir = tmp_dir("stream-off");
+        let mut campaign = small_campaign(&dir, CacheMode::Off);
+        let outcome = campaign.acquire_spectrum(Scheme::Lut);
+        assert!(!outcome.streamed);
+        let batch = small_campaign(&dir, CacheMode::Off).acquire(Scheme::Lut);
+        assert_eq!(outcome.spectrum, batch.spectrum);
+        assert_eq!(
+            outcome.traces_analyzed,
+            outcome.class_counts.iter().sum::<usize>()
+        );
     }
 
     #[test]

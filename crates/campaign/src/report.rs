@@ -94,6 +94,15 @@ pub struct RunReport {
     /// Traces served from a previous run's checkpoint instead of
     /// simulated.
     pub resumed: usize,
+    /// Whether this run streamed traces through online accumulators
+    /// instead of materializing the set.
+    pub streamed: bool,
+    /// Peak number of newly captured traces resident in memory at once
+    /// (0 for batch runs, which retain everything by design).
+    pub peak_resident: usize,
+    /// Merge depth of the final streaming accumulator (0 for batch
+    /// runs).
+    pub merge_depth: usize,
     /// Non-fatal degradations (store/cache/checkpoint/report write
     /// failures that the run survived).
     pub warnings: Vec<String>,
@@ -163,6 +172,9 @@ impl RunReport {
         let _ = write!(s, ",\"retried\":{}", self.retried);
         let _ = write!(s, ",\"quarantined\":{}", self.quarantined);
         let _ = write!(s, ",\"resumed\":{}", self.resumed);
+        let _ = write!(s, ",\"streamed\":{}", self.streamed);
+        let _ = write!(s, ",\"peak_resident_traces\":{}", self.peak_resident);
+        let _ = write!(s, ",\"merge_depth\":{}", self.merge_depth);
         s.push_str(",\"warnings\":[");
         for (i, w) in self.warnings.iter().enumerate() {
             if i > 0 {
@@ -367,6 +379,9 @@ mod tests {
             retried: if hit { 0 } else { 1 },
             quarantined: 0,
             resumed: 0,
+            streamed: false,
+            peak_resident: 0,
+            merge_depth: 0,
             warnings: Vec::new(),
         }
     }
@@ -391,6 +406,9 @@ mod tests {
             "\"retried\":1",
             "\"quarantined\":0",
             "\"resumed\":0",
+            "\"streamed\":false",
+            "\"peak_resident_traces\":0",
+            "\"merge_depth\":0",
             "\"warnings\":[]",
             "\"stages\":{\"build\":",
         ] {

@@ -1,5 +1,7 @@
 //! Class-labelled trace storage and mean estimation.
 
+use crate::stats::ExactSum;
+
 /// Power traces grouped by the unmasked final value ("class") they were
 /// captured under, following the paper's protocol of 16 balanced classes.
 ///
@@ -83,44 +85,56 @@ impl ClassifiedTraces {
     /// Per-class mean traces computed from only the first `n` traces in
     /// acquisition order — the estimator the paper's Fig. 3 sweeps.
     ///
+    /// Sums are accumulated exactly ([`ExactSum`]) and rounded once, so
+    /// each mean is the correctly rounded quotient of the true sum — the
+    /// same value the streaming accumulators in [`crate::online`] produce
+    /// in exact mode, regardless of fold order or sharding. That shared
+    /// rounding is what lets the conformance suite compare batch and
+    /// streaming spectra bit-for-bit.
+    ///
     /// # Panics
     ///
     /// Panics if `n > self.len()`.
     pub fn class_means_of_first(&self, n: usize) -> Vec<Vec<f64>> {
         assert!(n <= self.traces.len());
-        let mut sums = vec![vec![0.0f64; self.samples]; self.num_classes];
+        let mut sums = vec![vec![ExactSum::new(); self.samples]; self.num_classes];
         let mut counts = vec![0usize; self.num_classes];
         for (c, t) in &self.traces[..n] {
             counts[*c] += 1;
             for (s, v) in sums[*c].iter_mut().zip(t) {
-                *s += v;
+                s.add(*v);
             }
         }
-        for (sum, &count) in sums.iter_mut().zip(&counts) {
-            if count > 0 {
-                for s in sum.iter_mut() {
-                    *s /= count as f64;
-                }
-            }
-        }
-        sums
+        sums.iter()
+            .zip(&counts)
+            .map(|(row, &count)| {
+                row.iter()
+                    .map(|s| {
+                        if count > 0 {
+                            s.value() / count as f64
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
     }
 
-    /// The grand mean trace over every stored trace.
+    /// The grand mean trace over every stored trace (exact summation,
+    /// like [`class_means`](Self::class_means)).
     pub fn grand_mean(&self) -> Vec<f64> {
-        let mut mean = vec![0.0f64; self.samples];
         if self.traces.is_empty() {
-            return mean;
+            return vec![0.0f64; self.samples];
         }
+        let mut sums = vec![ExactSum::new(); self.samples];
         for (_, t) in &self.traces {
-            for (m, v) in mean.iter_mut().zip(t) {
-                *m += v;
+            for (m, v) in sums.iter_mut().zip(t) {
+                m.add(*v);
             }
         }
-        for m in &mut mean {
-            *m /= self.traces.len() as f64;
-        }
-        mean
+        let n = self.traces.len() as f64;
+        sums.iter().map(|s| s.value() / n).collect()
     }
 }
 
@@ -171,5 +185,18 @@ mod tests {
     fn rejects_out_of_range_class() {
         let mut set = ClassifiedTraces::new(2, 1);
         set.push(2, vec![0.0]);
+    }
+
+    #[test]
+    fn means_survive_adversarial_ordering() {
+        // Large/small cancellation that naive left-to-right summation
+        // gets wrong: 1e16 + 1 collapses to 1e16, so the two unit
+        // contributions vanish and the naive mean is 0.25 instead of 0.5.
+        let mut set = ClassifiedTraces::new(1, 1);
+        for v in [1e16, 1.0, -1e16, 1.0] {
+            set.push(0, vec![v]);
+        }
+        assert_eq!(set.class_means()[0], vec![0.5]);
+        assert_eq!(set.grand_mean(), vec![0.5]);
     }
 }

@@ -44,6 +44,7 @@ mod classes;
 pub mod convergence;
 pub mod metrics;
 pub mod mi;
+pub mod online;
 mod spectrum;
 pub mod stats;
 pub mod theorem1;
@@ -51,5 +52,6 @@ pub mod ttest;
 pub mod wht;
 
 pub use classes::ClassifiedTraces;
+pub use online::{ClassAccumulator, SpectrumAccumulator, SpectrumStream, SumMode};
 pub use spectrum::LeakageSpectrum;
 pub use wht::{psi, spectrum_of, walsh_hadamard};

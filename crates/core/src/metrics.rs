@@ -3,10 +3,17 @@
 //! of Fei et al. (the paper's citation [18]) that makes the S-box "the
 //! most leaking function in symmetric cryptography".
 
+use crate::stats::CompensatedSum;
 use crate::ClassifiedTraces;
 
 /// Per-sample signal-to-noise ratio: variance of the class means over the
 /// mean of the within-class variances (Mangard's SNR).
+///
+/// Class means come from the exact batch estimator
+/// ([`ClassifiedTraces::class_means`]) and the within-class squared
+/// deviations are accumulated with compensated summation, so a handful
+/// of large-magnitude samples cannot silently cancel the contribution of
+/// the small ones (see the `metrics_survive_adversarial_ordering` test).
 ///
 /// Samples where no trace varies at all yield an SNR of 0.
 ///
@@ -19,27 +26,31 @@ pub fn snr(set: &ClassifiedTraces) -> Vec<f64> {
     let num_classes = set.num_classes();
     let means = set.class_means();
     let counts = set.class_counts();
-    let mut within = vec![vec![0.0f64; samples]; num_classes];
+    let mut within = vec![vec![CompensatedSum::new(); samples]; num_classes];
     for (class, trace) in set.iter() {
         for (s, &x) in trace.iter().enumerate() {
             let d = x - means[class][s];
-            within[class][s] += d * d;
+            within[class][s].add(d * d);
         }
     }
     (0..samples)
         .map(|s| {
-            let grand: f64 = (0..num_classes)
-                .map(|c| means[c][s] * counts[c] as f64)
-                .sum::<f64>()
-                / set.len() as f64;
-            let signal: f64 = (0..num_classes)
-                .map(|c| {
-                    let d = means[c][s] - grand;
-                    counts[c] as f64 * d * d
-                })
-                .sum::<f64>()
-                / set.len() as f64;
-            let noise: f64 = (0..num_classes).map(|c| within[c][s]).sum::<f64>() / set.len() as f64;
+            let mut grand = CompensatedSum::new();
+            for c in 0..num_classes {
+                grand.add(means[c][s] * counts[c] as f64);
+            }
+            let grand = grand.value() / set.len() as f64;
+            let mut signal = CompensatedSum::new();
+            for c in 0..num_classes {
+                let d = means[c][s] - grand;
+                signal.add(counts[c] as f64 * d * d);
+            }
+            let signal = signal.value() / set.len() as f64;
+            let mut noise = CompensatedSum::new();
+            for class in within.iter().take(num_classes) {
+                noise.add(class[s].value());
+            }
+            let noise = noise.value() / set.len() as f64;
             if noise == 0.0 {
                 // Noise-free: either a constant sample (no signal) or a
                 // perfectly class-determined one (infinite SNR).
@@ -59,6 +70,9 @@ pub fn snr(set: &ClassifiedTraces) -> Vec<f64> {
 /// `Var(E[X|class]) / Var(X)` ∈ [0, 1]. NICV = 1 means the sample is fully
 /// explained by the class; 0 means it carries no class information.
 ///
+/// Like [`snr`], all single-pass sums run through the shared compensated
+/// helper so adversarial sample orderings do not corrupt the variances.
+///
 /// # Panics
 ///
 /// Panics if `set` is empty.
@@ -67,31 +81,26 @@ pub fn nicv(set: &ClassifiedTraces) -> Vec<f64> {
     let samples = set.samples();
     let means = set.class_means();
     let counts = set.class_counts();
+    let grand_means = set.grand_mean();
     let n = set.len() as f64;
     (0..samples)
         .map(|s| {
-            let grand: f64 = set.iter().map(|(_, t)| t[s]).sum::<f64>() / n;
-            let total_var: f64 = set
-                .iter()
-                .map(|(_, t)| {
-                    let d = t[s] - grand;
-                    d * d
-                })
-                .sum::<f64>()
-                / n;
+            let grand = grand_means[s];
+            let mut total = CompensatedSum::new();
+            for (_, t) in set.iter() {
+                let d = t[s] - grand;
+                total.add(d * d);
+            }
+            let total_var = total.value() / n;
             if total_var == 0.0 {
                 return 0.0;
             }
-            let between: f64 = means
-                .iter()
-                .zip(&counts)
-                .map(|(m, &c)| {
-                    let d = m[s] - grand;
-                    c as f64 * d * d
-                })
-                .sum::<f64>()
-                / n;
-            between / total_var
+            let mut between = CompensatedSum::new();
+            for (m, &c) in means.iter().zip(&counts) {
+                let d = m[s] - grand;
+                between.add(c as f64 * d * d);
+            }
+            between.value() / n / total_var
         })
         .collect()
 }
@@ -175,6 +184,69 @@ mod tests {
         assert!(v.iter().all(|&x| (0.0..=1.0 + 1e-12).contains(&x)));
         assert!(v[0] > 0.99);
         assert!(v[1] < 1e-9);
+    }
+
+    #[test]
+    fn metrics_survive_adversarial_ordering() {
+        // Two classes, one sample. Class 0 hides its unit-scale signal
+        // behind ±1e16 pairs ordered so a naive running sum absorbs and
+        // loses the unit-scale values; class 1 is unit-scale only. Naive
+        // class means/variances get class 0 wrong, dragging SNR and NICV
+        // with them. The compensated pipeline must match an exact
+        // two-pass reference computed with ExactSum.
+        let mut set = ClassifiedTraces::new(2, 1);
+        let class0 = [1e16, 3.0, -1e16, -1.0, 1e16, 1.0, -1e16, -1.0];
+        let class1 = [2.0, -2.0, 4.0, 0.0, 3.0, -1.0, 2.0, 0.0];
+        for v in class0 {
+            set.push(0, vec![v]);
+        }
+        for v in class1 {
+            set.push(1, vec![v]);
+        }
+
+        // Exact two-pass reference, entirely in ExactSum arithmetic.
+        let exact_mean = |xs: &[f64]| {
+            let mut s = crate::stats::ExactSum::new();
+            for &x in xs {
+                s.add(x);
+            }
+            s.value() / xs.len() as f64
+        };
+        let m0 = exact_mean(&class0);
+        let m1 = exact_mean(&class1);
+        assert_eq!(m0, 0.25); // 2.0 / 8 — naive order-sensitive sum gives 0.125
+        let exact_sq = |xs: &[f64], m: f64| {
+            let mut s = crate::stats::ExactSum::new();
+            for &x in xs {
+                s.add((x - m) * (x - m));
+            }
+            s.value()
+        };
+        let n = (class0.len() + class1.len()) as f64;
+        let grand = (m0 * class0.len() as f64 + m1 * class1.len() as f64) / n;
+        let noise = (exact_sq(&class0, m0) + exact_sq(&class1, m1)) / n;
+        let signal = (class0.len() as f64 * (m0 - grand) * (m0 - grand)
+            + class1.len() as f64 * (m1 - grand) * (m1 - grand))
+            / n;
+
+        let got_snr = snr(&set)[0];
+        let want_snr = signal / noise;
+        assert!(
+            (got_snr - want_snr).abs() <= 1e-12 * want_snr.abs(),
+            "snr {got_snr} vs exact {want_snr}"
+        );
+
+        let got_nicv = nicv(&set)[0];
+        let total = {
+            let all: Vec<f64> = class0.iter().chain(&class1).copied().collect();
+            exact_sq(&all, grand) / n
+        };
+        let want_nicv = signal / total;
+        assert!(
+            (got_nicv - want_nicv).abs() <= 1e-12 * want_nicv.abs(),
+            "nicv {got_nicv} vs exact {want_nicv}"
+        );
+        assert!((0.0..=1.0).contains(&got_nicv));
     }
 
     #[test]

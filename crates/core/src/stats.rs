@@ -65,6 +65,174 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
     cov / (vx.sqrt() * vy.sqrt())
 }
 
+/// Exact floating-point summation (Shewchuk expansion, fsum-style
+/// rounding).
+///
+/// Maintains the running sum as a list of non-overlapping partials whose
+/// (exact) sum equals the exact real sum of everything added so far.
+/// [`value`](ExactSum::value) rounds that exact sum to the nearest `f64`
+/// (ties to even), so the result is **independent of the order** in which
+/// values were added and of how partial sums were
+/// [`absorb`](ExactSum::absorb)ed together. That order-invariance is the
+/// contract the streaming accumulators in [`crate::online`] build their
+/// bit-identity guarantee on.
+///
+/// Inputs must be finite; NaN or infinite inputs poison the sum (the
+/// partials stop being an expansion) and intermediate overflow is not
+/// handled. Power traces are bounded, so neither arises in this codebase.
+///
+/// # Example
+///
+/// ```
+/// use leakage_core::stats::ExactSum;
+///
+/// let mut forward = ExactSum::new();
+/// let mut backward = ExactSum::new();
+/// let xs = [1e16, 1.0, -1e16, 1.0];
+/// for &x in &xs {
+///     forward.add(x);
+/// }
+/// for &x in xs.iter().rev() {
+///     backward.add(x);
+/// }
+/// assert_eq!(forward.value(), 2.0); // naive summation yields 1.0
+/// assert_eq!(forward.value().to_bits(), backward.value().to_bits());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExactSum {
+    /// Non-overlapping partials in increasing magnitude order.
+    partials: Vec<f64>,
+}
+
+impl ExactSum {
+    /// An empty sum (value 0.0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one value to the sum, exactly.
+    pub fn add(&mut self, x: f64) {
+        let mut x = x;
+        let mut kept = 0;
+        for j in 0..self.partials.len() {
+            let mut y = self.partials[j];
+            if x.abs() < y.abs() {
+                std::mem::swap(&mut x, &mut y);
+            }
+            // Two-sum: hi + lo == x + y exactly, |lo| <= ulp(hi)/2.
+            let hi = x + y;
+            let lo = y - (hi - x);
+            if lo != 0.0 {
+                self.partials[kept] = lo;
+                kept += 1;
+            }
+            x = hi;
+        }
+        self.partials.truncate(kept);
+        self.partials.push(x);
+    }
+
+    /// Fold another exact sum into this one; the combined sum is still
+    /// exact, so `a.absorb(&b)` equals adding every input of `b` to `a`
+    /// in any order.
+    pub fn absorb(&mut self, other: &ExactSum) {
+        for &p in &other.partials {
+            self.add(p);
+        }
+    }
+
+    /// The exact sum, correctly rounded to the nearest `f64` (ties to
+    /// even).
+    pub fn value(&self) -> f64 {
+        // Round the expansion high-to-low, tracking the first non-zero
+        // remainder so half-ulp ties break to even on the *exact* value
+        // rather than on the top partial alone (CPython's fsum rounding).
+        let mut n = self.partials.len();
+        if n == 0 {
+            return 0.0;
+        }
+        n -= 1;
+        let mut hi = self.partials[n];
+        let mut lo = 0.0;
+        while n > 0 {
+            let x = hi;
+            n -= 1;
+            let y = self.partials[n];
+            hi = x + y;
+            let yr = hi - x;
+            lo = y - yr;
+            if lo != 0.0 {
+                break;
+            }
+        }
+        if n > 0
+            && ((lo < 0.0 && self.partials[n - 1] < 0.0)
+                || (lo > 0.0 && self.partials[n - 1] > 0.0))
+        {
+            let y = lo * 2.0;
+            let x = hi + y;
+            if y == x - hi {
+                hi = x;
+            }
+        }
+        hi
+    }
+
+    /// Number of partials currently held (memory accounting; at most
+    /// ~40 for finite `f64` inputs, typically 2–4).
+    pub fn partials_len(&self) -> usize {
+        self.partials.len()
+    }
+}
+
+/// Neumaier compensated running sum: one float of error compensation,
+/// sequential order.
+///
+/// Cheaper than [`ExactSum`] (two floats of state, no allocation) but the
+/// result depends on input order; use it where the iteration order is
+/// fixed and only robustness against cancellation is needed (e.g. the
+/// single-pass moment sums in [`crate::metrics`]).
+///
+/// # Example
+///
+/// ```
+/// use leakage_core::stats::CompensatedSum;
+///
+/// let mut s = CompensatedSum::new();
+/// for &x in &[1e16, 1.0, -1e16, 1.0] {
+///     s.add(x);
+/// }
+/// assert_eq!(s.value(), 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CompensatedSum {
+    sum: f64,
+    comp: f64,
+}
+
+impl CompensatedSum {
+    /// An empty sum (value 0.0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one value to the sum.
+    pub fn add(&mut self, x: f64) {
+        let t = self.sum + x;
+        if self.sum.abs() >= x.abs() {
+            self.comp += (self.sum - t) + x;
+        } else {
+            self.comp += (x - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    /// The compensated sum.
+    pub fn value(&self) -> f64 {
+        self.sum + self.comp
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -91,5 +259,110 @@ mod tests {
         let x = [0.1, 0.9, 0.4, 0.7, 0.2];
         let y: Vec<f64> = x.iter().map(|v| 100.0 - 3.0 * v).collect();
         assert!((pearson(&x, &y) + 1.0).abs() < 1e-12);
+    }
+
+    /// Deterministic xorshift for test data; avoids depending on `rand`
+    /// inside the core crate's unit tests.
+    fn xorshift(state: &mut u64) -> u64 {
+        let mut x = *state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *state = x;
+        x
+    }
+
+    fn mixed_magnitudes(seed: u64, n: usize) -> Vec<f64> {
+        let mut s = seed.max(1);
+        (0..n)
+            .map(|_| {
+                let r = xorshift(&mut s);
+                let mag = [(1e-16), 1e-8, 1.0, 1e8, 1e16][(r % 5) as usize];
+                let frac = (r >> 11) as f64 / (1u64 << 53) as f64;
+                let sign = if r & 1 == 0 { 1.0 } else { -1.0 };
+                sign * frac * mag
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exact_sum_cancellation() {
+        let mut s = ExactSum::new();
+        for &x in &[1e16, 1.0, -1e16, 1.0] {
+            s.add(x);
+        }
+        assert_eq!(s.value(), 2.0);
+        assert_eq!(ExactSum::new().value(), 0.0);
+    }
+
+    #[test]
+    fn exact_sum_is_order_invariant() {
+        let xs = mixed_magnitudes(0xE5A7, 257);
+        let mut forward = ExactSum::new();
+        for &x in &xs {
+            forward.add(x);
+        }
+        let reference = forward.value().to_bits();
+        // Several deterministic reorderings, including reversal and
+        // stride permutations, must round to the same bits.
+        let mut reversed = ExactSum::new();
+        for &x in xs.iter().rev() {
+            reversed.add(x);
+        }
+        assert_eq!(reversed.value().to_bits(), reference);
+        for stride in [3usize, 31, 97] {
+            let mut s = ExactSum::new();
+            let mut i = 0;
+            for _ in 0..xs.len() {
+                s.add(xs[i]);
+                i = (i + stride) % xs.len();
+            }
+            assert_eq!(s.value().to_bits(), reference, "stride {stride}");
+        }
+    }
+
+    #[test]
+    fn exact_sum_absorb_matches_flat_sum() {
+        let xs = mixed_magnitudes(0xAB5, 100);
+        let mut flat = ExactSum::new();
+        for &x in &xs {
+            flat.add(x);
+        }
+        for split in [1usize, 17, 50, 99] {
+            let (a, b) = xs.split_at(split);
+            let mut left = ExactSum::new();
+            let mut right = ExactSum::new();
+            for &x in a {
+                left.add(x);
+            }
+            for &x in b {
+                right.add(x);
+            }
+            left.absorb(&right);
+            assert_eq!(left.value().to_bits(), flat.value().to_bits());
+        }
+    }
+
+    #[test]
+    fn exact_sum_matches_naive_on_well_conditioned_data() {
+        let xs: Vec<f64> = (1..=64).map(|i| i as f64 / 8.0).collect();
+        let naive: f64 = xs.iter().sum();
+        let mut s = ExactSum::new();
+        for &x in &xs {
+            s.add(x);
+        }
+        assert_eq!(s.value(), naive);
+        assert!(s.partials_len() <= 4);
+    }
+
+    #[test]
+    fn compensated_sum_recovers_cancelled_tail() {
+        let mut s = CompensatedSum::new();
+        for &x in &[1e16, 1.0, -1e16, 1.0] {
+            s.add(x);
+        }
+        assert_eq!(s.value(), 2.0);
+        let naive: f64 = [1e16, 1.0, -1e16, 1.0].iter().sum();
+        assert_eq!(naive, 1.0); // the failure mode the helper exists for
     }
 }

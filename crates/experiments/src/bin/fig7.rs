@@ -1,6 +1,10 @@
 //! Fig. 7: total leakage power per implementation for fresh and 1–4-year
 //! aged devices, split into single-bit and multi-bit (glitch) components,
 //! with the single-bit/total ratios reported in §V-B.2.
+//!
+//! The sweep goes through `run_aged_spectra`, so `SCA_STREAM=exact`
+//! reproduces the figure bit-for-bit in bounded memory (the 35-cell
+//! sweep never holds more than one in-flight trace per worker).
 
 use experiments::{campaign_from_args, finish_campaign, sci, CsvSink};
 use sbox_circuits::Scheme;
@@ -33,7 +37,7 @@ fn main() {
         ages.iter().map(|&a| (a, Vec::new(), Vec::new())).collect();
     let mut fresh_totals = Vec::new();
     for scheme in Scheme::ALL {
-        let outcomes = campaign.run_aged(scheme, &ages);
+        let outcomes = campaign.run_aged_spectra(scheme, &ages);
         for (i, aged) in outcomes.iter().enumerate() {
             let sp = &aged.spectrum;
             let (total, single, multi) = (

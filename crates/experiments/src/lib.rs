@@ -15,8 +15,12 @@
 //! trace, default 2), `SCA_CHECKPOINT` (traces between checkpoint syncs,
 //! default 64, `0` disables resume), and `SCA_FAULTS` (the deterministic
 //! fault-injection harness; see the `campaign` crate docs for the
-//! grammar). A malformed value never fails silently: it warns on stderr,
-//! naming the bad value and the default used instead.
+//! grammar). `SCA_STREAM` switches spectral figures to the bounded-memory
+//! streaming fold (`on`/`exact` for the bit-identical exact mode,
+//! `welford` for the cheaper online mode, default `off`); streamed cells
+//! keep no raw traces, so they are not persisted to the trace store. A
+//! malformed value never fails silently: it warns on stderr, naming the
+//! bad value and the default used instead.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,7 +30,7 @@ use std::io::Write as _;
 use std::path::PathBuf;
 
 use acquisition::ProtocolConfig;
-use campaign::{CacheMode, Campaign, CampaignConfig};
+use campaign::{CacheMode, Campaign, CampaignConfig, SumMode};
 
 /// Parse the common CLI: optional traces-per-class override.
 pub fn protocol_from_args() -> ProtocolConfig {
@@ -76,19 +80,45 @@ fn cache_mode_from_env() -> CacheMode {
     }
 }
 
+/// The streaming policy named by `SCA_STREAM`: `(streaming, mode)`.
+/// `off`/`0` (default) keeps the batch path; `on`/`1`/`exact` stream
+/// with the bit-identical exact fold; `welford` streams with the
+/// cheaper online fold. Anything else warns and defaults to off.
+fn stream_from_env() -> (bool, SumMode) {
+    match std::env::var("SCA_STREAM") {
+        Ok(v) => match v.as_str() {
+            "" | "0" | "off" => (false, SumMode::Exact),
+            "1" | "on" | "exact" => (true, SumMode::Exact),
+            "welford" => (true, SumMode::Welford),
+            other => {
+                eprintln!(
+                    "warning: SCA_STREAM={other:?} is not one of off/on/exact/welford; \
+                     using default off"
+                );
+                (false, SumMode::Exact)
+            }
+        },
+        Err(_) => (false, SumMode::Exact),
+    }
+}
+
 /// The campaign policy shared by every binary: workers from
 /// `SCA_WORKERS` (0 or unset = all cores), cache mode from `SCA_CACHE`
 /// (`off`, `refresh`, default read-write), capture retries from
 /// `SCA_RETRIES`, checkpoint cadence from `SCA_CHECKPOINT` (0 = no
-/// checkpoints), fault injection from `SCA_FAULTS`, stores and the run
-/// log under `results/`.
+/// checkpoints), fault injection from `SCA_FAULTS`, the streaming
+/// analysis mode from `SCA_STREAM` (`off`, `exact`, `welford`), stores
+/// and the run log under `results/`.
 pub fn campaign_config(protocol: ProtocolConfig) -> CampaignConfig {
+    let (streaming, stream_mode) = stream_from_env();
     CampaignConfig {
         protocol,
         workers: env_parsed("SCA_WORKERS", 0usize),
         cache: cache_mode_from_env(),
         max_retries: env_parsed("SCA_RETRIES", 2u32),
         checkpoint_every: env_parsed("SCA_CHECKPOINT", 64usize),
+        streaming,
+        stream_mode,
         ..CampaignConfig::default()
     }
 }
@@ -237,6 +267,18 @@ mod tests {
         assert_eq!(c.log_path, PathBuf::from("results/campaign_runs.jsonl"));
         assert_eq!(c.max_retries, 2);
         assert_eq!(c.checkpoint_every, 64);
+    }
+
+    #[test]
+    fn stream_env_selects_mode_and_defaults_off() {
+        assert_eq!(stream_from_env(), (false, SumMode::Exact));
+        std::env::set_var("SCA_STREAM", "exact");
+        assert_eq!(stream_from_env(), (true, SumMode::Exact));
+        std::env::set_var("SCA_STREAM", "welford");
+        assert_eq!(stream_from_env(), (true, SumMode::Welford));
+        std::env::set_var("SCA_STREAM", "banana");
+        assert_eq!(stream_from_env(), (false, SumMode::Exact));
+        std::env::remove_var("SCA_STREAM");
     }
 
     #[test]

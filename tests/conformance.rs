@@ -1,0 +1,219 @@
+//! Golden-vector conformance suite: the spectral analysis of every
+//! scheme, pinned bit-for-bit.
+//!
+//! Each fixture under `tests/golden/` holds the per-class mean traces,
+//! the Walsh–Hadamard coefficients `a_u(T)`, the per-sample
+//! `LeakagePower(T)` series, and the total / single-bit / multi-bit
+//! leakage sums for one scheme under a small fixed protocol (2 traces
+//! per class, 10 samples, the default seed). Values are stored as the
+//! hex of `f64::to_bits`, so a comparison failure is a *bitwise*
+//! regression — there is no tolerance to hide behind.
+//!
+//! Three independent pipelines must reproduce every fixture exactly:
+//! the batch analysis (`acquire` + `from_class_means`), the streaming
+//! fold (`acquire_streaming` in exact mode), and the campaign's sharded
+//! executor fold at 1, 2, and 8 workers (whose shard accumulators merge
+//! in a deterministic tree).
+//!
+//! Regenerate after an intentional analysis change with:
+//!
+//! ```text
+//! SCA_BLESS=1 cargo test --test conformance
+//! ```
+//!
+//! and review the fixture diff like any other code change (see
+//! `DESIGN.md`, "Streaming spectral analysis").
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use sbox_leakage::acquisition::{self, classified_schedule, ProtocolConfig, NUM_CLASSES};
+use sbox_leakage::analysis::{LeakageSpectrum, SumMode};
+use sbox_leakage::campaign::{
+    fold_schedule_with, ExecPolicy, FaultPlan, ResumeState, StreamPolicy,
+};
+use sbox_leakage::circuits::{SboxCircuit, Scheme};
+use sbox_leakage::gatesim::Simulator;
+
+/// The fixed fixture protocol: 32 traces of 10 samples, default seed.
+fn protocol() -> ProtocolConfig {
+    let mut p = ProtocolConfig {
+        traces_per_class: 2,
+        ..ProtocolConfig::default()
+    };
+    p.sampling.samples = 10;
+    p
+}
+
+fn golden_path(scheme: Scheme) -> PathBuf {
+    let name = scheme.label().to_lowercase().replace('-', "_");
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.golden"))
+}
+
+fn hex(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+/// Render one scheme's analysis in the fixture format. Everything is
+/// derived from the class means, so this pins the whole spectral chain.
+fn render(scheme: Scheme, protocol: &ProtocolConfig, means: &[Vec<f64>]) -> String {
+    let spectrum = LeakageSpectrum::from_class_means(means);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# golden leakage vectors: scheme={} traces_per_class={} samples={} seed={}",
+        scheme.label(),
+        protocol.traces_per_class,
+        protocol.sampling.samples,
+        protocol.seed,
+    );
+    let _ = writeln!(
+        out,
+        "# values are f64 bit patterns (hex); regenerate with SCA_BLESS=1"
+    );
+    for (class, mean) in means.iter().enumerate() {
+        let _ = write!(out, "class_mean {class}");
+        for &v in mean {
+            let _ = write!(out, " {}", hex(v));
+        }
+        out.push('\n');
+    }
+    for u in 0..spectrum.num_sources() {
+        let _ = write!(out, "coeff {u}");
+        for t in 0..spectrum.samples() {
+            let _ = write!(out, " {}", hex(spectrum.coefficient(u, t)));
+        }
+        out.push('\n');
+    }
+    for (t, p) in spectrum.leakage_power_series().iter().enumerate() {
+        let _ = writeln!(out, "leakage_power {t} {}", hex(*p));
+    }
+    let _ = writeln!(out, "total {}", hex(spectrum.total_leakage_power()));
+    let _ = writeln!(out, "total_single_bit {}", hex(spectrum.total_single_bit()));
+    let _ = writeln!(out, "total_multi_bit {}", hex(spectrum.total_multi_bit()));
+    out
+}
+
+fn blessing() -> bool {
+    std::env::var("SCA_BLESS").is_ok_and(|v| v == "1")
+}
+
+/// The batch pipeline's rendering — the source of truth the fixtures
+/// are blessed from.
+fn batch_text(scheme: Scheme) -> String {
+    let protocol = protocol();
+    let circuit = SboxCircuit::build(scheme);
+    let traces = acquisition::acquire(&circuit, &protocol);
+    render(scheme, &protocol, &traces.class_means())
+}
+
+/// The fixture contents: read from disk normally, recomputed from the
+/// batch path under `SCA_BLESS=1` (so the three suites never race on
+/// the file while blessing).
+fn expected_text(scheme: Scheme) -> String {
+    if blessing() {
+        return batch_text(scheme);
+    }
+    let path = golden_path(scheme);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read golden fixture {} ({e}); bless it with \
+             `SCA_BLESS=1 cargo test --test conformance`",
+            path.display()
+        )
+    })
+}
+
+/// Report the first differing line, not a 5 kB string dump.
+fn assert_same(actual: &str, expected: &str, what: &str, scheme: Scheme) {
+    if actual == expected {
+        return;
+    }
+    for (i, (a, e)) in actual.lines().zip(expected.lines()).enumerate() {
+        assert_eq!(
+            a,
+            e,
+            "{what} diverges from the golden vector for {} at line {}",
+            scheme.label(),
+            i + 1
+        );
+    }
+    panic!(
+        "{what} output for {} has {} lines, golden has {}",
+        scheme.label(),
+        actual.lines().count(),
+        expected.lines().count()
+    );
+}
+
+/// The batch analysis reproduces (or blesses) every fixture.
+#[test]
+fn batch_analysis_matches_golden_vectors() {
+    for scheme in Scheme::ALL {
+        let text = batch_text(scheme);
+        if blessing() {
+            let path = golden_path(scheme);
+            std::fs::create_dir_all(path.parent().unwrap()).expect("golden dir");
+            std::fs::write(&path, &text).expect("write golden");
+            eprintln!("blessed {}", path.display());
+        } else {
+            assert_same(&text, &expected_text(scheme), "batch analysis", scheme);
+        }
+    }
+}
+
+/// The one-trace-at-a-time streaming fold (exact mode) reproduces every
+/// fixture bit-for-bit — no tolerance.
+#[test]
+fn streaming_fold_matches_golden_vectors() {
+    for scheme in Scheme::ALL {
+        let circuit = SboxCircuit::build(scheme);
+        let acc = acquisition::acquire_streaming(&circuit, &protocol(), SumMode::Exact);
+        let text = render(scheme, &protocol(), &acc.class_means());
+        assert_same(&text, &expected_text(scheme), "streaming fold", scheme);
+    }
+}
+
+/// The campaign executor's sharded fold — worker-local accumulators
+/// merged in the deterministic tree — reproduces every fixture at 1, 2,
+/// and 8 workers.
+#[test]
+fn merged_shard_accumulators_match_golden_vectors() {
+    for scheme in Scheme::ALL {
+        let protocol = protocol();
+        let circuit = SboxCircuit::build(scheme);
+        let sim = Simulator::new(circuit.netlist(), &protocol.sim);
+        let schedule = classified_schedule(&circuit, &protocol);
+        let expected = expected_text(scheme);
+        for workers in [1usize, 2, 8] {
+            let policy = ExecPolicy {
+                workers,
+                max_retries: 0,
+                faults: FaultPlan::none(),
+            };
+            let stream = StreamPolicy {
+                num_classes: NUM_CLASSES,
+                mode: SumMode::Exact,
+            };
+            let (acc, report) = fold_schedule_with(
+                &sim,
+                &schedule,
+                &protocol.sampling,
+                protocol.seed,
+                &policy,
+                ResumeState::default(),
+                &stream,
+            );
+            assert!(report.quarantined.is_empty());
+            let text = render(scheme, &protocol, &acc.class_means());
+            assert_same(
+                &text,
+                &expected,
+                &format!("{workers}-worker merged fold"),
+                scheme,
+            );
+        }
+    }
+}

@@ -271,3 +271,148 @@ fn refresh_mode_ignores_existing_checkpoints() {
     assert!(report.stats.events > 0);
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+fn streaming_campaign_in(
+    dir: &Path,
+    cache: CacheMode,
+    faults: FaultPlan,
+    workers: usize,
+) -> Campaign {
+    Campaign::new(CampaignConfig {
+        protocol: small_protocol(),
+        workers,
+        cache,
+        store_dir: dir.join("traces"),
+        log_path: dir.join("runs.jsonl"),
+        faults,
+        streaming: true,
+        ..CampaignConfig::default()
+    })
+}
+
+/// Streaming analysis under injected panics: retried captures fold
+/// exactly once, so the faulted streamed spectrum is bit-identical to a
+/// clean batch run at any worker count.
+#[test]
+fn faulted_streaming_folds_are_bit_identical_to_a_clean_run() {
+    let dir = scratch("stream-retry");
+    let mut clean = campaign_in(&dir, CacheMode::Off, FaultPlan::none());
+    let reference = clean.acquire(Scheme::Rsm);
+
+    for workers in [1usize, 8] {
+        let faults = FaultPlan::none()
+            .with_transient_panics([0, 7, 31])
+            .with_panic_rate(11, 0.2);
+        let mut campaign = streaming_campaign_in(&dir, CacheMode::Off, faults, workers);
+        let outcome = campaign.acquire_spectrum(Scheme::Rsm);
+        assert!(outcome.streamed);
+        assert_eq!(
+            outcome.spectrum, reference.spectrum,
+            "faulted streamed spectrum must match the clean batch run at {workers} workers"
+        );
+        assert_eq!(outcome.traces_analyzed, reference.traces.len());
+        let report = &campaign.log().reports()[0];
+        assert!(report.streamed);
+        assert!(
+            report.retried >= 3,
+            "at {workers} workers: {}",
+            report.retried
+        );
+        assert_eq!(report.quarantined, 0);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Quarantined captures are folded zero times and survivors exactly
+/// once: the streamed spectrum of a faulted run equals the batch
+/// analysis of the same degraded trace set, and the incomplete cell is
+/// never persisted as complete.
+#[test]
+fn quarantined_streaming_folds_survivors_exactly_once() {
+    let dir = scratch("stream-quarantine");
+    let faults = FaultPlan::none().with_sticky_panics([3, 11]);
+    let mut batch = campaign_in(&dir, CacheMode::Off, faults.clone());
+    let degraded = batch.acquire(Scheme::Opt);
+    assert_eq!(degraded.traces.len(), 30, "32 scheduled, 2 quarantined");
+
+    let mut campaign = streaming_campaign_in(&dir, CacheMode::ReadWrite, faults, 2);
+    let outcome = campaign.acquire_spectrum(Scheme::Opt);
+    assert_eq!(
+        outcome.traces_analyzed, 30,
+        "quarantined traces must not fold"
+    );
+    assert_eq!(outcome.class_counts.iter().sum::<usize>(), 30);
+    assert_eq!(
+        outcome.spectrum, degraded.spectrum,
+        "streamed survivors must match the batch analysis of the same degraded set"
+    );
+    let report = &campaign.log().reports()[0];
+    assert_eq!(report.quarantined, 2);
+    assert!(
+        report.warnings.iter().any(|w| w.contains("quarantined")),
+        "incompleteness must be reported: {:?}",
+        report.warnings
+    );
+    let stores = std::fs::read_dir(dir.join("traces"))
+        .map(|d| {
+            d.filter_map(|e| e.ok())
+                .filter(|e| e.path().extension().is_some_and(|x| x == "sctr"))
+                .count()
+        })
+        .unwrap_or(0);
+    assert_eq!(stores, 0, "streaming keeps no raw traces to persist");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A killed streaming run resumes from its checkpoint: salvaged frames
+/// are re-folded at their schedule positions, so the resumed
+/// accumulator is bit-identical to one from an uninterrupted run — and
+/// only the missing shards re-simulate.
+#[test]
+fn a_killed_streaming_run_resumes_to_an_identical_accumulator() {
+    // Uninterrupted streaming reference (and its full event count).
+    let ref_dir = scratch("stream-resume-ref");
+    let mut fresh = streaming_campaign_in(&ref_dir, CacheMode::Off, FaultPlan::none(), 2);
+    let reference = fresh.acquire_spectrum(Scheme::Glut);
+    let full_events = fresh.log().reports()[0].stats.events;
+    assert!(full_events > 0);
+
+    // "Kill" a checkpointing streaming run by quarantining two indices.
+    let dir = scratch("stream-resume");
+    let faults = FaultPlan::none().with_sticky_panics([5, 20]);
+    let mut killed = streaming_campaign_in(&dir, CacheMode::ReadWrite, faults, 2);
+    killed.acquire_spectrum(Scheme::Glut);
+    assert_eq!(killed.log().reports()[0].quarantined, 2);
+
+    // The resumed run re-folds 30 checkpointed frames and simulates 2.
+    let mut resumed = streaming_campaign_in(&dir, CacheMode::ReadWrite, FaultPlan::none(), 2);
+    let outcome = resumed.acquire_spectrum(Scheme::Glut);
+    assert!(!outcome.cache_hit, "no complete store exists to hit");
+    assert_eq!(
+        outcome.spectrum, reference.spectrum,
+        "resumed fold must be bit-identical to an uninterrupted one"
+    );
+    assert_eq!(outcome.traces_analyzed, reference.traces_analyzed);
+    let report = &resumed.log().reports()[0];
+    assert_eq!(report.resumed, 30, "only incomplete shards re-simulate");
+    assert_eq!(report.quarantined, 0);
+    assert!(report.stats.events > 0, "the missing shards do simulate");
+    assert!(
+        report.stats.events < full_events / 2,
+        "resume must not re-simulate completed shards \
+         ({} events vs {full_events} for a full run)",
+        report.stats.events
+    );
+
+    // Streaming completion keeps the checkpoint (there is no store to
+    // retire it into): a third run folds every frame from it without
+    // simulating at all.
+    let mut warm = streaming_campaign_in(&dir, CacheMode::ReadWrite, FaultPlan::none(), 2);
+    let rewarmed = warm.acquire_spectrum(Scheme::Glut);
+    assert_eq!(rewarmed.spectrum, reference.spectrum);
+    let report = &warm.log().reports()[0];
+    assert_eq!(report.resumed, 32, "everything folds from the checkpoint");
+    assert_eq!(report.stats.events, 0, "nothing is left to simulate");
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&ref_dir);
+}

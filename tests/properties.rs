@@ -7,7 +7,10 @@
 //! workspace's own `rand`. Failures print the iteration seed so a case
 //! can be replayed by hand.
 
-use leakage_core::{spectrum_of, ClassifiedTraces, LeakageSpectrum};
+use leakage_core::{
+    spectrum_of, ClassAccumulator, ClassifiedTraces, LeakageSpectrum, SpectrumAccumulator,
+    SpectrumStream, SumMode,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use sbox_circuits::{InputEncoding, Scheme};
@@ -162,5 +165,186 @@ fn reductions_match_folds() {
             bits.iter().fold(false, |a, &x| a ^ x),
             "case {case} xor"
         );
+    }
+}
+
+/// A random class-labelled trace set plus the batch-analysis view of it.
+fn random_labelled_traces(
+    rng: &mut SmallRng,
+    classes: usize,
+    samples: usize,
+    n: usize,
+) -> Vec<(usize, Vec<f64>)> {
+    (0..n)
+        .map(|_| {
+            let class = rng.gen_range(0..classes);
+            let t: Vec<f64> = (0..samples)
+                .map(|_| rng.gen_range(-100.0f64..100.0))
+                .collect();
+            (class, t)
+        })
+        .collect()
+}
+
+fn accumulate(
+    set: &[(usize, Vec<f64>)],
+    classes: usize,
+    samples: usize,
+    mode: SumMode,
+) -> SpectrumAccumulator {
+    let mut acc = SpectrumAccumulator::new(classes, samples, mode);
+    for (class, t) in set {
+        acc.fold(*class, t);
+    }
+    acc
+}
+
+fn max_rel_diff(a: &[Vec<f64>], b: &[Vec<f64>]) -> f64 {
+    a.iter()
+        .flatten()
+        .zip(b.iter().flatten())
+        .map(|(x, y)| (x - y).abs() / x.abs().max(y.abs()).max(1.0))
+        .fold(0.0, f64::max)
+}
+
+/// Streaming accumulation equals the batch analysis on arbitrary random
+/// sets: bit-for-bit in exact mode, within documented tolerance for
+/// Welford.
+#[test]
+fn streaming_equals_batch_on_random_sets() {
+    let mut rng = SmallRng::seed_from_u64(0x57A7_0008);
+    for case in 0..SWEEPS {
+        let samples = rng.gen_range(1usize..8);
+        let n = rng.gen_range(16usize..200);
+        let set = random_labelled_traces(&mut rng, 16, samples, n);
+        let mut batch = ClassifiedTraces::new(16, samples);
+        for (class, t) in &set {
+            batch.push(*class, t.clone());
+        }
+        let batch_spectrum = LeakageSpectrum::from_class_means(&batch.class_means());
+
+        let mut stream = SpectrumStream::new(16, samples, SumMode::Exact);
+        for (class, t) in &set {
+            stream.fold(*class, t);
+        }
+        let exact = stream.finish();
+        assert_eq!(exact.class_means(), batch.class_means(), "case {case}");
+        assert_eq!(exact.spectrum(), batch_spectrum, "case {case}");
+
+        let welford = accumulate(&set, 16, samples, SumMode::Welford);
+        let drift = max_rel_diff(&welford.class_means(), &batch.class_means());
+        assert!(drift <= 1e-9, "case {case}: welford drifted {drift:e}");
+    }
+}
+
+/// Accumulator merging is associative and commutative: any shard
+/// grouping yields the same statistics — bitwise in exact mode, within
+/// tolerance in Welford mode. (This is the property that lets the
+/// executor merge worker-local shards in any tree it likes.)
+#[test]
+fn accumulator_merge_is_associative_and_commutative() {
+    let mut rng = SmallRng::seed_from_u64(0x57A7_0009);
+    for case in 0..SWEEPS {
+        let samples = rng.gen_range(1usize..6);
+        let parts: Vec<Vec<(usize, Vec<f64>)>> = (0..3)
+            .map(|_| {
+                let n = rng.gen_range(0usize..40);
+                random_labelled_traces(&mut rng, 16, samples, n)
+            })
+            .collect();
+        for mode in [SumMode::Exact, SumMode::Welford] {
+            let acc = |i: usize| accumulate(&parts[i], 16, samples, mode);
+            let left = acc(0).merge(acc(1)).merge(acc(2));
+            let right = acc(0).merge(acc(1).merge(acc(2)));
+            let swapped = acc(1).merge(acc(0)).merge(acc(2));
+            assert_eq!(left.class_counts(), right.class_counts(), "case {case}");
+            assert_eq!(left.class_counts(), swapped.class_counts(), "case {case}");
+            match mode {
+                SumMode::Exact => {
+                    assert_eq!(left.class_means(), right.class_means(), "case {case} assoc");
+                    assert_eq!(
+                        left.class_means(),
+                        swapped.class_means(),
+                        "case {case} comm"
+                    );
+                    assert_eq!(left.spectrum(), right.spectrum(), "case {case}");
+                    assert_eq!(left.spectrum(), swapped.spectrum(), "case {case}");
+                }
+                SumMode::Welford => {
+                    let a = max_rel_diff(&left.class_means(), &right.class_means());
+                    let c = max_rel_diff(&left.class_means(), &swapped.class_means());
+                    assert!(a <= 1e-9 && c <= 1e-9, "case {case}: {a:e} / {c:e}");
+                }
+            }
+        }
+    }
+}
+
+/// In exact mode the fold is invariant under the tree-reduction
+/// schedule: every chunk size (hence every merge-tree shape) produces
+/// the identical accumulator statistics.
+#[test]
+fn exact_fold_is_invariant_under_tree_shape() {
+    let mut rng = SmallRng::seed_from_u64(0x57A7_000A);
+    for case in 0..16 {
+        let samples = rng.gen_range(1usize..6);
+        let n = rng.gen_range(32usize..150);
+        let set = random_labelled_traces(&mut rng, 16, samples, n);
+        let reference = accumulate(&set, 16, samples, SumMode::Exact);
+        for chunk in [1usize, 3, 16, 64, 1024] {
+            let mut stream = SpectrumStream::with_chunk(16, samples, SumMode::Exact, chunk);
+            for (class, t) in &set {
+                stream.fold(*class, t);
+            }
+            let acc = stream.finish();
+            assert_eq!(
+                acc.class_means(),
+                reference.class_means(),
+                "case {case} chunk {chunk}"
+            );
+            assert_eq!(
+                acc.spectrum(),
+                reference.spectrum(),
+                "case {case} chunk {chunk}"
+            );
+        }
+    }
+}
+
+/// Welford's online variance agrees with the two-pass definition, and
+/// the exact-mode variance does too.
+#[test]
+fn online_variance_matches_two_pass() {
+    let mut rng = SmallRng::seed_from_u64(0x57A7_000B);
+    for case in 0..SWEEPS {
+        let samples = rng.gen_range(1usize..6);
+        let n = rng.gen_range(2usize..100);
+        let traces: Vec<Vec<f64>> = (0..n)
+            .map(|_| {
+                (0..samples)
+                    .map(|_| rng.gen_range(-100.0f64..100.0))
+                    .collect()
+            })
+            .collect();
+        // Two-pass reference: mean first, then centred squares.
+        let two_pass: Vec<f64> = (0..samples)
+            .map(|s| {
+                let mean = traces.iter().map(|t| t[s]).sum::<f64>() / n as f64;
+                traces.iter().map(|t| (t[s] - mean).powi(2)).sum::<f64>() / n as f64
+            })
+            .collect();
+        for mode in [SumMode::Welford, SumMode::Exact] {
+            let mut acc = ClassAccumulator::new(samples, mode);
+            for t in &traces {
+                acc.fold(t);
+            }
+            for (s, (got, want)) in acc.variance().iter().zip(&two_pass).enumerate() {
+                let rel = (got - want).abs() / want.abs().max(1.0);
+                assert!(
+                    rel <= 1e-9,
+                    "case {case} sample {s} ({mode:?}): {got} vs {want}"
+                );
+            }
+        }
     }
 }

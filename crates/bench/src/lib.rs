@@ -11,4 +11,7 @@
 //! `capture_bench` binary runs that comparison and writes
 //! `BENCH_capture.json`.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod legacy;

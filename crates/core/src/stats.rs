@@ -65,6 +65,54 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
     cov / (vx.sqrt() * vy.sqrt())
 }
 
+/// Midrank transform: each value's 1-based rank, with tied values
+/// sharing the mean of the ranks they span (the standard treatment for
+/// Spearman with ties).
+fn midranks(xs: &[f64]) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..xs.len()).collect();
+    order.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
+    let mut ranks = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && xs[order[j + 1]] == xs[order[i]] {
+            j += 1;
+        }
+        let mid = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &order[i..=j] {
+            ranks[k] = mid;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Spearman rank correlation of two equally long series: the Pearson
+/// correlation of their midranks, so ties are handled exactly. 0.0 when
+/// either side is constant.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Example
+///
+/// ```
+/// use leakage_core::stats::spearman;
+///
+/// // Monotone but nonlinear association is still a perfect rank fit.
+/// let x = [1.0, 2.0, 3.0, 4.0];
+/// let y = [1.0, 8.0, 27.0, 64.0];
+/// assert!((spearman(&x, &y) - 1.0).abs() < 1e-12);
+/// ```
+pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "series lengths differ");
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    pearson(&midranks(xs), &midranks(ys))
+}
+
 /// Exact floating-point summation (Shewchuk expansion, fsum-style
 /// rounding).
 ///
@@ -259,6 +307,37 @@ mod tests {
         let x = [0.1, 0.9, 0.4, 0.7, 0.2];
         let y: Vec<f64> = x.iter().map(|v| 100.0 - 3.0 * v).collect();
         assert!((pearson(&x, &y) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_sees_monotone_association() {
+        let x = [0.1, 0.5, 0.2, 0.9, 0.7];
+        let cubed: Vec<f64> = x.iter().map(|v| v * v * v).collect();
+        assert!((spearman(&x, &cubed) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = x.iter().map(|v| -v.exp()).collect();
+        assert!((spearman(&x, &neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_handles_ties_with_midranks() {
+        // Half the gates silent on both sides, half monotone: positive
+        // but below 1 because the tied block carries no ordering info.
+        let x = [0.0, 0.0, 0.0, 1.0, 2.0, 3.0];
+        let y = [0.0, 0.0, 0.0, 2.0, 5.0, 9.0];
+        let rho = spearman(&x, &y);
+        assert!((rho - 1.0).abs() < 1e-12, "tied blocks agree: {rho}");
+        let y_mixed = [0.0, 0.0, 0.0, 9.0, 5.0, 2.0];
+        let rho = spearman(&x, &y_mixed);
+        assert!(rho > 0.0 && rho < 1.0, "partial agreement: {rho}");
+        assert_eq!(spearman(&x, &[1.0; 6]), 0.0);
+    }
+
+    #[test]
+    fn midranks_average_over_ties() {
+        assert_eq!(
+            midranks(&[10.0, 20.0, 20.0, 30.0]),
+            vec![1.0, 2.5, 2.5, 4.0]
+        );
     }
 
     /// Deterministic xorshift for test data; avoids depending on `rand`

@@ -1,0 +1,154 @@
+//! Input-cone and cut utilities.
+//!
+//! Static side-channel analysis reasons about *glitch-extended* probes: a
+//! transient observation on a net exposes information carried by every
+//! stable signal that feeds it combinationally. The functions here compute
+//! those cones once, as per-net bitmasks over primary-input positions, so a
+//! downstream analyzer (the `sca-verify` crate) can intersect them with
+//! share/randomness metadata in O(1) per net.
+
+use crate::{GateId, NetId, Netlist};
+
+/// Per-net primary-input support masks.
+///
+/// `masks[net]` has bit `i` set iff primary input `i` (by position in
+/// [`Netlist::inputs`]) is in the transitive fan-in of `net`. Computed in
+/// one topological pass; a structural over-approximation of the functional
+/// support (a gate that ignores an input still contributes its cone).
+///
+/// # Panics
+///
+/// Panics if the netlist has more than 64 primary inputs.
+pub fn input_support_masks(netlist: &Netlist) -> Vec<u64> {
+    assert!(
+        netlist.num_inputs() <= 64,
+        "input cone masks need ≤ 64 primary inputs, got {}",
+        netlist.num_inputs()
+    );
+    let mut masks = vec![0u64; netlist.nets().len()];
+    for (i, net) in netlist.inputs().iter().enumerate() {
+        masks[net.index()] = 1u64 << i;
+    }
+    for &gid in netlist.topo_order() {
+        let gate = netlist.gate(gid);
+        let mut m = 0u64;
+        for n in gate.inputs() {
+            m |= masks[n.index()];
+        }
+        masks[gate.output().index()] = m;
+    }
+    masks
+}
+
+/// The primary inputs in the transitive fan-in of `net`, in declaration
+/// order.
+///
+/// # Panics
+///
+/// Panics if the netlist has more than 64 primary inputs.
+pub fn input_cone(netlist: &Netlist, net: NetId) -> Vec<NetId> {
+    let mask = input_support_masks(netlist)[net.index()];
+    netlist
+        .inputs()
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| mask >> i & 1 == 1)
+        .map(|(_, &n)| n)
+        .collect()
+}
+
+/// Every net in the transitive fan-in of `net` (including `net` itself),
+/// sorted by net index — the *cut* a glitch-extended probe on `net` spans.
+pub fn fanin_cut(netlist: &Netlist, net: NetId) -> Vec<NetId> {
+    let mut seen = vec![false; netlist.nets().len()];
+    let mut stack = vec![net];
+    while let Some(n) = stack.pop() {
+        if seen[n.index()] {
+            continue;
+        }
+        seen[n.index()] = true;
+        if let Some(gid) = netlist.net(n).driver() {
+            stack.extend(netlist.gate(gid).inputs().iter().copied());
+        }
+    }
+    let mut cut: Vec<NetId> = netlist
+        .nets()
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| seen[i])
+        .map(|(i, _)| NetId(i as u32))
+        .collect();
+    cut.sort_unstable();
+    cut
+}
+
+/// The gates in the transitive fan-in of `net`, sorted by gate index.
+pub fn fanin_gates(netlist: &Netlist, net: NetId) -> Vec<GateId> {
+    fanin_cut(netlist, net)
+        .into_iter()
+        .filter_map(|n| netlist.net(n).driver())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetlistBuilder;
+
+    fn diamond() -> Netlist {
+        let mut b = NetlistBuilder::new("diamond");
+        let a = b.input("a");
+        let c = b.input("b");
+        let d = b.input("c");
+        let x = b.xor(a, c);
+        let y = b.and(&[x, d]);
+        let z = b.not(a);
+        b.output("y", y);
+        b.output("z", z);
+        b.finish().expect("valid")
+    }
+
+    #[test]
+    fn support_masks_track_transitive_fanin() {
+        let nl = diamond();
+        let masks = input_support_masks(&nl);
+        let (_, y) = &nl.outputs()[0];
+        let (_, z) = &nl.outputs()[1];
+        assert_eq!(masks[y.index()], 0b111, "y sees a, b, c");
+        assert_eq!(masks[z.index()], 0b001, "z sees only a");
+        for (i, &inp) in nl.inputs().iter().enumerate() {
+            assert_eq!(masks[inp.index()], 1 << i);
+        }
+    }
+
+    #[test]
+    fn input_cone_matches_masks() {
+        let nl = diamond();
+        let (_, y) = &nl.outputs()[0];
+        let cone = input_cone(&nl, *y);
+        assert_eq!(cone, nl.inputs().to_vec());
+        let (_, z) = &nl.outputs()[1];
+        assert_eq!(input_cone(&nl, *z), vec![nl.inputs()[0]]);
+    }
+
+    #[test]
+    fn fanin_cut_includes_the_net_and_is_sorted() {
+        let nl = diamond();
+        let (_, y) = &nl.outputs()[0];
+        let cut = fanin_cut(&nl, *y);
+        assert!(cut.contains(y));
+        assert!(cut.windows(2).all(|w| w[0] < w[1]));
+        // a, b, c, x, y — but not z.
+        assert_eq!(cut.len(), 5);
+        assert_eq!(fanin_gates(&nl, *y).len(), 2);
+    }
+
+    #[test]
+    fn primary_input_cone_is_itself() {
+        let nl = diamond();
+        let a = nl.inputs()[0];
+        assert_eq!(input_cone(&nl, a), vec![a]);
+        assert_eq!(fanin_cut(&nl, a), vec![a]);
+        assert!(fanin_gates(&nl, a).is_empty());
+    }
+}

@@ -15,6 +15,9 @@
 //! * [`synth`] — a small two-level (Quine–McCluskey style) synthesizer that
 //!   turns truth tables into AND/OR/INV netlists, plus balanced k-ary
 //!   reduction-tree helpers used by the hand-structured generators.
+//! * [`cone`] — input-cone / cut utilities (per-net primary-input support
+//!   masks), the substrate of the `sca-verify` crate's glitch-extended
+//!   probing analysis.
 //! * [`verilog`] — structural Verilog export for inspection with external
 //!   tools.
 //!
@@ -43,6 +46,7 @@
 
 pub mod bdd;
 mod cell;
+pub mod cone;
 mod error;
 mod graph;
 mod stats;

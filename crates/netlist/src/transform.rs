@@ -1,4 +1,5 @@
-//! Netlist transformations: dead-logic sweep and delay balancing.
+//! Netlist transformations: dead-logic sweep, delay balancing, and
+//! surgical fault injection.
 //!
 //! Delay balancing is the classic glitch countermeasure (the
 //! "conservative" strategy of the paper's introduction — eliminate the
@@ -7,11 +8,17 @@
 //! worst-case arrival time, so reconvergent paths stop producing spurious
 //! transitions. The `experiments` crate uses it to ablate how much of
 //! each scheme's leakage is glitch-borne.
+//!
+//! [`rewire_input`] and [`observe_product`] are the mutation primitives
+//! behind the `sca-verify` crate's self-tests: they let a test deliberately
+//! break a masked netlist (reuse a refresh mask, recombine two shares
+//! through one AND) and assert the static analyzer pinpoints the injected
+//! defect.
 
 use std::collections::HashMap;
 
 use crate::timing::analyze;
-use crate::{CellType, NetId, Netlist, NetlistBuilder, NetlistError};
+use crate::{CellType, GateId, NetId, Netlist, NetlistBuilder, NetlistError};
 
 /// Remove gates that drive no primary output (directly or transitively).
 ///
@@ -107,6 +114,109 @@ fn rebuild(
     b.finish()
 }
 
+/// Re-emit `netlist` with pin `pin` of `gate` redriven by `new_source`
+/// (a fault-injection primitive: e.g. point a masking gadget at an
+/// already-spent refresh bit). Gate and net ids are preserved: the rebuilt
+/// netlist has identical gate order, so diagnostics in the mutant map
+/// one-to-one onto the original.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::CombinationalCycle`] if `new_source` does not
+/// precede `gate` topologically (the rewire would create a cycle), and
+/// propagates validation errors from rebuilding.
+///
+/// # Panics
+///
+/// Panics if `gate` or `pin` is out of range.
+pub fn rewire_input(
+    netlist: &Netlist,
+    gate: GateId,
+    pin: usize,
+    new_source: NetId,
+) -> Result<Netlist, NetlistError> {
+    assert!(gate.index() < netlist.gates().len(), "gate out of range");
+    assert!(
+        pin < netlist.gate(gate).inputs().len(),
+        "pin {pin} out of range for {}",
+        netlist.gate(gate).cell().mnemonic()
+    );
+    let mut b = NetlistBuilder::new(format!("{}_rewired", netlist.name()));
+    let mut map: HashMap<NetId, NetId> = HashMap::new();
+    for &old in netlist.inputs() {
+        let name = netlist.net(old).name().unwrap_or("in").to_string();
+        map.insert(old, b.input(name));
+    }
+    // Gate ids in a builder-grown netlist are emission order, which is
+    // topological; walking them in id order keeps ids stable and makes a
+    // forward reference (the would-be cycle) show up as an unmapped source.
+    for (idx, g) in netlist.gates().iter().enumerate() {
+        let inputs: Result<Vec<NetId>, NetlistError> = g
+            .inputs()
+            .iter()
+            .enumerate()
+            .map(|(p, n)| {
+                let src = if idx == gate.index() && p == pin {
+                    new_source
+                } else {
+                    *n
+                };
+                map.get(&src)
+                    .copied()
+                    .ok_or(NetlistError::CombinationalCycle)
+            })
+            .collect();
+        let out = b.gate(g.cell(), &inputs?);
+        map.insert(g.output(), out);
+    }
+    for (name, net) in netlist.outputs() {
+        b.output(name.clone(), map[net]);
+    }
+    b.finish()
+}
+
+/// Append an AND2 observing `a ∧ b` and expose it as primary output
+/// `name` (a fault-injection primitive: recombine two shares through one
+/// gate). Returns the mutant and the id of the injected gate — existing
+/// gate and net ids are preserved, so the caller can assert a static
+/// analyzer flags exactly the injected gate.
+///
+/// # Errors
+///
+/// Propagates validation errors from rebuilding (e.g. a duplicate output
+/// name).
+///
+/// # Panics
+///
+/// Panics if `a` or `b` is out of range.
+pub fn observe_product(
+    netlist: &Netlist,
+    a: NetId,
+    b: NetId,
+    name: &str,
+) -> Result<(Netlist, GateId), NetlistError> {
+    assert!(a.index() < netlist.nets().len(), "net a out of range");
+    assert!(b.index() < netlist.nets().len(), "net b out of range");
+    let mut builder = NetlistBuilder::new(format!("{}_observed", netlist.name()));
+    let mut map: HashMap<NetId, NetId> = HashMap::new();
+    for &old in netlist.inputs() {
+        let n = netlist.net(old).name().unwrap_or("in").to_string();
+        map.insert(old, builder.input(n));
+    }
+    for g in netlist.gates() {
+        let inputs: Vec<NetId> = g.inputs().iter().map(|n| map[n]).collect();
+        let out = builder.gate(g.cell(), &inputs);
+        map.insert(g.output(), out);
+    }
+    let probe = builder.gate(CellType::And2, &[map[&a], map[&b]]);
+    let injected = GateId(netlist.gates().len() as u32);
+    for (out_name, net) in netlist.outputs() {
+        builder.output(out_name.clone(), map[net]);
+    }
+    builder.output(name, probe);
+    Ok((builder.finish()?, injected))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,6 +279,60 @@ mod tests {
             balanced.gates().len() > nl.gates().len(),
             "buffers must have been inserted"
         );
+    }
+
+    #[test]
+    fn rewire_redirects_exactly_one_pin() {
+        // y = (a ⊕ b) ⊕ c; rewire the second XOR's pin 1 from c to a:
+        // y' = (a ⊕ b) ⊕ a = b.
+        let mut b = NetlistBuilder::new("rw");
+        let a = b.input("a");
+        let bb = b.input("b");
+        let c = b.input("c");
+        let x = b.xor(a, bb);
+        let y = b.xor(x, c);
+        b.output("y", y);
+        let nl = b.finish().expect("valid");
+        let mutant = rewire_input(&nl, GateId(1), 1, a).expect("rewire");
+        assert_eq!(mutant.gates().len(), nl.gates().len());
+        for t in 0..8u64 {
+            assert_eq!(mutant.evaluate_word(t), (t >> 1) & 1, "t={t}");
+        }
+    }
+
+    #[test]
+    fn rewire_to_a_later_net_is_a_cycle_error() {
+        let mut b = NetlistBuilder::new("rwc");
+        let a = b.input("a");
+        let x = b.not(a);
+        let y = b.not(x);
+        b.output("y", y);
+        let nl = b.finish().expect("valid");
+        let later = nl.gate(GateId(1)).output();
+        assert_eq!(
+            rewire_input(&nl, GateId(0), 0, later).unwrap_err(),
+            NetlistError::CombinationalCycle
+        );
+    }
+
+    #[test]
+    fn observe_product_appends_one_and_gate() {
+        let mut b = NetlistBuilder::new("obs");
+        let a = b.input("a");
+        let c = b.input("b");
+        let x = b.xor(a, c);
+        b.output("x", x);
+        let nl = b.finish().expect("valid");
+        let (mutant, injected) =
+            observe_product(&nl, nl.inputs()[0], nl.inputs()[1], "probe").expect("observe");
+        assert_eq!(injected.index(), nl.gates().len());
+        assert_eq!(mutant.gates().len(), nl.gates().len() + 1);
+        assert_eq!(mutant.num_outputs(), 2);
+        for t in 0..4u64 {
+            let out = mutant.evaluate_word(t);
+            assert_eq!(out & 1, (t & 1) ^ ((t >> 1) & 1), "function preserved");
+            assert_eq!((out >> 1) & 1, (t & 1) & ((t >> 1) & 1), "probe is AND");
+        }
     }
 
     #[test]

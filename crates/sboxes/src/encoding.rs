@@ -4,6 +4,29 @@ use rand::Rng;
 
 use crate::Scheme;
 
+/// The security role one primary input plays in a scheme's masking
+/// contract.
+///
+/// This is the ground truth a share-domain dataflow analysis (the
+/// `sca-verify` crate) starts from: which wires carry shares of which
+/// secret bit, and which carry *fresh* randomness that never reaches the
+/// unmasked value on its own.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InputRole {
+    /// Share `share` of secret nibble bit `bit`: the XOR of all shares of
+    /// `bit` equals the unmasked bit. Unprotected schemes expose the bit
+    /// as its own single share.
+    Share {
+        /// Which nibble bit (0..4) this input helps encode.
+        bit: u8,
+        /// Which share (0..[`InputEncoding::shares_per_bit`]) it is.
+        share: u8,
+    },
+    /// Fresh uniform randomness that is *not* a share of any input bit:
+    /// GLUT's output mask `MO`, ISW's gadget refresh `r`.
+    Fresh,
+}
+
 /// How a scheme's primary inputs encode an unmasked S-box input `t`.
 ///
 /// The acquisition protocol (paper Fig. 5) drives every circuit with a
@@ -42,6 +65,47 @@ impl InputEncoding {
             Scheme::Lut | Scheme::Opt | Scheme::Glut | Scheme::Rsm | Scheme::RsmRom => 4,
             Scheme::Isw => 8,
             Scheme::Ti => 16,
+        }
+    }
+
+    /// How many shares jointly encode each secret nibble bit.
+    ///
+    /// Unprotected schemes carry the bit directly (one share); the Boolean
+    /// masking schemes split it in two (`A = t ^ MI` plus `MI`); TI uses a
+    /// four-share non-complete sharing.
+    pub fn shares_per_bit(&self) -> u8 {
+        match self.scheme {
+            Scheme::Lut | Scheme::Opt => 1,
+            Scheme::Glut | Scheme::Rsm | Scheme::RsmRom | Scheme::Isw => 2,
+            Scheme::Ti => 4,
+        }
+    }
+
+    /// The [`InputRole`] of every primary input, in netlist port order
+    /// (matching [`sbox_netlist::Netlist::inputs`] of the generated
+    /// circuit).
+    pub fn input_roles(&self) -> Vec<InputRole> {
+        let share_nibble = |share: u8| (0..4).map(move |bit| InputRole::Share { bit, share });
+        match self.scheme {
+            // x0..x3: the bit is its own (only) share.
+            Scheme::Lut | Scheme::Opt => share_nibble(0).collect(),
+            // A = t ^ MI, MI, then the fresh output mask MO.
+            Scheme::Glut => share_nibble(0)
+                .chain(share_nibble(1))
+                .chain(std::iter::repeat_n(InputRole::Fresh, 4))
+                .collect(),
+            // A = t ^ MI, MI. The output mask (MI+1)%16 is *derived*, not
+            // fresh — there is no third field.
+            Scheme::Rsm | Scheme::RsmRom => share_nibble(0).chain(share_nibble(1)).collect(),
+            // xa = t ^ m, m, then the per-gadget refresh masks r0..r3.
+            Scheme::Isw => share_nibble(0)
+                .chain(share_nibble(1))
+                .chain(std::iter::repeat_n(InputRole::Fresh, 4))
+                .collect(),
+            // Bit-major x{bit}s{0..3}; no fresh randomness at all.
+            Scheme::Ti => (0..4)
+                .flat_map(|bit| (0..4).map(move |share| InputRole::Share { bit, share }))
+                .collect(),
         }
     }
 
@@ -128,6 +192,23 @@ impl InputEncoding {
             rng.gen_range(0..(1u32 << bits))
         };
         self.encode_masked(t, word)
+    }
+
+    /// For each unmasked S-box output bit, the output-port indices that
+    /// jointly encode it (its output shares), in
+    /// [`sbox_netlist::Netlist::outputs`] order.
+    ///
+    /// The masked-table schemes expose each output bit as one masked
+    /// port; ISW as two shares (`y0_b`, `y1_b`); TI as four shares
+    /// (`y{b}s{0..3}`, bit-major).
+    pub fn output_share_groups(&self) -> Vec<Vec<usize>> {
+        match self.scheme {
+            Scheme::Lut | Scheme::Opt | Scheme::Glut | Scheme::Rsm | Scheme::RsmRom => {
+                (0..4).map(|b| vec![b]).collect()
+            }
+            Scheme::Isw => (0..4).map(|b| vec![b, 4 + b]).collect(),
+            Scheme::Ti => (0..4).map(|b| (4 * b..4 * b + 4).collect()).collect(),
+        }
     }
 
     /// Recover the *unmasked* S-box output from a primary-input assignment
@@ -240,6 +321,94 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(11);
         let enc = InputEncoding::for_scheme(Scheme::Lut);
         assert_eq!(enc.encode(0b1010, &mut rng), vec![false, true, false, true]);
+    }
+
+    #[test]
+    fn input_roles_cover_every_input() {
+        for scheme in Scheme::ALL {
+            let enc = InputEncoding::for_scheme(scheme);
+            let roles = enc.input_roles();
+            assert_eq!(roles.len(), enc.num_inputs(), "{scheme}");
+            for bit in 0..4u8 {
+                let shares: Vec<u8> = roles
+                    .iter()
+                    .filter_map(|r| match r {
+                        InputRole::Share { bit: b, share } if *b == bit => Some(*share),
+                        _ => None,
+                    })
+                    .collect();
+                assert_eq!(
+                    shares.len(),
+                    usize::from(enc.shares_per_bit()),
+                    "{scheme} bit {bit}"
+                );
+                let mut sorted = shares.clone();
+                sorted.sort_unstable();
+                assert_eq!(
+                    sorted,
+                    (0..enc.shares_per_bit()).collect::<Vec<_>>(),
+                    "{scheme} bit {bit}: shares must be 0..n, once each"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shares_xor_to_the_secret_bit() {
+        // The roles are only meaningful if XOR-ing the inputs labelled as
+        // shares of bit `b` recovers bit `b` of the class, for every mask.
+        for scheme in Scheme::ALL {
+            let enc = InputEncoding::for_scheme(scheme);
+            let roles = enc.input_roles();
+            let mask_words: Vec<u32> = if enc.mask_bits() == 0 {
+                vec![0]
+            } else {
+                (0..1u32 << enc.mask_bits()).step_by(3).collect()
+            };
+            for t in 0..16u8 {
+                for &mask in &mask_words {
+                    let v = enc.encode_masked(t, mask);
+                    for bit in 0..4u8 {
+                        let xor = roles
+                            .iter()
+                            .zip(&v)
+                            .filter(
+                                |(r, _)| matches!(r, InputRole::Share { bit: b, .. } if *b == bit),
+                            )
+                            .fold(false, |acc, (_, &val)| acc ^ val);
+                        assert_eq!(
+                            xor,
+                            (t >> bit) & 1 == 1,
+                            "{scheme} t={t} mask={mask} bit={bit}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fresh_inputs_match_table_one_refresh_budget() {
+        // GLUT's MO and ISW's gadget masks are the only fresh (non-share)
+        // randomness in the seven schemes.
+        let fresh = |s: Scheme| {
+            InputEncoding::for_scheme(s)
+                .input_roles()
+                .iter()
+                .filter(|r| matches!(r, InputRole::Fresh))
+                .count()
+        };
+        assert_eq!(fresh(Scheme::Glut), 4);
+        assert_eq!(fresh(Scheme::Isw), 4);
+        for s in [
+            Scheme::Lut,
+            Scheme::Opt,
+            Scheme::Rsm,
+            Scheme::RsmRom,
+            Scheme::Ti,
+        ] {
+            assert_eq!(fresh(s), 0, "{s}");
+        }
     }
 
     #[test]

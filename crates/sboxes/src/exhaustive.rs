@@ -1,0 +1,240 @@
+//! Shared exhaustive (class × mask) sweep over a masked S-box circuit.
+//!
+//! Both the value-probing profile ([`crate::probing`]) and the `sca-verify`
+//! static analyzer need the same raw statistics, taken exhaustively over
+//! the scheme's mask space: for every net, how often it evaluates to 1
+//! under each unmasked class `t`, and for every gate, the joint
+//! distribution of its fan-in values under each class. This module
+//! computes both in a single pass so the two analyses share one
+//! enumeration and cannot drift apart.
+//!
+//! The per-gate fan-in joint distribution is the static stand-in for a
+//! *glitch-extended* probe in its tightest local form: during the race
+//! window after an input transition, a gate's output can transiently
+//! expose any Boolean function of its direct fan-in, so an adversary
+//! probing the output effectively observes the fan-in *tuple*, not just
+//! the settled value. A class-dependent tuple distribution is therefore
+//! transient leakage even when every individual net is value-unbiased.
+
+use crate::SboxCircuit;
+
+/// Number of unmasked input classes (PRESENT S-box nibble values).
+pub const NUM_CLASSES: usize = 16;
+
+/// Maximum cell fan-in, hence `2^4` joint fan-in patterns per gate.
+pub const MAX_FANIN_PATTERNS: usize = 16;
+
+/// Raw class-conditional counts from one exhaustive sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepCounts {
+    mask_count: u32,
+    net_ones: Vec<[u32; NUM_CLASSES]>,
+    gate_patterns: Vec<[[u32; MAX_FANIN_PATTERNS]; NUM_CLASSES]>,
+}
+
+impl SweepCounts {
+    /// Number of mask words enumerated per class.
+    pub fn mask_count(&self) -> u32 {
+        self.mask_count
+    }
+
+    /// `net_ones()[net][t]` counts the mask words under which net `net`
+    /// evaluates to 1 given class `t`.
+    pub fn net_ones(&self) -> &[[u32; NUM_CLASSES]] {
+        &self.net_ones
+    }
+
+    /// `gate_patterns()[gate][t][p]` counts the mask words under which
+    /// gate `gate`'s fan-in nets spell the bit pattern `p` (pin 0 = LSB)
+    /// given class `t`.
+    pub fn gate_patterns(&self) -> &[[[u32; MAX_FANIN_PATTERNS]; NUM_CLASSES]] {
+        &self.gate_patterns
+    }
+
+    /// Per-net worst-case value bias:
+    /// `max_t |P(net = 1 | t) − P(net = 1 | 0)|`.
+    ///
+    /// This reproduces the arithmetic of the original
+    /// [`crate::probing::analyze`] term for term, so the rebased profile
+    /// stays bit-identical to the historical one.
+    pub fn net_value_bias(&self) -> Vec<f64> {
+        let denom = f64::from(self.mask_count);
+        self.net_ones
+            .iter()
+            .map(|per_class| {
+                let p0 = f64::from(per_class[0]) / denom;
+                per_class
+                    .iter()
+                    .map(|&c| (f64::from(c) / denom - p0).abs())
+                    .fold(0.0, f64::max)
+            })
+            .collect()
+    }
+
+    /// Per-gate worst-case *transient* bias: the largest total-variation
+    /// distance between the fan-in joint distribution under class `t` and
+    /// under class 0, over all `t`.
+    ///
+    /// Zero means a glitch-extended probe on the gate's output (local
+    /// race-window model) learns nothing about the class; 1 means some
+    /// class is perfectly distinguishable.
+    pub fn gate_joint_bias(&self) -> Vec<f64> {
+        let denom = f64::from(self.mask_count);
+        self.gate_patterns
+            .iter()
+            .map(|per_class| {
+                (1..NUM_CLASSES)
+                    .map(|t| {
+                        (0..MAX_FANIN_PATTERNS)
+                            .map(|p| {
+                                (f64::from(per_class[t][p]) - f64::from(per_class[0][p])).abs()
+                                    / denom
+                            })
+                            .sum::<f64>()
+                            / 2.0
+                    })
+                    .fold(0.0, f64::max)
+            })
+            .collect()
+    }
+
+    /// Per-gate class-variance mass of the fan-in joint distribution:
+    /// `Σ_p Var_t(P(pattern = p | t))`.
+    ///
+    /// The static analogue of the dynamic class-variance the
+    /// Walsh–Hadamard decomposition measures — a graded "how much does the
+    /// joint distribution move with the class" score, where
+    /// [`SweepCounts::gate_joint_bias`] is the worst-case version.
+    pub fn gate_class_variance(&self) -> Vec<f64> {
+        let denom = f64::from(self.mask_count);
+        self.gate_patterns
+            .iter()
+            .map(|per_class| {
+                (0..MAX_FANIN_PATTERNS)
+                    .map(|p| {
+                        let probs: Vec<f64> = (0..NUM_CLASSES)
+                            .map(|t| f64::from(per_class[t][p]) / denom)
+                            .collect();
+                        let mean = probs.iter().sum::<f64>() / NUM_CLASSES as f64;
+                        probs.iter().map(|q| (q - mean) * (q - mean)).sum::<f64>()
+                            / NUM_CLASSES as f64
+                    })
+                    .sum()
+            })
+            .collect()
+    }
+}
+
+/// Exhaustively evaluate the circuit over its whole (class × mask) space.
+///
+/// # Panics
+///
+/// Panics if the scheme has more than 16 mask bits (the enumeration would
+/// exceed 2²⁰ evaluations).
+pub fn sweep(circuit: &SboxCircuit) -> SweepCounts {
+    let encoding = circuit.encoding();
+    let netlist = circuit.netlist();
+    let mask_bits = encoding.mask_bits();
+    assert!(mask_bits <= 16, "mask space too large to enumerate");
+    let mask_count = 1u32 << mask_bits;
+    let mut net_ones = vec![[0u32; NUM_CLASSES]; netlist.nets().len()];
+    let mut gate_patterns = vec![[[0u32; MAX_FANIN_PATTERNS]; NUM_CLASSES]; netlist.gates().len()];
+    for t in 0..NUM_CLASSES as u8 {
+        for mask in 0..mask_count {
+            let inputs = encoding.encode_masked(t, mask);
+            let values = netlist.evaluate_nets(&inputs);
+            for (slot, &v) in net_ones.iter_mut().zip(&values) {
+                slot[usize::from(t)] += u32::from(v);
+            }
+            for (gate, slot) in netlist.gates().iter().zip(gate_patterns.iter_mut()) {
+                let mut pattern = 0usize;
+                for (pin, net) in gate.inputs().iter().enumerate() {
+                    pattern |= usize::from(values[net.index()]) << pin;
+                }
+                slot[usize::from(t)][pattern] += 1;
+            }
+        }
+    }
+    SweepCounts {
+        mask_count,
+        net_ones,
+        gate_patterns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scheme;
+
+    #[test]
+    fn counts_are_complete_and_consistent() {
+        let circuit = SboxCircuit::build(Scheme::Rsm);
+        let counts = sweep(&circuit);
+        assert_eq!(counts.mask_count(), 16);
+        // Every (gate, class) row sums to the mask count.
+        for per_class in counts.gate_patterns() {
+            for row in per_class {
+                assert_eq!(row.iter().sum::<u32>(), counts.mask_count());
+            }
+        }
+        // A gate's output-net ones must match the histogram mass on the
+        // patterns its cell maps to 1 — spot-check via bias consistency:
+        // any net with value bias also shows up as fan-in bias of its
+        // sinks or output-pattern bias of its driver.
+        assert_eq!(
+            counts.net_ones().len(),
+            circuit.netlist().nets().len(),
+            "one slot per net"
+        );
+    }
+
+    #[test]
+    fn unprotected_joint_distributions_are_deterministic() {
+        let circuit = SboxCircuit::build(Scheme::Lut);
+        let counts = sweep(&circuit);
+        // No masks: each class puts its whole mass on a single pattern.
+        for per_class in counts.gate_patterns() {
+            for row in per_class {
+                assert_eq!(row.iter().filter(|&&c| c > 0).count(), 1);
+            }
+        }
+        assert!(counts.gate_joint_bias().contains(&1.0));
+    }
+
+    #[test]
+    fn isw_and_ti_gates_have_classless_joints() {
+        for scheme in [Scheme::Isw, Scheme::Ti] {
+            let counts = sweep(&SboxCircuit::build(scheme));
+            let max = counts
+                .gate_joint_bias()
+                .iter()
+                .fold(0.0f64, |a, &b| a.max(b));
+            assert!(max < 1e-12, "{scheme}: local transient bias {max}");
+        }
+    }
+
+    #[test]
+    fn tabulated_masking_has_transient_bias() {
+        for scheme in [Scheme::Glut, Scheme::Rsm, Scheme::RsmRom] {
+            let counts = sweep(&SboxCircuit::build(scheme));
+            let max = counts
+                .gate_joint_bias()
+                .iter()
+                .fold(0.0f64, |a, &b| a.max(b));
+            assert!(max > 0.1, "{scheme}: expected transient bias, got {max}");
+        }
+    }
+
+    #[test]
+    fn class_variance_is_zero_iff_joint_bias_is_zero() {
+        let counts = sweep(&SboxCircuit::build(Scheme::Glut));
+        for (bias, var) in counts
+            .gate_joint_bias()
+            .iter()
+            .zip(counts.gate_class_variance())
+        {
+            assert_eq!(*bias == 0.0, var == 0.0);
+        }
+    }
+}

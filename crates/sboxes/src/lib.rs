@@ -37,6 +37,7 @@
 
 pub mod anf;
 mod encoding;
+pub mod exhaustive;
 mod glut;
 mod isw;
 mod lut;
@@ -50,7 +51,7 @@ mod ti;
 
 use sbox_netlist::Netlist;
 
-pub use encoding::InputEncoding;
+pub use encoding::{InputEncoding, InputRole};
 
 /// The seven implementation styles of the paper's Table I.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -170,6 +171,31 @@ impl SboxCircuit {
             netlist.num_outputs(),
             encoding.num_outputs(),
             "output ports"
+        );
+        Self {
+            scheme,
+            netlist,
+            encoding,
+        }
+    }
+
+    /// Wrap an *instrumented* variant of a scheme's netlist: identical
+    /// primary inputs, the scheme's standard outputs first, plus any
+    /// number of appended observation taps (e.g. from
+    /// [`sbox_netlist::transform::observe_product`]). Used by the
+    /// `sca-verify` mutation tests, which graft deliberate masking
+    /// defects onto a netlist and expect the analyzer to name them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input ports differ from the scheme's encoding or
+    /// the standard outputs are missing.
+    pub fn from_instrumented(scheme: Scheme, netlist: Netlist) -> Self {
+        let encoding = InputEncoding::for_scheme(scheme);
+        assert_eq!(netlist.num_inputs(), encoding.num_inputs(), "input ports");
+        assert!(
+            netlist.num_outputs() >= encoding.num_outputs(),
+            "standard output ports missing"
         );
         Self {
             scheme,

@@ -7,10 +7,20 @@
 //! about the secret. This is the "bit probing model" the paper notes
 //! masking schemes are usually assessed in — and the static counterpart of
 //! the dynamic (glitch) leakage the simulator measures.
+//!
+//! # Deprecation note
+//!
+//! This module is kept for API stability, but it is now a thin wrapper
+//! over [`crate::exhaustive`], which performs the same enumeration once
+//! and also collects the per-gate fan-in joint distributions the
+//! `sca-verify` crate needs for glitch-extended probing. New analyses
+//! should consume [`crate::exhaustive::SweepCounts`] (or the `sca-verify`
+//! diagnostics) directly; the value-bias numbers here are bit-identical
+//! to [`crate::exhaustive::SweepCounts::net_value_bias`].
 
 use sbox_netlist::Netlist;
 
-use crate::{InputEncoding, SboxCircuit};
+use crate::SboxCircuit;
 
 /// The probing profile of one netlist: per-net worst-case bias.
 #[derive(Debug, Clone, PartialEq)]
@@ -53,33 +63,10 @@ impl ProbingProfile {
 /// Panics if the scheme has more than 16 mask bits (the enumeration would
 /// exceed 2²⁰ evaluations).
 pub fn analyze(circuit: &SboxCircuit) -> ProbingProfile {
-    let encoding: &InputEncoding = circuit.encoding();
-    let mask_bits = encoding.mask_bits();
-    assert!(mask_bits <= 16, "mask space too large to enumerate");
-    let netlist = circuit.netlist();
-    let mask_count = 1u32 << mask_bits;
-    let mut ones = vec![[0u32; 16]; netlist.nets().len()];
-    for t in 0..16u8 {
-        for mask in 0..mask_count {
-            let inputs = encoding.encode_masked(t, mask);
-            let values = netlist.evaluate_nets(&inputs);
-            for (slot, &v) in ones.iter_mut().zip(&values) {
-                slot[usize::from(t)] += u32::from(v);
-            }
-        }
+    let counts = crate::exhaustive::sweep(circuit);
+    ProbingProfile {
+        value_bias: counts.net_value_bias(),
     }
-    let denom = f64::from(mask_count);
-    let value_bias = ones
-        .iter()
-        .map(|per_class| {
-            let p0 = f64::from(per_class[0]) / denom;
-            per_class
-                .iter()
-                .map(|&c| (f64::from(c) / denom - p0).abs())
-                .fold(0.0, f64::max)
-        })
-        .collect();
-    ProbingProfile { value_bias }
 }
 
 #[cfg(test)]

@@ -1,0 +1,54 @@
+//! Regression lock: `probing::analyze` was rebased on the shared
+//! `exhaustive` sweep engine; this test re-implements the *original*
+//! standalone algorithm verbatim and pins the rebased profile bit-identical
+//! to it on all seven schemes.
+
+use sbox_circuits::{probing, SboxCircuit, Scheme};
+
+/// The pre-rebase implementation of `probing::analyze`, kept verbatim
+/// (same iteration order, same arithmetic expressions, same fold) as the
+/// reference the rebased engine must match exactly.
+fn analyze_reference(circuit: &SboxCircuit) -> Vec<f64> {
+    let encoding = circuit.encoding();
+    let mask_bits = encoding.mask_bits();
+    assert!(mask_bits <= 16, "mask space too large to enumerate");
+    let netlist = circuit.netlist();
+    let mask_count = 1u32 << mask_bits;
+    let mut ones = vec![[0u32; 16]; netlist.nets().len()];
+    for t in 0..16u8 {
+        for mask in 0..mask_count {
+            let inputs = encoding.encode_masked(t, mask);
+            let values = netlist.evaluate_nets(&inputs);
+            for (slot, &v) in ones.iter_mut().zip(&values) {
+                slot[usize::from(t)] += u32::from(v);
+            }
+        }
+    }
+    let denom = f64::from(mask_count);
+    ones.iter()
+        .map(|per_class| {
+            let p0 = f64::from(per_class[0]) / denom;
+            per_class
+                .iter()
+                .map(|&c| (f64::from(c) / denom - p0).abs())
+                .fold(0.0, f64::max)
+        })
+        .collect()
+}
+
+#[test]
+fn rebased_profile_is_bit_identical_on_all_schemes() {
+    for scheme in Scheme::ALL {
+        let circuit = SboxCircuit::build(scheme);
+        let reference = analyze_reference(&circuit);
+        let rebased = probing::analyze(&circuit).value_bias;
+        assert_eq!(reference.len(), rebased.len(), "{scheme}");
+        for (net, (old, new)) in reference.iter().zip(&rebased).enumerate() {
+            assert_eq!(
+                old.to_bits(),
+                new.to_bits(),
+                "{scheme} net {net}: {old:e} vs {new:e}"
+            );
+        }
+    }
+}

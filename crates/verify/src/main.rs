@@ -1,0 +1,143 @@
+//! `sca-verify` — static masking-security analyzer CLI.
+//!
+//! ```text
+//! sca-verify [SCHEME...] [--json-dir DIR] [--expect-dir DIR] [--check] [--bless] [--no-json] [--quiet]
+//! ```
+//!
+//! With no schemes (or `all`), analyzes all seven netlists. Prints the
+//! human report, writes `DIR/<scheme>.json` (default `results/verify`),
+//! and with `--check` byte-compares each report against the pinned
+//! expectation in `--expect-dir` (default `tests/golden/verify`),
+//! exiting nonzero on drift. `--bless` (or `SCA_BLESS=1`) refreshes the
+//! pins instead.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use sbox_circuits::{SboxCircuit, Scheme};
+use sca_verify::{analyze, expect, report};
+
+struct Options {
+    schemes: Vec<Scheme>,
+    json_dir: Option<PathBuf>,
+    expect_dir: PathBuf,
+    check: bool,
+    bless: bool,
+    quiet: bool,
+}
+
+fn parse_scheme(name: &str) -> Option<Scheme> {
+    match name.to_lowercase().as_str() {
+        "lut" => Some(Scheme::Lut),
+        "opt" | "lut-opt" => Some(Scheme::Opt),
+        "glut" => Some(Scheme::Glut),
+        "rsm" => Some(Scheme::Rsm),
+        "rsm-rom" | "rsmrom" => Some(Scheme::RsmRom),
+        "isw" => Some(Scheme::Isw),
+        "ti" => Some(Scheme::Ti),
+        _ => None,
+    }
+}
+
+fn usage() -> &'static str {
+    "usage: sca-verify [SCHEME...] [--json-dir DIR] [--expect-dir DIR] [--check] [--bless] [--no-json] [--quiet]\n\
+     SCHEME: all lut lut-opt glut rsm rsm-rom isw ti (default: all)"
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        schemes: Vec::new(),
+        json_dir: Some(PathBuf::from("results/verify")),
+        expect_dir: PathBuf::from("tests/golden/verify"),
+        check: false,
+        bless: false,
+        quiet: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json-dir" => {
+                let dir = it.next().ok_or("--json-dir needs a value")?;
+                opts.json_dir = Some(PathBuf::from(dir));
+            }
+            "--expect-dir" => {
+                let dir = it.next().ok_or("--expect-dir needs a value")?;
+                opts.expect_dir = PathBuf::from(dir);
+            }
+            "--check" => opts.check = true,
+            "--bless" => opts.bless = true,
+            "--no-json" => opts.json_dir = None,
+            "--quiet" | "-q" => opts.quiet = true,
+            "--help" | "-h" => return Err(usage().to_string()),
+            "all" => opts.schemes.extend(Scheme::ALL),
+            name => {
+                let scheme = parse_scheme(name)
+                    .ok_or_else(|| format!("unknown scheme '{name}'\n{}", usage()))?;
+                opts.schemes.push(scheme);
+            }
+        }
+    }
+    if opts.schemes.is_empty() {
+        opts.schemes.extend(Scheme::ALL);
+    }
+    opts.schemes.dedup();
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let bless = opts.bless || expect::blessing();
+    let mut failures = 0usize;
+    for &scheme in &opts.schemes {
+        let analysis = analyze(&SboxCircuit::build(scheme));
+        if !opts.quiet {
+            print!("{}", report::human(&analysis));
+        }
+        let json = report::json(&analysis);
+        if let Some(dir) = &opts.json_dir {
+            let path = expect::expectation_path(dir, scheme.label());
+            if let Err(e) = expect::bless(&path, &json) {
+                eprintln!("error: cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        if bless {
+            let path = expect::expectation_path(&opts.expect_dir, scheme.label());
+            if let Err(e) = expect::bless(&path, &json) {
+                eprintln!("error: cannot bless {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            if !opts.quiet {
+                println!("  blessed {}", path.display());
+            }
+        } else if opts.check {
+            let path = expect::expectation_path(&opts.expect_dir, scheme.label());
+            match expect::check(&path, &json) {
+                Ok(()) => {
+                    if !opts.quiet {
+                        println!("  check ok: {}", path.display());
+                    }
+                }
+                Err(msg) => {
+                    eprintln!("MISMATCH [{}]: {msg}", scheme.label());
+                    failures += 1;
+                }
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!(
+            "{failures} scheme(s) drifted from pinned expectations; \
+             if intentional, refresh with SCA_BLESS=1 sca-verify all"
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

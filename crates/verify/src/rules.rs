@@ -1,0 +1,166 @@
+//! The rule catalogue and typed diagnostics the analyzer emits.
+
+/// Identifier of one static-analysis rule.
+///
+/// Rules split into three layers, mirroring the leakage taxonomy in
+/// `DESIGN.md`:
+///
+/// * *value probing* — [`RuleId::ValueBias`];
+/// * *glitch-extended probing* — [`RuleId::GlitchLocal`] (local
+///   race-window distributions) and [`RuleId::GxBoundary`] (composition
+///   at the share boundary);
+/// * *share-domain dataflow* — [`RuleId::SdRecomb`], [`RuleId::SdReuse`],
+///   [`RuleId::SdCross`], purely structural checks that need no
+///   enumeration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleId {
+    /// A driven net's value distribution depends on the unmasked class:
+    /// a first-order probe on the settled value leaks.
+    ValueBias,
+    /// A gate's fan-in *joint* distribution depends on the class: during
+    /// the race window after an input transition the gate can transiently
+    /// compute any function of that tuple, so a glitch-extended probe on
+    /// its output leaks even when every single net is value-unbiased.
+    GlitchLocal,
+    /// A gate's glitch-extended input cone contains *all* shares of a
+    /// secret bit and no fresh randomness — the DOM-style recombination
+    /// defect.
+    SdRecomb,
+    /// A fresh-randomness input is loaded by more XOR-family gates than
+    /// one refresh duty accounts for — the mask is reused across domain
+    /// crossings, so cancellations can unmask downstream values.
+    SdReuse,
+    /// Advisory: a nonlinear gate multiplies operands from different
+    /// share domains (a cross-domain product). Safe only if composed with
+    /// a fresh refresh, as ISW does; reported for audit, not as a defect.
+    SdCross,
+    /// Composition check at the output boundary: the union of the
+    /// glitch-extended cones of one output bit's shares covers every
+    /// share of some input bit with no fresh randomness in the union. A
+    /// transient observer of the recombination stage sees the secret —
+    /// the defect that makes register-free TI glitch-leaky.
+    GxBoundary,
+}
+
+impl RuleId {
+    /// Every rule, in report order.
+    pub const ALL: [RuleId; 6] = [
+        RuleId::ValueBias,
+        RuleId::GlitchLocal,
+        RuleId::SdRecomb,
+        RuleId::SdReuse,
+        RuleId::SdCross,
+        RuleId::GxBoundary,
+    ];
+
+    /// Stable machine-readable rule code.
+    pub const fn code(self) -> &'static str {
+        match self {
+            RuleId::ValueBias => "VALUE-BIAS",
+            RuleId::GlitchLocal => "GLITCH-LOCAL",
+            RuleId::SdRecomb => "SD-RECOMB",
+            RuleId::SdReuse => "SD-REUSE",
+            RuleId::SdCross => "SD-CROSS",
+            RuleId::GxBoundary => "GX-BOUNDARY",
+        }
+    }
+
+    /// The severity this rule reports at.
+    pub const fn severity(self) -> Severity {
+        match self {
+            RuleId::ValueBias | RuleId::GlitchLocal | RuleId::GxBoundary => Severity::Error,
+            RuleId::SdRecomb | RuleId::SdReuse => Severity::Warning,
+            RuleId::SdCross => Severity::Advice,
+        }
+    }
+
+    /// One-line description for the human report.
+    pub const fn summary(self) -> &'static str {
+        match self {
+            RuleId::ValueBias => "class-dependent settled value (first-order value probe)",
+            RuleId::GlitchLocal => "class-dependent fan-in joint (transient race-window probe)",
+            RuleId::SdRecomb => "cone recombines all shares of a bit without fresh randomness",
+            RuleId::SdReuse => "refresh mask loaded beyond its single masking duty",
+            RuleId::SdCross => "cross-domain product (needs downstream refresh)",
+            RuleId::GxBoundary => "output-share cones jointly uncover a bit without randomness",
+        }
+    }
+}
+
+/// How seriously a diagnostic should be taken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Advisory finding: expected in a sound design, reported for audit.
+    Advice,
+    /// Structural smell that usually accompanies a leak.
+    Warning,
+    /// A probe position that provably leaks under the rule's model.
+    Error,
+}
+
+impl Severity {
+    /// Stable lowercase label.
+    pub const fn label(self) -> &'static str {
+        match self {
+            Severity::Advice => "advice",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// Where in the netlist a diagnostic points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Location {
+    /// The gate the finding anchors to (index into
+    /// [`sbox_netlist::Netlist::gates`]), if gate-shaped.
+    pub gate: Option<usize>,
+    /// The cell mnemonic of that gate (`"XOR2"`, …), if gate-shaped.
+    pub cell: Option<&'static str>,
+    /// The net the probe sits on (index into
+    /// [`sbox_netlist::Netlist::nets`]).
+    pub net: usize,
+    /// The net's port name if it has one, else `net<id>`.
+    pub net_name: String,
+}
+
+/// One finding: rule, location, strength, and the witness probe set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// Severity (always [`RuleId::severity`] of `rule`).
+    pub severity: Severity,
+    /// Anchor location.
+    pub location: Location,
+    /// Rule-specific strength in `[0, 1]` (bias, coverage fraction, …);
+    /// diagnostics of one rule sort strongest-first.
+    pub measure: f64,
+    /// The named signals an adversary would probe to exploit the finding
+    /// (the probe set witnessing the violation).
+    pub witness: Vec<String>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_stable() {
+        let codes: Vec<&str> = RuleId::ALL.iter().map(|r| r.code()).collect();
+        let mut dedup = codes.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), codes.len());
+        assert_eq!(RuleId::ValueBias.code(), "VALUE-BIAS");
+        assert_eq!(RuleId::GxBoundary.code(), "GX-BOUNDARY");
+    }
+
+    #[test]
+    fn severity_ordering_reflects_gravity() {
+        assert!(Severity::Advice < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+    }
+}

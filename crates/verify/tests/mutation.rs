@@ -1,0 +1,141 @@
+//! Mutation tests: graft known masking defects onto the (provably clean)
+//! ISW netlist via `sbox_netlist::transform` and assert the analyzer
+//! names the exact injected gate — the analyzer's detection power, not
+//! just its silence on good circuits.
+
+use sbox_circuits::{SboxCircuit, Scheme};
+use sbox_netlist::transform;
+use sca_verify::{analyze, RuleId};
+
+/// The clean baseline: ISW passes first-order glitch-extended probing
+/// and triggers none of the defect rules.
+#[test]
+fn clean_isw_passes_first_order_glitch_extended_probing() {
+    let analysis = analyze(&SboxCircuit::build(Scheme::Isw));
+    assert!(analysis.verdicts.value_first_order);
+    assert!(analysis.verdicts.glitch_local);
+    assert!(analysis.verdicts.gx_boundary);
+    assert!(analysis.verdicts.glitch_first_order());
+    assert_eq!(analysis.count(RuleId::ValueBias), 0);
+    assert_eq!(analysis.count(RuleId::GlitchLocal), 0);
+    assert_eq!(analysis.count(RuleId::SdReuse), 0);
+    assert_eq!(analysis.count(RuleId::GxBoundary), 0);
+    // Two conservative SD-RECOMB warnings are expected: partial products
+    // whose share-1 operand is a linear combination (m1^m2), so the
+    // *cone* spans both shares of bit 2. The exact distribution checks
+    // above discharge them as non-exploitable at first order — which is
+    // why SD-RECOMB is a warning, not a verdict.
+    assert_eq!(analysis.count(RuleId::SdRecomb), 2);
+    // The cross-domain products of the ISW gadgets are *advisory* — they
+    // exist by construction and are refreshed downstream.
+    assert!(analysis.count(RuleId::SdCross) > 0);
+}
+
+/// Defect 1 — refresh-mask reuse: point one gadget's refresh XOR at an
+/// already-spent mask bit. The reused bit then exceeds its single
+/// masking duty and SD-REUSE must name the rewired gate.
+#[test]
+fn reused_refresh_mask_is_reported_at_the_rewired_gate() {
+    let circuit = SboxCircuit::build(Scheme::Isw);
+    let netlist = circuit.netlist();
+    // ISW inputs: xa0..3, m0..3, r0..3 — r0 at position 8, r2 at 10.
+    let r0 = netlist.inputs()[8];
+    let r2 = netlist.inputs()[10];
+    // Take an XOR gate consuming r2 and redirect its refresh pin to r0.
+    let (victim, pin) = netlist.nets()[r2.index()]
+        .loads()
+        .iter()
+        .find_map(|&g| {
+            let gate = netlist.gate(g);
+            (gate.cell().family() == "XOR")
+                .then(|| gate.inputs().iter().position(|&n| n == r2).map(|p| (g, p)))
+                .flatten()
+        })
+        .expect("ISW has XOR loads on every refresh bit");
+    let mutant = transform::rewire_input(netlist, victim, pin, r0).expect("legal rewire");
+    let analysis = analyze(&SboxCircuit::from_parts(Scheme::Isw, mutant));
+
+    let reuse = analysis.of_rule(RuleId::SdReuse);
+    assert!(!reuse.is_empty(), "reuse must be detected");
+    // Every implicated diagnostic points at r0, and the rewired gate is
+    // among the named gates.
+    assert!(reuse.iter().all(|d| d.witness == ["r0"]));
+    let named: Vec<usize> = reuse.iter().filter_map(|d| d.location.gate).collect();
+    assert!(
+        named.contains(&victim.index()),
+        "rewired gate {} missing from {named:?}",
+        victim.index()
+    );
+}
+
+/// Defect 2 — share recombination: one AND over both shares of input
+/// bit 0. Every layer of the analyzer must converge on the injected
+/// gate: its settled value is biased, its fan-in joint is transient-
+/// leaky, and its cone recombines a full sharing without randomness.
+#[test]
+fn recombining_and_gate_is_reported_by_every_layer() {
+    let circuit = SboxCircuit::build(Scheme::Isw);
+    let netlist = circuit.netlist();
+    let xa0 = netlist.inputs()[0];
+    let m0 = netlist.inputs()[4];
+    let (mutant, injected) =
+        transform::observe_product(netlist, xa0, m0, "probe_recomb").expect("legal probe");
+    let baseline = analyze(&SboxCircuit::build(Scheme::Isw));
+    let analysis = analyze(&SboxCircuit::from_instrumented(Scheme::Isw, mutant));
+
+    // Per rule, the mutant's findings minus the clean baseline's must be
+    // exactly the injected gate — the analyzer names the defect, no
+    // more, no less.
+    for rule in [RuleId::ValueBias, RuleId::GlitchLocal, RuleId::SdRecomb] {
+        let before: Vec<Option<usize>> = baseline
+            .of_rule(rule)
+            .iter()
+            .map(|d| d.location.gate)
+            .collect();
+        let fresh: Vec<Option<usize>> = analysis
+            .of_rule(rule)
+            .iter()
+            .map(|d| d.location.gate)
+            .filter(|g| !before.contains(g))
+            .collect();
+        assert_eq!(
+            fresh,
+            vec![Some(injected.index())],
+            "{} must name exactly the injected gate",
+            rule.code()
+        );
+    }
+    // AND(xa0, m0) = m0 ∧ ¬t0: mean 0.5 for t0 = 0, 0 for t0 = 1.
+    let value = analysis.of_rule(RuleId::ValueBias)[0];
+    assert!(
+        (value.measure - 0.5).abs() < 1e-12,
+        "bias {}",
+        value.measure
+    );
+    // The race-window tuple (xa0, m0) identifies t0 exactly.
+    let local = analysis.of_rule(RuleId::GlitchLocal)[0];
+    assert!(
+        (local.measure - 1.0).abs() < 1e-12,
+        "bias {}",
+        local.measure
+    );
+    // The verdicts flip from the clean baseline.
+    assert!(!analysis.verdicts.value_first_order);
+    assert!(!analysis.verdicts.glitch_first_order());
+}
+
+/// The two mutants leave untouched gates undisturbed: ids are preserved,
+/// so the diagnostics map one-to-one onto the original netlist.
+#[test]
+fn mutants_preserve_gate_ids() {
+    let circuit = SboxCircuit::build(Scheme::Isw);
+    let netlist = circuit.netlist();
+    let (mutant, injected) =
+        transform::observe_product(netlist, netlist.inputs()[0], netlist.inputs()[4], "probe")
+            .expect("legal probe");
+    assert_eq!(mutant.gates().len(), netlist.gates().len() + 1);
+    assert_eq!(injected.index(), netlist.gates().len());
+    for (old, new) in netlist.gates().iter().zip(mutant.gates()) {
+        assert_eq!(old.cell(), new.cell());
+    }
+}

@@ -1,13 +1,28 @@
-//! Correlation Power Analysis — the attack model motivating the paper.
+//! Streaming key-recovery attacks — the adversary the paper's leakage
+//! metrics predict.
 //!
 //! The paper's introduction frames the whole study around CPA (Brier–
 //! Clavier–Olivier): an adversary correlates measured power with a
 //! hypothetical leakage model of `S(p ⊕ k̂)` for every key guess `k̂` and
-//! keeps the guess with the strongest Pearson correlation. This crate
-//! implements that attack against the trace sets produced by the
-//! `acquisition` crate, with the standard leakage models and the usual
-//! evaluation metrics (key rank, guessing entropy, success rate over
-//! trace count).
+//! keeps the guess with the strongest statistic. This crate implements
+//! that adversary as a *streaming* subsystem over the campaign engine's
+//! mergeable accumulators:
+//!
+//! * [`distinguisher`] — pluggable scoring rules: CPA under the
+//!   standard [`LeakageModel`]s, difference-of-means DPA, and the
+//!   Roche–Tavernier MLPA multi-linear combination;
+//! * [`streaming`] — constant-memory per-guess co-moment state
+//!   ([`AttackAccumulator`]) with the campaign's deterministic merge
+//!   tree ([`AttackStream`]), bit-identical at any worker count and
+//!   (in exact mode) to the batch reference;
+//! * [`evaluate`] — success rate, guessing entropy, and
+//!   measurements-to-disclosure from incremental prefix evaluation;
+//! * [`second_order`] / [`template`] — centered-product second-order
+//!   CPA and profiled template attacks on materialized trace sets.
+//!
+//! The batch entry points ([`cpa_attack`], [`dpa_attack`],
+//! [`mlpa_attack`]) are thin wrappers that fold the dataset through the
+//! same accumulator, so batch and streamed results agree bitwise.
 //!
 //! # Example
 //!
@@ -28,10 +43,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod distinguisher;
+pub mod evaluate;
 pub mod second_order;
+pub mod streaming;
 pub mod template;
 
-use leakage_core::stats::pearson;
+pub use distinguisher::Distinguisher;
+pub use evaluate::{
+    guessing_entropy, measurements_to_disclosure, success_rate_curve, PrefixEvaluator,
+};
+pub use streaming::{attack_batch, AttackAccumulator, AttackStream};
+
 use present_cipher::sbox;
 
 /// Hypothetical power models for the round-1 S-box output.
@@ -68,10 +91,13 @@ impl LeakageModel {
     }
 }
 
-/// The outcome of a CPA attack: per-guess peak correlations.
+/// The outcome of a key-recovery attack: per-guess scores (higher is
+/// more likely) and the sample index where each guess peaked. For CPA
+/// the score is the peak |ρ|; for DPA the peak |difference of means|;
+/// for MLPA the peak summed squared correlation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CpaResult {
-    /// `scores[k]` = max over samples of |ρ(traces, model_k)|.
+    /// `scores[k]` = the distinguisher's statistic for guess `k`.
     pub scores: [f64; 16],
     /// For each guess, the sample index where the peak occurred.
     pub peak_samples: [usize; 16],
@@ -102,106 +128,36 @@ impl CpaResult {
     }
 }
 
-/// Run a CPA attack over all 16 key guesses.
+/// Run a CPA attack over all 16 key guesses (batch wrapper over the
+/// streaming fold; see [`attack_batch`]).
 ///
 /// # Panics
 ///
 /// Panics if `plaintexts` and `traces` differ in length, are empty, or the
 /// traces are ragged.
 pub fn cpa_attack(plaintexts: &[u8], traces: &[Vec<f64>], model: LeakageModel) -> CpaResult {
-    assert_eq!(plaintexts.len(), traces.len());
-    assert!(!traces.is_empty());
-    let samples = traces[0].len();
-    assert!(traces.iter().all(|t| t.len() == samples), "ragged traces");
-    let mut scores = [0.0f64; 16];
-    let mut peak_samples = [0usize; 16];
-    let mut column = vec![0.0f64; traces.len()];
-    for guess in 0..16u8 {
-        let hypothesis: Vec<f64> = plaintexts
-            .iter()
-            .map(|&p| model.predict(p, guess))
-            .collect();
-        let mut best = 0.0f64;
-        let mut best_t = 0usize;
-        for t in 0..samples {
-            for (slot, trace) in column.iter_mut().zip(traces) {
-                *slot = trace[t];
-            }
-            let rho = pearson(&hypothesis, &column).abs();
-            if rho > best {
-                best = rho;
-                best_t = t;
-            }
-        }
-        scores[usize::from(guess)] = best;
-        peak_samples[usize::from(guess)] = best_t;
-    }
-    CpaResult {
-        scores,
-        peak_samples,
-    }
+    attack_batch(plaintexts, traces, Distinguisher::Cpa(model)).scores()
 }
 
-/// Success-rate curve: fraction of `trials` random trace-subsets of each
-/// size for which CPA ranks the true key first.
-///
-/// Subsets are contiguous windows rotated through the dataset, which keeps
-/// the evaluation deterministic.
+/// Run a difference-of-means DPA on selection bit `bit` (0–3) of the
+/// S-box output.
 ///
 /// # Panics
 ///
-/// Panics if any count exceeds the dataset size or `trials == 0`.
-pub fn success_rate_curve(
-    plaintexts: &[u8],
-    traces: &[Vec<f64>],
-    true_key: u8,
-    model: LeakageModel,
-    counts: &[usize],
-    trials: usize,
-) -> Vec<(usize, f64)> {
-    assert!(trials > 0);
-    counts
-        .iter()
-        .map(|&n| {
-            assert!(n <= traces.len(), "subset larger than dataset");
-            let mut successes = 0usize;
-            for trial in 0..trials {
-                let start = (trial * traces.len()) / trials;
-                let idx: Vec<usize> = (0..n).map(|i| (start + i) % traces.len()).collect();
-                let p: Vec<u8> = idx.iter().map(|&i| plaintexts[i]).collect();
-                let t: Vec<Vec<f64>> = idx.iter().map(|&i| traces[i].clone()).collect();
-                if cpa_attack(&p, &t, model).key_rank(true_key) == 0 {
-                    successes += 1;
-                }
-            }
-            (n, successes as f64 / trials as f64)
-        })
-        .collect()
+/// As for [`cpa_attack`].
+pub fn dpa_attack(plaintexts: &[u8], traces: &[Vec<f64>], bit: u8) -> CpaResult {
+    attack_batch(plaintexts, traces, Distinguisher::Dpa { bit }).scores()
 }
 
-/// Guessing entropy: average rank of the true key over rotated subsets.
+/// Run an MLPA attack combining the four single-bit linear
+/// approximations of the S-box output (see
+/// [`Distinguisher::Mlpa`]).
 ///
 /// # Panics
 ///
-/// As for [`success_rate_curve`].
-pub fn guessing_entropy(
-    plaintexts: &[u8],
-    traces: &[Vec<f64>],
-    true_key: u8,
-    model: LeakageModel,
-    count: usize,
-    trials: usize,
-) -> f64 {
-    assert!(trials > 0 && count <= traces.len());
-    let mut total_rank = 0usize;
-    for trial in 0..trials {
-        let start = (trial * traces.len()) / trials;
-        let idx: Vec<usize> = (0..count).map(|i| (start + i) % traces.len()).collect();
-        let p: Vec<u8> = idx.iter().map(|&i| plaintexts[i]).collect();
-        let t: Vec<Vec<f64>> = idx.iter().map(|&i| traces[i].clone()).collect();
-        total_rank += cpa_attack(&p, &t, model).key_rank(true_key);
-    }
-    total_rank as f64 / trials as f64
+/// As for [`cpa_attack`].
+pub fn mlpa_attack(plaintexts: &[u8], traces: &[Vec<f64>]) -> CpaResult {
+    attack_batch(plaintexts, traces, Distinguisher::Mlpa).scores()
 }
 
 #[cfg(test)]
@@ -246,6 +202,21 @@ mod tests {
         let (p, t) = synthetic_dataset(0x7, 512, 4.0, 7);
         let r = cpa_attack(&p, &t, LeakageModel::HammingWeight);
         assert_eq!(r.best_guess(), 0x7);
+    }
+
+    #[test]
+    fn dpa_and_mlpa_recover_the_key_too() {
+        // Identity leaker: single-bit DPA needs a leak it can uniquely
+        // attribute (a pure HW leak ties eight guesses by symmetry).
+        let mut rng = SmallRng::seed_from_u64(8);
+        let key = 0xD;
+        let p: Vec<u8> = (0..512).map(|_| rng.gen_range(0..16)).collect();
+        let t: Vec<Vec<f64>> = p
+            .iter()
+            .map(|&pt| vec![f64::from(sbox(pt ^ key)) + 2.0 * (rng.gen::<f64>() - 0.5)])
+            .collect();
+        assert_eq!(dpa_attack(&p, &t, 3).best_guess(), key);
+        assert_eq!(mlpa_attack(&p, &t).best_guess(), key);
     }
 
     #[test]

@@ -1,0 +1,389 @@
+//! Streaming attack state: constant-memory, mergeable key-recovery
+//! accumulators.
+//!
+//! [`AttackAccumulator`] folds `(plaintext, trace)` pairs one at a time
+//! into per-guess, per-sample co-moment state
+//! ([`CoMomentAccumulator`]); [`AttackStream`] wraps it in the campaign
+//! executor's deterministic chunk tree ([`FOLD_CHUNK`] /
+//! [`TreeReducer`]), so a sequential fold of a schedule produces
+//! bit-for-bit the state the sharded executor produces at any worker
+//! count. In [`SumMode::Exact`] the extracted scores are additionally
+//! invariant under *any* regrouping — bit-identical to the batch
+//! reference [`attack_batch`].
+//!
+//! The hypothesis values depend only on the 4-bit plaintext and guess,
+//! so each accumulator precomputes the full `16 × channels` hypothesis
+//! table once; folding a trace is a table row lookup plus one co-moment
+//! update.
+
+use crate::distinguisher::{Distinguisher, NUM_GUESSES};
+use crate::CpaResult;
+use leakage_core::comoment::CoMomentAccumulator;
+use leakage_core::online::{Merge, SumMode, TreeReducer, FOLD_CHUNK};
+
+/// Streaming per-guess attack state for one distinguisher.
+#[derive(Debug, Clone)]
+pub struct AttackAccumulator {
+    distinguisher: Distinguisher,
+    /// Hypothesis table: row `p` holds the channel vector for plaintext
+    /// `p` (`16 × channels`, row-major).
+    table: Vec<f64>,
+    inner: CoMomentAccumulator,
+}
+
+impl AttackAccumulator {
+    /// Empty accumulator for `samples`-point traces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is zero.
+    pub fn new(distinguisher: Distinguisher, samples: usize, mode: SumMode) -> Self {
+        let channels = distinguisher.channels();
+        let components = distinguisher.components();
+        let mut table = Vec::with_capacity(16 * channels);
+        for p in 0..16u8 {
+            for g in 0..NUM_GUESSES as u8 {
+                for c in 0..components {
+                    table.push(distinguisher.hypothesis(p, g, c));
+                }
+            }
+        }
+        Self {
+            distinguisher,
+            table,
+            inner: CoMomentAccumulator::new(channels, samples, mode),
+        }
+    }
+
+    /// The distinguisher this accumulator scores.
+    pub fn distinguisher(&self) -> Distinguisher {
+        self.distinguisher
+    }
+
+    /// Summation mode.
+    pub fn mode(&self) -> SumMode {
+        self.inner.mode()
+    }
+
+    /// Samples per trace.
+    pub fn samples(&self) -> usize {
+        self.inner.samples()
+    }
+
+    /// Traces folded (or merged in) so far.
+    pub fn count(&self) -> u64 {
+        self.inner.count()
+    }
+
+    /// Whether nothing has been folded yet.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Depth of the merge tree this accumulator roots.
+    pub fn merge_depth(&self) -> usize {
+        self.inner.merge_depth()
+    }
+
+    /// Fold one trace captured under plaintext nibble `plaintext`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace length differs from `samples`.
+    pub fn fold(&mut self, plaintext: u8, trace: &[f64]) {
+        let channels = self.inner.channels();
+        let row = usize::from(plaintext & 0xF) * channels;
+        self.inner.fold(&self.table[row..row + channels], trace);
+    }
+
+    /// Merge another shard into this one in place; `self` is the
+    /// earlier shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the distinguishers, shapes, or modes differ.
+    pub fn merge_from(&mut self, other: &AttackAccumulator) {
+        assert_eq!(
+            self.distinguisher, other.distinguisher,
+            "distinguisher mismatch"
+        );
+        self.inner.merge_from(&other.inner);
+    }
+
+    /// Per-guess scores and peak samples extracted from the folded
+    /// state.
+    pub fn scores(&self) -> CpaResult {
+        let mut scores = [0.0f64; NUM_GUESSES];
+        let mut peak_samples = [0usize; NUM_GUESSES];
+        for g in 0..NUM_GUESSES {
+            let (s, t) = self.distinguisher.score(&self.inner, g as u8);
+            scores[g] = s;
+            peak_samples[g] = t;
+        }
+        CpaResult {
+            scores,
+            peak_samples,
+        }
+    }
+
+    /// Direct access to the underlying co-moment state.
+    pub fn comoments(&self) -> &CoMomentAccumulator {
+        &self.inner
+    }
+
+    /// Number of `f64` values currently held (hypothesis table
+    /// excluded — it is shape-constant).
+    pub fn resident_floats(&self) -> usize {
+        self.inner.resident_floats()
+    }
+}
+
+impl Merge for AttackAccumulator {
+    fn merge(mut self, later: Self) -> Self {
+        self.merge_from(&later);
+        self
+    }
+}
+
+/// Sequential fold of an attack trace stream through the deterministic
+/// chunk tree — the attack-engine counterpart of
+/// [`SpectrumStream`](leakage_core::online::SpectrumStream). Folding a
+/// schedule in order yields bit-for-bit the accumulator the sharded
+/// campaign executor produces for the same schedule at any worker
+/// count.
+#[derive(Debug)]
+pub struct AttackStream {
+    reducer: TreeReducer<AttackAccumulator>,
+    leaf: AttackAccumulator,
+    in_leaf: usize,
+    chunk: usize,
+    seq: u64,
+    folded: u64,
+}
+
+impl AttackStream {
+    /// Stream with the campaign's chunk size ([`FOLD_CHUNK`]).
+    pub fn new(distinguisher: Distinguisher, samples: usize, mode: SumMode) -> Self {
+        Self::with_chunk(distinguisher, samples, mode, FOLD_CHUNK)
+    }
+
+    /// Stream with a custom chunk size (tests exercise odd sizes;
+    /// production code should use [`new`](Self::new) so chunk
+    /// boundaries match the campaign executor).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk` is zero.
+    pub fn with_chunk(
+        distinguisher: Distinguisher,
+        samples: usize,
+        mode: SumMode,
+        chunk: usize,
+    ) -> Self {
+        assert!(chunk > 0, "chunk must be positive");
+        Self {
+            reducer: TreeReducer::new(),
+            leaf: AttackAccumulator::new(distinguisher, samples, mode),
+            in_leaf: 0,
+            chunk,
+            seq: 0,
+            folded: 0,
+        }
+    }
+
+    /// Fold one trace under its plaintext nibble.
+    pub fn fold(&mut self, plaintext: u8, trace: &[f64]) {
+        self.leaf.fold(plaintext, trace);
+        self.folded += 1;
+        self.in_leaf += 1;
+        if self.in_leaf == self.chunk {
+            let template = AttackAccumulator::new(
+                self.leaf.distinguisher(),
+                self.leaf.samples(),
+                self.leaf.mode(),
+            );
+            let full = std::mem::replace(&mut self.leaf, template);
+            self.reducer.push(self.seq, full);
+            self.seq += 1;
+            self.in_leaf = 0;
+        }
+    }
+
+    /// Traces folded so far.
+    pub fn folded(&self) -> u64 {
+        self.folded
+    }
+
+    /// Number of `f64` values currently held (partial leaf plus the
+    /// reducer's buffered subtrees).
+    pub fn resident_floats(&self) -> usize {
+        self.leaf.resident_floats()
+            + self
+                .reducer
+                .resident_with(AttackAccumulator::resident_floats)
+    }
+
+    /// Close the stream: the trailing partial chunk (if any) becomes
+    /// the final leaf, and the reduction completes. Returns an empty
+    /// accumulator if nothing was folded.
+    pub fn finish(mut self) -> AttackAccumulator {
+        let template = AttackAccumulator::new(
+            self.leaf.distinguisher(),
+            self.leaf.samples(),
+            self.leaf.mode(),
+        );
+        if self.in_leaf > 0 {
+            self.reducer.push(self.seq, self.leaf);
+        }
+        self.reducer.finish().unwrap_or(template)
+    }
+}
+
+/// Batch reference: fold the whole dataset into one exact-mode
+/// accumulator (no chunk tree). In exact mode any streamed or sharded
+/// fold of the same data extracts bit-identical scores.
+///
+/// # Panics
+///
+/// Panics if `plaintexts` and `traces` differ in length, are empty, or
+/// the traces are ragged.
+pub fn attack_batch(
+    plaintexts: &[u8],
+    traces: &[Vec<f64>],
+    distinguisher: Distinguisher,
+) -> AttackAccumulator {
+    assert_eq!(plaintexts.len(), traces.len());
+    assert!(!traces.is_empty());
+    let samples = traces[0].len();
+    assert!(traces.iter().all(|t| t.len() == samples), "ragged traces");
+    let mut acc = AttackAccumulator::new(distinguisher, samples, SumMode::Exact);
+    for (&p, t) in plaintexts.iter().zip(traces) {
+        acc.fold(p, t);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LeakageModel;
+    use present_cipher::sbox;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Identity leaker: sample 1 leaks the raw S-box output value, the
+    /// leak every distinguisher here can uniquely attribute (a pure
+    /// Hamming-weight leak ties eight guesses under single-bit DPA).
+    fn synthetic(key: u8, n: usize, noise: f64, seed: u64) -> (Vec<u8>, Vec<Vec<f64>>) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let plaintexts: Vec<u8> = (0..n).map(|_| rng.gen_range(0..16)).collect();
+        let traces = plaintexts
+            .iter()
+            .map(|&p| {
+                let v = f64::from(sbox(p ^ key));
+                vec![rng.gen::<f64>(), v + noise * (rng.gen::<f64>() - 0.5)]
+            })
+            .collect();
+        (plaintexts, traces)
+    }
+
+    const ALL: [Distinguisher; 3] = [
+        Distinguisher::Cpa(LeakageModel::HammingWeight),
+        Distinguisher::Dpa { bit: 3 },
+        Distinguisher::Mlpa,
+    ];
+
+    #[test]
+    fn every_distinguisher_recovers_the_key() {
+        let (p, t) = synthetic(0xA, 256, 1.0, 3);
+        for d in ALL {
+            let r = attack_batch(&p, &t, d).scores();
+            assert_eq!(r.best_guess(), 0xA, "{}", d.label());
+            assert_eq!(r.peak_samples[0xA], 1, "{} peak", d.label());
+        }
+    }
+
+    #[test]
+    fn exact_stream_matches_batch_bitwise() {
+        let (p, t) = synthetic(0x6, 3 * FOLD_CHUNK + 5, 2.0, 17);
+        for d in ALL {
+            let batch = attack_batch(&p, &t, d).scores();
+            let mut stream = AttackStream::new(d, 2, SumMode::Exact);
+            for (&pt, tr) in p.iter().zip(&t) {
+                stream.fold(pt, tr);
+            }
+            let streamed = stream.finish().scores();
+            for g in 0..16 {
+                assert_eq!(
+                    batch.scores[g].to_bits(),
+                    streamed.scores[g].to_bits(),
+                    "{} guess {g}",
+                    d.label()
+                );
+                assert_eq!(batch.peak_samples[g], streamed.peak_samples[g]);
+            }
+        }
+    }
+
+    #[test]
+    fn stream_reproduces_reducer_tree_in_welford_mode() {
+        let (p, t) = synthetic(0x2, 4 * FOLD_CHUNK + 7, 1.5, 23);
+        let mut stream = AttackStream::new(ALL[0], 2, SumMode::Welford);
+        for (&pt, tr) in p.iter().zip(&t) {
+            stream.fold(pt, tr);
+        }
+        let mut reducer: TreeReducer<AttackAccumulator> = TreeReducer::new();
+        for (i, chunk) in p
+            .chunks(FOLD_CHUNK)
+            .zip(t.chunks(FOLD_CHUNK))
+            .enumerate()
+            .map(|(i, (pc, tc))| (i, pc.iter().zip(tc)))
+        {
+            let mut leaf = AttackAccumulator::new(ALL[0], 2, SumMode::Welford);
+            for (&pt, tr) in chunk {
+                leaf.fold(pt, tr);
+            }
+            reducer.push(i as u64, leaf);
+        }
+        let a = stream.finish().scores();
+        let b = reducer.finish().unwrap().scores();
+        for g in 0..16 {
+            assert_eq!(a.scores[g].to_bits(), b.scores[g].to_bits());
+        }
+    }
+
+    #[test]
+    fn merge_depth_and_counts_track() {
+        let (p, t) = synthetic(0x0, 2 * FOLD_CHUNK, 0.5, 29);
+        let mut stream = AttackStream::new(Distinguisher::Mlpa, 2, SumMode::Exact);
+        for (&pt, tr) in p.iter().zip(&t) {
+            stream.fold(pt, tr);
+        }
+        let acc = stream.finish();
+        assert_eq!(acc.count(), 2 * FOLD_CHUNK as u64);
+        assert!(acc.merge_depth() >= 1);
+    }
+
+    #[test]
+    fn empty_stream_finishes_empty() {
+        let acc = AttackStream::new(ALL[0], 4, SumMode::Exact).finish();
+        assert!(acc.is_empty());
+        assert_eq!(acc.scores().scores, [0.0; 16]);
+    }
+
+    #[test]
+    fn welford_resident_floats_do_not_grow_with_traces() {
+        let (p, t) = synthetic(0x4, 64, 0.5, 31);
+        let mut stream = AttackStream::new(ALL[0], 2, SumMode::Welford);
+        for (&pt, tr) in p.iter().cycle().zip(t.iter().cycle()).take(FOLD_CHUNK * 8) {
+            stream.fold(pt, tr);
+        }
+        let at_8 = stream.resident_floats();
+        for (&pt, tr) in p.iter().cycle().zip(t.iter().cycle()).take(FOLD_CHUNK * 56) {
+            stream.fold(pt, tr);
+        }
+        // 8x the chunks may add at most 3 counter levels.
+        let leaf = AttackAccumulator::new(ALL[0], 2, SumMode::Welford).resident_floats();
+        assert!(stream.resident_floats() <= at_8 + 3 * leaf);
+    }
+}

@@ -230,4 +230,45 @@ mod tests {
         set.push(0, vec![1.0]);
         let _ = TemplateSet::profile(&set);
     }
+
+    #[test]
+    #[should_panic]
+    fn attack_rejects_empty_traces() {
+        let templates = TemplateSet::profile(&profiling_set(0.4, 10));
+        let _ = template_attack(&templates, &[], &[]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn attack_rejects_mismatched_lengths() {
+        let templates = TemplateSet::profile(&profiling_set(0.4, 11));
+        let _ = template_attack(&templates, &[0x1, 0x2], &[signature(0)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn distance_rejects_wrong_trace_length() {
+        let templates = TemplateSet::profile(&profiling_set(0.4, 12));
+        let _ = templates.distance(&[1.0, 2.0], 0);
+    }
+
+    /// A noise-free profiling sample (zero within-class variance) takes
+    /// the clamped-weight path and stays finite — and because such a
+    /// sample discriminates perfectly, classification still succeeds.
+    #[test]
+    fn noise_free_samples_keep_distances_finite() {
+        let mut set = ClassifiedTraces::new(16, 4);
+        for t in 0..16u8 {
+            for _ in 0..4 {
+                set.push(usize::from(t), signature(t));
+            }
+        }
+        let templates = TemplateSet::profile(&set);
+        for t in 0..16u8 {
+            let d = templates.distance(&signature(t), usize::from(t));
+            assert!(d.is_finite());
+            assert_eq!(d, 0.0);
+            assert_eq!(templates.classify(&signature(t)), usize::from(t));
+        }
+    }
 }

@@ -1,10 +1,11 @@
 //! CPA attack throughput and the PRESENT cipher reference speed.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use leakage_core::SumMode;
 use present_cipher::Present80;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use sca_attacks::{cpa_attack, LeakageModel};
+use sca_attacks::{cpa_attack, AttackStream, Distinguisher, LeakageModel};
 
 fn bench_cpa(c: &mut Criterion) {
     let mut rng = SmallRng::seed_from_u64(4);
@@ -20,6 +21,23 @@ fn bench_cpa(c: &mut Criterion) {
     c.bench_function("cpa/512traces_100samples", |b| {
         b.iter(|| cpa_attack(&plaintexts, &traces, LeakageModel::HammingWeight))
     });
+    // Streaming fold throughput per distinguisher: the campaign's
+    // bounded-memory path over the same dataset, one trace at a time.
+    for d in [
+        Distinguisher::Cpa(LeakageModel::HammingWeight),
+        Distinguisher::Dpa { bit: 0 },
+        Distinguisher::Mlpa,
+    ] {
+        c.bench_function(&format!("stream/{}_512traces_100samples", d.label()), |b| {
+            b.iter(|| {
+                let mut stream = AttackStream::new(d, 100, SumMode::Exact);
+                for (&p, t) in plaintexts.iter().zip(&traces) {
+                    stream.fold(p, t);
+                }
+                stream.finish().scores()
+            })
+        });
+    }
 }
 
 fn bench_present(c: &mut Criterion) {

@@ -1,0 +1,651 @@
+//! Campaign-scale key-recovery attacks: the streaming attack engine
+//! wired through the sharded executor.
+//!
+//! [`Campaign::attack_aged`] runs an [`AttackPlan`] — one or more
+//! distinguishers (CPA, DPA, MLPA), repeated over independent trials —
+//! against one `(scheme, age)` cell. Each trial captures its own
+//! CPA schedule (a per-trial derived seed; trial 0 uses the protocol
+//! seed unchanged, so it shares cells with
+//! [`Campaign::acquire_cpa`]) and folds every trace *once* into a
+//! [`JointState`]: the per-guess co-moment state of every requested
+//! distinguisher **plus** a 16-class spectral accumulator over the
+//! plaintext nibbles, all accumulated in the same pass through
+//! [`fold_schedule_into`](crate::fold_schedule_into). Nothing is
+//! materialized; peak memory is O(guesses × samples), independent of
+//! the trace budget.
+//!
+//! The executor's in-order chunk observer provides the evaluation
+//! curves for free: after each 16-trace chunk the running merged state
+//! is scored and the true key's rank recorded, so one streaming pass
+//! yields the whole rank trajectory. Across trials these aggregate
+//! into success-rate and guessing-entropy curves and the
+//! measurements-to-disclosure figure — the metrics the paper's leakage
+//! rankings predict.
+//!
+//! Determinism carries through from the executor: trial schedules and
+//! per-trace seeds are derived (never sampled), chunk states merge in
+//! a schedule-shaped tree, and in [`SumMode::Exact`] the final scores
+//! are bit-identical to the batch reference at any worker count.
+//! Trials resume from their `SCKP` checkpoints (refold-on-resume) and
+//! serve from `SCTR` stores when a batch acquisition already captured
+//! the same cell.
+
+use std::collections::BTreeMap;
+
+use acquisition::{cpa_schedule, cpa_seed, trace_seed, ProtocolConfig, NUM_CLASSES};
+use gatesim::Simulator;
+use leakage_core::online::{Merge, SpectrumAccumulator, SumMode, TreeReducer, FOLD_CHUNK};
+use sbox_circuits::{SboxCircuit, Scheme};
+use sca_attacks::{AttackAccumulator, CpaResult, Distinguisher, LeakageModel};
+
+use crate::executor::{fold_schedule_into, FoldState, ResumeState};
+use crate::store::{StoreError, StoreKind, StoreReader};
+use crate::{config_digest, Campaign, CampaignError, CampaignKey, StageTimer};
+
+/// Joint streaming state of one attack trial: every requested
+/// distinguisher's per-guess co-moment accumulator plus the spectral
+/// class statistics of the same traces, folded in a single pass.
+#[derive(Debug, Clone)]
+pub struct JointState {
+    spectrum: SpectrumAccumulator,
+    attacks: Vec<AttackAccumulator>,
+}
+
+impl JointState {
+    /// Empty joint state for `samples`-point traces.
+    pub fn new(distinguishers: &[Distinguisher], samples: usize, mode: SumMode) -> Self {
+        Self {
+            spectrum: SpectrumAccumulator::new(NUM_CLASSES, samples, mode),
+            attacks: distinguishers
+                .iter()
+                .map(|&d| AttackAccumulator::new(d, samples, mode))
+                .collect(),
+        }
+    }
+
+    /// The attack accumulators, in plan order.
+    pub fn attacks(&self) -> &[AttackAccumulator] {
+        &self.attacks
+    }
+
+    /// The spectral state over plaintext-nibble classes.
+    pub fn spectrum(&self) -> &SpectrumAccumulator {
+        &self.spectrum
+    }
+
+    /// Traces folded so far.
+    pub fn count(&self) -> u64 {
+        self.attacks
+            .first()
+            .map_or_else(|| self.spectrum.len(), |a| a.count())
+    }
+
+    /// Merge a later shard into this one in place.
+    fn merge_from(&mut self, later: &JointState) {
+        // SpectrumAccumulator only merges by value; the clone is one
+        // chunk's class statistics, not trace data.
+        let taken = std::mem::replace(
+            &mut self.spectrum,
+            SpectrumAccumulator::new(1, 1, SumMode::Welford),
+        );
+        self.spectrum = taken.merge(later.spectrum.clone());
+        assert_eq!(self.attacks.len(), later.attacks.len(), "plan mismatch");
+        for (a, b) in self.attacks.iter_mut().zip(&later.attacks) {
+            a.merge_from(b);
+        }
+    }
+}
+
+impl Merge for JointState {
+    fn merge(mut self, later: Self) -> Self {
+        self.merge_from(&later);
+        self
+    }
+}
+
+impl FoldState for JointState {
+    fn fold(&mut self, label: u16, trace: &[f64]) {
+        self.spectrum.fold(usize::from(label & 0xF), trace);
+        for a in &mut self.attacks {
+            a.fold(label as u8, trace);
+        }
+    }
+
+    fn merge_depth(&self) -> usize {
+        self.attacks
+            .iter()
+            .map(AttackAccumulator::merge_depth)
+            .max()
+            .unwrap_or_else(|| self.spectrum.merge_depth())
+    }
+}
+
+/// One campaign-scale attack: which key to recover, how hard to try,
+/// and how to score it.
+#[derive(Debug, Clone)]
+pub struct AttackPlan {
+    /// The secret key nibble the traces are captured under.
+    pub key: u8,
+    /// Traces per trial.
+    pub traces: usize,
+    /// Independent trials (distinct derived schedule seeds; trial 0
+    /// uses the protocol seed, sharing cells with batch CPA
+    /// acquisitions).
+    pub trials: usize,
+    /// Distinguishers to accumulate, all in the same pass.
+    pub distinguishers: Vec<Distinguisher>,
+    /// Success-rate level that counts as disclosure for the MTD figure.
+    pub sr_threshold: f64,
+    /// Summation mode of the fold ([`SumMode::Exact`] is bit-identical
+    /// to the batch reference at any worker count).
+    pub mode: SumMode,
+}
+
+impl Default for AttackPlan {
+    fn default() -> Self {
+        Self {
+            key: 0xB,
+            traces: 256,
+            trials: 4,
+            distinguishers: vec![Distinguisher::Cpa(LeakageModel::OutputTransition)],
+            sr_threshold: 0.8,
+            mode: SumMode::Exact,
+        }
+    }
+}
+
+impl AttackPlan {
+    fn validate(&self) {
+        assert!(self.key < 16, "key nibble out of range");
+        assert!(self.traces > 0, "empty trace budget");
+        assert!(self.trials > 0, "no trials");
+        assert!(!self.distinguishers.is_empty(), "no distinguishers");
+        assert!(
+            self.sr_threshold > 0.0 && self.sr_threshold <= 1.0,
+            "threshold must be in (0, 1]"
+        );
+    }
+}
+
+/// Evaluation of one distinguisher across every trial of an attack.
+#[derive(Debug, Clone)]
+pub struct DistinguisherReport {
+    /// The distinguisher evaluated.
+    pub distinguisher: Distinguisher,
+    /// `(traces, fraction of trials ranking the true key first)` at
+    /// every chunk boundary reached by all trials, ascending.
+    pub success_rate: Vec<(usize, f64)>,
+    /// `(traces, mean rank of the true key)` on the same grid.
+    pub guessing_entropy: Vec<(usize, f64)>,
+    /// Measurements-to-disclosure: smallest evaluated budget where the
+    /// success rate reaches the plan's threshold and stays there.
+    pub mtd: Option<usize>,
+    /// Majority-vote best guess over the trials' full-budget scores.
+    pub recovered: u8,
+    /// Trials whose full-budget scores rank the true key first.
+    pub trials_recovered: usize,
+    /// Full-budget scores of every trial, in trial order (trial 0 is
+    /// the canonical cell shared with batch acquisitions).
+    pub final_scores: Vec<CpaResult>,
+}
+
+/// The outcome of [`Campaign::attack_aged`] for one `(scheme, age)`
+/// cell.
+#[derive(Debug, Clone)]
+pub struct AttackOutcome {
+    /// The implementation attacked.
+    pub scheme: Scheme,
+    /// Device age in months (0.0 = fresh).
+    pub age_months: f64,
+    /// The true key nibble.
+    pub key: u8,
+    /// Traces per trial.
+    pub traces_per_trial: usize,
+    /// Trials run.
+    pub trials: usize,
+    /// One report per requested distinguisher, in plan order.
+    pub reports: Vec<DistinguisherReport>,
+    /// Trials served from an `SCTR` store instead of simulated.
+    pub cache_hits: usize,
+    /// Mean total leakage power of the per-trial plaintext-class
+    /// spectra — the spectral metric of the very traces the attack
+    /// consumed (plaintext classes a small random budget never drew
+    /// contribute zero means).
+    pub mean_total_leakage_power: f64,
+}
+
+impl AttackOutcome {
+    /// The report of one distinguisher (`None` if it was not in the
+    /// plan).
+    pub fn report(&self, distinguisher: Distinguisher) -> Option<&DistinguisherReport> {
+        self.reports
+            .iter()
+            .find(|r| r.distinguisher == distinguisher)
+    }
+}
+
+/// Per-`n` aggregation of one distinguisher's rank trajectory across
+/// trials.
+#[derive(Debug, Default, Clone, Copy)]
+struct NPoint {
+    trials: usize,
+    hits: usize,
+    rank_sum: usize,
+}
+
+impl Campaign {
+    /// Attack a fresh device (see [`Campaign::attack_aged`]).
+    pub fn attack(&mut self, scheme: Scheme, plan: &AttackPlan) -> AttackOutcome {
+        self.attack_aged(scheme, 0.0, plan)
+    }
+
+    /// Run `plan` against `scheme` at a device age, streaming every
+    /// trial through the sharded executor.
+    ///
+    /// Each trial is one campaign cell: looked up in the trace store
+    /// (a hit folds the stored records without simulating), resumed
+    /// from its `SCKP` checkpoint when one exists, executed across the
+    /// configured workers otherwise, and reported to the run log
+    /// either way. Aging uses the same workload-derived derating as
+    /// the spectral acquisitions, so attack difficulty and leakage
+    /// metrics describe the same device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan is inconsistent (key ≥ 16, empty budget or
+    /// distinguisher list, threshold outside `(0, 1]`).
+    pub fn attack_aged(&mut self, scheme: Scheme, months: f64, plan: &AttackPlan) -> AttackOutcome {
+        plan.validate();
+        let samples = self.config.protocol.sampling.samples;
+        let circuit = SboxCircuit::build(scheme);
+        let derating = self.derating(&circuit, months);
+        let sim = Simulator::with_derating(circuit.netlist(), &self.config.protocol.sim, &derating);
+
+        let num_d = plan.distinguishers.len();
+        let mut per_n: Vec<BTreeMap<usize, NPoint>> = vec![BTreeMap::new(); num_d];
+        let mut final_scores: Vec<Vec<CpaResult>> = vec![Vec::with_capacity(plan.trials); num_d];
+        let mut cache_hits = 0usize;
+        let mut tlp_sum = 0.0f64;
+
+        for trial in 0..plan.trials {
+            let mut timer = StageTimer::new();
+            let trial_protocol = self.trial_protocol(trial);
+            let cell = self.attack_key(scheme, months, &trial_protocol, plan);
+            let make = || JointState::new(&plan.distinguishers, samples, plan.mode);
+
+            // The executor's in-order chunk tap keeps a running merge
+            // whose rank is snapshotted at every chunk boundary — the
+            // whole trajectory from the one streaming pass.
+            let mut running: Vec<AttackAccumulator> = plan
+                .distinguishers
+                .iter()
+                .map(|&d| AttackAccumulator::new(d, samples, plan.mode))
+                .collect();
+            let mut trajectory: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+            let mut observer = |_seq: u64, chunk: &JointState| {
+                for (run, part) in running.iter_mut().zip(chunk.attacks()) {
+                    run.merge_from(part);
+                }
+                let n = running[0].count() as usize;
+                if n > 0 {
+                    let ranks = running
+                        .iter()
+                        .map(|a| a.scores().key_rank(plan.key))
+                        .collect();
+                    trajectory.insert(n, ranks);
+                }
+            };
+
+            let state = 'trial: {
+                if let Some(reader) = self.lookup(&cell, &mut timer) {
+                    match fold_store_joint(reader, &make, &mut observer) {
+                        Ok(state) => {
+                            timer.stage("analyze");
+                            let folded = state.count() as usize;
+                            let depth = FoldState::merge_depth(&state);
+                            self.push_hit_report(&cell, folded, timer, true, 1, depth);
+                            cache_hits += 1;
+                            break 'trial state;
+                        }
+                        Err(e) => eprintln!(
+                            "campaign cache: {} failed mid-read ({e}); re-acquiring",
+                            self.cache.path_for(&cell).display()
+                        ),
+                    }
+                }
+
+                timer.stage("acquire");
+                let schedule = cpa_schedule(&circuit, &trial_protocol, plan.key, plan.traces);
+                let policy = self.exec_policy();
+                let (completed, mut writer, mut warnings) = self.open_checkpoint(&cell);
+                let resume = ResumeState {
+                    completed,
+                    checkpoint: writer.as_mut(),
+                    sync_every: self.config.checkpoint_every,
+                };
+                let (state, mut exec) = fold_schedule_into(
+                    &sim,
+                    &schedule,
+                    &self.config.protocol.sampling,
+                    cpa_seed(&trial_protocol),
+                    &policy,
+                    resume,
+                    &make,
+                    Some(&mut observer),
+                );
+                warnings.append(&mut exec.warnings);
+                exec.warnings = warnings;
+                if !exec.quarantined.is_empty() {
+                    exec.warnings.push(
+                        CampaignError::Incomplete {
+                            quarantined: exec.quarantined.iter().map(|f| f.index).collect(),
+                            scheduled: schedule.len(),
+                        }
+                        .to_string(),
+                    );
+                }
+                timer.stage("analyze");
+                self.push_exec_report(&cell, &exec, timer, true);
+                state
+            };
+
+            for (d, acc) in state.attacks().iter().enumerate() {
+                final_scores[d].push(acc.scores());
+            }
+            tlp_sum += state.spectrum().spectrum().total_leakage_power();
+            for (n, ranks) in trajectory {
+                for (d, &rank) in ranks.iter().enumerate() {
+                    let point = per_n[d].entry(n).or_default();
+                    point.trials += 1;
+                    point.hits += usize::from(rank == 0);
+                    point.rank_sum += rank;
+                }
+            }
+        }
+
+        let reports = plan
+            .distinguishers
+            .iter()
+            .enumerate()
+            .map(|(d, &distinguisher)| {
+                // Curves only over budgets every trial reached, so the
+                // denominator is the full trial count throughout.
+                let complete: Vec<(usize, NPoint)> = per_n[d]
+                    .iter()
+                    .filter(|(_, p)| p.trials == plan.trials)
+                    .map(|(&n, &p)| (n, p))
+                    .collect();
+                let success_rate: Vec<(usize, f64)> = complete
+                    .iter()
+                    .map(|&(n, p)| (n, p.hits as f64 / p.trials as f64))
+                    .collect();
+                let guessing_entropy = complete
+                    .iter()
+                    .map(|&(n, p)| (n, p.rank_sum as f64 / p.trials as f64))
+                    .collect();
+                let mtd = sca_attacks::measurements_to_disclosure(&success_rate, plan.sr_threshold);
+                let scores = std::mem::take(&mut final_scores[d]);
+                let trials_recovered = scores.iter().filter(|s| s.key_rank(plan.key) == 0).count();
+                let recovered = majority_guess(scores.iter().map(CpaResult::best_guess));
+                DistinguisherReport {
+                    distinguisher,
+                    success_rate,
+                    guessing_entropy,
+                    mtd,
+                    recovered,
+                    trials_recovered,
+                    final_scores: scores,
+                }
+            })
+            .collect();
+
+        AttackOutcome {
+            scheme,
+            age_months: months,
+            key: plan.key,
+            traces_per_trial: plan.traces,
+            trials: plan.trials,
+            reports,
+            cache_hits,
+            mean_total_leakage_power: tlp_sum / plan.trials as f64,
+        }
+    }
+
+    /// The aging sweep of one attack: [`Campaign::attack_aged`] per
+    /// age, each cell independently cached and checkpointed.
+    pub fn attack_sweep(
+        &mut self,
+        scheme: Scheme,
+        ages_months: &[f64],
+        plan: &AttackPlan,
+    ) -> Vec<AttackOutcome> {
+        ages_months
+            .iter()
+            .map(|&months| self.attack_aged(scheme, months, plan))
+            .collect()
+    }
+
+    /// Trial 0 keeps the protocol verbatim (its schedule — and
+    /// therefore its store cell — matches [`Campaign::acquire_cpa`]);
+    /// later trials derive an independent schedule seed.
+    fn trial_protocol(&self, trial: usize) -> ProtocolConfig {
+        let mut protocol = self.config.protocol.clone();
+        if trial > 0 {
+            protocol.seed = trace_seed(protocol.seed, 0xA77A_C000 | trial as u64);
+        }
+        protocol
+    }
+
+    fn attack_key(
+        &self,
+        scheme: Scheme,
+        months: f64,
+        trial_protocol: &ProtocolConfig,
+        plan: &AttackPlan,
+    ) -> CampaignKey {
+        CampaignKey {
+            kind: StoreKind::Cpa,
+            implementation: scheme.label().to_string(),
+            seed: trial_protocol.seed,
+            traces: plan.traces as u32,
+            samples: self.config.protocol.sampling.samples as u32,
+            age_months: months,
+            class_or_key: u16::from(plan.key),
+            config_digest: config_digest(trial_protocol, &self.config.conditions),
+        }
+    }
+}
+
+/// Fold a cached `SCTR` cell through the same chunk grid the executor
+/// uses, one record resident at a time, reporting each chunk to the
+/// observer in order — so a cache hit reproduces the miss path's
+/// trajectory and (in exact mode) its bits.
+fn fold_store_joint<F>(
+    reader: StoreReader,
+    make: &F,
+    observer: &mut dyn FnMut(u64, &JointState),
+) -> Result<JointState, StoreError>
+where
+    F: Fn() -> JointState,
+{
+    let mut reducer: TreeReducer<JointState> = TreeReducer::new();
+    let mut leaf = make();
+    let mut in_leaf = 0usize;
+    let mut seq = 0u64;
+    reader.for_each_record(|label, samples| {
+        leaf.fold(label, samples);
+        in_leaf += 1;
+        if in_leaf == FOLD_CHUNK {
+            let full = std::mem::replace(&mut leaf, make());
+            observer(seq, &full);
+            reducer.push(seq, full);
+            seq += 1;
+            in_leaf = 0;
+        }
+    })?;
+    if in_leaf > 0 {
+        observer(seq, &leaf);
+        reducer.push(seq, leaf);
+    }
+    Ok(reducer.finish().unwrap_or_else(make))
+}
+
+/// Majority vote with deterministic ties (lowest guess wins).
+fn majority_guess<I: Iterator<Item = u8>>(guesses: I) -> u8 {
+    let mut counts = [0usize; 16];
+    for g in guesses {
+        counts[usize::from(g) & 0xF] += 1;
+    }
+    let best = counts.iter().copied().max().unwrap_or(0);
+    counts.iter().position(|&c| c == best).unwrap_or(0) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CacheMode, CampaignConfig};
+    use std::path::{Path, PathBuf};
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("campaign-attack-{}-{name}", std::process::id()));
+        p
+    }
+
+    fn campaign(dir: &Path, cache: CacheMode, workers: usize) -> Campaign {
+        Campaign::new(CampaignConfig {
+            workers,
+            cache,
+            store_dir: dir.to_path_buf(),
+            log_path: dir.join("runs.jsonl"),
+            ..CampaignConfig::default()
+        })
+    }
+
+    fn small_plan() -> AttackPlan {
+        AttackPlan {
+            key: 0x7,
+            traces: 48,
+            trials: 2,
+            distinguishers: vec![
+                Distinguisher::Cpa(LeakageModel::OutputTransition),
+                Distinguisher::Mlpa,
+            ],
+            sr_threshold: 1.0,
+            mode: SumMode::Exact,
+        }
+    }
+
+    #[test]
+    fn streamed_attack_is_bit_identical_at_any_worker_count() {
+        let dir = tmp_dir("workers");
+        let plan = small_plan();
+        let reference = campaign(&dir, CacheMode::Off, 1).attack(Scheme::Lut, &plan);
+        for workers in [2, 8] {
+            let outcome = campaign(&dir, CacheMode::Off, workers).attack(Scheme::Lut, &plan);
+            for (a, b) in reference.reports.iter().zip(&outcome.reports) {
+                assert_eq!(a.success_rate, b.success_rate, "workers = {workers}");
+                for (ra, rb) in a.final_scores.iter().zip(&b.final_scores) {
+                    for g in 0..16 {
+                        assert_eq!(
+                            ra.scores[g].to_bits(),
+                            rb.scores[g].to_bits(),
+                            "workers = {workers}, guess {g}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn attack_matches_the_batch_reference_on_the_same_cell() {
+        // Trial 0 shares its schedule with `acquire_cpa`, so the
+        // streamed fold must reproduce the batch attack bit for bit —
+        // and serve from the store the batch acquisition wrote.
+        let dir = tmp_dir("batch");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut c = campaign(&dir, CacheMode::ReadWrite, 2);
+        let plan = AttackPlan {
+            trials: 1,
+            ..small_plan()
+        };
+        let batch = c.acquire_cpa(Scheme::Lut, plan.key, plan.traces);
+        let outcome = c.attack(Scheme::Lut, &plan);
+        assert_eq!(outcome.cache_hits, 1, "must fold the stored cell");
+        let want =
+            sca_attacks::attack_batch(&batch.plaintexts, &batch.traces, plan.distinguishers[0])
+                .scores();
+        let got = &outcome.reports[0].final_scores[0];
+        for g in 0..16 {
+            assert_eq!(
+                want.scores[g].to_bits(),
+                got.scores[g].to_bits(),
+                "guess {g}"
+            );
+        }
+        let hit_report = c.log().reports().last().unwrap();
+        assert_eq!(hit_report.stats.events, 0, "hit must not simulate");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unprotected_attack_discloses_and_curves_are_monotone_grids() {
+        let dir = tmp_dir("curves");
+        let plan = AttackPlan {
+            key: 0xC,
+            traces: 96,
+            trials: 2,
+            ..small_plan()
+        };
+        let outcome = campaign(&dir, CacheMode::Off, 2).attack(Scheme::Lut, &plan);
+        // MLPA is the strongest distinguisher against the real LUT
+        // netlist (the single-model CPAs stop a rank or two short).
+        let report = outcome.report(Distinguisher::Mlpa).expect("in plan");
+        assert!(!report.success_rate.is_empty());
+        let ns: Vec<usize> = report.success_rate.iter().map(|&(n, _)| n).collect();
+        assert!(ns.windows(2).all(|w| w[0] < w[1]), "grid ascends: {ns:?}");
+        assert_eq!(*ns.last().unwrap(), plan.traces, "final budget evaluated");
+        assert_eq!(report.recovered, plan.key);
+        assert_eq!(report.trials_recovered, plan.trials);
+        assert!(report.mtd.is_some(), "unprotected must disclose");
+        assert!(outcome.mean_total_leakage_power > 0.0);
+    }
+
+    #[test]
+    fn aged_attack_caches_independently_and_reports_aging() {
+        let dir = tmp_dir("aged");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut c = campaign(&dir, CacheMode::Off, 2);
+        let plan = AttackPlan {
+            trials: 1,
+            traces: 32,
+            ..small_plan()
+        };
+        let sweep = c.attack_sweep(Scheme::Lut, &[0.0, 24.0], &plan);
+        assert_eq!(sweep.len(), 2);
+        assert_eq!(sweep[0].age_months, 0.0);
+        assert_eq!(sweep[1].age_months, 24.0);
+        let fresh = sweep[0].mean_total_leakage_power;
+        let aged = sweep[1].mean_total_leakage_power;
+        assert!(aged < fresh, "aging must reduce the attack set's leakage");
+    }
+
+    #[test]
+    fn majority_vote_is_deterministic() {
+        assert_eq!(majority_guess([3, 3, 7].into_iter()), 3);
+        assert_eq!(majority_guess([7, 3].into_iter()), 3, "tie → lowest");
+        assert_eq!(majority_guess(std::iter::empty()), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no distinguishers")]
+    fn empty_plan_is_rejected() {
+        let dir = tmp_dir("empty");
+        let plan = AttackPlan {
+            distinguishers: Vec::new(),
+            ..AttackPlan::default()
+        };
+        campaign(&dir, CacheMode::Off, 1).attack(Scheme::Lut, &plan);
+    }
+}

@@ -21,7 +21,7 @@
 //! as they arrive and previously checkpointed indices are skipped, so a
 //! killed run resumes instead of restarting.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
@@ -29,7 +29,7 @@ use std::time::{Duration, Instant};
 
 use acquisition::{capture_stimulus_session, trace_seed, Stimulus};
 use gatesim::{CaptureSession, CaptureStats, SamplingConfig, Simulator};
-use leakage_core::online::{SpectrumAccumulator, SumMode, TreeReducer, FOLD_CHUNK};
+use leakage_core::online::{Merge, SpectrumAccumulator, SumMode, TreeReducer, FOLD_CHUNK};
 
 use crate::fault::{FaultPlan, InjectedFault};
 use crate::store::CheckpointWriter;
@@ -377,13 +377,49 @@ pub struct StreamPolicy {
     pub mode: SumMode,
 }
 
+/// Any per-run analysis state the streaming executor can accumulate:
+/// fold one labelled trace at a time, merge shard states pairwise.
+///
+/// The spectral pipeline's [`SpectrumAccumulator`] is one
+/// implementation; the attack engine folds per-key-guess co-moment
+/// state through the same machinery, and composite states fold both in
+/// a single pass over the traces. Implementations inherit the
+/// executor's full determinism contract: the same schedule folds to the
+/// same bits at any worker count (exactly, under an exact-summation
+/// state; via the fixed merge tree otherwise).
+pub trait FoldState: Merge + Send {
+    /// Fold one captured trace under its stimulus label.
+    fn fold(&mut self, label: u16, trace: &[f64]);
+
+    /// Depth of the merge tree this state roots (for reporting).
+    fn merge_depth(&self) -> usize {
+        0
+    }
+}
+
+impl FoldState for SpectrumAccumulator {
+    fn fold(&mut self, label: u16, trace: &[f64]) {
+        SpectrumAccumulator::fold(self, usize::from(label), trace);
+    }
+
+    fn merge_depth(&self) -> usize {
+        SpectrumAccumulator::merge_depth(self)
+    }
+}
+
+/// A callback observing each chunk-local fold state in schedule order
+/// (ascending chunk sequence), before it enters the reduction tree.
+/// Used to track prefix trajectories — e.g. the attack engine's key
+/// rank as a function of traces seen — without a second pass.
+pub type ChunkObserver<'o, S> = &'o mut dyn FnMut(u64, &S);
+
 /// One worker's progress on one chunk of the streaming fold.
-struct StreamChunk {
+struct StreamChunk<S> {
     worker: usize,
     /// Position of this chunk in the schedule's chunk sequence — the
     /// leaf index of the deterministic merge tree.
     seq: u64,
-    acc: SpectrumAccumulator,
+    acc: S,
     /// Newly captured traces, retained only while a checkpoint sink
     /// needs to persist them; empty otherwise.
     raw: Vec<(usize, Vec<f64>)>,
@@ -395,12 +431,13 @@ struct StreamChunk {
 }
 
 /// Shared read-only context of one streaming fold run.
-struct StreamCtx<'a> {
+struct StreamCtx<'a, S> {
     schedule: &'a [Stimulus],
     sampling: &'a SamplingConfig,
     base_seed: u64,
     policy: &'a ExecPolicy,
-    stream: &'a StreamPolicy,
+    /// Constructor for empty chunk-local fold states.
+    make: &'a (dyn Fn() -> S + Sync),
     /// Traces completed by a previous run, folded in place of
     /// re-simulation at their schedule position.
     resumed: HashMap<usize, Vec<f64>>,
@@ -412,7 +449,7 @@ struct StreamCtx<'a> {
     peak: AtomicUsize,
 }
 
-impl StreamCtx<'_> {
+impl<S> StreamCtx<'_, S> {
     fn note_resident(&self) {
         let now = self.resident.fetch_add(1, Ordering::Relaxed) + 1;
         self.peak.fetch_max(now, Ordering::Relaxed);
@@ -454,6 +491,47 @@ pub fn fold_schedule_with(
     resume: ResumeState<'_>,
     stream: &StreamPolicy,
 ) -> (SpectrumAccumulator, ExecutorReport) {
+    let make = || SpectrumAccumulator::new(stream.num_classes, sampling.samples, stream.mode);
+    fold_schedule_into(
+        sim, schedule, sampling, base_seed, policy, resume, &make, None,
+    )
+}
+
+/// Capture `schedule` and fold every trace into a caller-supplied
+/// [`FoldState`] — the generic engine behind [`fold_schedule_with`],
+/// usable by any streaming consumer (spectral accumulators, the attack
+/// engine's co-moment state, or composites folding several analyses in
+/// one pass over the traces).
+///
+/// `make` constructs an empty chunk-local state; the caller's thread
+/// merges chunk states with a [`TreeReducer`] keyed by chunk position,
+/// so the tree shape — and the folded result — depends only on the
+/// schedule, never on the worker count or chunk completion order.
+/// Quarantined indices fold zero times, a retried index folds exactly
+/// once, and resumed traces fold at their schedule position without
+/// being re-simulated (checkpointed refold-on-resume); newly captured
+/// traces still stream to the [`ResumeState`] checkpoint exactly as in
+/// the batch path.
+///
+/// `observer` (if any) sees every chunk-local state in ascending chunk
+/// order *before* it is merged into the tree, enabling single-pass
+/// prefix trajectories; buffering for in-order delivery is bounded by
+/// the number of in-flight chunks (≤ workers + channel capacity).
+#[allow(clippy::too_many_arguments)]
+pub fn fold_schedule_into<S, F>(
+    sim: &Simulator<'_>,
+    schedule: &[Stimulus],
+    sampling: &SamplingConfig,
+    base_seed: u64,
+    policy: &ExecPolicy,
+    resume: ResumeState<'_>,
+    make: &F,
+    observer: Option<ChunkObserver<'_, S>>,
+) -> (S, ExecutorReport)
+where
+    S: FoldState,
+    F: Fn() -> S + Sync,
+{
     let workers = resolve_workers(policy.workers).min(schedule.len()).max(1);
     let started = Instant::now();
 
@@ -477,7 +555,7 @@ pub fn fold_schedule_with(
         sampling,
         base_seed,
         policy,
-        stream,
+        make,
         resumed: resumed_map,
         keep_raw,
         resident: AtomicUsize::new(0),
@@ -493,7 +571,12 @@ pub fn fold_schedule_with(
     let mut stats = CaptureStats::default();
     let mut retried = 0usize;
     let mut quarantined: Vec<CaptureFailure> = Vec::new();
-    let mut reducer = TreeReducer::new();
+    let mut tap = OrderedTap {
+        reducer: TreeReducer::new(),
+        observer,
+        next: 0,
+        held: BTreeMap::new(),
+    };
 
     if workers == 1 {
         let mut session = sim.session();
@@ -508,7 +591,7 @@ pub fn fold_schedule_with(
                 &mut retried,
                 &mut quarantined,
                 &mut sink,
-                &mut reducer,
+                &mut tap,
             );
         }
     } else {
@@ -517,7 +600,7 @@ pub fn fold_schedule_with(
         // queued, so the number of raw traces in flight — and therefore
         // peak memory — cannot grow with schedule length even if the
         // collector falls behind.
-        let (tx, rx) = mpsc::sync_channel::<StreamChunk>(workers);
+        let (tx, rx) = mpsc::sync_channel::<StreamChunk<S>>(workers);
         std::thread::scope(|scope| {
             for worker in 0..workers {
                 let tx = tx.clone();
@@ -548,7 +631,7 @@ pub fn fold_schedule_with(
                     &mut retried,
                     &mut quarantined,
                     &mut sink,
-                    &mut reducer,
+                    &mut tap,
                 );
             }
         });
@@ -558,9 +641,7 @@ pub fn fold_schedule_with(
     sink.finish(&mut warnings);
     quarantined.sort_by_key(|f| f.index);
 
-    let acc = reducer.finish().unwrap_or_else(|| {
-        SpectrumAccumulator::new(stream.num_classes, sampling.samples, stream.mode)
-    });
+    let acc = tap.finish().unwrap_or_else(make);
     let report = ExecutorReport {
         workers,
         loads,
@@ -570,24 +651,60 @@ pub fn fold_schedule_with(
         quarantined,
         resumed,
         peak_resident: ctx.peak.load(Ordering::Relaxed),
-        merge_depth: acc.merge_depth(),
+        merge_depth: FoldState::merge_depth(&acc),
         warnings,
     };
     (acc, report)
 }
 
+/// Delivers chunk states to the observer in schedule order, then feeds
+/// them to the reduction tree. Without an observer this is a
+/// pass-through (the [`TreeReducer`] does its own in-order buffering).
+struct OrderedTap<'o, S> {
+    reducer: TreeReducer<S>,
+    observer: Option<ChunkObserver<'o, S>>,
+    next: u64,
+    held: BTreeMap<u64, S>,
+}
+
+impl<S: FoldState> OrderedTap<'_, S> {
+    fn push(&mut self, seq: u64, acc: S) {
+        match &mut self.observer {
+            None => self.reducer.push(seq, acc),
+            Some(obs) => {
+                let prev = self.held.insert(seq, acc);
+                assert!(prev.is_none(), "chunk {seq} pushed twice");
+                while let Some(acc) = self.held.remove(&self.next) {
+                    obs(self.next, &acc);
+                    self.reducer.push(self.next, acc);
+                    self.next += 1;
+                }
+            }
+        }
+    }
+
+    fn finish(self) -> Option<S> {
+        assert!(
+            self.held.is_empty(),
+            "gap in chunk sequence: chunk {} never pushed",
+            self.next
+        );
+        self.reducer.finish()
+    }
+}
+
 /// Fold one streamed chunk's outcome into the run accumulators, the
 /// checkpoint, and the merge tree.
 #[allow(clippy::too_many_arguments)]
-fn absorb_stream(
-    result: StreamChunk,
-    ctx: &StreamCtx<'_>,
+fn absorb_stream<S: FoldState>(
+    result: StreamChunk<S>,
+    ctx: &StreamCtx<'_, S>,
     loads: &mut [WorkerLoad],
     stats: &mut CaptureStats,
     retried: &mut usize,
     quarantined: &mut Vec<CaptureFailure>,
     sink: &mut CheckpointSink<'_>,
-    reducer: &mut TreeReducer,
+    tap: &mut OrderedTap<'_, S>,
 ) {
     loads[result.worker].traces += result.captured;
     loads[result.worker].busy += result.busy;
@@ -599,23 +716,19 @@ fn absorb_stream(
         sink.push(index, ctx.schedule[index].label, &trace);
     }
     ctx.release_resident(raw_len);
-    reducer.push(result.seq, result.acc);
+    tap.push(result.seq, result.acc);
 }
 
 /// Fold every index in `range` (resumed, captured, or quarantined) into
 /// one chunk-local accumulator, in index order.
-fn fold_chunk(
+fn fold_chunk<S: FoldState>(
     session: &mut CaptureSession<'_>,
-    ctx: &StreamCtx<'_>,
+    ctx: &StreamCtx<'_, S>,
     worker: usize,
     range: std::ops::Range<usize>,
-) -> StreamChunk {
+) -> StreamChunk<S> {
     let seq = (range.start / CHUNK) as u64;
-    let mut acc = SpectrumAccumulator::new(
-        ctx.stream.num_classes,
-        ctx.sampling.samples,
-        ctx.stream.mode,
-    );
+    let mut acc = (ctx.make)();
     let mut raw = Vec::new();
     let mut captured = 0usize;
     let mut failures = Vec::new();
@@ -625,7 +738,7 @@ fn fold_chunk(
     for index in range {
         let stimulus = &ctx.schedule[index];
         if let Some(trace) = ctx.resumed.get(&index) {
-            acc.fold(usize::from(stimulus.label), trace);
+            acc.fold(stimulus.label, trace);
             continue;
         }
         match capture_index(
@@ -643,7 +756,7 @@ fn fold_chunk(
                 }
                 captured += 1;
                 ctx.note_resident();
-                acc.fold(usize::from(stimulus.label), &trace);
+                acc.fold(stimulus.label, &trace);
                 if ctx.keep_raw {
                     raw.push((index, trace));
                 } else {

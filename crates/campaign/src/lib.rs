@@ -44,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod attack;
 mod cache;
 mod digest;
 mod error;
@@ -52,12 +53,14 @@ mod fault;
 mod report;
 mod store;
 
+pub use attack::{AttackOutcome, AttackPlan, DistinguisherReport, JointState};
 pub use cache::{config_digest, CacheMode, CampaignKey, TraceCache};
 pub use digest::{fnv1a, Digest};
 pub use error::CampaignError;
 pub use executor::{
-    capture_schedule, capture_schedule_with, fold_schedule_with, resolve_workers, CaptureFailure,
-    ExecPolicy, ExecutorReport, ResumeState, StreamPolicy, WorkerLoad,
+    capture_schedule, capture_schedule_with, fold_schedule_into, fold_schedule_with,
+    resolve_workers, CaptureFailure, ChunkObserver, ExecPolicy, ExecutorReport, FoldState,
+    ResumeState, StreamPolicy, WorkerLoad,
 };
 pub use fault::{FaultPlan, InjectedFault};
 pub use report::{RunLog, RunReport, Stage, StageTimer};
@@ -74,6 +77,7 @@ use acquisition::{
     Stimulus, NUM_CLASSES,
 };
 pub use leakage_core::online::{SpectrumAccumulator, SpectrumStream, SumMode};
+pub use sca_attacks::{AttackAccumulator, CpaResult, Distinguisher, LeakageModel};
 
 use aging::AgingConditions;
 use gatesim::{CaptureStats, Derating, SamplingConfig, Simulator};

@@ -1,0 +1,624 @@
+//! Mergeable online co-moment state: per-channel × per-sample cross
+//! statistics between hypothesis values and trace samples.
+//!
+//! This is the statistical core of the streaming attack engine. A CPA,
+//! DPA, or MLPA distinguisher turns each trace's plaintext into a vector
+//! of *hypothesis channels* (one per key guess × model component); this
+//! accumulator folds each `(hypothesis, trace)` pair once and maintains
+//! everything needed to extract Pearson correlations and
+//! difference-of-means for every `(channel, sample)` cell afterwards:
+//!
+//! * marginal trace moments (`Σx`, `Σx²` per sample),
+//! * marginal hypothesis moments (`Σh`, `Σh²` per channel),
+//! * cross moments (`Σhx` per channel × sample).
+//!
+//! Both summation modes of the spectral pipeline are supported with the
+//! same contracts ([`SumMode`]): `Exact` carries Shewchuk exact sums, so
+//! every extracted statistic is invariant under *any* fold order or
+//! merge grouping — streaming attack results are bit-identical to the
+//! batch reference. `Welford` keeps running means, centered second
+//! moments, and centered co-moments (Chan's parallel merge), which is
+//! ~2× cheaper per fold and bit-stable across worker counts only via
+//! the fixed [`TreeReducer`](crate::online::TreeReducer) shape.
+//!
+//! Memory is `O(channels × samples)` regardless of trace count.
+//!
+//! # Example
+//!
+//! ```
+//! use leakage_core::comoment::CoMomentAccumulator;
+//! use leakage_core::online::SumMode;
+//!
+//! // One channel whose hypothesis is perfectly correlated with sample 0.
+//! let mut acc = CoMomentAccumulator::new(1, 2, SumMode::Exact);
+//! for (h, x) in [(0.0, 1.0), (1.0, 3.0), (2.0, 5.0)] {
+//!     acc.fold(&[h], &[x, 7.0]);
+//! }
+//! assert!((acc.pearson(0, 0) - 1.0).abs() < 1e-12);
+//! assert_eq!(acc.pearson(0, 1), 0.0); // constant sample: undefined → 0
+//! ```
+
+use crate::online::{Merge, SumMode};
+use crate::stats::ExactSum;
+
+/// Per-mode moment state. Cross moments are stored row-major:
+/// `channel × samples + sample`.
+#[derive(Debug, Clone)]
+enum CoMoments {
+    Welford {
+        /// Running mean per sample.
+        mean_x: Vec<f64>,
+        /// Centered second moment per sample.
+        m2_x: Vec<f64>,
+        /// Running mean per channel.
+        mean_h: Vec<f64>,
+        /// Centered second moment per channel.
+        m2_h: Vec<f64>,
+        /// Centered co-moment `Σ (h−h̄)(x−x̄)` per channel × sample.
+        c_hx: Vec<f64>,
+    },
+    Exact {
+        /// Exact `Σx` per sample.
+        sum_x: Vec<ExactSum>,
+        /// Exact `Σx²` per sample.
+        sumsq_x: Vec<ExactSum>,
+        /// Exact `Σh` per channel.
+        sum_h: Vec<ExactSum>,
+        /// Exact `Σh²` per channel.
+        sumsq_h: Vec<ExactSum>,
+        /// Exact `Σhx` per channel × sample.
+        sum_hx: Vec<ExactSum>,
+    },
+}
+
+/// Count and co-moments between `channels` hypothesis streams and
+/// `samples` trace points.
+///
+/// Folding is `O(channels × samples)` per trace; state is
+/// `O(channels × samples)`.
+#[derive(Debug, Clone)]
+pub struct CoMomentAccumulator {
+    channels: usize,
+    samples: usize,
+    count: u64,
+    depth: usize,
+    moments: CoMoments,
+}
+
+impl CoMomentAccumulator {
+    /// Empty accumulator for `channels` hypothesis channels over
+    /// `samples`-point traces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(channels: usize, samples: usize, mode: SumMode) -> Self {
+        assert!(channels > 0, "channels must be positive");
+        assert!(samples > 0, "samples must be positive");
+        let moments = match mode {
+            SumMode::Welford => CoMoments::Welford {
+                mean_x: vec![0.0; samples],
+                m2_x: vec![0.0; samples],
+                mean_h: vec![0.0; channels],
+                m2_h: vec![0.0; channels],
+                c_hx: vec![0.0; channels * samples],
+            },
+            SumMode::Exact => CoMoments::Exact {
+                sum_x: vec![ExactSum::new(); samples],
+                sumsq_x: vec![ExactSum::new(); samples],
+                sum_h: vec![ExactSum::new(); channels],
+                sumsq_h: vec![ExactSum::new(); channels],
+                sum_hx: vec![ExactSum::new(); channels * samples],
+            },
+        };
+        Self {
+            channels,
+            samples,
+            count: 0,
+            depth: 0,
+            moments,
+        }
+    }
+
+    /// Summation mode.
+    pub fn mode(&self) -> SumMode {
+        match self.moments {
+            CoMoments::Welford { .. } => SumMode::Welford,
+            CoMoments::Exact { .. } => SumMode::Exact,
+        }
+    }
+
+    /// Hypothesis channels.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Samples per trace.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Traces folded (or merged in) so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether nothing has been folded yet.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Depth of the merge tree this accumulator roots: 0 for a leaf,
+    /// otherwise `1 + max(depth of operands)` per merge.
+    pub fn merge_depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Fold one trace with its hypothesis vector (one value per
+    /// channel).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatches.
+    pub fn fold(&mut self, hypotheses: &[f64], trace: &[f64]) {
+        assert_eq!(hypotheses.len(), self.channels, "channel count mismatch");
+        assert_eq!(trace.len(), self.samples, "trace length mismatch");
+        self.count += 1;
+        match &mut self.moments {
+            CoMoments::Welford {
+                mean_x,
+                m2_x,
+                mean_h,
+                m2_h,
+                c_hx,
+            } => {
+                let n = self.count as f64;
+                // Trace marginals first, so the cross update below can
+                // use the *updated* x means (the standard online
+                // covariance recurrence C += (h−h̄_old)(x−x̄_new)).
+                for ((m, s), &x) in mean_x.iter_mut().zip(m2_x.iter_mut()).zip(trace) {
+                    let delta = x - *m;
+                    *m += delta / n;
+                    *s += delta * (x - *m);
+                }
+                for (c, &h) in hypotheses.iter().enumerate() {
+                    let dh = h - mean_h[c];
+                    mean_h[c] += dh / n;
+                    m2_h[c] += dh * (h - mean_h[c]);
+                    let row = &mut c_hx[c * self.samples..(c + 1) * self.samples];
+                    for ((r, m), &x) in row.iter_mut().zip(mean_x.iter()).zip(trace) {
+                        *r += dh * (x - m);
+                    }
+                }
+            }
+            CoMoments::Exact {
+                sum_x,
+                sumsq_x,
+                sum_h,
+                sumsq_h,
+                sum_hx,
+            } => {
+                for ((s, q), &x) in sum_x.iter_mut().zip(sumsq_x.iter_mut()).zip(trace) {
+                    s.add(x);
+                    q.add(x * x);
+                }
+                for (c, &h) in hypotheses.iter().enumerate() {
+                    sum_h[c].add(h);
+                    sumsq_h[c].add(h * h);
+                    let row = &mut sum_hx[c * self.samples..(c + 1) * self.samples];
+                    for (r, &x) in row.iter_mut().zip(trace) {
+                        r.add(h * x);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Merge another shard into this one in place; `self` is the
+    /// earlier shard (Chan's parallel update in Welford mode, exact
+    /// absorption in exact mode).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes or modes differ.
+    pub fn merge_from(&mut self, other: &CoMomentAccumulator) {
+        assert_eq!(self.channels, other.channels, "channel count mismatch");
+        assert_eq!(self.samples, other.samples, "sample count mismatch");
+        let n = self.count + other.count;
+        match (&mut self.moments, &other.moments) {
+            (
+                CoMoments::Welford {
+                    mean_x,
+                    m2_x,
+                    mean_h,
+                    m2_h,
+                    c_hx,
+                },
+                CoMoments::Welford {
+                    mean_x: omean_x,
+                    m2_x: om2_x,
+                    mean_h: omean_h,
+                    m2_h: om2_h,
+                    c_hx: oc_hx,
+                },
+            ) => {
+                if other.count == 0 {
+                    return;
+                }
+                if self.count == 0 {
+                    mean_x.copy_from_slice(omean_x);
+                    m2_x.copy_from_slice(om2_x);
+                    mean_h.copy_from_slice(omean_h);
+                    m2_h.copy_from_slice(om2_h);
+                    c_hx.copy_from_slice(oc_hx);
+                } else {
+                    let na = self.count as f64;
+                    let nb = other.count as f64;
+                    let nt = n as f64;
+                    let scale = na * nb / nt;
+                    for c in 0..self.channels {
+                        let dh = omean_h[c] - mean_h[c];
+                        let row = &mut c_hx[c * self.samples..(c + 1) * self.samples];
+                        let orow = &oc_hx[c * self.samples..(c + 1) * self.samples];
+                        for ((r, &o), (m, om)) in row
+                            .iter_mut()
+                            .zip(orow)
+                            .zip(mean_x.iter().zip(omean_x.iter()))
+                        {
+                            *r += o + dh * (om - m) * scale;
+                        }
+                        mean_h[c] += dh * (nb / nt);
+                        m2_h[c] += om2_h[c] + dh * dh * scale;
+                    }
+                    for i in 0..self.samples {
+                        let dx = omean_x[i] - mean_x[i];
+                        mean_x[i] += dx * (nb / nt);
+                        m2_x[i] += om2_x[i] + dx * dx * scale;
+                    }
+                }
+            }
+            (
+                CoMoments::Exact {
+                    sum_x,
+                    sumsq_x,
+                    sum_h,
+                    sumsq_h,
+                    sum_hx,
+                },
+                CoMoments::Exact {
+                    sum_x: osum_x,
+                    sumsq_x: osumsq_x,
+                    sum_h: osum_h,
+                    sumsq_h: osumsq_h,
+                    sum_hx: osum_hx,
+                },
+            ) => {
+                for (s, o) in sum_x.iter_mut().zip(osum_x) {
+                    s.absorb(o);
+                }
+                for (q, o) in sumsq_x.iter_mut().zip(osumsq_x) {
+                    q.absorb(o);
+                }
+                for (s, o) in sum_h.iter_mut().zip(osum_h) {
+                    s.absorb(o);
+                }
+                for (q, o) in sumsq_h.iter_mut().zip(osumsq_h) {
+                    q.absorb(o);
+                }
+                for (s, o) in sum_hx.iter_mut().zip(osum_hx) {
+                    s.absorb(o);
+                }
+            }
+            _ => panic!("cannot merge accumulators with different summation modes"),
+        }
+        self.count = n;
+        self.depth = self.depth.max(other.depth + 1);
+    }
+
+    /// Pearson correlation between channel `c` and sample `t`; 0.0 when
+    /// either marginal is degenerate (constant, or fewer than two
+    /// traces).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` or `t` is out of range.
+    pub fn pearson(&self, c: usize, t: usize) -> f64 {
+        assert!(c < self.channels, "channel {c} out of range");
+        assert!(t < self.samples, "sample {t} out of range");
+        if self.count < 2 {
+            return 0.0;
+        }
+        match &self.moments {
+            CoMoments::Welford {
+                m2_x, m2_h, c_hx, ..
+            } => {
+                let denom = (m2_h[c] * m2_x[t]).sqrt();
+                if denom == 0.0 {
+                    0.0
+                } else {
+                    c_hx[c * self.samples + t] / denom
+                }
+            }
+            CoMoments::Exact {
+                sum_x,
+                sumsq_x,
+                sum_h,
+                sumsq_h,
+                sum_hx,
+            } => {
+                let n = self.count as f64;
+                let sx = sum_x[t].value();
+                let sh = sum_h[c].value();
+                let num = n * sum_hx[c * self.samples + t].value() - sh * sx;
+                let vh = (n * sumsq_h[c].value() - sh * sh).max(0.0);
+                let vx = (n * sumsq_x[t].value() - sx * sx).max(0.0);
+                let denom = (vh * vx).sqrt();
+                if denom == 0.0 {
+                    0.0
+                } else {
+                    num / denom
+                }
+            }
+        }
+    }
+
+    /// Difference of means of sample `t` between the traces where the
+    /// (binary, 0/1-valued) channel `c` selected 1 and those where it
+    /// selected 0; 0.0 when either partition is empty.
+    ///
+    /// Computed from the same co-moments as [`pearson`](Self::pearson):
+    /// for a 0/1 channel, `μ₁ − μ₀ = (n·Σhx − Σh·Σx) / (n₁·n₀)` with
+    /// `n₁ = Σh`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` or `t` is out of range.
+    pub fn difference_of_means(&self, c: usize, t: usize) -> f64 {
+        assert!(c < self.channels, "channel {c} out of range");
+        assert!(t < self.samples, "sample {t} out of range");
+        if self.count == 0 {
+            return 0.0;
+        }
+        let n = self.count as f64;
+        let (centered, n1) = match &self.moments {
+            CoMoments::Welford { mean_h, c_hx, .. } => (c_hx[c * self.samples + t], mean_h[c] * n),
+            CoMoments::Exact {
+                sum_x,
+                sum_h,
+                sum_hx,
+                ..
+            } => {
+                let sh = sum_h[c].value();
+                let centered = sum_hx[c * self.samples + t].value() - sh * sum_x[t].value() / n;
+                (centered, sh)
+            }
+        };
+        let n0 = n - n1;
+        if n1 <= 0.0 || n0 <= 0.0 {
+            return 0.0;
+        }
+        centered * n / (n1 * n0)
+    }
+
+    /// Mean hypothesis value of channel `c` (0.0 when empty) — for
+    /// binary channels this is the fraction of traces selecting 1.
+    pub fn channel_mean(&self, c: usize) -> f64 {
+        assert!(c < self.channels, "channel {c} out of range");
+        if self.count == 0 {
+            return 0.0;
+        }
+        match &self.moments {
+            CoMoments::Welford { mean_h, .. } => mean_h[c],
+            CoMoments::Exact { sum_h, .. } => sum_h[c].value() / self.count as f64,
+        }
+    }
+
+    /// Number of `f64` values currently held (memory accounting).
+    pub fn resident_floats(&self) -> usize {
+        match &self.moments {
+            CoMoments::Welford {
+                mean_x,
+                m2_x,
+                mean_h,
+                m2_h,
+                c_hx,
+            } => mean_x.len() + m2_x.len() + mean_h.len() + m2_h.len() + c_hx.len(),
+            CoMoments::Exact {
+                sum_x,
+                sumsq_x,
+                sum_h,
+                sumsq_h,
+                sum_hx,
+            } => sum_x
+                .iter()
+                .chain(sumsq_x)
+                .chain(sum_h)
+                .chain(sumsq_h)
+                .chain(sum_hx)
+                .map(|s| s.partials_len())
+                .sum(),
+        }
+    }
+}
+
+impl Merge for CoMomentAccumulator {
+    fn merge(mut self, later: Self) -> Self {
+        self.merge_from(&later);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::pearson;
+
+    fn xorshift(state: &mut u64) -> u64 {
+        let mut x = *state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *state = x;
+        x
+    }
+
+    fn unit(state: &mut u64) -> f64 {
+        (xorshift(state) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// `n` (hypothesis-vector, trace) pairs with correlated structure.
+    fn synth(seed: u64, channels: usize, samples: usize, n: usize) -> Vec<(Vec<f64>, Vec<f64>)> {
+        let mut s = seed.max(1);
+        (0..n)
+            .map(|_| {
+                let h: Vec<f64> = (0..channels)
+                    .map(|_| (xorshift(&mut s) % 5) as f64)
+                    .collect();
+                let x: Vec<f64> = (0..samples)
+                    .map(|j| h[j % channels] * 0.5 + unit(&mut s))
+                    .collect();
+                (h, x)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pearson_matches_batch_reference() {
+        let data = synth(0x10, 3, 4, 64);
+        for mode in [SumMode::Welford, SumMode::Exact] {
+            let mut acc = CoMomentAccumulator::new(3, 4, mode);
+            for (h, x) in &data {
+                acc.fold(h, x);
+            }
+            for c in 0..3 {
+                for t in 0..4 {
+                    let hs: Vec<f64> = data.iter().map(|(h, _)| h[c]).collect();
+                    let xs: Vec<f64> = data.iter().map(|(_, x)| x[t]).collect();
+                    let want = pearson(&hs, &xs);
+                    let got = acc.pearson(c, t);
+                    assert!((got - want).abs() < 1e-10, "mode {mode:?} c={c} t={t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_merge_is_grouping_invariant_bitwise() {
+        let data = synth(0x22, 2, 3, 50);
+        let mut whole = CoMomentAccumulator::new(2, 3, SumMode::Exact);
+        for (h, x) in &data {
+            whole.fold(h, x);
+        }
+        // Uneven split, merged.
+        let mut a = CoMomentAccumulator::new(2, 3, SumMode::Exact);
+        let mut b = CoMomentAccumulator::new(2, 3, SumMode::Exact);
+        for (i, (h, x)) in data.iter().enumerate() {
+            if i < 13 {
+                a.fold(h, x);
+            } else {
+                b.fold(h, x);
+            }
+        }
+        let merged = a.merge(b);
+        for c in 0..2 {
+            for t in 0..3 {
+                assert_eq!(
+                    whole.pearson(c, t).to_bits(),
+                    merged.pearson(c, t).to_bits()
+                );
+                assert_eq!(
+                    whole.difference_of_means(c, t).to_bits(),
+                    merged.difference_of_means(c, t).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn welford_merge_matches_sequential_within_tolerance() {
+        let data = synth(0x33, 2, 3, 80);
+        let mut whole = CoMomentAccumulator::new(2, 3, SumMode::Welford);
+        for (h, x) in &data {
+            whole.fold(h, x);
+        }
+        let mut a = CoMomentAccumulator::new(2, 3, SumMode::Welford);
+        let mut b = CoMomentAccumulator::new(2, 3, SumMode::Welford);
+        for (i, (h, x)) in data.iter().enumerate() {
+            if i < 37 {
+                a.fold(h, x);
+            } else {
+                b.fold(h, x);
+            }
+        }
+        let merged = a.merge(b);
+        assert_eq!(merged.count(), 80);
+        assert_eq!(merged.merge_depth(), 1);
+        for c in 0..2 {
+            for t in 0..3 {
+                assert!((whole.pearson(c, t) - merged.pearson(c, t)).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn difference_of_means_matches_partition_means() {
+        // Binary channel: traces where h=1 have mean 3.0, h=0 mean 1.0.
+        for mode in [SumMode::Welford, SumMode::Exact] {
+            let mut acc = CoMomentAccumulator::new(1, 1, mode);
+            let mut s = 7u64;
+            let (mut s1, mut n1, mut s0, mut n0) = (0.0, 0, 0.0, 0);
+            for _ in 0..60 {
+                let h = (xorshift(&mut s) & 1) as f64;
+                let x = 1.0 + 2.0 * h + unit(&mut s) * 0.1;
+                if h > 0.5 {
+                    s1 += x;
+                    n1 += 1;
+                } else {
+                    s0 += x;
+                    n0 += 1;
+                }
+                acc.fold(&[h], &[x]);
+            }
+            let want = s1 / n1 as f64 - s0 / n0 as f64;
+            assert!(
+                (acc.difference_of_means(0, 0) - want).abs() < 1e-9,
+                "mode {mode:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_cells_yield_zero() {
+        for mode in [SumMode::Welford, SumMode::Exact] {
+            let mut acc = CoMomentAccumulator::new(1, 1, mode);
+            assert_eq!(acc.pearson(0, 0), 0.0);
+            assert_eq!(acc.difference_of_means(0, 0), 0.0);
+            // Constant hypothesis and constant sample.
+            acc.fold(&[1.0], &[2.0]);
+            acc.fold(&[1.0], &[2.0]);
+            assert_eq!(acc.pearson(0, 0), 0.0);
+            assert_eq!(acc.difference_of_means(0, 0), 0.0, "single-class split");
+        }
+    }
+
+    #[test]
+    fn resident_floats_is_bounded_by_shape() {
+        let mut acc = CoMomentAccumulator::new(4, 8, SumMode::Welford);
+        let base = acc.resident_floats();
+        assert_eq!(base, 8 + 8 + 4 + 4 + 32);
+        for i in 0..1000 {
+            let h: Vec<f64> = (0..4).map(|c| ((i + c) % 3) as f64).collect();
+            let x: Vec<f64> = (0..8).map(|t| (i * t) as f64 * 1e-3).collect();
+            acc.fold(&h, &x);
+        }
+        assert_eq!(acc.resident_floats(), base, "Welford state is fixed-size");
+    }
+
+    #[test]
+    #[should_panic(expected = "different summation modes")]
+    fn merge_rejects_mixed_modes() {
+        let a = CoMomentAccumulator::new(1, 1, SumMode::Exact);
+        let b = CoMomentAccumulator::new(1, 1, SumMode::Welford);
+        let _ = a.merge(b);
+    }
+}

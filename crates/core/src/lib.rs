@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 mod classes;
+pub mod comoment;
 pub mod convergence;
 pub mod metrics;
 pub mod mi;
@@ -52,6 +53,7 @@ pub mod ttest;
 pub mod wht;
 
 pub use classes::ClassifiedTraces;
-pub use online::{ClassAccumulator, SpectrumAccumulator, SpectrumStream, SumMode};
+pub use comoment::CoMomentAccumulator;
+pub use online::{ClassAccumulator, Merge, SpectrumAccumulator, SpectrumStream, SumMode};
 pub use spectrum::LeakageSpectrum;
 pub use wht::{psi, spectrum_of, walsh_hadamard};

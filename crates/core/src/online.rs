@@ -420,6 +420,32 @@ impl SpectrumAccumulator {
     }
 }
 
+/// A shard state that [`TreeReducer`] can pairwise-combine.
+///
+/// `merge` consumes `self` as the **earlier** operand (in schedule
+/// order) and `later` as the later one. Implementations must be
+/// associative up to their documented determinism contract: under
+/// [`SumMode::Exact`] state, any grouping yields identical bits; under
+/// [`SumMode::Welford`] state, bit-identity holds only for a fixed
+/// merge-tree shape (which [`TreeReducer`] provides).
+pub trait Merge: Sized {
+    /// Combine the earlier shard `self` with the `later` shard.
+    fn merge(self, later: Self) -> Self;
+}
+
+impl Merge for SpectrumAccumulator {
+    fn merge(self, later: Self) -> Self {
+        SpectrumAccumulator::merge(self, later)
+    }
+}
+
+impl Merge for ClassAccumulator {
+    fn merge(mut self, later: Self) -> Self {
+        ClassAccumulator::merge(&mut self, &later);
+        self
+    }
+}
+
 /// Deterministic pairwise reduction of a sequence of shard accumulators.
 ///
 /// Accumulators are pushed with their position in the chunk sequence
@@ -431,20 +457,36 @@ impl SpectrumAccumulator {
 /// The tree shape — and therefore every intermediate rounding in
 /// Welford mode — depends only on how many leaves were pushed.
 ///
+/// Generic over the shard state: the spectral pipeline reduces
+/// [`SpectrumAccumulator`]s, the attack engine reduces its co-moment
+/// state, and joint (spectral + attack) folds reduce a composite — all
+/// through the same tree, so every streamed consumer inherits the same
+/// worker-count invariance.
+///
 /// Memory: `O(log n)` buffered subtrees plus at most
 /// (in-flight workers) buffered out-of-order leaves.
-#[derive(Debug, Default)]
-pub struct TreeReducer {
+#[derive(Debug)]
+pub struct TreeReducer<T = SpectrumAccumulator> {
     /// `levels[k]` holds a pending subtree of 2^k leaves, all earlier
     /// in sequence order than anything at levels < k.
-    levels: Vec<Option<SpectrumAccumulator>>,
+    levels: Vec<Option<T>>,
     /// Next sequence number the counter will accept.
     next: u64,
     /// Out-of-order leaves waiting for their turn.
-    pending: BTreeMap<u64, SpectrumAccumulator>,
+    pending: BTreeMap<u64, T>,
 }
 
-impl TreeReducer {
+impl<T> Default for TreeReducer<T> {
+    fn default() -> Self {
+        Self {
+            levels: Vec::new(),
+            next: 0,
+            pending: BTreeMap::new(),
+        }
+    }
+}
+
+impl<T: Merge> TreeReducer<T> {
     /// Empty reducer.
     pub fn new() -> Self {
         Self::default()
@@ -457,7 +499,7 @@ impl TreeReducer {
     /// # Panics
     ///
     /// Panics if `seq` was already consumed or pushed.
-    pub fn push(&mut self, seq: u64, acc: SpectrumAccumulator) {
+    pub fn push(&mut self, seq: u64, acc: T) {
         assert!(seq >= self.next, "chunk {seq} already consumed");
         let prev = self.pending.insert(seq, acc);
         assert!(prev.is_none(), "chunk {seq} pushed twice");
@@ -467,7 +509,7 @@ impl TreeReducer {
         }
     }
 
-    fn carry(&mut self, acc: SpectrumAccumulator) {
+    fn carry(&mut self, acc: T) {
         let mut carry = acc;
         for slot in self.levels.iter_mut() {
             match slot.take() {
@@ -488,14 +530,17 @@ impl TreeReducer {
         self.next
     }
 
-    /// Number of `f64` values currently held across all buffered
-    /// subtrees and out-of-order leaves.
-    pub fn resident_floats(&self) -> usize {
+    /// Memory accounting over all buffered subtrees and out-of-order
+    /// leaves, with a caller-supplied per-state size function.
+    pub fn resident_with<F>(&self, size: F) -> usize
+    where
+        F: Fn(&T) -> usize,
+    {
         self.levels
             .iter()
             .flatten()
             .chain(self.pending.values())
-            .map(|a| a.resident_floats())
+            .map(size)
             .sum()
     }
 
@@ -506,7 +551,7 @@ impl TreeReducer {
     ///
     /// Panics if out-of-order leaves are still buffered (a gap in the
     /// sequence — some chunk was never pushed).
-    pub fn finish(self) -> Option<SpectrumAccumulator> {
+    pub fn finish(self) -> Option<T> {
         assert!(
             self.pending.is_empty(),
             "gap in chunk sequence: chunk {} never pushed",
@@ -514,7 +559,7 @@ impl TreeReducer {
         );
         // Higher levels hold earlier chunks; walk low→high keeping the
         // running subtree as the *later* (right) operand.
-        let mut total: Option<SpectrumAccumulator> = None;
+        let mut total: Option<T> = None;
         for slot in self.levels.into_iter().flatten() {
             total = Some(match total {
                 None => slot,
@@ -522,6 +567,14 @@ impl TreeReducer {
             });
         }
         total
+    }
+}
+
+impl TreeReducer<SpectrumAccumulator> {
+    /// Number of `f64` values currently held across all buffered
+    /// subtrees and out-of-order leaves.
+    pub fn resident_floats(&self) -> usize {
+        self.resident_with(SpectrumAccumulator::resident_floats)
     }
 }
 

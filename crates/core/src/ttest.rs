@@ -52,6 +52,54 @@ pub fn welch_t(group_a: &[Vec<f64>], group_b: &[Vec<f64>]) -> Vec<f64> {
         .collect()
 }
 
+/// Per-sample Welch t statistics from two streaming accumulators
+/// instead of materialized trace groups.
+///
+/// This is the online counterpart of [`welch_t`]: fold each group into a
+/// [`ClassAccumulator`](crate::online::ClassAccumulator) (one trace at a
+/// time, constant memory) and compute the identical statistic from the
+/// accumulated moments. Uses the unbiased sample variance
+/// `M2 / (n − 1)`, matching the batch path.
+///
+/// # Panics
+///
+/// Panics if either group holds fewer than two traces or the sample
+/// counts differ.
+pub fn welch_t_from_moments(
+    group_a: &crate::online::ClassAccumulator,
+    group_b: &crate::online::ClassAccumulator,
+) -> Vec<f64> {
+    assert!(
+        group_a.count() >= 2 && group_b.count() >= 2,
+        "each group needs at least two traces"
+    );
+    assert_eq!(
+        group_a.samples(),
+        group_b.samples(),
+        "inconsistent trace lengths"
+    );
+    let na = group_a.count() as f64;
+    let nb = group_b.count() as f64;
+    // ClassAccumulator::variance is the population variance (M2 / n);
+    // rescale to the unbiased estimator the batch path uses.
+    let (ma, va) = (group_a.mean(), group_a.variance());
+    let (mb, vb) = (group_b.mean(), group_b.variance());
+    ma.iter()
+        .zip(&va)
+        .zip(mb.iter().zip(&vb))
+        .map(|((&mean_a, &var_a), (&mean_b, &var_b))| {
+            let sa = var_a * na / (na - 1.0);
+            let sb = var_b * nb / (nb - 1.0);
+            let denom = (sa / na + sb / nb).sqrt();
+            if denom == 0.0 {
+                0.0
+            } else {
+                (mean_a - mean_b) / denom
+            }
+        })
+        .collect()
+}
+
 /// The largest |t| across samples — the single TVLA verdict number.
 pub fn max_abs_t(t_series: &[f64]) -> f64 {
     t_series.iter().fold(0.0, |m, t| m.max(t.abs()))
@@ -91,6 +139,28 @@ mod tests {
         let a = vec![vec![2.0]; 10];
         let b = vec![vec![2.0]; 10];
         assert_eq!(welch_t(&a, &b), vec![0.0]);
+    }
+
+    #[test]
+    fn moments_path_matches_batch() {
+        use crate::online::{ClassAccumulator, SumMode};
+        let mut rng = SmallRng::seed_from_u64(6);
+        let a = noisy_group(&mut rng, 80, 0.0);
+        let b = noisy_group(&mut rng, 120, 0.4);
+        let batch = welch_t(&a, &b);
+        for mode in [SumMode::Welford, SumMode::Exact] {
+            let mut acc_a = ClassAccumulator::new(1, mode);
+            let mut acc_b = ClassAccumulator::new(1, mode);
+            for t in &a {
+                acc_a.fold(t);
+            }
+            for t in &b {
+                acc_b.fold(t);
+            }
+            let online = welch_t_from_moments(&acc_a, &acc_b);
+            assert_eq!(online.len(), batch.len());
+            assert!((online[0] - batch[0]).abs() < 1e-9, "mode {mode:?}");
+        }
     }
 
     #[test]

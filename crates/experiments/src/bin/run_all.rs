@@ -49,6 +49,7 @@ fn main() {
         "balanced",
         "second_order",
         "sr_curves",
+        "attack_sweep",
     ];
     // Locating our own directory can only fail in exotic environments;
     // degrade to bare names (resolved via PATH) rather than crashing the

@@ -2,12 +2,18 @@
 //! the conventional leakage assessment the paper's spectral method
 //! refines.
 //!
+//! Traces never accumulate in memory: each capture is borrowed from the
+//! reusable session buffer and folded straight into an online moment
+//! accumulator per group, so the t-statistics come from
+//! [`welch_t_from_moments`] at a constant memory footprint.
+//!
 //! ```sh
 //! cargo run --release --example tvla
 //! ```
 
 use gatesim::{SamplingConfig, SimConfig, Simulator};
-use leakage_core::ttest::{max_abs_t, welch_t, TVLA_THRESHOLD};
+use leakage_core::online::{ClassAccumulator, SumMode};
+use leakage_core::ttest::{max_abs_t, welch_t_from_moments, TVLA_THRESHOLD};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use sbox_circuits::{SboxCircuit, Scheme};
@@ -23,20 +29,20 @@ fn main() {
         // One reused capture session per scheme: no per-trace allocation.
         let mut session = sim.session();
         let fixed_class = 0x3u8;
-        let mut fixed = Vec::new();
-        let mut random = Vec::new();
+        let mut fixed = ClassAccumulator::new(sampling.samples, SumMode::Exact);
+        let mut random = ClassAccumulator::new(sampling.samples, SumMode::Exact);
         for i in 0..1024u32 {
             let initial = circuit.encoding().encode(0, &mut rng);
-            if i % 2 == 0 {
-                let fin = circuit.encoding().encode(fixed_class, &mut rng);
-                fixed.push(session.capture_with_rng(&initial, &fin, &sampling, &mut rng));
+            let (class, group) = if i % 2 == 0 {
+                (fixed_class, &mut fixed)
             } else {
-                let class = (i / 2 % 16) as u8;
-                let fin = circuit.encoding().encode(class, &mut rng);
-                random.push(session.capture_with_rng(&initial, &fin, &sampling, &mut rng));
-            }
+                ((i / 2 % 16) as u8, &mut random)
+            };
+            let fin = circuit.encoding().encode(class, &mut rng);
+            let (trace, _) = session.capture_trace(&initial, &fin, &sampling, &mut rng);
+            group.fold(trace);
         }
-        let t = max_abs_t(&welch_t(&fixed, &random));
+        let t = max_abs_t(&welch_t_from_moments(&fixed, &random));
         let verdict = if t > TVLA_THRESHOLD { "LEAKS" } else { "pass" };
         println!("{:9} {:>10.2} {:>8}", scheme.label(), t, verdict);
     }

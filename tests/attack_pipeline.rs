@@ -2,9 +2,10 @@
 //! against real simulated circuits.
 
 use acquisition::{acquire, acquire_cpa, ProtocolConfig};
+use campaign::{AttackPlan, CacheMode, Campaign, CampaignConfig, SumMode};
 use sbox_circuits::{SboxCircuit, Scheme};
 use sca_attacks::template::{template_attack, TemplateSet};
-use sca_attacks::{cpa_attack, LeakageModel};
+use sca_attacks::{cpa_attack, Distinguisher, LeakageModel};
 
 fn config(seed: u64) -> ProtocolConfig {
     ProtocolConfig {
@@ -76,6 +77,50 @@ fn templates_transfer_across_mask_streams() {
     // RSM's class means separate in our model, so a profiled adversary
     // eventually wins; what matters here is cross-seed consistency.
     assert!(result.key_rank(0x2) <= 3, "rank {}", result.key_rank(0x2));
+}
+
+/// The streaming campaign attack reproduces the paper's protection
+/// ordering: the unprotected LUT discloses the key within the trace
+/// budget, while the masked schemes (RSM, TI, ISW) keep the key out of
+/// first place across every trial at the same budget.
+#[test]
+fn attack_engine_reproduces_the_paper_protection_ordering() {
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("attack-ordering-{}", std::process::id()));
+    let make = || {
+        Campaign::new(CampaignConfig {
+            protocol: ProtocolConfig::default(),
+            workers: 2,
+            cache: CacheMode::Off,
+            store_dir: dir.clone(),
+            log_path: dir.join("runs.jsonl"),
+            ..CampaignConfig::default()
+        })
+    };
+    // MLPA is the strongest distinguisher against the real netlists;
+    // a 100% success-rate threshold makes MTD mean "every trial won".
+    let plan = AttackPlan {
+        key: 0x5,
+        traces: 96,
+        trials: 2,
+        distinguishers: vec![Distinguisher::Mlpa],
+        sr_threshold: 1.0,
+        mode: SumMode::Exact,
+    };
+    let lut = make().attack(Scheme::Lut, &plan);
+    let lut_mtd = lut.reports[0].mtd;
+    assert!(
+        lut_mtd.is_some(),
+        "the unprotected LUT must disclose the key within {} traces",
+        plan.traces
+    );
+    for scheme in [Scheme::Rsm, Scheme::Ti, Scheme::Isw] {
+        let outcome = make().attack(scheme, &plan);
+        assert_eq!(
+            outcome.reports[0].mtd, None,
+            "{scheme} should resist MLPA at a budget that breaks the LUT"
+        );
+    }
 }
 
 /// The probing analyzer and the dynamic study agree on the mechanism:

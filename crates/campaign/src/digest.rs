@@ -1,101 +1,8 @@
-//! A tiny stable content digest (FNV-1a, 64-bit) for campaign keys.
+//! Campaign-facing re-export of the shared FNV-1a/64 checksum helpers.
 //!
-//! Not cryptographic — it only needs to be stable across runs and
-//! platforms (unlike `std::hash::DefaultHasher`, whose output is
-//! explicitly unspecified between releases) so that store files written
-//! by one build are found by the next.
+//! The hasher itself lives in [`leakage_core::checksum`] so the store,
+//! checkpoint, and scrub layers share one implementation with the
+//! analysis crates; this module preserves the original
+//! `sca_campaign::{Digest, fnv1a}` paths.
 
-/// Incremental FNV-1a/64 hasher over explicitly-framed fields.
-#[derive(Debug, Clone)]
-pub struct Digest {
-    state: u64,
-}
-
-const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
-const PRIME: u64 = 0x0000_0100_0000_01b3;
-
-impl Default for Digest {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl Digest {
-    /// A fresh hasher at the FNV offset basis.
-    pub fn new() -> Self {
-        Self {
-            state: OFFSET_BASIS,
-        }
-    }
-
-    /// Absorb raw bytes.
-    pub fn bytes(&mut self, bytes: &[u8]) -> &mut Self {
-        for &b in bytes {
-            self.state ^= u64::from(b);
-            self.state = self.state.wrapping_mul(PRIME);
-        }
-        self
-    }
-
-    /// Absorb a `u64` (little-endian framing).
-    pub fn u64(&mut self, v: u64) -> &mut Self {
-        self.bytes(&v.to_le_bytes())
-    }
-
-    /// Absorb an `f64` by bit pattern (`-0.0` and `0.0` hash differently;
-    /// campaign configs use literal constants, so that is acceptable).
-    pub fn f64(&mut self, v: f64) -> &mut Self {
-        self.u64(v.to_bits())
-    }
-
-    /// Absorb a string, length-prefixed so field boundaries cannot alias.
-    pub fn str(&mut self, s: &str) -> &mut Self {
-        self.u64(s.len() as u64).bytes(s.as_bytes())
-    }
-
-    /// The digest value.
-    pub fn finish(&self) -> u64 {
-        self.state
-    }
-}
-
-/// One-shot digest over a byte slice (used for store checksums).
-pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut d = Digest::new();
-    d.bytes(bytes);
-    d.finish()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn matches_reference_vectors() {
-        // Published FNV-1a/64 test vectors.
-        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
-        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
-        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
-    }
-
-    #[test]
-    fn framing_prevents_field_aliasing() {
-        let mut a = Digest::new();
-        a.str("ab").str("c");
-        let mut b = Digest::new();
-        b.str("a").str("bc");
-        assert_ne!(a.finish(), b.finish());
-    }
-
-    #[test]
-    fn floats_hash_by_bit_pattern() {
-        let mut a = Digest::new();
-        a.f64(1.5);
-        let mut b = Digest::new();
-        b.f64(1.5);
-        let mut c = Digest::new();
-        c.f64(1.5000001);
-        assert_eq!(a.finish(), b.finish());
-        assert_ne!(a.finish(), c.finish());
-    }
-}
+pub use leakage_core::checksum::{fnv1a, Digest};

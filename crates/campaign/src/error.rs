@@ -45,6 +45,17 @@ pub enum CampaignError {
         /// The value that failed to parse.
         value: String,
     },
+    /// A run budget expired (deadline, trace cap, or cancellation)
+    /// before the schedule finished; the completed prefix is in the
+    /// checkpoint and a re-run resumes bit-identically.
+    Interrupted {
+        /// Why the run stopped, e.g. `"deadline expired"`.
+        cause: String,
+        /// Schedule indices not captured before the stop.
+        remaining: usize,
+        /// Total traces the schedule asked for.
+        scheduled: usize,
+    },
 }
 
 impl fmt::Display for CampaignError {
@@ -71,6 +82,15 @@ impl fmt::Display for CampaignError {
             CampaignError::Config { name, value } => {
                 write!(f, "cannot interpret {name}={value:?}")
             }
+            CampaignError::Interrupted {
+                cause,
+                remaining,
+                scheduled,
+            } => write!(
+                f,
+                "run interrupted ({cause}) with {remaining} of {scheduled} trace(s) \
+                 uncaptured; resume from the checkpoint to finish bit-identically"
+            ),
         }
     }
 }
@@ -123,6 +143,14 @@ mod tests {
         };
         assert!(e.to_string().contains("SCA_WORKERS"));
         assert!(e.to_string().contains("banana"));
+
+        let e = CampaignError::Interrupted {
+            cause: "deadline expired".into(),
+            remaining: 12,
+            scheduled: 64,
+        };
+        assert!(e.to_string().contains("deadline expired"));
+        assert!(e.to_string().contains("12 of 64"));
     }
 
     #[test]

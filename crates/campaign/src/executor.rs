@@ -22,9 +22,10 @@
 //! killed run resumes instead of restarting.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 use acquisition::{capture_stimulus_session, trace_seed, Stimulus};
@@ -65,7 +66,186 @@ pub struct CaptureFailure {
     pub message: String,
 }
 
-/// Execution policy: parallelism and failure handling.
+/// A shareable cancellation flag: clone it, hand one clone to the run,
+/// trip the other from anywhere (another thread, a signal handler, a
+/// job-server frontend). The executor polls it at chunk boundaries.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, untripped token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cooperative cancellation. Idempotent.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Why a run stopped before completing its schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopCause {
+    /// The wall-clock deadline expired.
+    Deadline,
+    /// The new-trace budget was spent.
+    TraceBudget,
+    /// The run's [`CancelToken`] was tripped.
+    Cancelled,
+}
+
+impl fmt::Display for StopCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StopCause::Deadline => write!(f, "deadline expired"),
+            StopCause::TraceBudget => write!(f, "trace budget spent"),
+            StopCause::Cancelled => write!(f, "cancelled"),
+        }
+    }
+}
+
+/// A typed record of an early stop: the cause, and how many schedule
+/// indices were left uncaptured (they stay in the checkpoint's future).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interruption {
+    /// What stopped the run.
+    pub cause: StopCause,
+    /// Schedule indices not captured, resumed, or quarantined.
+    pub remaining: usize,
+}
+
+/// Resource limits for one run: a wall-clock time limit, a cap on newly
+/// captured traces, and a cooperative [`CancelToken`]. All unlimited by
+/// default.
+///
+/// Budgets are enforced at **chunk boundaries**: workers stop claiming
+/// chunks once any limit trips, in-flight chunks complete normally, the
+/// checkpoint gets a final sync, and the report carries a typed
+/// [`Interruption`]. Because a chunk either completes or was never
+/// claimed, an interrupted run's checkpoint holds only whole, verified
+/// frames — resuming it reproduces the uninterrupted run bit for bit.
+#[derive(Debug, Clone, Default)]
+pub struct RunBudget {
+    /// Stop claiming work this long after the run starts.
+    pub time_limit: Option<Duration>,
+    /// Stop after at least this many *new* captures (resumed traces are
+    /// free). The overshoot is at most one chunk per worker.
+    pub max_new_traces: Option<usize>,
+    /// Cooperative cancellation flag, polled at chunk boundaries.
+    pub cancel: Option<CancelToken>,
+}
+
+impl RunBudget {
+    /// No limits (the production default).
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Whether every limit is absent.
+    pub fn is_unlimited(&self) -> bool {
+        self.time_limit.is_none() && self.max_new_traces.is_none() && self.cancel.is_none()
+    }
+
+    /// Set the wall-clock time limit.
+    pub fn with_time_limit(mut self, limit: Duration) -> Self {
+        self.time_limit = Some(limit);
+        self
+    }
+
+    /// Set the new-trace cap.
+    pub fn with_max_new_traces(mut self, max: usize) -> Self {
+        self.max_new_traces = Some(max);
+        self
+    }
+
+    /// Attach a cancellation token (keep a clone to trip it).
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+}
+
+/// Shared budget enforcement: workers ask [`BudgetGate::should_stop`]
+/// before claiming each chunk; the first tripped limit is recorded and
+/// every later check short-circuits to "stop".
+struct BudgetGate {
+    deadline: Option<Instant>,
+    max_new: Option<usize>,
+    cancel: Option<CancelToken>,
+    captured: AtomicUsize,
+    /// 0 = running; otherwise the encoded [`StopCause`] + 1.
+    stop: AtomicUsize,
+}
+
+impl BudgetGate {
+    fn new(budget: &RunBudget) -> Self {
+        Self {
+            deadline: budget.time_limit.map(|limit| Instant::now() + limit),
+            max_new: budget.max_new_traces,
+            cancel: budget.cancel.clone(),
+            captured: AtomicUsize::new(0),
+            stop: AtomicUsize::new(0),
+        }
+    }
+
+    fn note_captured(&self, n: usize) {
+        if n > 0 {
+            self.captured.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    fn should_stop(&self) -> bool {
+        if self.stop.load(Ordering::Relaxed) != 0 {
+            return true;
+        }
+        let cause = if self.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+            Some(StopCause::Cancelled)
+        } else if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            Some(StopCause::Deadline)
+        } else if self
+            .max_new
+            .is_some_and(|m| self.captured.load(Ordering::Relaxed) >= m)
+        {
+            Some(StopCause::TraceBudget)
+        } else {
+            None
+        };
+        match cause {
+            Some(c) => {
+                let code = match c {
+                    StopCause::Deadline => 1,
+                    StopCause::TraceBudget => 2,
+                    StopCause::Cancelled => 3,
+                };
+                // First cause wins; racing workers may observe different
+                // causes in the same instant, but only one is recorded.
+                let _ = self
+                    .stop
+                    .compare_exchange(0, code, Ordering::Relaxed, Ordering::Relaxed);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn cause(&self) -> Option<StopCause> {
+        match self.stop.load(Ordering::Relaxed) {
+            0 => None,
+            1 => Some(StopCause::Deadline),
+            2 => Some(StopCause::TraceBudget),
+            _ => Some(StopCause::Cancelled),
+        }
+    }
+}
+
+/// Execution policy: parallelism, failure handling, and resource
+/// budgets.
 #[derive(Debug, Clone)]
 pub struct ExecPolicy {
     /// Worker threads; 0 means all available cores.
@@ -76,6 +256,16 @@ pub struct ExecPolicy {
     pub max_retries: u32,
     /// Fault-injection plan (inert by default).
     pub faults: FaultPlan,
+    /// Deadline / trace cap / cancellation (unlimited by default).
+    pub budget: RunBudget,
+    /// Per-capture watchdog: an attempt that takes longer than this is
+    /// discarded and counted as a failed (retryable) attempt, so one
+    /// pathologically slow capture degrades to a quarantined index
+    /// instead of wedging its worker. Cooperative — the attempt must
+    /// return before the overrun is seen — so it bounds damage from
+    /// *slow* captures; a truly wedged simulation needs process-level
+    /// supervision.
+    pub capture_timeout: Option<Duration>,
 }
 
 impl Default for ExecPolicy {
@@ -84,6 +274,8 @@ impl Default for ExecPolicy {
             workers: 0,
             max_retries: 2,
             faults: FaultPlan::none(),
+            budget: RunBudget::unlimited(),
+            capture_timeout: None,
         }
     }
 }
@@ -138,6 +330,10 @@ pub struct ExecutorReport {
     /// Merge depth of the final streaming accumulator (0 for the batch
     /// path and single-chunk streaming runs).
     pub merge_depth: usize,
+    /// Set when a [`RunBudget`] limit stopped the run before the
+    /// schedule completed; the results cover a prefix of the work and
+    /// the checkpoint (if any) is valid for resuming.
+    pub interrupted: Option<Interruption>,
     /// Non-fatal degradations (checkpoint write failures, …).
     pub warnings: Vec<String>,
 }
@@ -261,12 +457,16 @@ pub fn capture_schedule_with(
     let mut stats = CaptureStats::default();
     let mut retried = 0usize;
     let mut quarantined: Vec<CaptureFailure> = Vec::new();
+    let gate = BudgetGate::new(&policy.budget);
 
     if workers == 1 {
         // One session for the whole run: scratch buffers are reused
         // across every capture, including retries.
         let mut session = sim.session();
         for chunk_start in (0..schedule.len()).step_by(CHUNK) {
+            if gate.should_stop() {
+                break;
+            }
             let chunk_end = (chunk_start + CHUNK).min(schedule.len());
             let result = capture_chunk(
                 &mut session,
@@ -278,6 +478,7 @@ pub fn capture_schedule_with(
                 chunk_start..chunk_end,
                 &skip,
             );
+            gate.note_captured(result.captured.len());
             absorb(
                 result,
                 &mut traces,
@@ -297,6 +498,7 @@ pub fn capture_schedule_with(
                 let tx = tx.clone();
                 let cursor = &cursor;
                 let skip = &skip;
+                let gate = &gate;
                 scope.spawn(move || {
                     // One persistent session per worker thread, reused
                     // for its entire shard (retries included). Sessions
@@ -304,6 +506,9 @@ pub fn capture_schedule_with(
                     // synchronization.
                     let mut session = sim.session();
                     loop {
+                        if gate.should_stop() {
+                            break;
+                        }
                         let start = cursor.fetch_add(CHUNK, Ordering::Relaxed);
                         if start >= schedule.len() {
                             break;
@@ -319,6 +524,7 @@ pub fn capture_schedule_with(
                             start..end,
                             skip,
                         );
+                        gate.note_captured(result.captured.len());
                         // The receiver outlives the workers; a send can
                         // only fail if the parent panicked, in which
                         // case the scope unwinds anyway.
@@ -351,6 +557,12 @@ pub fn capture_schedule_with(
     sink.finish(&mut warnings);
     quarantined.sort_by_key(|f| f.index);
 
+    let captured_total: usize = loads.iter().map(|l| l.traces).sum();
+    let interrupted = gate.cause().map(|cause| Interruption {
+        cause,
+        remaining: schedule.len() - resumed - captured_total - quarantined.len(),
+    });
+
     let report = ExecutorReport {
         workers,
         loads,
@@ -361,6 +573,7 @@ pub fn capture_schedule_with(
         resumed,
         peak_resident: 0,
         merge_depth: 0,
+        interrupted,
         warnings,
     };
     (traces, report)
@@ -577,12 +790,17 @@ where
         next: 0,
         held: BTreeMap::new(),
     };
+    let gate = BudgetGate::new(&policy.budget);
 
     if workers == 1 {
         let mut session = sim.session();
         for chunk_start in (0..schedule.len()).step_by(CHUNK) {
+            if gate.should_stop() {
+                break;
+            }
             let chunk_end = (chunk_start + CHUNK).min(schedule.len());
             let result = fold_chunk(&mut session, &ctx, 0, chunk_start..chunk_end);
+            gate.note_captured(result.captured);
             absorb_stream(
                 result,
                 &ctx,
@@ -606,15 +824,20 @@ where
                 let tx = tx.clone();
                 let cursor = &cursor;
                 let ctx = &ctx;
+                let gate = &gate;
                 scope.spawn(move || {
                     let mut session = sim.session();
                     loop {
+                        if gate.should_stop() {
+                            break;
+                        }
                         let start = cursor.fetch_add(CHUNK, Ordering::Relaxed);
                         if start >= ctx.schedule.len() {
                             break;
                         }
                         let end = (start + CHUNK).min(ctx.schedule.len());
                         let result = fold_chunk(&mut session, ctx, worker, start..end);
+                        gate.note_captured(result.captured);
                         if tx.send(result).is_err() {
                             break;
                         }
@@ -641,6 +864,12 @@ where
     sink.finish(&mut warnings);
     quarantined.sort_by_key(|f| f.index);
 
+    let captured_total: usize = loads.iter().map(|l| l.traces).sum();
+    let interrupted = gate.cause().map(|cause| Interruption {
+        cause,
+        remaining: schedule.len() - resumed - captured_total - quarantined.len(),
+    });
+
     let acc = tap.finish().unwrap_or_else(make);
     let report = ExecutorReport {
         workers,
@@ -652,6 +881,7 @@ where
         resumed,
         peak_resident: ctx.peak.load(Ordering::Relaxed),
         merge_depth: FoldState::merge_depth(&acc),
+        interrupted,
         warnings,
     };
     (acc, report)
@@ -883,12 +1113,36 @@ fn capture_index(
         // its scratch on entry, so a panicked attempt cannot leak state
         // into the retry.
         let seed = trace_seed(base_seed, index as u64);
+        let attempt_started = Instant::now();
         let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
             policy.faults.maybe_inject_capture(index, attempt);
+            if let Some(delay) = policy.faults.capture_delay(index, attempt) {
+                std::thread::sleep(delay);
+            }
             capture_stimulus_session(session, stimulus, sampling, seed)
         }));
         match outcome {
-            Ok((trace, stats)) => return Ok((trace, stats, attempt + 1)),
+            Ok((trace, stats)) => {
+                // Cooperative watchdog: an attempt that blew past the
+                // per-capture budget is discarded and retried rather
+                // than silently stretching the run. (A capture stuck in
+                // an infinite loop cannot be preempted from safe code;
+                // the watchdog bounds *slow* captures, and the retry
+                // replays the identical seed so recovery stays
+                // bit-identical.)
+                if let Some(limit) = policy.capture_timeout {
+                    let elapsed = attempt_started.elapsed();
+                    if elapsed > limit {
+                        last = format!(
+                            "watchdog: capture attempt took {}ms (limit {}ms)",
+                            elapsed.as_millis(),
+                            limit.as_millis()
+                        );
+                        continue;
+                    }
+                }
+                return Ok((trace, stats, attempt + 1));
+            }
             Err(payload) => last = panic_message(payload.as_ref()),
         }
     }
@@ -1017,6 +1271,7 @@ mod tests {
                 workers,
                 max_retries: 2,
                 faults: FaultPlan::none().with_transient_panics([0, 9, 31, 63]),
+                ..ExecPolicy::default()
             };
             let (traces, report) = capture_schedule_with(
                 &sim,
@@ -1043,6 +1298,7 @@ mod tests {
             workers: 3,
             max_retries: 1,
             faults: FaultPlan::none().with_sticky_panics([5, 40]),
+            ..ExecPolicy::default()
         };
         let (traces, report) = capture_schedule_with(
             &sim,
@@ -1182,6 +1438,7 @@ mod tests {
                 faults: FaultPlan::none()
                     .with_transient_panics([2, 17])
                     .with_sticky_panics([5, 40]),
+                ..ExecPolicy::default()
             };
             let (acc, report) = fold_schedule_with(
                 &sim,
@@ -1270,5 +1527,209 @@ mod tests {
         seen.sort_unstable();
         assert_eq!(seen, (40..schedule.len() as u32).collect::<Vec<_>>());
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn trace_budget_interrupts_then_resume_is_bit_identical() {
+        let circuit = SboxCircuit::build(Scheme::Opt);
+        let config = small_config();
+        let sim = Simulator::new(circuit.netlist(), &config.sim);
+        let schedule = classified_schedule(&circuit, &config);
+        let (reference, _) = capture_schedule(&sim, &schedule, &config.sampling, config.seed, 1);
+
+        let path = std::env::temp_dir().join(format!(
+            "executor-budget-{}-{:?}.sckp",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let meta = crate::store::StoreMeta {
+            kind: crate::store::StoreKind::Classified,
+            name: "OPT".into(),
+            seed: config.seed,
+            age_months: 0.0,
+            config_digest: 1,
+            class_or_key: 16,
+            traces: schedule.len() as u32,
+            samples: config.sampling.samples as u32,
+        };
+        let (_, mut writer) = resume_checkpoint(&path, &meta).expect("ckpt");
+        let policy = ExecPolicy {
+            workers: 1,
+            budget: RunBudget::unlimited().with_max_new_traces(20),
+            ..ExecPolicy::default()
+        };
+        let (_, report) = capture_schedule_with(
+            &sim,
+            &schedule,
+            &config.sampling,
+            config.seed,
+            &policy,
+            ResumeState {
+                completed: Vec::new(),
+                checkpoint: Some(&mut writer),
+                sync_every: 0,
+            },
+        );
+        // One worker claims whole chunks of 16: 16 < 20 keeps going, so
+        // the budget trips after the second chunk with 32 captured.
+        let interruption = report.interrupted.expect("budget must interrupt");
+        assert_eq!(interruption.cause, StopCause::TraceBudget);
+        assert_eq!(interruption.remaining, schedule.len() - 32);
+        assert_eq!(report.loads.iter().map(|l| l.traces).sum::<usize>(), 32);
+        drop(writer);
+
+        // Resume from the interrupted run's checkpoint: the final traces
+        // must be bit-identical to an uninterrupted run.
+        let (records, mut writer) = resume_checkpoint(&path, &meta).expect("reopen");
+        assert_eq!(records.len(), 32);
+        let completed = records
+            .into_iter()
+            .map(|(i, _, t)| (i as usize, t))
+            .collect();
+        let (traces, report) = capture_schedule_with(
+            &sim,
+            &schedule,
+            &config.sampling,
+            config.seed,
+            &ExecPolicy::default(),
+            ResumeState {
+                completed,
+                checkpoint: Some(&mut writer),
+                sync_every: 0,
+            },
+        );
+        assert!(report.interrupted.is_none());
+        assert_eq!(report.resumed, 32);
+        assert_eq!(traces, reference, "resumed run must be bit-identical");
+        drop(writer);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn cancellation_stops_before_any_capture() {
+        let circuit = SboxCircuit::build(Scheme::Opt);
+        let config = small_config();
+        let sim = Simulator::new(circuit.netlist(), &config.sim);
+        let schedule = classified_schedule(&circuit, &config);
+        let token = CancelToken::new();
+        token.cancel();
+        for workers in [1usize, 4] {
+            let policy = ExecPolicy {
+                workers,
+                budget: RunBudget::unlimited().with_cancel(token.clone()),
+                ..ExecPolicy::default()
+            };
+            let (traces, report) = capture_schedule_with(
+                &sim,
+                &schedule,
+                &config.sampling,
+                config.seed,
+                &policy,
+                ResumeState::fresh(),
+            );
+            let interruption = report.interrupted.expect("cancelled run must report it");
+            assert_eq!(interruption.cause, StopCause::Cancelled);
+            assert_eq!(interruption.remaining, schedule.len());
+            assert!(traces.iter().all(|t| t.is_empty()), "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn expired_deadline_interrupts_batch_and_streaming_runs() {
+        let circuit = SboxCircuit::build(Scheme::Opt);
+        let config = small_config();
+        let sim = Simulator::new(circuit.netlist(), &config.sim);
+        let schedule = classified_schedule(&circuit, &config);
+        let policy = ExecPolicy {
+            workers: 2,
+            budget: RunBudget::unlimited().with_time_limit(Duration::ZERO),
+            ..ExecPolicy::default()
+        };
+        let (_, report) = capture_schedule_with(
+            &sim,
+            &schedule,
+            &config.sampling,
+            config.seed,
+            &policy,
+            ResumeState::fresh(),
+        );
+        assert_eq!(
+            report.interrupted.map(|i| i.cause),
+            Some(StopCause::Deadline)
+        );
+
+        let (acc, report) = fold_schedule_with(
+            &sim,
+            &schedule,
+            &config.sampling,
+            config.seed,
+            &policy,
+            ResumeState::fresh(),
+            &StreamPolicy {
+                num_classes: 16,
+                mode: SumMode::Exact,
+            },
+        );
+        assert_eq!(
+            report.interrupted.map(|i| i.cause),
+            Some(StopCause::Deadline)
+        );
+        assert_eq!(acc.len(), 0, "no chunk may be claimed past the deadline");
+    }
+
+    #[test]
+    fn watchdog_retries_slow_captures_bit_identically() {
+        let circuit = SboxCircuit::build(Scheme::Opt);
+        let config = small_config();
+        let sim = Simulator::new(circuit.netlist(), &config.sim);
+        let schedule = classified_schedule(&circuit, &config);
+        let (reference, _) = capture_schedule(&sim, &schedule, &config.sampling, config.seed, 1);
+        // Index 3's first attempt stalls for 400 ms against a 50 ms
+        // watchdog; the retry runs at full speed and must reproduce the
+        // clean trace exactly.
+        let policy = ExecPolicy {
+            workers: 1,
+            max_retries: 2,
+            faults: FaultPlan::none().with_slow_capture(3, 400),
+            capture_timeout: Some(Duration::from_millis(50)),
+            ..ExecPolicy::default()
+        };
+        let (traces, report) = capture_schedule_with(
+            &sim,
+            &schedule,
+            &config.sampling,
+            config.seed,
+            &policy,
+            ResumeState::fresh(),
+        );
+        assert_eq!(traces, reference, "watchdog retry must be bit-identical");
+        assert_eq!(report.retried, 1);
+        assert!(report.quarantined.is_empty());
+
+        // With retries exhausted the slow index degrades to a typed,
+        // quarantined failure instead of wedging the run.
+        let policy = ExecPolicy {
+            workers: 1,
+            max_retries: 0,
+            faults: FaultPlan::none().with_slow_capture(3, 400),
+            capture_timeout: Some(Duration::from_millis(50)),
+            ..ExecPolicy::default()
+        };
+        let (_, report) = capture_schedule_with(
+            &sim,
+            &schedule,
+            &config.sampling,
+            config.seed,
+            &policy,
+            ResumeState::fresh(),
+        );
+        assert_eq!(report.quarantined.len(), 1);
+        assert_eq!(report.quarantined[0].index, 3);
+        assert!(
+            report.quarantined[0].message.contains("watchdog"),
+            "{}",
+            report.quarantined[0].message
+        );
     }
 }

@@ -27,16 +27,22 @@
 //! | `panic%RATE` | each trace's first capture attempt panics with probability `RATE` (seeded, transient) |
 //! | `store` | every trace-store write fails with an injected I/O error |
 //! | `torn@N` | every written store file is truncated to `N` bytes (a torn write) |
+//! | `enospc@N` | store/checkpoint/report writes fail once `N` bytes have been written (a full disk) |
+//! | `eio%RATE` | each write operation fails with probability `RATE` (seeded, an injected `EIO`) |
+//! | `torn-checkpoint` | the run's checkpoint file loses its last few bytes after the run (a torn tail) |
+//! | `slow@IDX:MS` | capture of trace `IDX` stalls `MS` ms on its **first** attempt (watchdog fodder) |
 //!
 //! `SCA_FAULTS=""` and `SCA_FAULTS=off` mean "no faults".
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::io;
 use std::sync::{Once, OnceLock};
+use std::time::Duration;
 
 use acquisition::trace_seed;
 
+use crate::iofault::WriteFaults;
 use crate::store::StoreError;
 
 /// The panic payload of an injected capture fault. Carried as a typed
@@ -75,6 +81,10 @@ pub struct FaultPlan {
     panic_rate: f64,
     store_errors: bool,
     torn_store_bytes: Option<u64>,
+    enospc_after: Option<u64>,
+    eio_rate: f64,
+    torn_checkpoint: bool,
+    slow_captures: BTreeMap<usize, u64>,
 }
 
 impl FaultPlan {
@@ -124,6 +134,37 @@ impl FaultPlan {
         self
     }
 
+    /// Fail store/checkpoint/report writes once `bytes` bytes have been
+    /// written through any one sink (an injected full disk).
+    pub fn with_enospc_after(mut self, bytes: u64) -> Self {
+        self.enospc_after = Some(bytes);
+        self
+    }
+
+    /// Fail each write *operation* with probability `rate`, decided by a
+    /// per-operation coin derived from the plan's seed.
+    pub fn with_eio_rate(mut self, seed: u64, rate: f64) -> Self {
+        self.seed = seed;
+        self.eio_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Tear the tail off the run's checkpoint file after the run
+    /// finishes writing it (the crash-mid-flush case the salvage scan
+    /// must absorb).
+    pub fn with_torn_checkpoint(mut self) -> Self {
+        self.torn_checkpoint = true;
+        self
+    }
+
+    /// Stall the capture of trace `index` for `millis` ms on its first
+    /// attempt only, so a watchdog-discarded attempt retries at full
+    /// speed and stays bit-identical.
+    pub fn with_slow_capture(mut self, index: usize, millis: u64) -> Self {
+        self.slow_captures.insert(index, millis);
+        self
+    }
+
     /// Parse an `SCA_FAULTS` specification.
     pub fn parse(spec: &str) -> Result<Self, String> {
         let mut plan = Self::default();
@@ -166,6 +207,32 @@ impl FaultPlan {
                     v.parse()
                         .map_err(|_| format!("bad byte count {v:?} in fault spec"))?,
                 );
+            } else if let Some(v) = token.strip_prefix("enospc@") {
+                plan.enospc_after = Some(
+                    v.parse()
+                        .map_err(|_| format!("bad byte count {v:?} in fault spec"))?,
+                );
+            } else if let Some(v) = token.strip_prefix("eio%") {
+                let rate: f64 = v
+                    .parse()
+                    .map_err(|_| format!("bad rate {v:?} in fault spec"))?;
+                if !(0.0..=1.0).contains(&rate) {
+                    return Err(format!("fault rate {rate} outside [0, 1]"));
+                }
+                plan.eio_rate = rate;
+            } else if let Some(v) = token.strip_prefix("slow@") {
+                let (index, millis) = v
+                    .split_once(':')
+                    .ok_or_else(|| format!("slow fault {v:?} needs IDX:MS"))?;
+                let index: usize = index
+                    .parse()
+                    .map_err(|_| format!("bad index {index:?} in fault spec"))?;
+                let millis: u64 = millis
+                    .parse()
+                    .map_err(|_| format!("bad delay {millis:?} in fault spec"))?;
+                plan.slow_captures.insert(index, millis);
+            } else if token == "torn-checkpoint" {
+                plan.torn_checkpoint = true;
             } else if token == "store" {
                 plan.store_errors = true;
             } else {
@@ -181,16 +248,23 @@ impl FaultPlan {
     /// silently arm or disarm the harness differently than intended.
     pub fn from_env() -> &'static FaultPlan {
         static PLAN: OnceLock<FaultPlan> = OnceLock::new();
-        PLAN.get_or_init(|| match std::env::var("SCA_FAULTS") {
-            Ok(spec) => match Self::parse(&spec) {
-                Ok(plan) => plan,
-                Err(e) => {
-                    eprintln!("warning: SCA_FAULTS={spec:?} is invalid ({e}); injecting nothing");
-                    Self::default()
-                }
-            },
-            Err(_) => Self::default(),
+        PLAN.get_or_init(|| match Self::try_from_env() {
+            Ok(plan) => plan,
+            Err((spec, e)) => {
+                eprintln!("warning: SCA_FAULTS={spec:?} is invalid ({e}); injecting nothing");
+                Self::default()
+            }
         })
+    }
+
+    /// Like [`FaultPlan::from_env`], but a malformed spec is returned as
+    /// `Err((spec, message))` instead of degrading to no injection —
+    /// strict mode (`SCA_STRICT=1`) turns this into a hard config error.
+    pub fn try_from_env() -> Result<FaultPlan, (String, String)> {
+        match std::env::var("SCA_FAULTS") {
+            Ok(spec) => Self::parse(&spec).map_err(|e| (spec, e)),
+            Err(_) => Ok(Self::default()),
+        }
     }
 
     /// Whether the capture of trace `index` should fail on `attempt`
@@ -237,6 +311,36 @@ impl FaultPlan {
     pub fn torn_store_bytes(&self) -> Option<u64> {
         self.torn_store_bytes
     }
+
+    /// The injected *write*-level faults (`enospc@N`, `eio%RATE`) as a
+    /// [`WriteFaults`] plan for the fallible-writer layer.
+    pub fn write_faults(&self) -> WriteFaults {
+        let mut faults = WriteFaults::none();
+        if let Some(bytes) = self.enospc_after {
+            faults = faults.with_enospc_after(bytes);
+        }
+        if self.eio_rate > 0.0 {
+            faults = faults.with_eio_rate(self.seed, self.eio_rate);
+        }
+        faults
+    }
+
+    /// The injected stall for `(index, attempt)`, if any. Slow faults
+    /// hit the first attempt only, mirroring transient panics.
+    pub fn capture_delay(&self, index: usize, attempt: u32) -> Option<Duration> {
+        if attempt > 0 {
+            return None;
+        }
+        self.slow_captures
+            .get(&index)
+            .map(|&ms| Duration::from_millis(ms))
+    }
+
+    /// Whether the run's checkpoint should lose its tail after the run
+    /// (the torn-checkpoint fault).
+    pub fn torn_checkpoint(&self) -> bool {
+        self.torn_checkpoint
+    }
 }
 
 /// Install (once) a panic hook that swallows [`InjectedFault`] payloads
@@ -272,14 +376,26 @@ mod tests {
 
     #[test]
     fn parse_round_trips_every_token() {
-        let plan = FaultPlan::parse("seed=42, panic@3, panic@7!, panic%0.25, store, torn@99")
-            .expect("parse");
+        let plan = FaultPlan::parse(
+            "seed=42, panic@3, panic@7!, panic%0.25, store, torn@99, \
+             enospc@4096, eio%0.1, torn-checkpoint, slow@11:250",
+        )
+        .expect("parse");
         assert!(plan.is_active());
         assert!(plan.capture_fault_due(3, 0), "transient fires on attempt 0");
         assert!(!plan.capture_fault_due(3, 1), "transient clears on retry");
         assert!(plan.capture_fault_due(7, 0) && plan.capture_fault_due(7, 5));
         assert!(plan.store_write_error().is_some());
         assert_eq!(plan.torn_store_bytes(), Some(99));
+        assert!(plan.write_faults().is_active());
+        assert!(plan.torn_checkpoint());
+        assert_eq!(
+            plan.capture_delay(11, 0),
+            Some(Duration::from_millis(250)),
+            "slow fault armed at index 11"
+        );
+        assert_eq!(plan.capture_delay(11, 1), None, "slow clears on retry");
+        assert_eq!(plan.capture_delay(12, 0), None);
         assert_eq!(
             plan,
             FaultPlan::default()
@@ -288,6 +404,10 @@ mod tests {
                 .with_sticky_panics([7])
                 .with_store_errors()
                 .with_torn_store(99)
+                .with_enospc_after(4096)
+                .with_eio_rate(42, 0.1)
+                .with_torn_checkpoint()
+                .with_slow_capture(11, 250)
         );
     }
 
@@ -300,11 +420,24 @@ mod tests {
             "torn@lots",
             "seed=banana",
             "explode",
+            "enospc@many",
+            "eio%1.5",
+            "slow@3",
+            "slow@x:100",
+            "slow@3:soon",
         ] {
             assert!(FaultPlan::parse(bad).is_err(), "{bad:?} must be rejected");
         }
         assert_eq!(FaultPlan::parse("").expect("empty"), FaultPlan::default());
         assert_eq!(FaultPlan::parse("off").expect("off"), FaultPlan::default());
+    }
+
+    #[test]
+    fn inert_plan_has_no_write_faults_or_delays() {
+        let plan = FaultPlan::none();
+        assert!(!plan.write_faults().is_active());
+        assert!(!plan.torn_checkpoint());
+        assert_eq!(plan.capture_delay(0, 0), None);
     }
 
     #[test]

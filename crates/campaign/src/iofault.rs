@@ -1,0 +1,156 @@
+//! Deterministic I/O fault injection for the durability layer.
+//!
+//! [`FallibleWriter`] wraps any [`Write`] sink and injects two classes
+//! of failure the chaos harness cares about:
+//!
+//! * **ENOSPC** — the byte budget runs out: every write that would push
+//!   the total past `enospc_after` bytes fails, exactly like a full
+//!   disk. Deterministic per content (same bytes, same failure point).
+//! * **EIO** — each write *operation* fails with a seeded probability,
+//!   modelling flaky media. The coin is derived with the same SplitMix64
+//!   finalizer as the capture-fault coins, so two runs with the same
+//!   plan fail the same writes.
+//!
+//! The store and checkpoint writers (and the JSONL run log) route all
+//! bytes through this wrapper; with the default [`WriteFaults::none`]
+//! plan the cost is one branch per write. Injected failures surface as
+//! ordinary [`std::io::Error`]s, so they exercise exactly the error
+//! paths a real full disk would.
+
+use std::io::{self, Write};
+
+use acquisition::trace_seed;
+
+/// Domain separation between capture-fault coins and write-fault coins.
+const IO_FAULT_SALT: u64 = 0x10FA_5EED_10FA_5EED;
+
+/// Which injected write failures are armed (see the module docs).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WriteFaults {
+    enospc_after: Option<u64>,
+    eio_rate: f64,
+    seed: u64,
+}
+
+impl WriteFaults {
+    /// No injected write failures (the production default).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Fail every write that would push the cumulative byte count past
+    /// `bytes` (an injected full disk).
+    pub fn with_enospc_after(mut self, bytes: u64) -> Self {
+        self.enospc_after = Some(bytes);
+        self
+    }
+
+    /// Fail each write operation with probability `rate`, decided by a
+    /// per-operation coin derived from `seed`.
+    pub fn with_eio_rate(mut self, seed: u64, rate: f64) -> Self {
+        self.seed = seed;
+        self.eio_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Whether this plan can inject anything at all.
+    pub fn is_active(&self) -> bool {
+        self.enospc_after.is_some() || self.eio_rate > 0.0
+    }
+}
+
+/// A [`Write`] adapter that injects [`WriteFaults`] deterministically.
+#[derive(Debug)]
+pub struct FallibleWriter<W> {
+    inner: W,
+    faults: WriteFaults,
+    written: u64,
+    ops: u64,
+}
+
+impl<W> FallibleWriter<W> {
+    /// Wrap `inner`; a [`WriteFaults::none`] plan is pass-through.
+    pub fn new(inner: W, faults: WriteFaults) -> Self {
+        Self {
+            inner,
+            faults,
+            written: 0,
+            ops: 0,
+        }
+    }
+
+    /// The wrapped sink (e.g. to `sync_data` the underlying file).
+    pub fn get_ref(&self) -> &W {
+        &self.inner
+    }
+}
+
+impl<W: Write> Write for FallibleWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let op = self.ops;
+        self.ops += 1;
+        if let Some(limit) = self.faults.enospc_after {
+            if self.written.saturating_add(buf.len() as u64) > limit {
+                return Err(io::Error::other(
+                    "injected write fault: no space left on device (ENOSPC)",
+                ));
+            }
+        }
+        if self.faults.eio_rate > 0.0 {
+            let coin = trace_seed(self.faults.seed ^ IO_FAULT_SALT, op);
+            if (coin as f64 / u64::MAX as f64) < self.faults.eio_rate {
+                return Err(io::Error::other(
+                    "injected write fault: input/output error (EIO)",
+                ));
+            }
+        }
+        let n = self.inner.write(buf)?;
+        self.written += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_plan_passes_bytes_through() {
+        let mut w = FallibleWriter::new(Vec::new(), WriteFaults::none());
+        assert!(!WriteFaults::none().is_active());
+        w.write_all(b"hello").expect("write");
+        w.write_all(b" world").expect("write");
+        w.flush().expect("flush");
+        assert_eq!(w.get_ref(), b"hello world");
+    }
+
+    #[test]
+    fn enospc_fires_exactly_at_the_byte_budget() {
+        let faults = WriteFaults::none().with_enospc_after(8);
+        assert!(faults.is_active());
+        let mut w = FallibleWriter::new(Vec::new(), faults);
+        w.write_all(b"12345678").expect("fits the budget");
+        let err = w.write_all(b"x").expect_err("budget exhausted");
+        assert!(err.to_string().contains("ENOSPC"), "{err}");
+        // Nothing past the budget ever lands in the sink.
+        assert_eq!(w.get_ref(), b"12345678");
+    }
+
+    #[test]
+    fn eio_is_deterministic_and_seed_sensitive() {
+        let run = |seed: u64| -> Vec<bool> {
+            let mut w =
+                FallibleWriter::new(io::sink(), WriteFaults::none().with_eio_rate(seed, 0.3));
+            (0..200).map(|_| w.write(b"x").is_err()).collect()
+        };
+        let a = run(1);
+        assert_eq!(a, run(1), "same seed, same failing writes");
+        assert_ne!(a, run(2), "seed must move the failures");
+        let failures = a.iter().filter(|&&f| f).count();
+        assert!((20..120).contains(&failures), "30% of 200 ~ 60: {failures}");
+    }
+}

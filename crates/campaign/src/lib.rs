@@ -50,7 +50,9 @@ mod digest;
 mod error;
 mod executor;
 mod fault;
+mod iofault;
 mod report;
+mod scrub;
 mod store;
 
 pub use attack::{AttackOutcome, AttackPlan, DistinguisherReport, JointState};
@@ -59,18 +61,22 @@ pub use digest::{fnv1a, Digest};
 pub use error::CampaignError;
 pub use executor::{
     capture_schedule, capture_schedule_with, fold_schedule_into, fold_schedule_with,
-    resolve_workers, CaptureFailure, ChunkObserver, ExecPolicy, ExecutorReport, FoldState,
-    ResumeState, StreamPolicy, WorkerLoad,
+    resolve_workers, CancelToken, CaptureFailure, ChunkObserver, ExecPolicy, ExecutorReport,
+    FoldState, Interruption, ResumeState, RunBudget, StopCause, StreamPolicy, WorkerLoad,
 };
 pub use fault::{FaultPlan, InjectedFault};
+pub use iofault::{FallibleWriter, WriteFaults};
 pub use report::{RunLog, RunReport, Stage, StageTimer};
+pub use scrub::{RecordFate, ScrubOutcome, ScrubReport};
 pub use store::{
-    resume_checkpoint, CheckpointRecords, CheckpointWriter, CpaRecords, StoreError, StoreKind,
-    StoreMeta, StoreReader, StoreWriter, CHECKPOINT_MAGIC, MAGIC, VERSION,
+    resume_checkpoint, resume_checkpoint_with, salvage_store, write_atomic, write_atomic_with,
+    CheckpointRecords, CheckpointWriter, CpaRecords, StoreError, StoreKind, StoreMeta, StoreReader,
+    StoreSalvage, StoreWriter, CHECKPOINT_MAGIC, MAGIC, VERSION,
 };
 
 use std::collections::HashSet;
 use std::path::PathBuf;
+use std::time::Duration;
 
 use acquisition::{
     classified_schedule, cpa_schedule, cpa_seed, CpaAcquisition, LeakageStudy, ProtocolConfig,
@@ -122,6 +128,16 @@ pub struct CampaignConfig {
     /// batch path; [`SumMode::Welford`] trades that for a cheaper fold
     /// while staying bit-stable across worker counts.
     pub stream_mode: SumMode,
+    /// Run budget (wall-clock deadline, new-trace cap, cancellation),
+    /// unlimited by default. An expiring budget stops the run at a chunk
+    /// boundary, flushes the checkpoint, and surfaces a typed
+    /// [`Interruption`] in the outcome — resuming reproduces the
+    /// uninterrupted run bit for bit.
+    pub budget: RunBudget,
+    /// Per-capture watchdog limit: a capture attempt observed to exceed
+    /// it is discarded and retried (then quarantined), instead of
+    /// silently stretching the run. `None` disables the watchdog.
+    pub capture_timeout: Option<Duration>,
 }
 
 impl Default for CampaignConfig {
@@ -138,6 +154,8 @@ impl Default for CampaignConfig {
             faults: FaultPlan::from_env().clone(),
             streaming: false,
             stream_mode: SumMode::Exact,
+            budget: RunBudget::unlimited(),
+            capture_timeout: None,
         }
     }
 }
@@ -166,6 +184,11 @@ pub struct CampaignOutcome {
     pub spectrum: LeakageSpectrum,
     /// Whether this outcome was read from the store.
     pub cache_hit: bool,
+    /// `Some` when the run budget expired before the schedule finished:
+    /// the traces cover only the completed prefix, the checkpoint holds
+    /// it durably, and re-running the same acquisition resumes to a
+    /// bit-identical complete set.
+    pub partial: Option<Interruption>,
 }
 
 /// What [`Campaign::open_checkpoint`] hands back to an executor run:
@@ -198,6 +221,9 @@ pub struct SpectrumOutcome {
     pub cache_hit: bool,
     /// Whether the analysis ran as a bounded-memory streaming fold.
     pub streamed: bool,
+    /// `Some` when the run budget expired mid-schedule (see
+    /// [`CampaignOutcome::partial`]).
+    pub partial: Option<Interruption>,
 }
 
 /// The campaign engine. Owns the cache and the run log; each
@@ -265,17 +291,31 @@ impl Campaign {
         let schedule = classified_schedule(&circuit, &self.config.protocol);
         let (raw, mut exec) = self.execute(&key, &sim, &schedule, self.config.protocol.seed);
 
-        // Quarantined indices have empty slots; the surviving traces
+        // Quarantined indices — and, after a budget interruption, the
+        // never-claimed tail — have empty slots; the surviving traces
         // still form a usable (if slightly unbalanced) classified set.
         let dropped: HashSet<usize> = exec.quarantined.iter().map(|f| f.index).collect();
         let mut traces = ClassifiedTraces::new(NUM_CLASSES, self.config.protocol.sampling.samples);
         for (index, (stimulus, trace)) in schedule.iter().zip(raw).enumerate() {
-            if !dropped.contains(&index) {
+            if !dropped.contains(&index) && !trace.is_empty() {
                 traces.push(usize::from(stimulus.label), trace);
             }
         }
 
-        if exec.quarantined.is_empty() {
+        if let Some(interruption) = exec.interrupted {
+            // A budget-stopped run is a valid prefix, not a failure: the
+            // checkpoint already holds every captured trace, so the next
+            // run resumes instead of restarting. It must never be cached
+            // as a complete set.
+            exec.warnings.push(
+                CampaignError::Interrupted {
+                    cause: interruption.cause.to_string(),
+                    remaining: interruption.remaining,
+                    scheduled: schedule.len(),
+                }
+                .to_string(),
+            );
+        } else if exec.quarantined.is_empty() {
             let warning = self.persist(&key, schedule.iter().map(|s| s.label), &traces, &mut timer);
             exec.warnings.extend(warning);
         } else {
@@ -300,6 +340,7 @@ impl Campaign {
             traces,
             spectrum,
             cache_hit: false,
+            partial: exec.interrupted,
         }
     }
 
@@ -349,6 +390,7 @@ impl Campaign {
                 traces_analyzed: outcome.traces.len(),
                 cache_hit: outcome.cache_hit,
                 streamed: false,
+                partial: outcome.partial,
             };
         }
 
@@ -376,7 +418,16 @@ impl Campaign {
         let (acc, mut exec) =
             self.execute_streaming(&key, &sim, &schedule, self.config.protocol.seed);
 
-        if !exec.quarantined.is_empty() {
+        if let Some(interruption) = exec.interrupted {
+            exec.warnings.push(
+                CampaignError::Interrupted {
+                    cause: interruption.cause.to_string(),
+                    remaining: interruption.remaining,
+                    scheduled: schedule.len(),
+                }
+                .to_string(),
+            );
+        } else if !exec.quarantined.is_empty() {
             exec.warnings.push(
                 CampaignError::Incomplete {
                     quarantined: exec.quarantined.iter().map(|f| f.index).collect(),
@@ -399,6 +450,7 @@ impl Campaign {
             traces_analyzed,
             cache_hit: false,
             streamed: true,
+            partial: exec.interrupted,
         }
     }
 
@@ -455,7 +507,16 @@ impl Campaign {
         let (raw, mut exec) =
             self.execute(&cache_key, &sim, &schedule, cpa_seed(&self.config.protocol));
 
-        if exec.quarantined.is_empty() {
+        if let Some(interruption) = exec.interrupted {
+            exec.warnings.push(
+                CampaignError::Interrupted {
+                    cause: interruption.cause.to_string(),
+                    remaining: interruption.remaining,
+                    scheduled: schedule.len(),
+                }
+                .to_string(),
+            );
+        } else if exec.quarantined.is_empty() {
             if self.cache.writes_enabled() {
                 timer.stage("store");
                 let records = schedule
@@ -492,7 +553,8 @@ impl Campaign {
     /// log. Returns the number of lines appended.
     pub fn finish(&self) -> std::io::Result<usize> {
         print!("{}", self.log.summary_table());
-        self.log.append_jsonl(&self.config.log_path)
+        self.log
+            .append_jsonl_with(&self.config.log_path, self.config.faults.write_faults())
     }
 
     fn classified_key(&self, scheme: Scheme, months: f64) -> CampaignKey {
@@ -522,13 +584,30 @@ impl Campaign {
     }
 
     fn derating(&self, circuit: &SboxCircuit, months: f64) -> Derating {
+        Self::derating_with(
+            &self.config.protocol,
+            &self.config.conditions,
+            circuit,
+            months,
+        )
+    }
+
+    /// The derating for `circuit` at `months` under an explicit protocol
+    /// and conditions — shared by acquisitions and the scrub's seed-stable
+    /// re-captures (which reconstruct the protocol from a store header).
+    pub(crate) fn derating_with(
+        protocol: &ProtocolConfig,
+        conditions: &AgingConditions,
+        circuit: &SboxCircuit,
+        months: f64,
+    ) -> Derating {
         if months == 0.0 {
             // Identical to derating_at_months(0.0), without profiling the
             // stress workload.
             Derating::fresh(circuit.netlist())
         } else {
-            LeakageStudy::new(self.config.protocol.clone())
-                .with_conditions(self.config.conditions.clone())
+            LeakageStudy::new(protocol.clone())
+                .with_conditions(conditions.clone())
                 .aged_device(circuit)
                 .derating_at_months(months)
         }
@@ -560,6 +639,8 @@ impl Campaign {
         };
         let (raw, mut exec) =
             capture_schedule_with(sim, schedule, sampling, base_seed, &policy, resume);
+        drop(writer);
+        self.maybe_tear_checkpoint(key);
         warnings.append(&mut exec.warnings);
         exec.warnings = warnings;
         (raw, exec)
@@ -589,6 +670,8 @@ impl Campaign {
         };
         let (acc, mut exec) =
             fold_schedule_with(sim, schedule, sampling, base_seed, &policy, resume, &stream);
+        drop(writer);
+        self.maybe_tear_checkpoint(key);
         warnings.append(&mut exec.warnings);
         exec.warnings = warnings;
         (acc, exec)
@@ -599,6 +682,25 @@ impl Campaign {
             workers: self.config.workers,
             max_retries: self.config.max_retries,
             faults: self.config.faults.clone(),
+            budget: self.config.budget.clone(),
+            capture_timeout: self.config.capture_timeout,
+        }
+    }
+
+    /// Apply the `torn-checkpoint` fault: after a run finishes writing
+    /// its checkpoint, tear the last few bytes off the file — the crash
+    /// exactly mid-flush that the salvage scan must absorb on resume.
+    fn maybe_tear_checkpoint(&self, key: &CampaignKey) {
+        if !self.config.faults.torn_checkpoint() {
+            return;
+        }
+        let path = self.cache.checkpoint_path(key);
+        if let Ok(meta) = std::fs::metadata(&path) {
+            let torn = meta.len().saturating_sub(5);
+            let _ = std::fs::OpenOptions::new()
+                .write(true)
+                .open(&path)
+                .and_then(|f| f.set_len(torn));
         }
     }
 
@@ -620,7 +722,11 @@ impl Campaign {
             if let Some(dir) = path.parent() {
                 let _ = std::fs::create_dir_all(dir);
             }
-            match resume_checkpoint(&path, &key.expected_meta()) {
+            match resume_checkpoint_with(
+                &path,
+                &key.expected_meta(),
+                self.config.faults.write_faults(),
+            ) {
                 Ok((records, w)) => {
                     completed = records
                         .into_iter()
@@ -683,7 +789,11 @@ impl Campaign {
             return Err(e);
         }
         let path = self.cache.path_for(key);
-        let mut writer = StoreWriter::create(&path, key.expected_meta())?;
+        let mut writer = StoreWriter::create_with(
+            &path,
+            key.expected_meta(),
+            self.config.faults.write_faults(),
+        )?;
         for (label, samples) in records {
             writer.record(label, samples)?;
         }
@@ -717,6 +827,7 @@ impl Campaign {
             traces,
             spectrum,
             cache_hit: true,
+            partial: None,
         }
     }
 
@@ -743,6 +854,7 @@ impl Campaign {
             traces_analyzed: acc.len() as usize,
             cache_hit: true,
             streamed: true,
+            partial: None,
         }
     }
 
@@ -771,6 +883,8 @@ impl Campaign {
             streamed,
             peak_resident,
             merge_depth,
+            healed: 0,
+            partial: None,
             warnings: Vec::new(),
         });
     }
@@ -805,6 +919,8 @@ impl Campaign {
             streamed,
             peak_resident: exec.peak_resident,
             merge_depth: exec.merge_depth,
+            healed: 0,
+            partial: exec.interrupted.map(|i| i.cause.to_string()),
             warnings: exec.warnings.clone(),
         });
     }

@@ -5,12 +5,13 @@
 //! performance trajectory across sessions.
 
 use std::fmt::Write as _;
-use std::fs::OpenOptions;
-use std::io::Write as _;
 use std::path::Path;
 use std::time::{Duration, Instant};
 
 use gatesim::CaptureStats;
+
+use crate::iofault::WriteFaults;
+use crate::store::write_atomic_with;
 
 /// A named wall-clock span within one campaign run.
 #[derive(Debug, Clone)]
@@ -103,6 +104,12 @@ pub struct RunReport {
     /// Merge depth of the final streaming accumulator (0 for batch
     /// runs).
     pub merge_depth: usize,
+    /// Records this run healed (re-captured seed-stably by a scrub pass;
+    /// 0 for ordinary acquisitions).
+    pub healed: usize,
+    /// `Some(cause)` when the run budget stopped this run early, e.g.
+    /// `"deadline expired"`.
+    pub partial: Option<String>,
     /// Non-fatal degradations (store/cache/checkpoint/report write
     /// failures that the run survived).
     pub warnings: Vec<String>,
@@ -175,6 +182,12 @@ impl RunReport {
         let _ = write!(s, ",\"streamed\":{}", self.streamed);
         let _ = write!(s, ",\"peak_resident_traces\":{}", self.peak_resident);
         let _ = write!(s, ",\"merge_depth\":{}", self.merge_depth);
+        let _ = write!(s, ",\"healed\":{}", self.healed);
+        let _ = write!(
+            s,
+            ",\"partial\":{}",
+            self.partial.as_deref().map_or("null".into(), json_str)
+        );
         s.push_str(",\"warnings\":[");
         for (i, w) in self.warnings.iter().enumerate() {
             if i > 0 {
@@ -236,23 +249,30 @@ impl RunLog {
     /// Append every run as one JSON line each; the file accumulates
     /// across sessions. Returns how many lines were written.
     ///
-    /// Durable: the file is flushed and synced before returning, so a
-    /// crash immediately after a campaign cannot lose its run records.
-    /// Callers treat a returned error as a warning — a broken run log
-    /// never aborts a campaign.
+    /// Durable and atomic: the existing log plus the new lines are
+    /// staged to a temp file, fsynced, and renamed over the log, so a
+    /// crash mid-write can neither tear an existing record nor leave a
+    /// half-written line. Callers treat a returned error as a warning —
+    /// a broken run log never aborts a campaign.
     pub fn append_jsonl(&self, path: &Path) -> std::io::Result<usize> {
+        self.append_jsonl_with(path, WriteFaults::none())
+    }
+
+    /// [`RunLog::append_jsonl`] with injected write faults (the chaos
+    /// harness's `enospc@N` / `eio%RATE` route through here).
+    pub fn append_jsonl_with(&self, path: &Path, faults: WriteFaults) -> std::io::Result<usize> {
         if self.reports.is_empty() {
             return Ok(0);
         }
         if let Some(dir) = path.parent() {
             std::fs::create_dir_all(dir)?;
         }
-        let mut f = OpenOptions::new().create(true).append(true).open(path)?;
+        let mut contents = std::fs::read(path).unwrap_or_default();
         for r in &self.reports {
-            writeln!(f, "{}", r.to_json())?;
+            contents.extend_from_slice(r.to_json().as_bytes());
+            contents.push(b'\n');
         }
-        f.flush()?;
-        f.sync_all()?;
+        write_atomic_with(path, &contents, faults)?;
         Ok(self.reports.len())
     }
 
@@ -261,7 +281,7 @@ impl RunLog {
         let mut s = String::new();
         let _ = writeln!(
             s,
-            "{:<9} {:>4} {:>7} {:>4} {:>6} {:>10} {:>6} {:>5} {:>5} {:>5} {:>9} {:>9} {:>8} {:>10}",
+            "{:<9} {:>4} {:>7} {:>4} {:>6} {:>10} {:>6} {:>5} {:>5} {:>5} {:>5} {:>9} {:>9} {:>8} {:>10} partial",
             "impl",
             "age",
             "traces",
@@ -272,15 +292,16 @@ impl RunLog {
             "rtry",
             "quar",
             "rsmd",
+            "heal",
             "acq(s)",
             "total(s)",
             "tr/s",
-            "ev/s"
+            "ev/s",
         );
         for r in &self.reports {
             let _ = writeln!(
                 s,
-                "{:<9} {:>4.0} {:>7} {:>4} {:>6} {:>10} {:>6.2} {:>5} {:>5} {:>5} {:>9.3} {:>9.3} {:>8} {:>10}",
+                "{:<9} {:>4.0} {:>7} {:>4} {:>6} {:>10} {:>6.2} {:>5} {:>5} {:>5} {:>5} {:>9.3} {:>9.3} {:>8} {:>10} {}",
                 r.implementation,
                 r.age_months,
                 r.traces,
@@ -291,12 +312,14 @@ impl RunLog {
                 r.retried,
                 r.quarantined,
                 r.resumed,
+                r.healed,
                 r.stage_seconds("acquire"),
                 r.total_seconds(),
                 r.acquire_throughput()
                     .map_or_else(|| "-".into(), |t| format!("{t:.0}")),
                 r.event_throughput()
                     .map_or_else(|| "-".into(), |t| format!("{t:.0}")),
+                r.partial.as_deref().unwrap_or("-"),
             );
         }
         let _ = writeln!(
@@ -382,6 +405,8 @@ mod tests {
             streamed: false,
             peak_resident: 0,
             merge_depth: 0,
+            healed: 0,
+            partial: None,
             warnings: Vec::new(),
         }
     }
@@ -409,6 +434,8 @@ mod tests {
             "\"streamed\":false",
             "\"peak_resident_traces\":0",
             "\"merge_depth\":0",
+            "\"healed\":0",
+            "\"partial\":null",
             "\"warnings\":[]",
             "\"stages\":{\"build\":",
         ] {
@@ -467,6 +494,48 @@ mod tests {
         let text = std::fs::read_to_string(&path).expect("read");
         assert_eq!(text.lines().count(), 6, "appends accumulate");
         assert!(text.ends_with('\n'));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn healed_and_partial_land_in_jsonl_and_table() {
+        let mut r = report(false);
+        r.healed = 3;
+        r.partial = Some("deadline expired".into());
+        let j = r.to_json();
+        assert!(j.contains("\"healed\":3"), "{j}");
+        assert!(j.contains("\"partial\":\"deadline expired\""), "{j}");
+        let mut log = RunLog::new();
+        log.push(r);
+        let table = log.summary_table();
+        assert!(
+            table.contains("heal") && table.contains("partial"),
+            "{table}"
+        );
+        assert!(table.contains("deadline expired"), "{table}");
+    }
+
+    #[test]
+    fn append_jsonl_survives_injected_write_faults_atomically() {
+        let mut log = RunLog::new();
+        log.push(report(false));
+        let mut path = std::env::temp_dir();
+        path.push(format!("campaign-log-faulty-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        log.append_jsonl(&path).expect("seed the log");
+        let before = std::fs::read_to_string(&path).expect("read");
+
+        // An injected full disk fails the append but must leave the
+        // existing log byte-identical (the temp file never replaced it).
+        let err = log
+            .append_jsonl_with(&path, WriteFaults::none().with_enospc_after(10))
+            .expect_err("ENOSPC must surface");
+        assert!(err.to_string().contains("ENOSPC"), "{err}");
+        assert_eq!(std::fs::read_to_string(&path).expect("read"), before);
+
+        log.append_jsonl(&path).expect("healthy append");
+        let text = std::fs::read_to_string(&path).expect("read");
+        assert_eq!(text.lines().count(), 2, "failed append left no line");
         let _ = std::fs::remove_file(&path);
     }
 

@@ -6,7 +6,7 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic "SCTR"
-//! 4       2     format version (currently 1)
+//! 4       2     format version (currently 2)
 //! 6       2     kind: 0 = classified leakage protocol, 1 = CPA dataset
 //! 8       2     num_classes (classified) / secret key nibble (CPA)
 //! 10      2     implementation-name length n
@@ -16,15 +16,35 @@
 //! 28+n    8     acquisition-config digest (u64)
 //! 36+n    4     trace count (u32)
 //! 40+n    4     samples per trace (u32)
-//! 44+n    —     records: per trace a u16 label + samples × f64
+//! 44+n    8     FNV-1a/64 checksum of the header bytes above
+//! 52+n    —     records: per trace a u16 label + samples × f64,
+//!               each followed by its own FNV-1a/64 record checksum
 //! end-8   8     FNV-1a/64 checksum of every preceding byte
 //! ```
 //!
 //! Versioning rules: the magic and version are checked before anything
 //! else is parsed; a reader never guesses at unknown versions (bump the
 //! version on any layout change and keep old readers refusing new files
-//! loudly). The checksum covers header *and* records, so truncation and
-//! bit-rot are both detected.
+//! loudly). Version 2 added the header and per-record checksums; v1
+//! files (single trailing checksum only) are refused and re-acquired.
+//!
+//! Three checksum scopes serve three failure modes:
+//!
+//! * the **header checksum** proves the metadata before any buffer is
+//!   sized from it, and is what makes a damaged file *salvageable* —
+//!   [`salvage_store`] trusts a verified header to locate every record;
+//! * the **per-record checksums** localize damage: [`StoreReader`]
+//!   verifies each record on every cache hit, and [`salvage_store`]
+//!   classifies records as clean / corrupt (bad checksum) / torn
+//!   (truncated tail) so a scrub pass re-captures only what was lost;
+//! * the **trailing whole-file checksum** keeps the all-or-nothing
+//!   cache-hit guarantee of version 1.
+//!
+//! Stores are written **atomically**: bytes stream to a `.tmp` sibling,
+//! which is fsynced and renamed over the final path only on a complete,
+//! checksummed [`StoreWriter::finish`]. A crash mid-write leaves at
+//! worst a stale temp file, never a half-written store under a valid
+//! name.
 //!
 //! The reader streams records through a fixed reusable buffer
 //! ([`StoreReader::for_each_record`]) rather than materializing the file,
@@ -35,22 +55,25 @@
 //!
 //! A crashed or killed campaign must not lose hours of simulation, so
 //! the executor periodically flushes completed traces to a sibling
-//! *checkpoint* file (`<store>.ckpt`). Unlike `SCTR` — whose single
-//! trailing checksum makes a file all-or-nothing — a checkpoint is a
-//! sequence of **self-delimiting frames**, each carrying its own FNV
-//! checksum:
+//! *checkpoint* file (`<store>.ckpt`). Unlike `SCTR` — whose trailing
+//! checksum makes a file all-or-nothing — a checkpoint is a sequence of
+//! **self-delimiting frames**, each carrying its own FNV checksum:
 //!
 //! ```text
 //! magic "SCKP", version, the SCTR header fields, header FNV-1a/64
 //! frame*: index u32 | label u16 | samples × f64 | frame FNV-1a/64
 //! ```
 //!
-//! A torn tail (the crash case) therefore salvages every frame before
-//! the tear: [`resume_checkpoint`] validates frames in order, truncates
-//! the file back to the last intact frame, and hands back both the
-//! salvaged records and a writer positioned to append. Resumed runs
-//! re-derive the same per-trace seeds for the remaining indices, so the
-//! merged result is byte-identical to an uninterrupted run.
+//! Frames are fixed-length for a given header, so salvage can *resync*:
+//! a corrupt frame anywhere in the file loses only itself —
+//! [`resume_checkpoint`] validates every frame at its fixed boundary,
+//! skips the damaged ones, truncates the torn tail back to the last
+//! intact frame, and hands back both the salvaged records and a writer
+//! positioned to append. Resumed runs re-derive the same per-trace
+//! seeds for the missing indices, so the merged result is byte-identical
+//! to an uninterrupted run. A fresh header is installed atomically
+//! (temp file + rename) so a crash mid-reset cannot leave a half-header
+//! that a later resume would misparse.
 
 use std::fmt;
 use std::fs::{File, OpenOptions};
@@ -60,6 +83,7 @@ use std::path::{Path, PathBuf};
 use leakage_core::ClassifiedTraces;
 
 use crate::digest::Digest;
+use crate::iofault::{FallibleWriter, WriteFaults};
 
 /// A CPA dataset as read back from a store: the known key nibble, the
 /// per-trace plaintext nibbles, and the traces themselves.
@@ -70,7 +94,7 @@ pub const MAGIC: [u8; 4] = *b"SCTR";
 /// Checkpoint-file magic.
 pub const CHECKPOINT_MAGIC: [u8; 4] = *b"SCKP";
 /// Current format version (shared by stores and checkpoints).
-pub const VERSION: u16 = 1;
+pub const VERSION: u16 = 2;
 
 /// What protocol produced a store's records (decides how its `u16`
 /// per-record labels and the `class_or_key` header field are read).
@@ -146,40 +170,115 @@ impl From<io::Error> for StoreError {
     }
 }
 
-/// A writer that checksums as it streams records to disk.
+/// The `.tmp` sibling a file is staged to before an atomic rename.
+fn staging_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".tmp");
+    PathBuf::from(os)
+}
+
+/// Best-effort fsync of `path`'s parent directory, so the rename that
+/// published `path` is itself durable. Failures are ignored: directory
+/// fsync is a durability nicety, not a correctness requirement (a lost
+/// rename degrades to a cache miss).
+fn sync_parent_dir(path: &Path) {
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+}
+
+/// Write `contents` to `path` atomically: stream to a `.tmp` sibling
+/// through a [`FallibleWriter`], fsync, then rename over `path`. On any
+/// failure the temp file is removed and the previous contents of `path`
+/// (if any) survive untouched.
+pub fn write_atomic_with(path: &Path, contents: &[u8], faults: WriteFaults) -> io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let tmp = staging_path(path);
+    let staged = (|| -> io::Result<()> {
+        let mut out = FallibleWriter::new(File::create(&tmp)?, faults);
+        out.write_all(contents)?;
+        out.flush()?;
+        out.get_ref().sync_all()?;
+        Ok(())
+    })();
+    if let Err(e) = staged {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    std::fs::rename(&tmp, path)?;
+    sync_parent_dir(path);
+    Ok(())
+}
+
+/// [`write_atomic_with`] without fault injection — the call every
+/// report/CSV writer should use instead of truncate-in-place.
+pub fn write_atomic(path: &Path, contents: &[u8]) -> io::Result<()> {
+    write_atomic_with(path, contents, WriteFaults::none())
+}
+
+/// A writer that checksums as it streams records to a staged temp file;
+/// [`StoreWriter::finish`] fsyncs and atomically renames it into place.
 ///
 /// The record count promised in `meta.traces` is enforced on
-/// [`StoreWriter::finish`]; a mismatch is a format error and the partial
-/// file is removed.
+/// [`StoreWriter::finish`]; a mismatch is a format error, the temp file
+/// is removed, and the final path is never touched. Dropping an
+/// unfinished writer also removes its temp file.
 #[derive(Debug)]
 pub struct StoreWriter {
     path: PathBuf,
-    out: BufWriter<File>,
+    tmp: PathBuf,
+    out: Option<BufWriter<FallibleWriter<File>>>,
     digest: Digest,
     meta: StoreMeta,
     written: u32,
 }
 
 impl StoreWriter {
-    /// Create `path` (and its parent directories) and write the header.
+    /// Create the staging file for `path` (and its parent directories)
+    /// and write the checksummed header.
     pub fn create(path: &Path, meta: StoreMeta) -> Result<Self, StoreError> {
+        Self::create_with(path, meta, WriteFaults::none())
+    }
+
+    /// [`StoreWriter::create`] with injected write faults (chaos tests).
+    pub fn create_with(
+        path: &Path,
+        meta: StoreMeta,
+        faults: WriteFaults,
+    ) -> Result<Self, StoreError> {
         if let Some(dir) = path.parent() {
             std::fs::create_dir_all(dir)?;
         }
+        let tmp = staging_path(path);
         let mut w = Self {
             path: path.to_path_buf(),
-            out: BufWriter::new(File::create(path)?),
+            out: Some(BufWriter::new(FallibleWriter::new(
+                File::create(&tmp)?,
+                faults,
+            ))),
+            tmp,
             digest: Digest::new(),
             meta: meta.clone(),
             written: 0,
         };
-        w.emit(&MAGIC)?;
-        w.emit(&VERSION.to_le_bytes())?;
-        w.emit(&meta_bytes(&meta)?)?;
+        let mut header = Vec::new();
+        header.extend_from_slice(&MAGIC);
+        header.extend_from_slice(&VERSION.to_le_bytes());
+        header.extend_from_slice(&meta_bytes(&meta)?);
+        let header_checksum = crate::digest::fnv1a(&header);
+        header.extend_from_slice(&header_checksum.to_le_bytes());
+        if let Err(e) = w.emit(&header) {
+            w.discard();
+            return Err(e);
+        }
         Ok(w)
     }
 
-    /// Append one labelled trace record.
+    /// Append one labelled trace record with its own checksum.
     pub fn record(&mut self, label: u16, samples: &[f64]) -> Result<(), StoreError> {
         if samples.len() != self.meta.samples as usize {
             return Err(StoreError::Format(format!(
@@ -194,40 +293,75 @@ impl StoreWriter {
                 self.meta.traces
             )));
         }
-        self.emit(&label.to_le_bytes())?;
-        let mut buf = Vec::with_capacity(samples.len() * 8);
+        let mut buf = Vec::with_capacity(2 + samples.len() * 8 + 8);
+        buf.extend_from_slice(&label.to_le_bytes());
         for &s in samples {
             buf.extend_from_slice(&s.to_le_bytes());
         }
+        let record_checksum = crate::digest::fnv1a(&buf);
+        buf.extend_from_slice(&record_checksum.to_le_bytes());
         self.emit(&buf)?;
         self.written += 1;
         Ok(())
     }
 
-    /// Write the trailing checksum and flush. Consumes the writer.
+    /// Write the trailing checksum, fsync the staged file, and atomically
+    /// rename it into place. Consumes the writer; on any failure the
+    /// temp file is removed and the final path is untouched.
     pub fn finish(mut self) -> Result<(), StoreError> {
+        let result = self.finish_inner();
+        if result.is_err() {
+            self.discard();
+        }
+        result
+    }
+
+    fn finish_inner(&mut self) -> Result<(), StoreError> {
         if self.written != self.meta.traces {
-            let _ = std::fs::remove_file(&self.path);
             return Err(StoreError::Format(format!(
                 "{} records written, header promises {}",
                 self.written, self.meta.traces
             )));
         }
         let checksum = self.digest.finish();
-        self.out.write_all(&checksum.to_le_bytes())?;
-        self.out.flush()?;
+        let mut out = self.out.take().expect("unfinished writer has a sink");
+        out.write_all(&checksum.to_le_bytes())?;
+        let inner = out
+            .into_inner()
+            .map_err(|e| StoreError::Io(e.into_error()))?;
+        inner.get_ref().sync_all()?;
+        drop(inner);
+        std::fs::rename(&self.tmp, &self.path)?;
+        sync_parent_dir(&self.path);
         Ok(())
+    }
+
+    fn discard(&mut self) {
+        self.out = None;
+        let _ = std::fs::remove_file(&self.tmp);
     }
 
     fn emit(&mut self, bytes: &[u8]) -> Result<(), StoreError> {
         self.digest.bytes(bytes);
-        self.out.write_all(bytes)?;
+        self.out
+            .as_mut()
+            .expect("unfinished writer has a sink")
+            .write_all(bytes)?;
         Ok(())
     }
 }
 
-/// A chunked reader: the header is parsed eagerly, records stream on
-/// demand through one reusable buffer.
+impl Drop for StoreWriter {
+    fn drop(&mut self) {
+        if self.out.is_some() {
+            self.discard();
+        }
+    }
+}
+
+/// A chunked reader: the header is parsed (and checksum-verified)
+/// eagerly, records stream on demand through one reusable buffer with
+/// their per-record checksums verified as they pass.
 #[derive(Debug)]
 pub struct StoreReader {
     meta: StoreMeta,
@@ -237,7 +371,8 @@ pub struct StoreReader {
 }
 
 impl StoreReader {
-    /// Open a store and validate its magic, version, and header shape.
+    /// Open a store and validate its magic, version, length, and header
+    /// checksum.
     pub fn open(path: &Path) -> Result<Self, StoreError> {
         let mut input = BufReader::new(File::open(path)?);
         let mut digest = Digest::new();
@@ -256,15 +391,21 @@ impl StoreReader {
         }
         let meta = parse_meta(&mut input, &mut digest)?;
 
-        // Sanity-check the header against the file's actual length
-        // *before* sizing any buffer from it: a corrupted trace or
-        // sample count must produce a format error, not a multi-gigabyte
-        // allocation (the checksum would catch the corruption, but only
-        // after the damage).
-        let expected = 44u128
-            + meta.name.len() as u128
-            + u128::from(meta.traces) * (2 + 8 * u128::from(meta.samples))
-            + 8;
+        // The running digest has absorbed exactly the header bytes, so
+        // its state *is* the expected header checksum. Verifying it here
+        // proves the metadata before any buffer is sized from it: a
+        // corrupted trace or sample count must produce a format error,
+        // not a multi-gigabyte allocation.
+        let expect_header = digest.finish();
+        let stored_header = u64::from_le_bytes(read_array(&mut input, &mut digest)?);
+        if stored_header != expect_header {
+            return Err(StoreError::Format(format!(
+                "header checksum mismatch: stored {stored_header:#018x}, \
+                 computed {expect_header:#018x}"
+            )));
+        }
+
+        let expected = expected_len(&meta);
         let actual = u128::from(input.get_ref().metadata()?.len());
         if actual != expected {
             return Err(StoreError::Format(format!(
@@ -286,15 +427,17 @@ impl StoreReader {
         &self.meta
     }
 
-    /// Stream every record through `f` as `(label, samples)`, then verify
-    /// the trailing checksum. The samples slice borrows the reader's
+    /// Stream every record through `f` as `(label, samples)`, verifying
+    /// each record's checksum as it passes and the trailing whole-file
+    /// checksum at the end. The samples slice borrows the reader's
     /// internal buffer and is only valid for the duration of the call.
     pub fn for_each_record(
         mut self,
         mut f: impl FnMut(u16, &[f64]),
     ) -> Result<StoreMeta, StoreError> {
         let mut samples = vec![0.0f64; self.meta.samples as usize];
-        for _ in 0..self.meta.traces {
+        let mut tail = [0u8; 8];
+        for index in 0..self.meta.traces {
             self.input.read_exact(&mut self.record_buf).map_err(|e| {
                 if e.kind() == io::ErrorKind::UnexpectedEof {
                     StoreError::Format("store truncated mid-record".into())
@@ -303,6 +446,22 @@ impl StoreReader {
                 }
             })?;
             self.digest.bytes(&self.record_buf);
+            let expect = crate::digest::fnv1a(&self.record_buf);
+            self.input.read_exact(&mut tail).map_err(|e| {
+                if e.kind() == io::ErrorKind::UnexpectedEof {
+                    StoreError::Format("store truncated mid-record".into())
+                } else {
+                    StoreError::Io(e)
+                }
+            })?;
+            self.digest.bytes(&tail);
+            let stored = u64::from_le_bytes(tail);
+            if stored != expect {
+                return Err(StoreError::Format(format!(
+                    "record {index} checksum mismatch: stored {stored:#018x}, \
+                     computed {expect:#018x}"
+                )));
+            }
             let label = u16::from_le_bytes([self.record_buf[0], self.record_buf[1]]);
             for (slot, chunk) in samples.iter_mut().zip(self.record_buf[2..].chunks_exact(8)) {
                 *slot = f64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
@@ -310,15 +469,14 @@ impl StoreReader {
             f(label, &samples);
         }
         let expect = self.digest.finish();
-        let mut trailer = [0u8; 8];
-        self.input.read_exact(&mut trailer).map_err(|e| {
+        self.input.read_exact(&mut tail).map_err(|e| {
             if e.kind() == io::ErrorKind::UnexpectedEof {
                 StoreError::Format("store truncated before checksum".into())
             } else {
                 StoreError::Io(e)
             }
         })?;
-        let stored = u64::from_le_bytes(trailer);
+        let stored = u64::from_le_bytes(tail);
         if stored != expect {
             return Err(StoreError::Format(format!(
                 "checksum mismatch: stored {stored:#018x}, computed {expect:#018x}"
@@ -373,6 +531,15 @@ impl StoreReader {
         })?;
         Ok((key, plaintexts, traces))
     }
+}
+
+/// The exact byte length a well-formed store with header `meta` has.
+fn expected_len(meta: &StoreMeta) -> u128 {
+    44u128
+        + meta.name.len() as u128
+        + 8
+        + u128::from(meta.traces) * (2 + 8 * u128::from(meta.samples) + 8)
+        + 8
 }
 
 fn read_array<const N: usize>(
@@ -444,6 +611,98 @@ fn parse_meta(input: &mut impl Read, digest: &mut Digest) -> Result<StoreMeta, S
     })
 }
 
+/// What a tolerant scan of a damaged store recovered (see
+/// [`salvage_store`]).
+#[derive(Debug)]
+pub struct StoreSalvage {
+    /// The parsed, checksum-verified header.
+    pub meta: StoreMeta,
+    /// Records whose per-record checksum verified: `(index, label,
+    /// samples)`, in file order.
+    pub clean: CheckpointRecords,
+    /// Indices of records whose checksum failed (bit rot).
+    pub corrupt: Vec<u32>,
+    /// Number of records lost to a truncated tail.
+    pub torn: u32,
+}
+
+impl StoreSalvage {
+    /// Whether every promised record survived intact (damage, if any,
+    /// is confined to the trailing whole-file checksum).
+    pub fn is_intact(&self) -> bool {
+        self.corrupt.is_empty() && self.torn == 0 && self.clean.len() == self.meta.traces as usize
+    }
+}
+
+/// Tolerantly scan a (possibly damaged) store, classifying each record
+/// slot as clean, corrupt, or torn. Because records are fixed-length
+/// once the header is known, damage is localized: a flipped byte loses
+/// one record, a truncated tail loses only the records past the tear.
+///
+/// Returns `Err` only when the file cannot be salvaged at all: missing,
+/// wrong magic/version, or a header whose own checksum fails (without a
+/// trusted header there is no record geometry to scan).
+pub fn salvage_store(path: &Path) -> Result<StoreSalvage, StoreError> {
+    let mut input = BufReader::new(File::open(path)?);
+    let mut digest = Digest::new();
+
+    let magic = read_array::<4>(&mut input, &mut digest)?;
+    if magic != MAGIC {
+        return Err(StoreError::Format(format!(
+            "bad magic {magic:02x?} (not an SCTR trace store)"
+        )));
+    }
+    let version = u16::from_le_bytes(read_array(&mut input, &mut digest)?);
+    if version != VERSION {
+        return Err(StoreError::Format(format!(
+            "unsupported store version {version} (this reader understands {VERSION})"
+        )));
+    }
+    let meta = parse_meta(&mut input, &mut digest)?;
+    let expect_header = digest.finish();
+    let mut tail = [0u8; 8];
+    input.read_exact(&mut tail).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            StoreError::Format("store truncated mid-header".into())
+        } else {
+            StoreError::Io(e)
+        }
+    })?;
+    if u64::from_le_bytes(tail) != expect_header {
+        return Err(StoreError::Format(
+            "header checksum mismatch: nothing to trust, store is unsalvageable".into(),
+        ));
+    }
+
+    let record_bytes = 2 + 8 * meta.samples as usize;
+    let mut buf = vec![0u8; record_bytes];
+    let mut clean = Vec::new();
+    let mut corrupt = Vec::new();
+    let mut torn = 0u32;
+    for index in 0..meta.traces {
+        if input.read_exact(&mut buf).is_err() || input.read_exact(&mut tail).is_err() {
+            torn = meta.traces - index;
+            break;
+        }
+        if crate::digest::fnv1a(&buf) != u64::from_le_bytes(tail) {
+            corrupt.push(index);
+            continue;
+        }
+        let label = u16::from_le_bytes([buf[0], buf[1]]);
+        let samples: Vec<f64> = buf[2..]
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte sample")))
+            .collect();
+        clean.push((index, label, samples));
+    }
+    Ok(StoreSalvage {
+        meta,
+        clean,
+        corrupt,
+        torn,
+    })
+}
+
 /// Salvaged checkpoint records: `(schedule index, label, samples)`.
 pub type CheckpointRecords = Vec<(u32, u16, Vec<f64>)>;
 
@@ -452,7 +711,7 @@ pub type CheckpointRecords = Vec<(u32, u16, Vec<f64>)>;
 /// durability cadence the campaign wants.
 #[derive(Debug)]
 pub struct CheckpointWriter {
-    out: BufWriter<File>,
+    out: BufWriter<FallibleWriter<File>>,
     samples: usize,
     traces: u32,
 }
@@ -489,7 +748,7 @@ impl CheckpointWriter {
     /// after this call loses nothing written before it.
     pub fn sync(&mut self) -> Result<(), StoreError> {
         self.out.flush()?;
-        self.out.get_ref().sync_data()?;
+        self.out.get_ref().get_ref().sync_data()?;
         Ok(())
     }
 }
@@ -500,19 +759,32 @@ impl CheckpointWriter {
 /// Returns every intact frame already on disk plus a writer positioned
 /// to append after them. Degradation rules:
 ///
-/// * missing file → empty records, fresh header;
+/// * missing file → empty records, fresh header (installed atomically
+///   via a temp file + rename, so a crash mid-reset cannot fake a
+///   half-header);
 /// * unreadable/mismatched header (a different run's checkpoint, a
 ///   corrupt byte, an unknown version) → the file is reset to a fresh
 ///   header and zero records — never trusted, never fatal;
-/// * torn or corrupt frame → every frame *before* it is salvaged, the
-///   file is truncated back to the last intact frame, appending resumes
-///   from there.
+/// * a corrupt frame **anywhere** → frames are fixed-length, so salvage
+///   resyncs at the next frame boundary and loses only the damaged
+///   frame, not its suffix;
+/// * a torn tail → truncated back to the last intact frame, appending
+///   resumes from there.
 ///
 /// Only a real I/O error (permissions, disk) is returned as `Err`; the
 /// caller then runs without checkpointing.
 pub fn resume_checkpoint(
     path: &Path,
     expect: &StoreMeta,
+) -> Result<(CheckpointRecords, CheckpointWriter), StoreError> {
+    resume_checkpoint_with(path, expect, WriteFaults::none())
+}
+
+/// [`resume_checkpoint`] with injected write faults (chaos tests).
+pub fn resume_checkpoint_with(
+    path: &Path,
+    expect: &StoreMeta,
+    faults: WriteFaults,
 ) -> Result<(CheckpointRecords, CheckpointWriter), StoreError> {
     if let Some(dir) = path.parent() {
         std::fs::create_dir_all(dir)?;
@@ -526,38 +798,26 @@ pub fn resume_checkpoint(
         Err(e) => return Err(StoreError::Io(e)),
     };
 
-    // The salvaged prefix is kept; `set_len` below trims exactly to it.
-    let file = OpenOptions::new()
-        .write(true)
-        .create(true)
-        .truncate(false)
-        .open(path)?;
+    let writer = |file: File| CheckpointWriter {
+        out: BufWriter::new(FallibleWriter::new(file, faults)),
+        samples: expect.samples as usize,
+        traces: expect.traces,
+    };
+
     if valid_len == 0 {
-        file.set_len(0)?;
-        let mut out = BufWriter::new(file);
-        out.write_all(&header)?;
-        out.flush()?;
-        out.get_ref().sync_data()?;
-        Ok((
-            records,
-            CheckpointWriter {
-                out,
-                samples: expect.samples as usize,
-                traces: expect.traces,
-            },
-        ))
+        // No trusted prefix: install a fresh header atomically, then
+        // append to the published file.
+        write_atomic_with(path, &header, faults)?;
+        let mut file = OpenOptions::new().write(true).open(path)?;
+        file.seek(SeekFrom::End(0))?;
+        Ok((records, writer(file)))
     } else {
+        // Trim any torn tail (or trailing corrupt frame) back to the
+        // last intact frame and append after it.
+        let mut file = OpenOptions::new().write(true).open(path)?;
         file.set_len(valid_len)?;
-        let mut out = BufWriter::new(file);
-        out.seek(SeekFrom::End(0))?;
-        Ok((
-            records,
-            CheckpointWriter {
-                out,
-                samples: expect.samples as usize,
-                traces: expect.traces,
-            },
-        ))
+        file.seek(SeekFrom::End(0))?;
+        Ok((records, writer(file)))
     }
 }
 
@@ -574,9 +834,11 @@ fn checkpoint_header(meta: &StoreMeta) -> Result<Vec<u8>, StoreError> {
 
 /// Read everything trustworthy out of an existing checkpoint: if the
 /// header matches `expect` byte for byte, every frame whose checksum
-/// verifies, in order, stopping at the first tear. Returns the records
-/// and the byte length of the trusted prefix (0 = header unusable,
-/// start over).
+/// verifies. Frames are fixed-length, so a corrupt frame is *skipped*
+/// and scanning resyncs at the next boundary — damage anywhere loses
+/// only the damaged frame. Returns the records and the byte length of
+/// the file up to its last intact frame (0 = header unusable, start
+/// over); anything past that length (a torn tail) is untrusted.
 fn salvage_frames(
     mut input: BufReader<File>,
     header: &[u8],
@@ -589,19 +851,21 @@ fn salvage_frames(
     }
     let mut records = Vec::new();
     let mut valid_len = header.len() as u64;
+    let mut offset = header.len() as u64;
     let mut frame = vec![0u8; frame_len];
     loop {
         if input.read_exact(&mut frame).is_err() {
             break; // EOF or torn tail: everything salvaged so far stands.
         }
+        offset += frame_len as u64;
         let body = &frame[..frame_len - 8];
         let stored = u64::from_le_bytes(frame[frame_len - 8..].try_into().expect("8-byte tail"));
         if crate::digest::fnv1a(body) != stored {
-            break; // corrupt frame: do not trust it or anything after it.
+            continue; // corrupt frame: skip it, resync at the next boundary.
         }
         let index = u32::from_le_bytes(body[..4].try_into().expect("4-byte index"));
         if index >= expect.traces {
-            break;
+            continue; // checksummed but nonsensical: treat like corruption.
         }
         let label = u16::from_le_bytes(body[4..6].try_into().expect("2-byte label"));
         let samples: Vec<f64> = body[6..]
@@ -609,7 +873,7 @@ fn salvage_frames(
             .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte sample")))
             .collect();
         records.push((index, label, samples));
-        valid_len += frame_len as u64;
+        valid_len = offset;
     }
     (records, valid_len)
 }
@@ -662,14 +926,48 @@ mod tests {
     }
 
     #[test]
+    fn stores_are_published_atomically() {
+        let path = tmp("atomic.sctr");
+        let _ = std::fs::remove_file(&path);
+        let mut w = StoreWriter::create(&path, meta(1, 2)).expect("create");
+        w.record(0, &[1.0, 2.0]).expect("record");
+        assert!(
+            !path.exists(),
+            "final path must not exist before finish (bytes stage to .tmp)"
+        );
+        assert!(
+            staging_path(&path).exists(),
+            "staging file carries the bytes"
+        );
+        w.finish().expect("finish");
+        assert!(path.exists(), "finish publishes the store");
+        assert!(
+            !staging_path(&path).exists(),
+            "staging file is renamed away"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn dropped_writer_leaves_no_debris() {
+        let path = tmp("drop.sctr");
+        let _ = std::fs::remove_file(&path);
+        let mut w = StoreWriter::create(&path, meta(2, 1)).expect("create");
+        w.record(0, &[1.0]).expect("record");
+        drop(w);
+        assert!(!path.exists());
+        assert!(!staging_path(&path).exists(), "drop removes the temp file");
+    }
+
+    #[test]
     fn corruption_is_detected() {
         let path = tmp("corrupt.sctr");
         let mut w = StoreWriter::create(&path, meta(1, 2)).expect("create");
         w.record(3, &[1.0, 2.0]).expect("record");
         w.finish().expect("finish");
-        // Flip one payload byte.
+        // Flip one payload byte inside the record.
         let mut bytes = std::fs::read(&path).expect("read");
-        let idx = bytes.len() - 12; // inside the last record's samples
+        let idx = bytes.len() - 20; // inside the last record's samples
         bytes[idx] ^= 0x40;
         std::fs::write(&path, &bytes).expect("write");
         let err = StoreReader::open(&path)
@@ -677,6 +975,53 @@ mod tests {
             .for_each_record(|_, _| {})
             .expect_err("checksum must fail");
         assert!(matches!(err, StoreError::Format(m) if m.contains("checksum")));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn per_record_checksums_name_the_damaged_record() {
+        let path = tmp("record-checksum.sctr");
+        let m = meta(3, 2);
+        let mut w = StoreWriter::create(&path, m.clone()).expect("create");
+        for i in 0..3u16 {
+            w.record(i, &[f64::from(i), -f64::from(i)]).expect("record");
+        }
+        w.finish().expect("finish");
+        // Flip a byte in the middle record's payload.
+        let header_len = 44 + m.name.len() + 8;
+        let record_len = 2 + 8 * m.samples as usize + 8;
+        let mut bytes = std::fs::read(&path).expect("read");
+        bytes[header_len + record_len + 5] ^= 0x01;
+        std::fs::write(&path, &bytes).expect("write");
+        let mut seen = 0usize;
+        let err = StoreReader::open(&path)
+            .expect("open")
+            .for_each_record(|_, _| seen += 1)
+            .expect_err("record checksum must fail");
+        assert!(
+            matches!(&err, StoreError::Format(m) if m.contains("record 1 checksum")),
+            "{err}"
+        );
+        assert_eq!(seen, 1, "damage stops the stream at the bad record");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn header_corruption_is_its_own_checksum_failure() {
+        let path = tmp("header-checksum.sctr");
+        let mut w = StoreWriter::create(&path, meta(1, 2)).expect("create");
+        w.record(0, &[1.0, 2.0]).expect("record");
+        w.finish().expect("finish");
+        // Flip a bit inside the stored seed (byte 20 of the header for
+        // an 8-byte name).
+        let mut bytes = std::fs::read(&path).expect("read");
+        bytes[21] ^= 0x04;
+        std::fs::write(&path, &bytes).expect("write");
+        let err = StoreReader::open(&path).expect_err("header checksum must fail");
+        assert!(
+            matches!(&err, StoreError::Format(m) if m.contains("header checksum")),
+            "{err}"
+        );
         let _ = std::fs::remove_file(&path);
     }
 
@@ -723,11 +1068,67 @@ mod tests {
         let mut w = StoreWriter::create(&path, meta(2, 1)).expect("create");
         w.record(0, &[1.0]).expect("record");
         assert!(w.finish().is_err(), "missing record must fail finish");
-        assert!(!path.exists(), "partial file must be removed");
+        assert!(!path.exists(), "no store is published");
+        assert!(!staging_path(&path).exists(), "temp file is removed");
 
         let mut w = StoreWriter::create(&path, meta(1, 1)).expect("create");
         w.record(0, &[1.0]).expect("record");
         assert!(w.record(1, &[2.0]).is_err(), "extra record must fail");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn salvage_classifies_clean_corrupt_and_torn_records() {
+        let path = tmp("salvage.sctr");
+        let m = meta(4, 2);
+        let mut w = StoreWriter::create(&path, m.clone()).expect("create");
+        for i in 0..4u16 {
+            w.record(i, &[f64::from(i) + 0.5, -f64::from(i)])
+                .expect("record");
+        }
+        w.finish().expect("finish");
+
+        let intact = salvage_store(&path).expect("salvage clean file");
+        assert!(intact.is_intact());
+        assert_eq!(intact.clean.len(), 4);
+
+        // Corrupt record 1's payload and tear record 3 in half.
+        let header_len = 44 + m.name.len() + 8;
+        let record_len = 2 + 8 * m.samples as usize + 8;
+        let mut bytes = std::fs::read(&path).expect("read");
+        bytes[header_len + record_len + 4] ^= 0x20;
+        bytes.truncate(header_len + 3 * record_len + record_len / 2);
+        std::fs::write(&path, &bytes).expect("write");
+
+        let s = salvage_store(&path).expect("salvage damaged file");
+        assert!(!s.is_intact());
+        assert_eq!(s.meta, m);
+        assert_eq!(
+            s.clean.iter().map(|r| r.0).collect::<Vec<_>>(),
+            vec![0, 2],
+            "records 0 and 2 survive"
+        );
+        assert_eq!(s.clean[0].1, 0);
+        assert_eq!(s.clean[1].2, vec![2.5, -2.0]);
+        assert_eq!(s.corrupt, vec![1]);
+        assert_eq!(s.torn, 1, "record 3 lost to the tear");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn salvage_refuses_a_store_with_a_damaged_header() {
+        let path = tmp("salvage-header.sctr");
+        let mut w = StoreWriter::create(&path, meta(1, 2)).expect("create");
+        w.record(0, &[1.0, 2.0]).expect("record");
+        w.finish().expect("finish");
+        let mut bytes = std::fs::read(&path).expect("read");
+        bytes[14] ^= 0x08; // inside the implementation name
+        std::fs::write(&path, &bytes).expect("write");
+        let err = salvage_store(&path).expect_err("untrusted header");
+        assert!(
+            matches!(&err, StoreError::Format(m) if m.contains("unsalvageable")),
+            "{err}"
+        );
         let _ = std::fs::remove_file(&path);
     }
 
@@ -790,7 +1191,7 @@ mod tests {
     }
 
     #[test]
-    fn checkpoint_corrupt_frame_quarantines_its_suffix() {
+    fn checkpoint_corrupt_frame_loses_only_itself() {
         let path = tmp("ckpt-corrupt.sckp");
         let _ = std::fs::remove_file(&path);
         let m = meta(8, 2);
@@ -805,11 +1206,21 @@ mod tests {
         let second_frame_start = bytes.len() - 2 * frame_len;
         bytes[second_frame_start + 7] ^= 0x01;
         std::fs::write(&path, &bytes).expect("corrupt");
-        let (records, _) = resume_checkpoint(&path, &m).expect("salvage");
+        let (records, mut w) = resume_checkpoint(&path, &m).expect("salvage");
         assert_eq!(
             records.iter().map(|r| r.0).collect::<Vec<_>>(),
-            vec![0],
-            "frames after a corrupt one are untrusted"
+            vec![0, 2],
+            "fixed frame boundaries resync past the corrupt frame"
+        );
+        // The lost index can be re-captured and appended; a later resume
+        // sees the union, with the corrupt slot still skipped.
+        w.record(1, 0, &[1.0, 2.0]).expect("append");
+        w.sync().expect("sync");
+        drop(w);
+        let (records, _) = resume_checkpoint(&path, &m).expect("reread");
+        assert_eq!(
+            records.iter().map(|r| r.0).collect::<Vec<_>>(),
+            vec![0, 2, 1]
         );
         let _ = std::fs::remove_file(&path);
     }
@@ -840,6 +1251,26 @@ mod tests {
         let (_, mut w) = resume_checkpoint(&path, &meta(4, 2)).expect("fresh");
         assert!(w.record(0, 0, &[1.0]).is_err(), "short frame");
         assert!(w.record(4, 0, &[1.0, 2.0]).is_err(), "index out of range");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn write_atomic_never_damages_the_previous_contents() {
+        let path = tmp("atomic-report.txt");
+        write_atomic(&path, b"good report").expect("first write");
+        let err = write_atomic_with(
+            &path,
+            b"half-written replacement",
+            WriteFaults::none().with_enospc_after(4),
+        )
+        .expect_err("injected ENOSPC");
+        assert!(err.to_string().contains("ENOSPC"));
+        assert_eq!(
+            std::fs::read(&path).expect("read"),
+            b"good report",
+            "failed rewrite leaves the old contents intact"
+        );
+        assert!(!staging_path(&path).exists(), "temp file cleaned up");
         let _ = std::fs::remove_file(&path);
     }
 

@@ -40,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checksum;
 mod classes;
 pub mod comoment;
 pub mod convergence;

@@ -18,19 +18,29 @@
 //! grammar). `SCA_STREAM` switches spectral figures to the bounded-memory
 //! streaming fold (`on`/`exact` for the bit-identical exact mode,
 //! `welford` for the cheaper online mode, default `off`); streamed cells
-//! keep no raw traces, so they are not persisted to the trace store. A
-//! malformed value never fails silently: it warns on stderr, naming the
-//! bad value and the default used instead.
+//! keep no raw traces, so they are not persisted to the trace store.
+//!
+//! Run budgets: `SCA_DEADLINE_MS` (wall-clock limit per acquisition),
+//! `SCA_MAX_TRACES` (cap on newly captured traces per acquisition), and
+//! `SCA_CAPTURE_TIMEOUT_MS` (per-capture watchdog) — all `0`/unset =
+//! unlimited. A budget-stopped run flushes its checkpoint and resumes
+//! bit-identically on the next invocation.
+//!
+//! A malformed value never fails silently: by default it warns on
+//! stderr, naming the bad value and the default used instead; with
+//! `SCA_STRICT=1` (used in CI) a malformed `SCA_WORKERS`, `SCA_RETRIES`,
+//! `SCA_CHECKPOINT`, `SCA_FAULTS`, or budget knob is a hard
+//! configuration error and the binary exits with status 2.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fs;
-use std::io::Write as _;
 use std::path::PathBuf;
+use std::time::Duration;
 
 use acquisition::ProtocolConfig;
-use campaign::{CacheMode, Campaign, CampaignConfig, SumMode};
+use campaign::{CacheMode, Campaign, CampaignConfig, CampaignError, FaultPlan, RunBudget, SumMode};
 
 /// Parse the common CLI: optional traces-per-class override.
 pub fn protocol_from_args() -> ProtocolConfig {
@@ -102,15 +112,120 @@ fn stream_from_env() -> (bool, SumMode) {
     }
 }
 
+/// Whether `SCA_STRICT=1` (or `on`/`true`) is set: malformed
+/// configuration becomes a hard [`CampaignError::Config`] instead of a
+/// warning plus default. CI runs strict so a typo'd knob fails the job.
+pub fn strict_env() -> bool {
+    matches!(
+        std::env::var("SCA_STRICT").as_deref(),
+        Ok("1") | Ok("on") | Ok("true")
+    )
+}
+
+/// Strict counterpart of [`env_parsed`]: a set-but-unusable value is a
+/// typed configuration error rather than a silent (or warned) default.
+fn try_env_parsed<T>(name: &str, default: T) -> Result<T, CampaignError>
+where
+    T: std::str::FromStr,
+{
+    match std::env::var(name) {
+        Ok(v) => v.parse().map_err(|_| CampaignError::Config {
+            name: name.to_string(),
+            value: v,
+        }),
+        Err(_) => Ok(default),
+    }
+}
+
+/// The run budget named by `SCA_DEADLINE_MS` / `SCA_MAX_TRACES` /
+/// `SCA_CANCEL` (0 or unset = unlimited), parsed with `parse` (strict
+/// error) or `lenient` (warn-and-default) semantics.
+fn budget_from_env(strict: bool) -> Result<RunBudget, CampaignError> {
+    let (deadline_ms, max_traces) = if strict {
+        (
+            try_env_parsed("SCA_DEADLINE_MS", 0u64)?,
+            try_env_parsed("SCA_MAX_TRACES", 0usize)?,
+        )
+    } else {
+        (
+            env_parsed("SCA_DEADLINE_MS", 0u64),
+            env_parsed("SCA_MAX_TRACES", 0usize),
+        )
+    };
+    let mut budget = RunBudget::unlimited();
+    if deadline_ms > 0 {
+        budget = budget.with_time_limit(Duration::from_millis(deadline_ms));
+    }
+    if max_traces > 0 {
+        budget = budget.with_max_new_traces(max_traces);
+    }
+    Ok(budget)
+}
+
+/// The per-capture watchdog named by `SCA_CAPTURE_TIMEOUT_MS` (0 or
+/// unset = no watchdog).
+fn capture_timeout_from_env(strict: bool) -> Result<Option<Duration>, CampaignError> {
+    let ms = if strict {
+        try_env_parsed("SCA_CAPTURE_TIMEOUT_MS", 0u64)?
+    } else {
+        env_parsed("SCA_CAPTURE_TIMEOUT_MS", 0u64)
+    };
+    Ok((ms > 0).then(|| Duration::from_millis(ms)))
+}
+
+/// Strict counterpart of [`campaign_config`]: any malformed
+/// `SCA_WORKERS`, `SCA_RETRIES`, `SCA_CHECKPOINT`, `SCA_FAULTS`, or
+/// budget knob is returned as a [`CampaignError::Config`] instead of a
+/// stderr warning plus default.
+pub fn try_campaign_config(protocol: ProtocolConfig) -> Result<CampaignConfig, CampaignError> {
+    let (streaming, stream_mode) = stream_from_env();
+    let faults = FaultPlan::try_from_env().map_err(|(value, reason)| {
+        eprintln!("error: SCA_FAULTS={value:?}: {reason}");
+        CampaignError::Config {
+            name: "SCA_FAULTS".to_string(),
+            value,
+        }
+    })?;
+    Ok(CampaignConfig {
+        protocol,
+        workers: try_env_parsed("SCA_WORKERS", 0usize)?,
+        cache: cache_mode_from_env(),
+        max_retries: try_env_parsed("SCA_RETRIES", 2u32)?,
+        checkpoint_every: try_env_parsed("SCA_CHECKPOINT", 64usize)?,
+        streaming,
+        stream_mode,
+        faults,
+        budget: budget_from_env(true)?,
+        capture_timeout: capture_timeout_from_env(true)?,
+        ..CampaignConfig::default()
+    })
+}
+
 /// The campaign policy shared by every binary: workers from
 /// `SCA_WORKERS` (0 or unset = all cores), cache mode from `SCA_CACHE`
 /// (`off`, `refresh`, default read-write), capture retries from
 /// `SCA_RETRIES`, checkpoint cadence from `SCA_CHECKPOINT` (0 = no
 /// checkpoints), fault injection from `SCA_FAULTS`, the streaming
-/// analysis mode from `SCA_STREAM` (`off`, `exact`, `welford`), stores
-/// and the run log under `results/`.
+/// analysis mode from `SCA_STREAM` (`off`, `exact`, `welford`), run
+/// budgets from `SCA_DEADLINE_MS` / `SCA_MAX_TRACES` /
+/// `SCA_CAPTURE_TIMEOUT_MS`, stores and the run log under `results/`.
+///
+/// With `SCA_STRICT=1` a malformed knob exits the process with status 2
+/// (see [`try_campaign_config`]); otherwise it warns and defaults.
 pub fn campaign_config(protocol: ProtocolConfig) -> CampaignConfig {
+    if strict_env() {
+        match try_campaign_config(protocol) {
+            Ok(config) => return config,
+            Err(e) => {
+                eprintln!("error: {e} (SCA_STRICT=1 makes this fatal)");
+                std::process::exit(2);
+            }
+        }
+    }
     let (streaming, stream_mode) = stream_from_env();
+    let budget = budget_from_env(false).expect("lenient budget parsing cannot fail");
+    let capture_timeout =
+        capture_timeout_from_env(false).expect("lenient watchdog parsing cannot fail");
     CampaignConfig {
         protocol,
         workers: env_parsed("SCA_WORKERS", 0usize),
@@ -119,6 +234,8 @@ pub fn campaign_config(protocol: ProtocolConfig) -> CampaignConfig {
         checkpoint_every: env_parsed("SCA_CHECKPOINT", 64usize),
         streaming,
         stream_mode,
+        budget,
+        capture_timeout,
         ..CampaignConfig::default()
     }
 }
@@ -198,8 +315,10 @@ impl CsvSink {
         self.rows.push(csv_row(fields));
     }
 
-    /// Write the file (best-effort; failures are reported, not fatal —
-    /// the stdout report is the primary artifact).
+    /// Write the file atomically — temp file, fsync, rename — so a crash
+    /// or full disk mid-write never leaves a truncated CSV behind
+    /// (best-effort; failures are reported, not fatal — the stdout
+    /// report is the primary artifact).
     pub fn finish(self) {
         if let Some(dir) = self.path.parent() {
             if let Err(e) = fs::create_dir_all(dir) {
@@ -207,13 +326,13 @@ impl CsvSink {
                 return;
             }
         }
-        match fs::File::create(&self.path) {
-            Ok(mut f) => {
-                for r in &self.rows {
-                    let _ = writeln!(f, "{r}");
-                }
-                eprintln!("wrote {}", self.path.display());
-            }
+        let mut contents = String::with_capacity(self.rows.iter().map(|r| r.len() + 1).sum());
+        for r in &self.rows {
+            contents.push_str(r);
+            contents.push('\n');
+        }
+        match campaign::write_atomic(&self.path, contents.as_bytes()) {
+            Ok(()) => eprintln!("wrote {}", self.path.display()),
             Err(e) => eprintln!("warning: cannot write {}: {e}", self.path.display()),
         }
     }
@@ -279,6 +398,46 @@ mod tests {
         std::env::set_var("SCA_STREAM", "banana");
         assert_eq!(stream_from_env(), (false, SumMode::Exact));
         std::env::remove_var("SCA_STREAM");
+    }
+
+    #[test]
+    fn budget_knobs_reach_the_campaign_config() {
+        // Unique-per-test env names are impossible here (the knobs are
+        // fixed), so this test owns all three and restores them; the
+        // defaults test above deliberately does not assert on budget.
+        std::env::set_var("SCA_DEADLINE_MS", "1500");
+        std::env::set_var("SCA_MAX_TRACES", "32");
+        std::env::set_var("SCA_CAPTURE_TIMEOUT_MS", "250");
+        let c = try_campaign_config(ProtocolConfig::default()).expect("valid knobs");
+        assert_eq!(c.budget.time_limit, Some(Duration::from_millis(1500)));
+        assert_eq!(c.budget.max_new_traces, Some(32));
+        assert_eq!(c.capture_timeout, Some(Duration::from_millis(250)));
+
+        // Garbage values for these fixed knobs are deliberately NOT set
+        // here: other tests call campaign_config concurrently, and under
+        // SCA_STRICT=1 (the CI fault matrix) a racing garbage value
+        // would exit the whole test process. The typed-error path is
+        // covered with a private variable name below.
+
+        std::env::remove_var("SCA_DEADLINE_MS");
+        std::env::remove_var("SCA_MAX_TRACES");
+        std::env::remove_var("SCA_CAPTURE_TIMEOUT_MS");
+    }
+
+    #[test]
+    fn strict_parsing_returns_typed_config_errors() {
+        // A set-but-garbage value is a CampaignError::Config naming the
+        // knob; unset falls back to the given default. Unique variable
+        // names: the test process' environment is shared across threads.
+        std::env::set_var("SCA_TEST_STRICT_BAD", "banana");
+        let err = try_env_parsed::<usize>("SCA_TEST_STRICT_BAD", 0).expect_err("typed error");
+        assert!(matches!(err, CampaignError::Config { ref name, ref value }
+            if name == "SCA_TEST_STRICT_BAD" && value == "banana"));
+        std::env::remove_var("SCA_TEST_STRICT_BAD");
+        assert_eq!(
+            try_env_parsed::<usize>("SCA_TEST_STRICT_UNSET", 4).expect("unset is default"),
+            4
+        );
     }
 
     #[test]

@@ -1,0 +1,196 @@
+//! Chaos soak for the durable I/O layer: a battery of seeded fault
+//! schedules — capture panics, torn stores, full disks (`enospc@N`),
+//! flaky writes (`eio%R`), torn checkpoints, hung captures under a
+//! watchdog, expiring budgets, and cancellation — each run end to end
+//! through the public campaign API.
+//!
+//! The invariant under every schedule is the same: the run must end in
+//! one of three states — a bit-identical result, a cleanly reported
+//! typed degradation (quarantine/warnings), or a resumable interruption
+//! — and a follow-up run with the faults lifted must always converge to
+//! the bit-identical reference. A panic that escapes the campaign, or a
+//! silently wrong trace set, fails the soak.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use sbox_leakage::acquisition::ProtocolConfig;
+use sbox_leakage::campaign::{
+    CacheMode, Campaign, CampaignConfig, CancelToken, FaultPlan, RunBudget,
+};
+use sbox_leakage::circuits::Scheme;
+
+/// One seeded fault schedule of the soak.
+struct ChaosSchedule {
+    name: &'static str,
+    faults: FaultPlan,
+    budget: RunBudget,
+    capture_timeout: Option<Duration>,
+}
+
+impl ChaosSchedule {
+    fn new(name: &'static str, faults: FaultPlan) -> Self {
+        Self {
+            name,
+            faults,
+            budget: RunBudget::unlimited(),
+            capture_timeout: None,
+        }
+    }
+
+    fn with_budget(mut self, budget: RunBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    fn with_watchdog(mut self, limit: Duration) -> Self {
+        self.capture_timeout = Some(limit);
+        self
+    }
+}
+
+fn schedules() -> Vec<ChaosSchedule> {
+    let cancelled = CancelToken::new();
+    cancelled.cancel();
+    vec![
+        ChaosSchedule::new("panic-rate", FaultPlan::none().with_panic_rate(7, 0.15)),
+        ChaosSchedule::new(
+            "sticky-panics",
+            FaultPlan::none().with_sticky_panics([2, 17]),
+        ),
+        ChaosSchedule::new("torn-store", FaultPlan::none().with_torn_store(52)),
+        ChaosSchedule::new("enospc", FaultPlan::none().with_enospc_after(600)),
+        ChaosSchedule::new("eio", FaultPlan::none().with_eio_rate(9, 0.08)),
+        ChaosSchedule::new("torn-checkpoint", FaultPlan::none().with_torn_checkpoint()),
+        ChaosSchedule::new(
+            "slow-capture-watchdog",
+            FaultPlan::none().with_slow_capture(5, 300),
+        )
+        .with_watchdog(Duration::from_millis(50)),
+        ChaosSchedule::new("trace-budget", FaultPlan::none())
+            .with_budget(RunBudget::unlimited().with_max_new_traces(10)),
+        ChaosSchedule::new("expired-deadline", FaultPlan::none())
+            .with_budget(RunBudget::unlimited().with_time_limit(Duration::ZERO)),
+        ChaosSchedule::new("cancelled", FaultPlan::none())
+            .with_budget(RunBudget::unlimited().with_cancel(cancelled)),
+        ChaosSchedule::new(
+            "kitchen-sink",
+            FaultPlan::none()
+                .with_panic_rate(23, 0.1)
+                .with_eio_rate(41, 0.05)
+                .with_torn_checkpoint(),
+        )
+        .with_budget(RunBudget::unlimited().with_max_new_traces(24)),
+        ChaosSchedule::new(
+            "enospc-and-panics",
+            FaultPlan::none()
+                .with_enospc_after(900)
+                .with_transient_panics([0, 9, 30]),
+        ),
+    ]
+}
+
+/// A small, fast protocol: 32 traces of 10 samples.
+fn small_protocol() -> ProtocolConfig {
+    let mut p = ProtocolConfig {
+        traces_per_class: 2,
+        ..ProtocolConfig::default()
+    };
+    p.sampling.samples = 10;
+    p
+}
+
+fn config_in(dir: &Path, faults: FaultPlan) -> CampaignConfig {
+    CampaignConfig {
+        protocol: small_protocol(),
+        workers: 2,
+        cache: CacheMode::ReadWrite,
+        store_dir: dir.join("traces"),
+        log_path: dir.join("runs.jsonl"),
+        faults,
+        ..CampaignConfig::default()
+    }
+}
+
+#[test]
+fn every_fault_schedule_ends_clean_typed_or_resumable() {
+    // The clean reference every schedule must converge to.
+    let ref_dir =
+        std::env::temp_dir().join(format!("sbox-leakage-chaos-ref-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&ref_dir);
+    let mut clean = Campaign::new(CampaignConfig {
+        cache: CacheMode::Off,
+        ..config_in(&ref_dir, FaultPlan::none())
+    });
+    let reference = clean.acquire(Scheme::Opt);
+    let _ = std::fs::remove_dir_all(&ref_dir);
+
+    for schedule in schedules() {
+        let dir: PathBuf = std::env::temp_dir().join(format!(
+            "sbox-leakage-chaos-{}-{}",
+            schedule.name,
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // The faulted run. Nothing in the campaign may panic, no matter
+        // what the schedule throws at it.
+        let name = schedule.name;
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut campaign = Campaign::new(CampaignConfig {
+                budget: schedule.budget.clone(),
+                capture_timeout: schedule.capture_timeout,
+                ..config_in(&dir, schedule.faults.clone())
+            });
+            let outcome = campaign.acquire(Scheme::Opt);
+            let report = &campaign.log().reports()[0];
+            (outcome, report.quarantined, report.warnings.clone())
+        }));
+        let (outcome, quarantined, warnings) =
+            outcome.unwrap_or_else(|_| panic!("schedule {name:?}: campaign panicked"));
+
+        // Terminal-state invariant: bit-identical, typed degradation,
+        // or a resumable interruption — never a silently wrong result.
+        if let Some(interruption) = &outcome.partial {
+            assert!(
+                warnings.iter().any(|w| w.contains("interrupted")),
+                "schedule {name:?}: interruption must be reported: {warnings:?}"
+            );
+            assert!(
+                outcome.traces.len() + interruption.remaining + quarantined
+                    <= reference.traces.len(),
+                "schedule {name:?}: partial accounting out of range"
+            );
+        } else if quarantined > 0 {
+            assert!(
+                warnings.iter().any(|w| w.contains("quarantined")),
+                "schedule {name:?}: degradation must be reported: {warnings:?}"
+            );
+            assert!(
+                outcome.traces.len() < reference.traces.len(),
+                "schedule {name:?}: quarantine must shrink the set, not corrupt it"
+            );
+        } else {
+            assert_eq!(
+                outcome.traces, reference.traces,
+                "schedule {name:?}: an uninterrupted run must be bit-identical"
+            );
+        }
+
+        // Convergence invariant: lift the faults and the same directory
+        // — whatever stores, checkpoints, or torn prefixes the chaos
+        // left behind — must finish to the bit-identical reference.
+        let mut recovery = Campaign::new(config_in(&dir, FaultPlan::none()));
+        let recovered = recovery.acquire(Scheme::Opt);
+        assert_eq!(
+            recovered.traces, reference.traces,
+            "schedule {name:?}: recovery run must converge bit-identically"
+        );
+        assert!(
+            recovered.partial.is_none(),
+            "schedule {name:?}: recovery run must complete"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -192,6 +192,7 @@ fn merged_shard_accumulators_match_golden_vectors() {
                 workers,
                 max_retries: 0,
                 faults: FaultPlan::none(),
+                ..ExecPolicy::default()
             };
             let stream = StreamPolicy {
                 num_classes: NUM_CLASSES,

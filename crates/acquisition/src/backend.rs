@@ -1,0 +1,211 @@
+//! Capture-backend selection: the event-driven reference engine vs the
+//! bit-sliced levelized engine.
+//!
+//! Every acquisition path in this workspace is defined by the
+//! event-driven engine's semantics; the bit-sliced backend is a pure
+//! throughput optimisation that must reproduce those semantics
+//! bit-for-bit wherever it runs at all. Netlists it cannot handle
+//! (sub-resolution effective delays, where commit order — and therefore
+//! inertial-absorption order — is not reproducible from levelized
+//! evaluation) are rejected statically by
+//! [`Simulator::bitsliced_session`], and callers fall back to the
+//! event-driven path.
+//!
+//! [`Simulator::bitsliced_session`]: gatesim::Simulator::bitsliced_session
+
+use gatesim::{BitslicedSession, CaptureStats, Derating, LaneStimulus, SamplingConfig, Simulator};
+use leakage_core::ClassifiedTraces;
+use sbox_circuits::SboxCircuit;
+
+use crate::protocol::{
+    classified_schedule, trace_seed, CaptureError, ProtocolConfig, Stimulus, NUM_CLASSES,
+};
+
+/// Which gate-level capture engine executes scheduled stimuli.
+///
+/// Selected per campaign (env knob `SCA_BACKEND` in the experiment
+/// binaries) and recorded in run reports, so a throughput number is
+/// never quoted without the engine that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// The event-driven engine: one trace per pass, full glitch-order
+    /// fidelity on every netlist. The reference semantics.
+    #[default]
+    Event,
+    /// The bit-sliced levelized engine: up to [`gatesim::LANES`] traces
+    /// per pass. Requests the fast path; falls back to `Event` (with a
+    /// recorded warning) on netlists the static support check rejects.
+    Bitsliced,
+    /// Probe bit-sliced support per netlist and use it where available,
+    /// silently taking the event-driven path otherwise.
+    Auto,
+}
+
+impl Backend {
+    /// The knob spelling of this backend (`event` / `bitsliced` /
+    /// `auto`), as written to run reports and `campaign_runs.jsonl`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Backend::Event => "event",
+            Backend::Bitsliced => "bitsliced",
+            Backend::Auto => "auto",
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for Backend {
+    type Err = ();
+
+    /// Parse the `SCA_BACKEND` knob spellings (case-insensitive).
+    fn from_str(s: &str) -> Result<Self, ()> {
+        match s.to_ascii_lowercase().as_str() {
+            "event" => Ok(Backend::Event),
+            "bitsliced" => Ok(Backend::Bitsliced),
+            "auto" => Ok(Backend::Auto),
+            _ => Err(()),
+        }
+    }
+}
+
+/// Capture a contiguous run of scheduled stimuli on a bit-sliced
+/// session, one lane per stimulus.
+///
+/// Trace `i` of the result is bit-for-bit what the event-driven
+/// [`capture_stimulus_session`] produces for the same stimulus with
+/// noise seed `trace_seed(base_seed, first_index + i)` — the executor's
+/// per-index seed derivation, so a sharded campaign can mix backends
+/// (and worker counts) freely without changing a single sample.
+///
+/// Validates every stimulus against the session's circuit first and
+/// returns the first width mismatch as a typed error, like
+/// [`try_capture_stimulus_session`] does on the scalar path.
+///
+/// # Panics
+///
+/// Panics if `stimuli` is empty or longer than [`gatesim::LANES`]
+/// (the session's lane budget).
+///
+/// [`capture_stimulus_session`]: crate::capture_stimulus_session
+/// [`try_capture_stimulus_session`]: crate::try_capture_stimulus_session
+pub fn capture_schedule_batch<'a>(
+    session: &'a mut BitslicedSession<'_>,
+    stimuli: &[Stimulus],
+    first_index: u64,
+    base_seed: u64,
+    sampling: &SamplingConfig,
+) -> Result<(&'a [Vec<f64>], &'a [CaptureStats]), CaptureError> {
+    let expected = session.simulator().netlist().num_inputs();
+    for s in stimuli {
+        s.validate(expected)?;
+    }
+    let lanes: Vec<LaneStimulus<'_>> = stimuli
+        .iter()
+        .enumerate()
+        .map(|(i, s)| LaneStimulus {
+            initial: &s.initial,
+            final_inputs: &s.final_inputs,
+            noise_seed: trace_seed(base_seed, first_index + i as u64),
+        })
+        .collect();
+    Ok(session.capture_batch(&lanes, sampling))
+}
+
+/// [`acquire_with_derating`](crate::acquire_with_derating) on the
+/// bit-sliced backend: the whole classified schedule captured in
+/// [`gatesim::LANES`]-sized batches.
+///
+/// Bit-identical to the event-driven acquisition on every netlist the
+/// backend supports; returns the static support check's rejection
+/// otherwise so callers can route to the event-driven path.
+pub fn acquire_bitsliced_with_derating(
+    circuit: &SboxCircuit,
+    config: &ProtocolConfig,
+    derating: &Derating,
+) -> Result<ClassifiedTraces, gatesim::BitsliceUnsupported> {
+    let sim = Simulator::with_derating(circuit.netlist(), &config.sim, derating);
+    let mut session = sim.bitsliced_session()?;
+    let schedule = classified_schedule(circuit, config);
+    let mut set = ClassifiedTraces::new(NUM_CLASSES, config.sampling.samples);
+    for (start, batch) in (0..).zip(schedule.chunks(gatesim::LANES)) {
+        let first = (start * gatesim::LANES) as u64;
+        let (traces, _) =
+            capture_schedule_batch(&mut session, batch, first, config.seed, &config.sampling)
+                .expect("classified_schedule stimuli always fit their circuit");
+        for (s, trace) in batch.iter().zip(traces) {
+            set.push(usize::from(s.label), trace.clone());
+        }
+    }
+    Ok(set)
+}
+
+/// [`acquire_bitsliced_with_derating`] from a fresh (unaged) device.
+pub fn acquire_bitsliced(
+    circuit: &SboxCircuit,
+    config: &ProtocolConfig,
+) -> Result<ClassifiedTraces, gatesim::BitsliceUnsupported> {
+    let derating = Derating::fresh(circuit.netlist());
+    acquire_bitsliced_with_derating(circuit, config, &derating)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::acquire_with_derating;
+    use sbox_circuits::Scheme;
+
+    fn small_config() -> ProtocolConfig {
+        ProtocolConfig {
+            traces_per_class: 4,
+            ..ProtocolConfig::default()
+        }
+    }
+
+    #[test]
+    fn backend_knob_spellings_round_trip() {
+        for b in [Backend::Event, Backend::Bitsliced, Backend::Auto] {
+            assert_eq!(b.as_str().parse::<Backend>(), Ok(b));
+            assert_eq!(b.to_string(), b.as_str());
+        }
+        assert_eq!("BITSLICED".parse::<Backend>(), Ok(Backend::Bitsliced));
+        assert!("fast".parse::<Backend>().is_err());
+        assert_eq!(Backend::default(), Backend::Event);
+    }
+
+    #[test]
+    fn bitsliced_acquisition_is_bit_identical_to_event_driven() {
+        for scheme in [Scheme::Lut, Scheme::Isw] {
+            let circuit = SboxCircuit::build(scheme);
+            let config = small_config();
+            let derating = Derating::fresh(circuit.netlist());
+            let event = acquire_with_derating(&circuit, &config, &derating);
+            let bitsliced = acquire_bitsliced_with_derating(&circuit, &config, &derating)
+                .expect("scheme netlists are bitslice-supported");
+            assert_eq!(event, bitsliced, "{scheme}: backends diverge");
+        }
+    }
+
+    #[test]
+    fn batch_capture_validates_stimulus_widths() {
+        let circuit = SboxCircuit::build(Scheme::Opt);
+        let config = small_config();
+        let sim = Simulator::new(circuit.netlist(), &config.sim);
+        let mut session = sim.bitsliced_session().expect("supported");
+        let mut schedule = classified_schedule(&circuit, &config);
+        schedule[1].final_inputs.push(false);
+        let err = capture_schedule_batch(
+            &mut session,
+            &schedule[..4],
+            0,
+            config.seed,
+            &config.sampling,
+        )
+        .expect_err("wrong width must fail before any capture");
+        assert!(err.to_string().contains("final vector"));
+    }
+}

@@ -28,9 +28,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
 mod protocol;
 mod study;
 
+pub use backend::{
+    acquire_bitsliced, acquire_bitsliced_with_derating, capture_schedule_batch, Backend,
+};
 pub use protocol::{
     acquire, acquire_cpa, acquire_streaming, acquire_streaming_with_derating,
     acquire_with_derating, capture_stimulus, capture_stimulus_session, classified_schedule,

@@ -28,8 +28,10 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
-use acquisition::{capture_stimulus_session, trace_seed, Stimulus};
-use gatesim::{CaptureSession, CaptureStats, SamplingConfig, Simulator};
+use acquisition::{capture_stimulus_session, trace_seed, Backend, Stimulus};
+use gatesim::{
+    BitslicedSession, CaptureSession, CaptureStats, LaneStimulus, SamplingConfig, Simulator, LANES,
+};
 use leakage_core::online::{Merge, SpectrumAccumulator, SumMode, TreeReducer, FOLD_CHUNK};
 
 use crate::fault::{FaultPlan, InjectedFault};
@@ -264,8 +266,16 @@ pub struct ExecPolicy {
     /// instead of wedging its worker. Cooperative — the attempt must
     /// return before the overrun is seen — so it bounds damage from
     /// *slow* captures; a truly wedged simulation needs process-level
-    /// supervision.
+    /// supervision. On the bit-sliced backend the watchdog applies to
+    /// the scalar-routed indices only (a batch pass is one uniform
+    /// levelized sweep, not a per-trace event loop).
     pub capture_timeout: Option<Duration>,
+    /// Capture engine. [`Backend::Bitsliced`] and [`Backend::Auto`]
+    /// claim work in [`LANES`]-sized batches, so a [`RunBudget`]'s
+    /// overshoot bound grows from one chunk to one batch per
+    /// worker; everything else — trace values, retry/quarantine
+    /// behaviour, fold results — is bit-identical to the event engine.
+    pub backend: Backend,
 }
 
 impl Default for ExecPolicy {
@@ -276,6 +286,7 @@ impl Default for ExecPolicy {
             faults: FaultPlan::none(),
             budget: RunBudget::unlimited(),
             capture_timeout: None,
+            backend: Backend::Event,
         }
     }
 }
@@ -334,6 +345,17 @@ pub struct ExecutorReport {
     /// schedule completed; the results cover a prefix of the work and
     /// the checkpoint (if any) is valid for resuming.
     pub interrupted: Option<Interruption>,
+    /// The engine that actually captured newly simulated traces:
+    /// [`Backend::Bitsliced`] when the fast path ran, [`Backend::Event`]
+    /// otherwise (including a requested-but-unsupported bitsliced run,
+    /// which also records a warning). Never [`Backend::Auto`] — that
+    /// request resolves before capture starts.
+    pub backend: Backend,
+    /// Fraction of bit-sliced lane slots that carried real stimuli,
+    /// over all batch passes (`< 1.0` when `traces % LANES` leaves a
+    /// partial final batch, or when faulted indices were routed to the
+    /// scalar path). `None` on the event engine or when no batch ran.
+    pub lane_utilization: Option<f64>,
     /// Non-fatal degradations (checkpoint write failures, …).
     pub warnings: Vec<String>,
 }
@@ -371,6 +393,107 @@ pub fn resolve_workers(requested: usize) -> usize {
     }
 }
 
+/// Lane occupancy of the bit-sliced batch passes a worker ran (zero on
+/// the event engine).
+#[derive(Debug, Clone, Copy, Default)]
+struct LaneUse {
+    /// Batch passes executed.
+    batches: usize,
+    /// Lane slots that carried real stimuli, summed over those passes.
+    lanes: usize,
+}
+
+impl LaneUse {
+    fn merge(&mut self, other: LaneUse) {
+        self.batches += other.batches;
+        self.lanes += other.lanes;
+    }
+
+    /// `lanes / (batches × LANES)`, or `None` if no batch ran.
+    fn utilization(self) -> Option<f64> {
+        (self.batches > 0).then(|| self.lanes as f64 / (self.batches * LANES) as f64)
+    }
+}
+
+/// Resolve the policy's requested backend against the simulator's
+/// netlist: the bit-sliced engine only runs where its static support
+/// check passes. An explicit [`Backend::Bitsliced`] request on an
+/// unsupported netlist degrades to the event engine *with a recorded
+/// warning*; [`Backend::Auto`] degrades silently.
+fn resolve_backend(
+    sim: &Simulator<'_>,
+    policy: &ExecPolicy,
+    warnings: &mut Vec<String>,
+) -> Backend {
+    match policy.backend {
+        Backend::Event => Backend::Event,
+        Backend::Auto => match sim.bitsliced_session() {
+            Ok(_) => Backend::Bitsliced,
+            Err(_) => Backend::Event,
+        },
+        Backend::Bitsliced => match sim.bitsliced_session() {
+            Ok(_) => Backend::Bitsliced,
+            Err(e) => {
+                warnings.push(format!(
+                    "bitsliced backend unavailable for this netlist, using the \
+                     event-driven engine: {e}"
+                ));
+                Backend::Event
+            }
+        },
+    }
+}
+
+/// One worker's capture engines: the scalar event-driven session
+/// (always present — the retry, fault-injection, and validation-failure
+/// paths run on it) plus the bit-sliced batch session when the resolved
+/// backend is [`Backend::Bitsliced`].
+struct WorkerEngine<'s> {
+    scalar: CaptureSession<'s>,
+    batch: Option<BitslicedSession<'s>>,
+}
+
+impl<'s> WorkerEngine<'s> {
+    fn new(sim: &'s Simulator<'_>, backend: Backend) -> Self {
+        Self {
+            scalar: sim.session(),
+            // The support check is a pure function of the netlist and
+            // was just probed by `resolve_backend`.
+            batch: (backend == Backend::Bitsliced).then(|| {
+                sim.bitsliced_session()
+                    .expect("support probed at run start")
+            }),
+        }
+    }
+
+    /// Indices claimed per cursor advance: a full lane batch on the
+    /// bit-sliced engine, one merge-tree leaf on the event engine.
+    fn claim(&self) -> usize {
+        if self.batch.is_some() {
+            LANES
+        } else {
+            CHUNK
+        }
+    }
+}
+
+/// Whether `index` must be captured on the scalar event-driven path
+/// even under the bit-sliced backend: validation failures quarantine
+/// through the scalar path's typed error, and indices with scheduled
+/// capture faults or delays go through its `catch_unwind`/retry/
+/// watchdog loop so fault-injection semantics (and the resulting
+/// reports) are backend-independent.
+fn needs_scalar_path(
+    stimulus: &Stimulus,
+    expected_inputs: usize,
+    index: usize,
+    policy: &ExecPolicy,
+) -> bool {
+    stimulus.validate(expected_inputs).is_err()
+        || policy.faults.capture_fault_due(index, 0)
+        || policy.faults.capture_delay(index, 0).is_some()
+}
+
 /// One worker's progress on one chunk of indices.
 struct ChunkResult {
     worker: usize,
@@ -379,6 +502,7 @@ struct ChunkResult {
     stats: CaptureStats,
     busy: Duration,
     retried: usize,
+    lanes: LaneUse,
 }
 
 /// Capture `schedule` with `workers` threads, seeding trace `i`'s
@@ -424,6 +548,8 @@ pub fn capture_schedule_with(
 ) -> (Vec<Vec<f64>>, ExecutorReport) {
     let workers = resolve_workers(policy.workers).min(schedule.len()).max(1);
     let started = Instant::now();
+    let mut warnings = Vec::new();
+    let backend = resolve_backend(sim, policy, &mut warnings);
 
     let mut traces: Vec<Vec<f64>> = vec![Vec::new(); schedule.len()];
     let mut filled = vec![false; schedule.len()];
@@ -457,19 +583,20 @@ pub fn capture_schedule_with(
     let mut stats = CaptureStats::default();
     let mut retried = 0usize;
     let mut quarantined: Vec<CaptureFailure> = Vec::new();
+    let mut lane_use = LaneUse::default();
     let gate = BudgetGate::new(&policy.budget);
 
     if workers == 1 {
-        // One session for the whole run: scratch buffers are reused
+        // One engine for the whole run: scratch buffers are reused
         // across every capture, including retries.
-        let mut session = sim.session();
-        for chunk_start in (0..schedule.len()).step_by(CHUNK) {
+        let mut engine = WorkerEngine::new(sim, backend);
+        for chunk_start in (0..schedule.len()).step_by(engine.claim()) {
             if gate.should_stop() {
                 break;
             }
-            let chunk_end = (chunk_start + CHUNK).min(schedule.len());
-            let result = capture_chunk(
-                &mut session,
+            let chunk_end = (chunk_start + engine.claim()).min(schedule.len());
+            let result = capture_claim(
+                &mut engine,
                 schedule,
                 sampling,
                 base_seed,
@@ -486,6 +613,7 @@ pub fn capture_schedule_with(
                 &mut stats,
                 &mut retried,
                 &mut quarantined,
+                &mut lane_use,
                 &mut sink,
                 schedule,
             );
@@ -500,22 +628,22 @@ pub fn capture_schedule_with(
                 let skip = &skip;
                 let gate = &gate;
                 scope.spawn(move || {
-                    // One persistent session per worker thread, reused
+                    // One persistent engine per worker thread, reused
                     // for its entire shard (retries included). Sessions
                     // only borrow the simulator, so this is free of
                     // synchronization.
-                    let mut session = sim.session();
+                    let mut engine = WorkerEngine::new(sim, backend);
                     loop {
                         if gate.should_stop() {
                             break;
                         }
-                        let start = cursor.fetch_add(CHUNK, Ordering::Relaxed);
+                        let start = cursor.fetch_add(engine.claim(), Ordering::Relaxed);
                         if start >= schedule.len() {
                             break;
                         }
-                        let end = (start + CHUNK).min(schedule.len());
-                        let result = capture_chunk(
-                            &mut session,
+                        let end = (start + engine.claim()).min(schedule.len());
+                        let result = capture_claim(
+                            &mut engine,
                             schedule,
                             sampling,
                             base_seed,
@@ -546,6 +674,7 @@ pub fn capture_schedule_with(
                     &mut stats,
                     &mut retried,
                     &mut quarantined,
+                    &mut lane_use,
                     &mut sink,
                     schedule,
                 );
@@ -553,7 +682,6 @@ pub fn capture_schedule_with(
         });
     }
 
-    let mut warnings = Vec::new();
     sink.finish(&mut warnings);
     quarantined.sort_by_key(|f| f.index);
 
@@ -574,6 +702,8 @@ pub fn capture_schedule_with(
         peak_resident: 0,
         merge_depth: 0,
         interrupted,
+        backend,
+        lane_utilization: lane_use.utilization(),
         warnings,
     };
     (traces, report)
@@ -641,6 +771,7 @@ struct StreamChunk<S> {
     stats: CaptureStats,
     busy: Duration,
     retried: usize,
+    lanes: LaneUse,
 }
 
 /// Shared read-only context of one streaming fold run.
@@ -747,6 +878,8 @@ where
 {
     let workers = resolve_workers(policy.workers).min(schedule.len()).max(1);
     let started = Instant::now();
+    let mut warnings = Vec::new();
+    let backend = resolve_backend(sim, policy, &mut warnings);
 
     let mut resumed_map: HashMap<usize, Vec<f64>> = HashMap::new();
     for (index, samples) in resume.completed {
@@ -784,6 +917,7 @@ where
     let mut stats = CaptureStats::default();
     let mut retried = 0usize;
     let mut quarantined: Vec<CaptureFailure> = Vec::new();
+    let mut lane_use = LaneUse::default();
     let mut tap = OrderedTap {
         reducer: TreeReducer::new(),
         observer,
@@ -793,23 +927,32 @@ where
     let gate = BudgetGate::new(&policy.budget);
 
     if workers == 1 {
-        let mut session = sim.session();
-        for chunk_start in (0..schedule.len()).step_by(CHUNK) {
+        let mut engine = WorkerEngine::new(sim, backend);
+        for claim_start in (0..schedule.len()).step_by(engine.claim()) {
             if gate.should_stop() {
                 break;
             }
-            let chunk_end = (chunk_start + CHUNK).min(schedule.len());
-            let result = fold_chunk(&mut session, &ctx, 0, chunk_start..chunk_end);
-            gate.note_captured(result.captured);
-            absorb_stream(
-                result,
+            let claim_end = (claim_start + engine.claim()).min(schedule.len());
+            fold_claim(
+                &mut engine,
                 &ctx,
-                &mut loads,
-                &mut stats,
-                &mut retried,
-                &mut quarantined,
-                &mut sink,
-                &mut tap,
+                0,
+                claim_start..claim_end,
+                &mut |result: StreamChunk<S>| {
+                    gate.note_captured(result.captured);
+                    absorb_stream(
+                        result,
+                        &ctx,
+                        &mut loads,
+                        &mut stats,
+                        &mut retried,
+                        &mut quarantined,
+                        &mut lane_use,
+                        &mut sink,
+                        &mut tap,
+                    );
+                    true
+                },
             );
         }
     } else {
@@ -817,7 +960,9 @@ where
         // A *bounded* channel: workers block once `workers` chunks are
         // queued, so the number of raw traces in flight — and therefore
         // peak memory — cannot grow with schedule length even if the
-        // collector falls behind.
+        // collector falls behind. (On the bit-sliced backend a worker
+        // additionally holds one lane batch of raw traces while it
+        // slices the batch into chunks — see `fold_claim_bitsliced`.)
         let (tx, rx) = mpsc::sync_channel::<StreamChunk<S>>(workers);
         std::thread::scope(|scope| {
             for worker in 0..workers {
@@ -826,19 +971,27 @@ where
                 let ctx = &ctx;
                 let gate = &gate;
                 scope.spawn(move || {
-                    let mut session = sim.session();
+                    let mut engine = WorkerEngine::new(sim, backend);
                     loop {
                         if gate.should_stop() {
                             break;
                         }
-                        let start = cursor.fetch_add(CHUNK, Ordering::Relaxed);
+                        let start = cursor.fetch_add(engine.claim(), Ordering::Relaxed);
                         if start >= ctx.schedule.len() {
                             break;
                         }
-                        let end = (start + CHUNK).min(ctx.schedule.len());
-                        let result = fold_chunk(&mut session, ctx, worker, start..end);
-                        gate.note_captured(result.captured);
-                        if tx.send(result).is_err() {
+                        let end = (start + engine.claim()).min(ctx.schedule.len());
+                        let delivered = fold_claim(
+                            &mut engine,
+                            ctx,
+                            worker,
+                            start..end,
+                            &mut |result: StreamChunk<S>| {
+                                gate.note_captured(result.captured);
+                                tx.send(result).is_ok()
+                            },
+                        );
+                        if !delivered {
                             break;
                         }
                     }
@@ -853,6 +1006,7 @@ where
                     &mut stats,
                     &mut retried,
                     &mut quarantined,
+                    &mut lane_use,
                     &mut sink,
                     &mut tap,
                 );
@@ -860,7 +1014,6 @@ where
         });
     }
 
-    let mut warnings = Vec::new();
     sink.finish(&mut warnings);
     quarantined.sort_by_key(|f| f.index);
 
@@ -882,6 +1035,8 @@ where
         peak_resident: ctx.peak.load(Ordering::Relaxed),
         merge_depth: FoldState::merge_depth(&acc),
         interrupted,
+        backend,
+        lane_utilization: lane_use.utilization(),
         warnings,
     };
     (acc, report)
@@ -933,6 +1088,7 @@ fn absorb_stream<S: FoldState>(
     stats: &mut CaptureStats,
     retried: &mut usize,
     quarantined: &mut Vec<CaptureFailure>,
+    lane_use: &mut LaneUse,
     sink: &mut CheckpointSink<'_>,
     tap: &mut OrderedTap<'_, S>,
 ) {
@@ -941,6 +1097,7 @@ fn absorb_stream<S: FoldState>(
     stats.merge(&result.stats);
     *retried += result.retried;
     quarantined.extend(result.failures);
+    lane_use.merge(result.lanes);
     let raw_len = result.raw.len();
     for (index, trace) in result.raw {
         sink.push(index, ctx.schedule[index].label, &trace);
@@ -1007,7 +1164,165 @@ fn fold_chunk<S: FoldState>(
         stats,
         busy: t0.elapsed(),
         retried,
+        lanes: LaneUse::default(),
     }
+}
+
+/// Fold every index in `range` on the worker's engine, emitting one
+/// [`StreamChunk`] per merge-tree leaf the range covers. On the event
+/// engine the range *is* one leaf; on the bit-sliced engine one lane
+/// batch covers up to `LANES / CHUNK` leaves, emitted in ascending
+/// sequence so the reduction tree is identical either way. Returns
+/// `false` if `emit` refused a chunk (collector gone — stop claiming).
+fn fold_claim<S: FoldState>(
+    engine: &mut WorkerEngine<'_>,
+    ctx: &StreamCtx<'_, S>,
+    worker: usize,
+    range: std::ops::Range<usize>,
+    emit: &mut dyn FnMut(StreamChunk<S>) -> bool,
+) -> bool {
+    match &mut engine.batch {
+        None => emit(fold_chunk(&mut engine.scalar, ctx, worker, range)),
+        Some(batch) => fold_claim_bitsliced(batch, &mut engine.scalar, ctx, worker, range, emit),
+    }
+}
+
+/// The bit-sliced fold path: one levelized sweep captures every
+/// batchable lane in the claim, then the claim is walked in index order
+/// and sliced into per-[`FOLD_CHUNK`] leaves, folding resumed traces,
+/// batch-captured traces, and scalar-routed indices (validation
+/// failures and fault-injected captures, which run on the event session
+/// to keep retry/quarantine semantics backend-independent) exactly
+/// where the event engine would.
+fn fold_claim_bitsliced<S: FoldState>(
+    batch: &mut BitslicedSession<'_>,
+    scalar: &mut CaptureSession<'_>,
+    ctx: &StreamCtx<'_, S>,
+    worker: usize,
+    range: std::ops::Range<usize>,
+    emit: &mut dyn FnMut(StreamChunk<S>) -> bool,
+) -> bool {
+    let expected = scalar.simulator().netlist().num_inputs();
+    let mut t_mark = Instant::now();
+
+    let batchable: Vec<usize> = range
+        .clone()
+        .filter(|&i| {
+            !ctx.resumed.contains_key(&i)
+                && !needs_scalar_path(&ctx.schedule[i], expected, i, ctx.policy)
+        })
+        .collect();
+    let mut lanes = LaneUse::default();
+    // `None` means the sweep panicked (never expected): every batchable
+    // index then degrades to per-index scalar capture below, under the
+    // standard retry loop.
+    let mut batch_out: Option<(Vec<Vec<f64>>, Vec<CaptureStats>)> = if batchable.is_empty() {
+        Some((Vec::new(), Vec::new()))
+    } else {
+        let lane_stimuli: Vec<LaneStimulus<'_>> = batchable
+            .iter()
+            .map(|&i| LaneStimulus {
+                initial: &ctx.schedule[i].initial,
+                final_inputs: &ctx.schedule[i].final_inputs,
+                noise_seed: trace_seed(ctx.base_seed, i as u64),
+            })
+            .collect();
+        let swept = panic::catch_unwind(AssertUnwindSafe(|| {
+            let (traces, stats) = batch.capture_batch(&lane_stimuli, ctx.sampling);
+            (traces.to_vec(), stats.to_vec())
+        }))
+        .ok();
+        if swept.is_some() {
+            lanes = LaneUse {
+                batches: 1,
+                lanes: batchable.len(),
+            };
+        }
+        swept
+    };
+
+    let mut next_batch = 0usize;
+    let mut chunk_start = range.start;
+    while chunk_start < range.end {
+        let chunk_end = (chunk_start + CHUNK).min(range.end);
+        let seq = (chunk_start / CHUNK) as u64;
+        let mut acc = (ctx.make)();
+        let mut raw = Vec::new();
+        let mut captured = 0usize;
+        let mut failures = Vec::new();
+        let mut stats = CaptureStats::default();
+        let mut retried = 0usize;
+        for index in chunk_start..chunk_end {
+            let stimulus = &ctx.schedule[index];
+            if let Some(trace) = ctx.resumed.get(&index) {
+                acc.fold(stimulus.label, trace);
+                continue;
+            }
+            let outcome = if batchable.get(next_batch) == Some(&index) {
+                let k = next_batch;
+                next_batch += 1;
+                match &mut batch_out {
+                    Some((traces, batch_stats)) => {
+                        Ok((std::mem::take(&mut traces[k]), batch_stats[k], 1))
+                    }
+                    None => capture_index(
+                        scalar,
+                        stimulus,
+                        ctx.sampling,
+                        ctx.base_seed,
+                        index,
+                        ctx.policy,
+                    ),
+                }
+            } else {
+                capture_index(
+                    scalar,
+                    stimulus,
+                    ctx.sampling,
+                    ctx.base_seed,
+                    index,
+                    ctx.policy,
+                )
+            };
+            match outcome {
+                Ok((trace, s, attempts)) => {
+                    stats.merge(&s);
+                    if attempts > 1 {
+                        retried += 1;
+                    }
+                    captured += 1;
+                    ctx.note_resident();
+                    acc.fold(stimulus.label, &trace);
+                    if ctx.keep_raw {
+                        raw.push((index, trace));
+                    } else {
+                        drop(trace);
+                        ctx.release_resident(1);
+                    }
+                }
+                Err(failure) => failures.push(failure),
+            }
+        }
+        let busy = t_mark.elapsed();
+        t_mark = Instant::now();
+        let delivered = emit(StreamChunk {
+            worker,
+            seq,
+            acc,
+            raw,
+            captured,
+            failures,
+            stats,
+            busy,
+            retried,
+            lanes: std::mem::take(&mut lanes),
+        });
+        if !delivered {
+            return false;
+        }
+        chunk_start = chunk_end;
+    }
+    true
 }
 
 /// Fold one chunk's outcome into the run accumulators and the
@@ -1020,6 +1335,7 @@ fn absorb(
     stats: &mut CaptureStats,
     retried: &mut usize,
     quarantined: &mut Vec<CaptureFailure>,
+    lane_use: &mut LaneUse,
     sink: &mut CheckpointSink<'_>,
     schedule: &[Stimulus],
 ) {
@@ -1028,9 +1344,141 @@ fn absorb(
     stats.merge(&result.stats);
     *retried += result.retried;
     quarantined.extend(result.failures);
+    lane_use.merge(result.lanes);
     for (index, trace) in result.captured {
         sink.push(index, schedule[index].label, &trace);
         traces[index] = trace;
+    }
+}
+
+/// Capture every non-skipped index in `range` on the worker's engine —
+/// [`capture_chunk`] on the event session, [`capture_chunk_bitsliced`]
+/// when a batch session is armed.
+#[allow(clippy::too_many_arguments)]
+fn capture_claim(
+    engine: &mut WorkerEngine<'_>,
+    schedule: &[Stimulus],
+    sampling: &SamplingConfig,
+    base_seed: u64,
+    policy: &ExecPolicy,
+    worker: usize,
+    range: std::ops::Range<usize>,
+    skip: &HashSet<usize>,
+) -> ChunkResult {
+    match &mut engine.batch {
+        None => capture_chunk(
+            &mut engine.scalar,
+            schedule,
+            sampling,
+            base_seed,
+            policy,
+            worker,
+            range,
+            skip,
+        ),
+        Some(batch) => capture_chunk_bitsliced(
+            batch,
+            &mut engine.scalar,
+            schedule,
+            sampling,
+            base_seed,
+            policy,
+            worker,
+            range,
+            skip,
+        ),
+    }
+}
+
+/// The bit-sliced batch path: one levelized sweep captures every
+/// batchable lane; validation failures and fault-injected indices are
+/// routed to the scalar event session (so quarantine/retry semantics —
+/// and the traces a recovered index yields — are backend-independent),
+/// and a panicking sweep degrades to per-index scalar capture.
+#[allow(clippy::too_many_arguments)]
+fn capture_chunk_bitsliced(
+    batch: &mut BitslicedSession<'_>,
+    scalar: &mut CaptureSession<'_>,
+    schedule: &[Stimulus],
+    sampling: &SamplingConfig,
+    base_seed: u64,
+    policy: &ExecPolicy,
+    worker: usize,
+    range: std::ops::Range<usize>,
+    skip: &HashSet<usize>,
+) -> ChunkResult {
+    let t0 = Instant::now();
+    let expected = scalar.simulator().netlist().num_inputs();
+    let mut captured = Vec::with_capacity(range.len());
+    let mut failures = Vec::new();
+    let mut stats = CaptureStats::default();
+    let mut retried = 0usize;
+    let mut lanes = LaneUse::default();
+    let mut scalar_routed: Vec<usize> = Vec::new();
+    let mut batchable: Vec<usize> = Vec::new();
+    for index in range {
+        if skip.contains(&index) {
+            continue;
+        }
+        if needs_scalar_path(&schedule[index], expected, index, policy) {
+            scalar_routed.push(index);
+        } else {
+            batchable.push(index);
+        }
+    }
+    if !batchable.is_empty() {
+        let lane_stimuli: Vec<LaneStimulus<'_>> = batchable
+            .iter()
+            .map(|&i| LaneStimulus {
+                initial: &schedule[i].initial,
+                final_inputs: &schedule[i].final_inputs,
+                noise_seed: trace_seed(base_seed, i as u64),
+            })
+            .collect();
+        let swept = panic::catch_unwind(AssertUnwindSafe(|| {
+            let (traces, batch_stats) = batch.capture_batch(&lane_stimuli, sampling);
+            (traces.to_vec(), batch_stats.to_vec())
+        }))
+        .ok();
+        match swept {
+            Some((traces, batch_stats)) => {
+                lanes = LaneUse {
+                    batches: 1,
+                    lanes: batchable.len(),
+                };
+                for ((index, trace), s) in batchable.drain(..).zip(traces).zip(batch_stats) {
+                    stats.merge(&s);
+                    captured.push((index, trace));
+                }
+            }
+            // A panicking sweep (never expected) degrades to per-index
+            // scalar capture under the standard retry loop.
+            None => scalar_routed.append(&mut batchable),
+        }
+    }
+    for index in scalar_routed {
+        match capture_index(scalar, &schedule[index], sampling, base_seed, index, policy) {
+            Ok((trace, s, attempts)) => {
+                stats.merge(&s);
+                if attempts > 1 {
+                    retried += 1;
+                }
+                captured.push((index, trace));
+            }
+            Err(failure) => failures.push(failure),
+        }
+    }
+    // Checkpoint frames land in index order within a claim, exactly as
+    // the event path emits them.
+    captured.sort_by_key(|&(i, _)| i);
+    ChunkResult {
+        worker,
+        captured,
+        failures,
+        stats,
+        busy: t0.elapsed(),
+        retried,
+        lanes,
     }
 }
 
@@ -1082,6 +1530,7 @@ fn capture_chunk(
         stats,
         busy: t0.elapsed(),
         retried,
+        lanes: LaneUse::default(),
     }
 }
 
@@ -1257,6 +1706,203 @@ mod tests {
         assert!((0.0..=1.0).contains(&u), "utilization {u}");
         assert!(report.traces_per_sec() > 0.0);
         assert!(report.stats.events > 0);
+    }
+
+    #[test]
+    fn bitsliced_backend_is_bit_identical_for_any_worker_count() {
+        let circuit = SboxCircuit::build(Scheme::Rsm);
+        let config = small_config();
+        let sim = Simulator::new(circuit.netlist(), &config.sim);
+        let schedule = classified_schedule(&circuit, &config);
+        let (reference, event) =
+            capture_schedule(&sim, &schedule, &config.sampling, config.seed, 1);
+        assert_eq!(event.backend, Backend::Event);
+        assert_eq!(event.lane_utilization, None);
+        for workers in [1usize, 2, 8] {
+            for backend in [Backend::Bitsliced, Backend::Auto] {
+                let policy = ExecPolicy {
+                    workers,
+                    backend,
+                    ..ExecPolicy::default()
+                };
+                let (traces, report) = capture_schedule_with(
+                    &sim,
+                    &schedule,
+                    &config.sampling,
+                    config.seed,
+                    &policy,
+                    ResumeState::fresh(),
+                );
+                assert_eq!(traces, reference, "{workers} workers / {backend}");
+                assert_eq!(report.stats, event.stats, "{workers} workers / {backend}");
+                assert_eq!(report.backend, Backend::Bitsliced);
+                let util = report.lane_utilization.expect("batch passes ran");
+                // 64 traces in LANES-sized batches: one batch, 64 lanes.
+                assert!((util - 64.0 / LANES as f64).abs() < 1e-12, "util {util}");
+                assert!(report.warnings.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn bitsliced_fold_is_bit_identical_to_the_event_fold() {
+        let circuit = SboxCircuit::build(Scheme::Glut);
+        let config = small_config();
+        let sim = Simulator::new(circuit.netlist(), &config.sim);
+        let schedule = classified_schedule(&circuit, &config);
+        let stream = StreamPolicy {
+            num_classes: 16,
+            mode: SumMode::Exact,
+        };
+        let (reference, ref_report) = fold_schedule_with(
+            &sim,
+            &schedule,
+            &config.sampling,
+            config.seed,
+            &ExecPolicy {
+                workers: 1,
+                ..ExecPolicy::default()
+            },
+            ResumeState::fresh(),
+            &stream,
+        );
+        for workers in [1usize, 3, 8] {
+            let policy = ExecPolicy {
+                workers,
+                backend: Backend::Bitsliced,
+                ..ExecPolicy::default()
+            };
+            let (acc, report) = fold_schedule_with(
+                &sim,
+                &schedule,
+                &config.sampling,
+                config.seed,
+                &policy,
+                ResumeState::fresh(),
+                &stream,
+            );
+            assert_eq!(
+                &acc, &reference,
+                "{workers} workers: folded state must be bitwise"
+            );
+            assert_eq!(report.backend, Backend::Bitsliced);
+            assert!(report.lane_utilization.is_some());
+            assert_eq!(
+                report.merge_depth, ref_report.merge_depth,
+                "chunk sequence (and so the merge tree) must match the event path"
+            );
+        }
+    }
+
+    #[test]
+    fn unsupported_netlist_falls_back_to_the_event_engine() {
+        // A derating factor far below the engine's time resolution
+        // drives effective delays under the bitsliced support threshold:
+        // commit order is no longer reproducible from levelized
+        // evaluation, so the static check must reject the netlist and
+        // the executor must route the run to the event engine.
+        let circuit = SboxCircuit::build(Scheme::Opt);
+        let config = small_config();
+        let gates = circuit.netlist().gates().len();
+        let derating = gatesim::Derating::from_factors(vec![1e-12; gates], vec![1.0; gates]);
+        let sim = Simulator::with_derating(circuit.netlist(), &config.sim, &derating);
+        assert!(
+            sim.bitsliced_session().is_err(),
+            "support check must reject"
+        );
+        let schedule = classified_schedule(&circuit, &config);
+        let (reference, _) = capture_schedule(&sim, &schedule, &config.sampling, config.seed, 1);
+
+        // An explicit bitsliced request degrades loudly…
+        let policy = ExecPolicy {
+            workers: 2,
+            backend: Backend::Bitsliced,
+            ..ExecPolicy::default()
+        };
+        let (traces, report) = capture_schedule_with(
+            &sim,
+            &schedule,
+            &config.sampling,
+            config.seed,
+            &policy,
+            ResumeState::fresh(),
+        );
+        assert_eq!(traces, reference);
+        assert_eq!(report.backend, Backend::Event);
+        assert_eq!(report.lane_utilization, None);
+        assert!(
+            report
+                .warnings
+                .iter()
+                .any(|w| w.contains("bitsliced backend unavailable")),
+            "{:?}",
+            report.warnings
+        );
+
+        // …while auto degrades silently.
+        let policy = ExecPolicy {
+            workers: 2,
+            backend: Backend::Auto,
+            ..ExecPolicy::default()
+        };
+        let (traces, report) = capture_schedule_with(
+            &sim,
+            &schedule,
+            &config.sampling,
+            config.seed,
+            &policy,
+            ResumeState::fresh(),
+        );
+        assert_eq!(traces, reference);
+        assert_eq!(report.backend, Backend::Event);
+        assert!(report.warnings.is_empty());
+    }
+
+    #[test]
+    fn bitsliced_faults_route_through_the_scalar_retry_path() {
+        let circuit = SboxCircuit::build(Scheme::Opt);
+        let config = small_config();
+        let sim = Simulator::new(circuit.netlist(), &config.sim);
+        let schedule = classified_schedule(&circuit, &config);
+        let (reference, _) = capture_schedule(&sim, &schedule, &config.sampling, config.seed, 1);
+        for workers in [1usize, 4] {
+            let policy = ExecPolicy {
+                workers,
+                max_retries: 2,
+                faults: FaultPlan::none()
+                    .with_transient_panics([0, 9, 31])
+                    .with_sticky_panics([40]),
+                backend: Backend::Bitsliced,
+                ..ExecPolicy::default()
+            };
+            let (traces, report) = capture_schedule_with(
+                &sim,
+                &schedule,
+                &config.sampling,
+                config.seed,
+                &policy,
+                ResumeState::fresh(),
+            );
+            assert_eq!(report.retried, 3, "{workers} workers");
+            assert_eq!(
+                report
+                    .quarantined
+                    .iter()
+                    .map(|f| f.index)
+                    .collect::<Vec<_>>(),
+                vec![40]
+            );
+            for (i, trace) in traces.iter().enumerate() {
+                if i == 40 {
+                    assert!(trace.is_empty());
+                } else {
+                    assert_eq!(*trace, reference[i], "trace {i} ({workers} workers)");
+                }
+            }
+            // Faulted indices were carved out of the batch lanes.
+            let util = report.lane_utilization.expect("batch ran");
+            assert!((util - 60.0 / LANES as f64).abs() < 1e-12, "util {util}");
+        }
     }
 
     #[test]

@@ -78,6 +78,7 @@ use std::collections::HashSet;
 use std::path::PathBuf;
 use std::time::Duration;
 
+pub use acquisition::Backend;
 use acquisition::{
     classified_schedule, cpa_schedule, cpa_seed, CpaAcquisition, LeakageStudy, ProtocolConfig,
     Stimulus, NUM_CLASSES,
@@ -138,6 +139,13 @@ pub struct CampaignConfig {
     /// it is discarded and retried (then quarantined), instead of
     /// silently stretching the run. `None` disables the watchdog.
     pub capture_timeout: Option<Duration>,
+    /// Capture engine ([`Backend::Event`] by default; the experiment
+    /// binaries arm it from `SCA_BACKEND`). The bit-sliced backend
+    /// produces bit-identical traces on every netlist it supports and
+    /// degrades to the event engine — with a recorded warning under
+    /// [`Backend::Bitsliced`], silently under [`Backend::Auto`] — on
+    /// netlists its static support check rejects.
+    pub backend: Backend,
 }
 
 impl Default for CampaignConfig {
@@ -156,6 +164,7 @@ impl Default for CampaignConfig {
             stream_mode: SumMode::Exact,
             budget: RunBudget::unlimited(),
             capture_timeout: None,
+            backend: Backend::Event,
         }
     }
 }
@@ -684,6 +693,7 @@ impl Campaign {
             faults: self.config.faults.clone(),
             budget: self.config.budget.clone(),
             capture_timeout: self.config.capture_timeout,
+            backend: self.config.backend,
         }
     }
 
@@ -884,6 +894,9 @@ impl Campaign {
             peak_resident,
             merge_depth,
             healed: 0,
+            // A cache hit simulates nothing, so no capture engine ran.
+            backend: None,
+            lane_utilization: None,
             partial: None,
             warnings: Vec::new(),
         });
@@ -920,6 +933,8 @@ impl Campaign {
             peak_resident: exec.peak_resident,
             merge_depth: exec.merge_depth,
             healed: 0,
+            backend: Some(exec.backend),
+            lane_utilization: exec.lane_utilization,
             partial: exec.interrupted.map(|i| i.cause.to_string()),
             warnings: exec.warnings.clone(),
         });

@@ -8,6 +8,7 @@ use std::fmt::Write as _;
 use std::path::Path;
 use std::time::{Duration, Instant};
 
+use acquisition::Backend;
 use gatesim::CaptureStats;
 
 use crate::iofault::WriteFaults;
@@ -107,6 +108,15 @@ pub struct RunReport {
     /// Records this run healed (re-captured seed-stably by a scrub pass;
     /// 0 for ordinary acquisitions).
     pub healed: usize,
+    /// The capture engine that ran (`None` on a cache hit, where no
+    /// engine ran at all). [`Backend::Auto`] never appears: the request
+    /// resolves to the effective engine before capture starts.
+    pub backend: Option<Backend>,
+    /// Fraction of bit-sliced lane slots that carried real stimuli
+    /// (`None` on the event engine and on cache hits; `< 1.0` when
+    /// `traces % LANES` leaves a partial final batch or faulted indices
+    /// were routed to the scalar path).
+    pub lane_utilization: Option<f64>,
     /// `Some(cause)` when the run budget stopped this run early, e.g.
     /// `"deadline expired"`.
     pub partial: Option<String>,
@@ -183,6 +193,16 @@ impl RunReport {
         let _ = write!(s, ",\"peak_resident_traces\":{}", self.peak_resident);
         let _ = write!(s, ",\"merge_depth\":{}", self.merge_depth);
         let _ = write!(s, ",\"healed\":{}", self.healed);
+        let _ = write!(
+            s,
+            ",\"backend\":{}",
+            self.backend.map_or("null".into(), |b| json_str(b.as_str()))
+        );
+        let _ = write!(
+            s,
+            ",\"lane_utilization\":{}",
+            self.lane_utilization.map_or("null".into(), json_f64)
+        );
         let _ = write!(
             s,
             ",\"partial\":{}",
@@ -281,12 +301,14 @@ impl RunLog {
         let mut s = String::new();
         let _ = writeln!(
             s,
-            "{:<9} {:>4} {:>7} {:>4} {:>6} {:>10} {:>6} {:>5} {:>5} {:>5} {:>5} {:>9} {:>9} {:>8} {:>10} partial",
+            "{:<9} {:>4} {:>7} {:>4} {:>6} {:>9} {:>5} {:>10} {:>6} {:>5} {:>5} {:>5} {:>5} {:>9} {:>9} {:>8} {:>10} partial",
             "impl",
             "age",
             "traces",
             "wrk",
             "cache",
+            "engine",
+            "lane",
             "events",
             "util",
             "rtry",
@@ -301,12 +323,15 @@ impl RunLog {
         for r in &self.reports {
             let _ = writeln!(
                 s,
-                "{:<9} {:>4.0} {:>7} {:>4} {:>6} {:>10} {:>6.2} {:>5} {:>5} {:>5} {:>5} {:>9.3} {:>9.3} {:>8} {:>10} {}",
+                "{:<9} {:>4.0} {:>7} {:>4} {:>6} {:>9} {:>5} {:>10} {:>6.2} {:>5} {:>5} {:>5} {:>5} {:>9.3} {:>9.3} {:>8} {:>10} {}",
                 r.implementation,
                 r.age_months,
                 r.traces,
                 r.workers,
                 if r.cache_hit { "hit" } else { "miss" },
+                r.backend.map_or("-", |b| b.as_str()),
+                r.lane_utilization
+                    .map_or_else(|| "-".into(), |u| format!("{u:.2}")),
                 r.stats.events,
                 r.worker_utilization,
                 r.retried,
@@ -406,6 +431,8 @@ mod tests {
             peak_resident: 0,
             merge_depth: 0,
             healed: 0,
+            backend: (!hit).then_some(Backend::Event),
+            lane_utilization: None,
             partial: None,
             warnings: Vec::new(),
         }
@@ -435,6 +462,8 @@ mod tests {
             "\"peak_resident_traces\":0",
             "\"merge_depth\":0",
             "\"healed\":0",
+            "\"backend\":\"event\"",
+            "\"lane_utilization\":null",
             "\"partial\":null",
             "\"warnings\":[]",
             "\"stages\":{\"build\":",
@@ -513,6 +542,35 @@ mod tests {
             "{table}"
         );
         assert!(table.contains("deadline expired"), "{table}");
+    }
+
+    #[test]
+    fn backend_and_lane_utilization_land_in_jsonl_and_table() {
+        let mut r = report(false);
+        r.backend = Some(Backend::Bitsliced);
+        r.lane_utilization = Some(0.875);
+        let j = r.to_json();
+        assert!(j.contains("\"backend\":\"bitsliced\""), "{j}");
+        assert!(j.contains("\"lane_utilization\":0.875"), "{j}");
+        let hit = report(true).to_json();
+        assert!(hit.contains("\"backend\":null"), "{hit}");
+        assert!(hit.contains("\"lane_utilization\":null"), "{hit}");
+
+        let mut log = RunLog::new();
+        log.push(r);
+        log.push(report(true));
+        let table = log.summary_table();
+        assert!(
+            table.contains("engine") && table.contains("lane"),
+            "{table}"
+        );
+        assert!(
+            table.contains("bitsliced") && table.contains("0.88"),
+            "{table}"
+        );
+        // The hit row shows "-" in the engine and lane columns.
+        let hit_row = table.lines().nth(2).expect("hit row");
+        assert!(hit_row.contains(" - "), "{hit_row}");
     }
 
     #[test]

@@ -361,6 +361,8 @@ impl Campaign {
             peak_resident: exec.peak_resident,
             merge_depth: exec.merge_depth,
             healed,
+            backend: Some(exec.backend),
+            lane_utilization: exec.lane_utilization,
             partial: None,
             warnings: exec.warnings.clone(),
         });

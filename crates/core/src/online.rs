@@ -187,6 +187,53 @@ impl ClassAccumulator {
         }
     }
 
+    /// Fold a batch of traces in one pass, bit-identical to folding
+    /// each trace in order with [`fold`](Self::fold).
+    ///
+    /// The loops are interchanged relative to the sequential fold:
+    /// the sample index is the outer loop, so each per-sample state
+    /// (an [`ExactSum`] pair in exact mode, a mean/M2 pair in Welford
+    /// mode) stays hot across the whole batch instead of being
+    /// streamed through cache once per trace. Each per-sample state
+    /// still receives exactly the sequence of updates the sequential
+    /// fold would apply — trace order within a sample, with Welford's
+    /// divisor recomputed per trace — so the result is bitwise
+    /// identical, not merely close.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any trace length differs from `samples`.
+    pub fn fold_batch(&mut self, traces: &[&[f64]]) {
+        for trace in traces {
+            assert_eq!(trace.len(), self.samples, "trace length mismatch");
+        }
+        let before = self.count;
+        match &mut self.moments {
+            Moments::Welford { mean, m2 } => {
+                for (j, (m, s)) in mean.iter_mut().zip(m2.iter_mut()).enumerate() {
+                    for (k, trace) in traces.iter().enumerate() {
+                        // Same divisor sequence as the sequential fold.
+                        let n = (before + k as u64 + 1) as f64;
+                        let x = trace[j];
+                        let delta = x - *m;
+                        *m += delta / n;
+                        *s += delta * (x - *m);
+                    }
+                }
+            }
+            Moments::Exact { sum, sumsq } => {
+                for (j, (s, q)) in sum.iter_mut().zip(sumsq.iter_mut()).enumerate() {
+                    for trace in traces {
+                        let x = trace[j];
+                        s.add(x);
+                        q.add(x * x);
+                    }
+                }
+            }
+        }
+        self.count = before + traces.len() as u64;
+    }
+
     /// Merge another accumulator into this one (Chan's parallel update
     /// in Welford mode; exact absorption in exact mode).
     ///
@@ -364,6 +411,19 @@ impl SpectrumAccumulator {
     pub fn fold(&mut self, class: usize, trace: &[f64]) {
         assert!(class < self.classes.len(), "class {class} out of range");
         self.classes[class].fold(trace);
+    }
+
+    /// Fold a batch of traces of one class in a single cache-friendly
+    /// pass — bit-identical to folding each trace in order (see
+    /// [`ClassAccumulator::fold_batch`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the class is out of range or any trace has the wrong
+    /// length.
+    pub fn fold_batch(&mut self, class: usize, traces: &[&[f64]]) {
+        assert!(class < self.classes.len(), "class {class} out of range");
+        self.classes[class].fold_batch(traces);
     }
 
     /// Merge two shard accumulators; `self` is the earlier shard (merge
@@ -583,11 +643,21 @@ impl TreeReducer<SpectrumAccumulator> {
 /// [`TreeReducer`]. Folding a schedule in order through this type yields
 /// bit-for-bit the accumulator the sharded campaign executor produces
 /// for the same schedule at any worker count.
+///
+/// Internally each leaf's traces are buffered and folded in one
+/// batched, loop-interchanged pass per class
+/// ([`ClassAccumulator::fold_batch`]) when the chunk boundary is
+/// reached. A class's traces reach its accumulator in arrival order and
+/// no other class touches that state, so the leaf — and everything
+/// reduced from it — is bitwise identical to the trace-at-a-time fold.
+/// The buffer holds at most one chunk of raw traces, so residency stays
+/// bounded; [`resident_floats`](Self::resident_floats) accounts for it.
 #[derive(Debug)]
 pub struct SpectrumStream {
     reducer: TreeReducer,
-    leaf: SpectrumAccumulator,
-    in_leaf: usize,
+    /// The current leaf's traces, in arrival order, waiting to be
+    /// batch-folded at the chunk boundary. Never exceeds `chunk` items.
+    buffer: Vec<(usize, Vec<f64>)>,
     chunk: usize,
     seq: u64,
     folded: u64,
@@ -613,8 +683,7 @@ impl SpectrumStream {
         assert!(chunk > 0, "chunk must be positive");
         Self {
             reducer: TreeReducer::new(),
-            leaf: SpectrumAccumulator::new(num_classes, samples, mode),
-            in_leaf: 0,
+            buffer: Vec::with_capacity(chunk),
             chunk,
             seq: 0,
             folded: 0,
@@ -625,19 +694,43 @@ impl SpectrumStream {
     }
 
     /// Fold one trace under its class label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the class is out of range or the trace has the wrong
+    /// length (eagerly, even though the fold itself is deferred to the
+    /// chunk boundary).
     pub fn fold(&mut self, class: usize, trace: &[f64]) {
-        self.leaf.fold(class, trace);
+        assert!(class < self.num_classes, "class {class} out of range");
+        assert_eq!(trace.len(), self.samples, "trace length mismatch");
+        self.buffer.push((class, trace.to_vec()));
         self.folded += 1;
-        self.in_leaf += 1;
-        if self.in_leaf == self.chunk {
-            let full = std::mem::replace(
-                &mut self.leaf,
-                SpectrumAccumulator::new(self.num_classes, self.samples, self.mode),
-            );
-            self.reducer.push(self.seq, full);
-            self.seq += 1;
-            self.in_leaf = 0;
+        if self.buffer.len() == self.chunk {
+            self.flush_leaf();
         }
+    }
+
+    /// Batch-fold the buffered traces into a fresh leaf accumulator and
+    /// push it into the reduction tree.
+    fn flush_leaf(&mut self) {
+        let mut leaf = SpectrumAccumulator::new(self.num_classes, self.samples, self.mode);
+        let mut scratch: Vec<&[f64]> = Vec::with_capacity(self.buffer.len());
+        for class in 0..self.num_classes {
+            scratch.clear();
+            scratch.extend(
+                self.buffer
+                    .iter()
+                    .filter(|(c, _)| *c == class)
+                    .map(|(_, t)| t.as_slice()),
+            );
+            if !scratch.is_empty() {
+                leaf.fold_batch(class, &scratch);
+            }
+        }
+        drop(scratch);
+        self.buffer.clear();
+        self.reducer.push(self.seq, leaf);
+        self.seq += 1;
     }
 
     /// Traces folded so far.
@@ -645,19 +738,20 @@ impl SpectrumStream {
         self.folded
     }
 
-    /// Number of `f64` values currently held (partial leaf plus the
-    /// reducer's buffered subtrees) — `O(classes × samples × log chunks)`,
+    /// Number of `f64` values currently held (the partial leaf's
+    /// buffered traces plus the reducer's buffered subtrees) —
+    /// `O(chunk × samples + classes × samples × log chunks)`,
     /// independent of trace count.
     pub fn resident_floats(&self) -> usize {
-        self.leaf.resident_floats() + self.reducer.resident_floats()
+        self.buffer.iter().map(|(_, t)| t.len()).sum::<usize>() + self.reducer.resident_floats()
     }
 
     /// Close the stream: the trailing partial chunk (if any) becomes the
     /// final leaf, and the reduction completes. Returns an empty
     /// accumulator if nothing was folded.
     pub fn finish(mut self) -> SpectrumAccumulator {
-        if self.in_leaf > 0 {
-            self.reducer.push(self.seq, self.leaf);
+        if !self.buffer.is_empty() {
+            self.flush_leaf();
         }
         self.reducer
             .finish()
@@ -829,6 +923,46 @@ mod tests {
             }
             assert_eq!(stream.finish(), reducer.finish().unwrap());
         }
+    }
+
+    #[test]
+    fn fold_batch_is_bit_identical_to_sequential_folds() {
+        // The loop-interchanged batch fold must leave the accumulator
+        // in exactly the state the trace-at-a-time fold produces —
+        // including the ExactSum partials (exact mode) and the rounding
+        // of every Welford divisor — even when the batch continues from
+        // a non-empty accumulator.
+        let traces = synth(0xABBA, 3, 7, 53);
+        let slices: Vec<&[f64]> = traces.iter().map(|(_, t)| t.as_slice()).collect();
+        for mode in [SumMode::Welford, SumMode::Exact] {
+            for split in [0usize, 1, 16, 52, 53] {
+                let mut sequential = ClassAccumulator::new(7, mode);
+                for s in &slices {
+                    sequential.fold(s);
+                }
+                let mut batched = ClassAccumulator::new(7, mode);
+                for s in &slices[..split] {
+                    batched.fold(s);
+                }
+                batched.fold_batch(&slices[split..]);
+                assert_eq!(batched, sequential, "{mode:?} split at {split}");
+            }
+        }
+        // Per-class dispatch through the spectrum accumulator.
+        let mut sequential = SpectrumAccumulator::new(3, 7, SumMode::Exact);
+        for (c, t) in &traces {
+            sequential.fold(*c, t);
+        }
+        let mut batched = SpectrumAccumulator::new(3, 7, SumMode::Exact);
+        for class in 0..3usize {
+            let of_class: Vec<&[f64]> = traces
+                .iter()
+                .filter(|(c, _)| *c == class)
+                .map(|(_, t)| t.as_slice())
+                .collect();
+            batched.fold_batch(class, &of_class);
+        }
+        assert_eq!(batched, sequential);
     }
 
     #[test]

@@ -19,6 +19,13 @@
 //! streaming fold (`on`/`exact` for the bit-identical exact mode,
 //! `welford` for the cheaper online mode, default `off`); streamed cells
 //! keep no raw traces, so they are not persisted to the trace store.
+//! `SCA_BACKEND` selects the capture engine: `event` (default, the
+//! event-driven reference), `bitsliced` (the levelized 64-traces-per-word
+//! engine; bit-identical traces, degrades to event-driven with a recorded
+//! warning when a netlist is unsupported), or `auto` (bit-sliced when
+//! supported, silently event-driven otherwise). The engine and lane
+//! utilization of every run land in the summary table and
+//! `results/campaign_runs.jsonl`.
 //!
 //! Run budgets: `SCA_DEADLINE_MS` (wall-clock limit per acquisition),
 //! `SCA_MAX_TRACES` (cap on newly captured traces per acquisition), and
@@ -29,8 +36,8 @@
 //! A malformed value never fails silently: by default it warns on
 //! stderr, naming the bad value and the default used instead; with
 //! `SCA_STRICT=1` (used in CI) a malformed `SCA_WORKERS`, `SCA_RETRIES`,
-//! `SCA_CHECKPOINT`, `SCA_FAULTS`, or budget knob is a hard
-//! configuration error and the binary exits with status 2.
+//! `SCA_CHECKPOINT`, `SCA_FAULTS`, `SCA_BACKEND`, or budget knob is a
+//! hard configuration error and the binary exits with status 2.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,7 +47,9 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 use acquisition::ProtocolConfig;
-use campaign::{CacheMode, Campaign, CampaignConfig, CampaignError, FaultPlan, RunBudget, SumMode};
+use campaign::{
+    Backend, CacheMode, Campaign, CampaignConfig, CampaignError, FaultPlan, RunBudget, SumMode,
+};
 
 /// Parse the common CLI: optional traces-per-class override.
 pub fn protocol_from_args() -> ProtocolConfig {
@@ -109,6 +118,41 @@ fn stream_from_env() -> (bool, SumMode) {
             }
         },
         Err(_) => (false, SumMode::Exact),
+    }
+}
+
+/// The capture engine named by `SCA_BACKEND`: `event` (default) is the
+/// event-driven reference engine, `bitsliced` the levelized batch
+/// engine (bit-identical traces; unsupported netlists degrade to
+/// event-driven with a recorded warning), `auto` picks bit-sliced when
+/// supported and falls back silently. Empty/unset is the default;
+/// anything else warns (or, strict, is a typed configuration error).
+fn backend_from_env(strict: bool) -> Result<Backend, CampaignError> {
+    backend_from_value(std::env::var("SCA_BACKEND").ok(), strict)
+}
+
+/// Parsing core of [`backend_from_env`], split out so the garbage path
+/// is testable without mutating the (thread-shared) environment.
+fn backend_from_value(value: Option<String>, strict: bool) -> Result<Backend, CampaignError> {
+    let Some(v) = value else {
+        return Ok(Backend::Event);
+    };
+    if v.is_empty() {
+        return Ok(Backend::Event);
+    }
+    match v.parse() {
+        Ok(backend) => Ok(backend),
+        Err(()) if strict => Err(CampaignError::Config {
+            name: "SCA_BACKEND".to_string(),
+            value: v,
+        }),
+        Err(()) => {
+            eprintln!(
+                "warning: SCA_BACKEND={v:?} is not one of event/bitsliced/auto; \
+                 using default event"
+            );
+            Ok(Backend::Event)
+        }
     }
 }
 
@@ -197,6 +241,7 @@ pub fn try_campaign_config(protocol: ProtocolConfig) -> Result<CampaignConfig, C
         faults,
         budget: budget_from_env(true)?,
         capture_timeout: capture_timeout_from_env(true)?,
+        backend: backend_from_env(true)?,
         ..CampaignConfig::default()
     })
 }
@@ -206,7 +251,8 @@ pub fn try_campaign_config(protocol: ProtocolConfig) -> Result<CampaignConfig, C
 /// (`off`, `refresh`, default read-write), capture retries from
 /// `SCA_RETRIES`, checkpoint cadence from `SCA_CHECKPOINT` (0 = no
 /// checkpoints), fault injection from `SCA_FAULTS`, the streaming
-/// analysis mode from `SCA_STREAM` (`off`, `exact`, `welford`), run
+/// analysis mode from `SCA_STREAM` (`off`, `exact`, `welford`), the
+/// capture engine from `SCA_BACKEND` (`event`, `bitsliced`, `auto`), run
 /// budgets from `SCA_DEADLINE_MS` / `SCA_MAX_TRACES` /
 /// `SCA_CAPTURE_TIMEOUT_MS`, stores and the run log under `results/`.
 ///
@@ -236,6 +282,7 @@ pub fn campaign_config(protocol: ProtocolConfig) -> CampaignConfig {
         stream_mode,
         budget,
         capture_timeout,
+        backend: backend_from_env(false).expect("lenient backend parsing cannot fail"),
         ..CampaignConfig::default()
     }
 }
@@ -422,6 +469,25 @@ mod tests {
         std::env::remove_var("SCA_DEADLINE_MS");
         std::env::remove_var("SCA_MAX_TRACES");
         std::env::remove_var("SCA_CAPTURE_TIMEOUT_MS");
+    }
+
+    #[test]
+    fn backend_env_selects_engine_and_defaults_to_event() {
+        // Values go through backend_from_value directly: setting a
+        // garbage SCA_BACKEND in the shared process environment would
+        // race the strict try_campaign_config calls of other tests.
+        let get = |v: Option<&str>, strict| backend_from_value(v.map(String::from), strict);
+        assert_eq!(get(None, false).unwrap(), Backend::Event);
+        assert_eq!(get(None, true).unwrap(), Backend::Event);
+        assert_eq!(get(Some(""), true).unwrap(), Backend::Event);
+        assert_eq!(get(Some("event"), false).unwrap(), Backend::Event);
+        assert_eq!(get(Some("bitsliced"), true).unwrap(), Backend::Bitsliced);
+        assert_eq!(get(Some("AUTO"), false).unwrap(), Backend::Auto);
+        // Lenient: warn and default; strict: typed error naming the knob.
+        assert_eq!(get(Some("banana"), false).unwrap(), Backend::Event);
+        let err = get(Some("banana"), true).expect_err("strict garbage is fatal");
+        assert!(matches!(err, CampaignError::Config { ref name, ref value }
+            if name == "SCA_BACKEND" && value == "banana"));
     }
 
     #[test]

@@ -48,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bitsliced;
 mod config;
 mod derating;
 mod engine;
@@ -56,6 +57,7 @@ mod profile;
 mod session;
 pub mod vcd;
 
+pub use bitsliced::{BitsliceUnsupported, BitslicedSession, LaneStimulus, LANES};
 pub use config::{SamplingConfig, SimConfig};
 pub use derating::Derating;
 pub use engine::{CaptureStats, Simulator, SwitchEvent, TransitionRecord};

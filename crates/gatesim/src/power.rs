@@ -82,7 +82,7 @@ pub fn sample_waveform_into(
 
 /// Fraction of a unit-energy pulse's charge delivered before normalized
 /// time `x ∈ [0, 1]`.
-fn pulse_cdf(shape: PulseShape, x: f64) -> f64 {
+pub(crate) fn pulse_cdf(shape: PulseShape, x: f64) -> f64 {
     match shape {
         PulseShape::Rectangular => x,
         PulseShape::Triangular => {

@@ -277,12 +277,31 @@ impl Campaign {
     /// `LeakageStudy::run_aged` (the device is aged by its own protocol
     /// workload).
     pub fn acquire_aged(&mut self, scheme: Scheme, months: f64) -> CampaignOutcome {
+        let circuit = SboxCircuit::build(scheme);
+        self.acquire_circuit_aged(&circuit, scheme.label(), months)
+    }
+
+    /// Acquire the classified set for an explicit circuit under an
+    /// explicit cache label.
+    ///
+    /// This is the substrate the scheme-keyed paths delegate to, and the
+    /// entry point for *imported* designs: the caller labels the cell by
+    /// netlist content (e.g. `import-isw-<digest>`), so re-importing the
+    /// same file hits the trace store while any structural edit misses
+    /// it. The outcome's `scheme` is the circuit's bound scheme.
+    pub fn acquire_circuit_aged(
+        &mut self,
+        circuit: &SboxCircuit,
+        implementation: &str,
+        months: f64,
+    ) -> CampaignOutcome {
+        let scheme = circuit.scheme();
         let mut timer = StageTimer::new();
-        let key = self.classified_key(scheme, months);
+        let key = self.classified_key(implementation, months);
 
         if let Some(reader) = self.lookup(&key, &mut timer) {
             match reader.read_classified() {
-                Ok(traces) => return self.classified_hit(scheme, months, traces, timer),
+                Ok(traces) => return self.classified_hit(&key, scheme, months, traces, timer),
                 Err(e) => eprintln!(
                     "campaign cache: {} failed mid-read ({e}); re-acquiring",
                     self.cache.path_for(&key).display()
@@ -290,14 +309,12 @@ impl Campaign {
             }
         }
 
-        timer.stage("build");
-        let circuit = SboxCircuit::build(scheme);
         timer.stage("age");
-        let derating = self.derating(&circuit, months);
+        let derating = self.derating(circuit, months);
         let sim = Simulator::with_derating(circuit.netlist(), &self.config.protocol.sim, &derating);
 
         timer.stage("acquire");
-        let schedule = classified_schedule(&circuit, &self.config.protocol);
+        let schedule = classified_schedule(circuit, &self.config.protocol);
         let (raw, mut exec) = self.execute(&key, &sim, &schedule, self.config.protocol.seed);
 
         // Quarantined indices — and, after a budget interruption, the
@@ -385,8 +402,22 @@ impl Campaign {
     /// With `streaming` off this simply delegates to the batch path and
     /// summarizes its outcome.
     pub fn acquire_spectrum_aged(&mut self, scheme: Scheme, months: f64) -> SpectrumOutcome {
+        let circuit = SboxCircuit::build(scheme);
+        self.acquire_circuit_spectrum_aged(&circuit, scheme.label(), months)
+    }
+
+    /// The spectrum counterpart of [`Campaign::acquire_circuit_aged`]:
+    /// an explicit circuit under an explicit cache label, streamed in
+    /// bounded memory when the campaign is configured for it.
+    pub fn acquire_circuit_spectrum_aged(
+        &mut self,
+        circuit: &SboxCircuit,
+        implementation: &str,
+        months: f64,
+    ) -> SpectrumOutcome {
+        let scheme = circuit.scheme();
         if !self.config.streaming {
-            let outcome = self.acquire_aged(scheme, months);
+            let outcome = self.acquire_circuit_aged(circuit, implementation, months);
             let mut class_counts = vec![0usize; NUM_CLASSES];
             for (class, _) in outcome.traces.iter() {
                 class_counts[class] += 1;
@@ -404,11 +435,11 @@ impl Campaign {
         }
 
         let mut timer = StageTimer::new();
-        let key = self.classified_key(scheme, months);
+        let key = self.classified_key(implementation, months);
 
         if let Some(reader) = self.lookup(&key, &mut timer) {
             match Self::fold_store(reader, self.config.stream_mode) {
-                Ok(acc) => return self.spectrum_hit(scheme, months, acc, timer),
+                Ok(acc) => return self.spectrum_hit(&key, scheme, months, acc, timer),
                 Err(e) => eprintln!(
                     "campaign cache: {} failed mid-read ({e}); re-acquiring",
                     self.cache.path_for(&key).display()
@@ -416,14 +447,12 @@ impl Campaign {
             }
         }
 
-        timer.stage("build");
-        let circuit = SboxCircuit::build(scheme);
         timer.stage("age");
-        let derating = self.derating(&circuit, months);
+        let derating = self.derating(circuit, months);
         let sim = Simulator::with_derating(circuit.netlist(), &self.config.protocol.sim, &derating);
 
         timer.stage("acquire");
-        let schedule = classified_schedule(&circuit, &self.config.protocol);
+        let schedule = classified_schedule(circuit, &self.config.protocol);
         let (acc, mut exec) =
             self.execute_streaming(&key, &sim, &schedule, self.config.protocol.seed);
 
@@ -566,10 +595,10 @@ impl Campaign {
             .append_jsonl_with(&self.config.log_path, self.config.faults.write_faults())
     }
 
-    fn classified_key(&self, scheme: Scheme, months: f64) -> CampaignKey {
+    fn classified_key(&self, implementation: &str, months: f64) -> CampaignKey {
         CampaignKey {
             kind: StoreKind::Classified,
-            implementation: scheme.label().to_string(),
+            implementation: implementation.to_string(),
             seed: self.config.protocol.seed,
             traces: (self.config.protocol.traces_per_class * NUM_CLASSES) as u32,
             samples: self.config.protocol.sampling.samples as u32,
@@ -822,6 +851,7 @@ impl Campaign {
 
     fn classified_hit(
         &mut self,
+        key: &CampaignKey,
         scheme: Scheme,
         months: f64,
         traces: ClassifiedTraces,
@@ -829,8 +859,7 @@ impl Campaign {
     ) -> CampaignOutcome {
         timer.stage("analyze");
         let spectrum = LeakageSpectrum::from_class_means(&traces.class_means());
-        let key = self.classified_key(scheme, months);
-        self.report_hit(&key, traces.len(), timer);
+        self.report_hit(key, traces.len(), timer);
         CampaignOutcome {
             scheme,
             age_months: months,
@@ -847,15 +876,15 @@ impl Campaign {
 
     fn spectrum_hit(
         &mut self,
+        key: &CampaignKey,
         scheme: Scheme,
         months: f64,
         acc: SpectrumAccumulator,
         mut timer: StageTimer,
     ) -> SpectrumOutcome {
         timer.stage("analyze");
-        let key = self.classified_key(scheme, months);
         // A cache-hit fold keeps one record resident at a time.
-        self.push_hit_report(&key, acc.len() as usize, timer, true, 1, acc.merge_depth());
+        self.push_hit_report(key, acc.len() as usize, timer, true, 1, acc.merge_depth());
         SpectrumOutcome {
             scheme,
             age_months: months,

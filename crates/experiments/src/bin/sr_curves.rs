@@ -13,13 +13,20 @@ fn main() {
     let max_traces: usize = std::env::args()
         .nth(1)
         .and_then(|a| a.parse().ok())
-        .unwrap_or(1024);
+        .unwrap_or(1024)
+        .max(1);
     let key = 0x5;
     let mut campaign = Campaign::new(campaign_config(ProtocolConfig::default()));
-    let counts: Vec<usize> = [16usize, 32, 64, 128, 256, 512, 1024]
+    let mut counts: Vec<usize> = [16usize, 32, 64, 128, 256, 512, 1024]
         .into_iter()
         .filter(|&c| c <= max_traces)
         .collect();
+    if counts.is_empty() {
+        // A budget below the smallest snapshot (the CI fault matrix runs
+        // the sweep with 2 traces) still gets one snapshot at the full
+        // budget instead of tripping the empty-counts assert downstream.
+        counts.push(max_traces);
+    }
     let mut header = vec!["scheme".to_string()];
     header.extend(counts.iter().map(|c| format!("sr_{c}")));
     let mut csv = CsvSink::new("sr_curves", header);

@@ -1,0 +1,250 @@
+//! The cell-mapping layer: foreign cell types onto the NANGATE-inspired
+//! gate library.
+//!
+//! Three families of names resolve:
+//!
+//! * the workspace's own mnemonics (`INV`, `NAND2`, …, pins `A`–`D`/`Y`),
+//! * Yosys internal gates (`$_NOT_`, `$_AND_`, `$_MUX_`, `$_AOI3_`, …),
+//! * NANGATE-style liberty names with drive-strength suffixes
+//!   (`NAND2_X1`, `INV_X4`, `AOI22_X2`, …, pins `A1`/`A2`/`ZN`).
+//!
+//! Cells with no 1:1 library counterpart (AOI/OAI, MUX, AND-NOT,
+//! constant drivers) expand into small sub-netlists of library gates —
+//! the expansion rules are documented per [`CellOp`] variant and in
+//! `DESIGN.md`. Unknown names resolve to `None`, which the linker turns
+//! into a typed [`crate::FrontendError::UnmappableCell`].
+
+use sbox_netlist::CellType;
+
+/// The logical operation a mapped cell performs, positionally: the
+/// semantics below refer to the resolved input signals `i0, i1, …` in
+/// the pin order of [`CellSpec::inputs`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellOp {
+    /// A library cell, instantiated 1:1.
+    Prim(CellType),
+    /// `!((i0 & i1) | i2)` — expands to AND2 + NOR2.
+    Aoi21,
+    /// `!((i0 & i1) | (i2 & i3))` — expands to 2×AND2 + NOR2.
+    Aoi22,
+    /// `!((i0 | i1) & i2)` — expands to OR2 + NAND2.
+    Oai21,
+    /// `!((i0 | i1) & (i2 | i3))` — expands to 2×OR2 + NAND2.
+    Oai22,
+    /// `i2 ? i1 : i0` — expands to INV + 2×AND2 + OR2.
+    Mux2,
+    /// `!(i2 ? i1 : i0)` — expands to INV + 2×AND2 + NOR2.
+    NMux2,
+    /// `i0 & !i1` — expands to INV + AND2.
+    AndNot,
+    /// `i0 | !i1` — expands to INV + OR2.
+    OrNot,
+    /// Constant low — synthesized as `XOR2(a, a)` on the first primary
+    /// input (the library has no tie cells).
+    Const0,
+    /// Constant high — synthesized as `XNOR2(a, a)`.
+    Const1,
+}
+
+impl CellOp {
+    /// How many input pins the operation consumes.
+    pub fn arity(self) -> usize {
+        match self {
+            CellOp::Prim(c) => c.arity(),
+            CellOp::Aoi21 | CellOp::Oai21 | CellOp::Mux2 | CellOp::NMux2 => 3,
+            CellOp::Aoi22 | CellOp::Oai22 => 4,
+            CellOp::AndNot | CellOp::OrNot => 2,
+            CellOp::Const0 | CellOp::Const1 => 0,
+        }
+    }
+}
+
+/// How one foreign cell type maps onto the library: the operation plus
+/// the accepted pin names, positionally (each position lists its
+/// aliases — `A`/`A1`/`IN1` all name the first pin of an AND2).
+#[derive(Debug, Clone, Copy)]
+pub struct CellSpec {
+    /// The mapped operation.
+    pub op: CellOp,
+    /// Accepted input pin names per position.
+    pub inputs: &'static [&'static [&'static str]],
+    /// Accepted output pin names.
+    pub output: &'static [&'static str],
+}
+
+impl CellSpec {
+    /// The canonical (first-alias) name of input pin `pos`, for
+    /// diagnostics.
+    pub fn canonical(&self, pos: usize) -> &'static str {
+        self.inputs[pos][0]
+    }
+}
+
+const OUT: &[&str] = &["Y", "Z", "ZN", "Q", "OUT"];
+
+macro_rules! spec {
+    ($op:expr, [$($pos:expr),*]) => {
+        CellSpec {
+            op: $op,
+            inputs: &[$($pos),*],
+            output: OUT,
+        }
+    };
+}
+
+const IN_A: &[&str] = &["A", "A1", "I", "IN", "IN1"];
+const IN_B: &[&str] = &["B", "A2", "IN2"];
+const IN_C: &[&str] = &["C", "A3", "IN3"];
+const IN_D: &[&str] = &["D", "A4", "IN4"];
+
+/// Resolve a foreign cell type name. Matching is case-insensitive and
+/// strips NANGATE-style drive-strength suffixes (`_X1`, `_X2`, …).
+pub fn resolve(type_name: &str) -> Option<CellSpec> {
+    use CellType::*;
+    let normalized = normalize(type_name);
+    let spec = match normalized.as_str() {
+        "INV" | "NOT" | "$_NOT_" => spec!(CellOp::Prim(Inv), [IN_A]),
+        "BUF" | "CLKBUF" | "$_BUF_" => spec!(CellOp::Prim(Buf), [IN_A]),
+        "AND2" | "$_AND_" => spec!(CellOp::Prim(And2), [IN_A, IN_B]),
+        "AND3" => spec!(CellOp::Prim(And3), [IN_A, IN_B, IN_C]),
+        "AND4" => spec!(CellOp::Prim(And4), [IN_A, IN_B, IN_C, IN_D]),
+        "OR2" | "$_OR_" => spec!(CellOp::Prim(Or2), [IN_A, IN_B]),
+        "OR3" => spec!(CellOp::Prim(Or3), [IN_A, IN_B, IN_C]),
+        "OR4" => spec!(CellOp::Prim(Or4), [IN_A, IN_B, IN_C, IN_D]),
+        "NAND2" | "$_NAND_" => spec!(CellOp::Prim(Nand2), [IN_A, IN_B]),
+        "NAND3" => spec!(CellOp::Prim(Nand3), [IN_A, IN_B, IN_C]),
+        "NAND4" => spec!(CellOp::Prim(Nand4), [IN_A, IN_B, IN_C, IN_D]),
+        "NOR2" | "$_NOR_" => spec!(CellOp::Prim(Nor2), [IN_A, IN_B]),
+        "NOR3" => spec!(CellOp::Prim(Nor3), [IN_A, IN_B, IN_C]),
+        "NOR4" => spec!(CellOp::Prim(Nor4), [IN_A, IN_B, IN_C, IN_D]),
+        "XOR2" | "XOR" | "$_XOR_" => spec!(CellOp::Prim(Xor2), [IN_A, IN_B]),
+        "XNOR2" | "XNOR" | "$_XNOR_" => spec!(CellOp::Prim(Xnor2), [IN_A, IN_B]),
+        // NANGATE AOI21: ZN = !((B1 & B2) | A); Yosys $_AOI3_: Y = !((A & B) | C).
+        "AOI21" => spec!(CellOp::Aoi21, [&["B1"], &["B2"], &["A"]]),
+        "$_AOI3_" => spec!(CellOp::Aoi21, [&["A"], &["B"], &["C"]]),
+        "OAI21" => spec!(CellOp::Oai21, [&["B1"], &["B2"], &["A"]]),
+        "$_OAI3_" => spec!(CellOp::Oai21, [&["A"], &["B"], &["C"]]),
+        "AOI22" | "$_AOI4_" => spec!(
+            CellOp::Aoi22,
+            [&["A1", "A"], &["A2", "B"], &["B1", "C"], &["B2", "D"]]
+        ),
+        "OAI22" | "$_OAI4_" => spec!(
+            CellOp::Oai22,
+            [&["A1", "A"], &["A2", "B"], &["B1", "C"], &["B2", "D"]]
+        ),
+        "MUX2" | "MUX" | "$_MUX_" => spec!(
+            CellOp::Mux2,
+            [&["A", "I0", "D0"], &["B", "I1", "D1"], &["S", "S0", "SEL"]]
+        ),
+        "$_NMUX_" => spec!(CellOp::NMux2, [&["A"], &["B"], &["S"]]),
+        "$_ANDNOT_" => spec!(CellOp::AndNot, [&["A"], &["B"]]),
+        "$_ORNOT_" => spec!(CellOp::OrNot, [&["A"], &["B"]]),
+        "LOGIC0" | "TIE0" | "TIELO" | "GND" | "$_FALSE_" => CellSpec {
+            op: CellOp::Const0,
+            inputs: &[],
+            output: &["Z", "Y", "ZN", "Q", "G", "GND"],
+        },
+        "LOGIC1" | "TIE1" | "TIEHI" | "VCC" | "VDD" | "$_TRUE_" => CellSpec {
+            op: CellOp::Const1,
+            inputs: &[],
+            output: &["Z", "Y", "ZN", "Q", "P", "VCC"],
+        },
+        _ => return None,
+    };
+    Some(spec)
+}
+
+/// The NANGATE-style name the exporters write for a library cell
+/// (drive strength X1), with its positional pin names.
+pub fn export_name(cell: CellType) -> (&'static str, &'static [&'static str], &'static str) {
+    use CellType::*;
+    match cell {
+        Inv => ("INV_X1", &["A"], "ZN"),
+        Buf => ("BUF_X1", &["A"], "Z"),
+        And2 => ("AND2_X1", &["A1", "A2"], "ZN"),
+        And3 => ("AND3_X1", &["A1", "A2", "A3"], "ZN"),
+        And4 => ("AND4_X1", &["A1", "A2", "A3", "A4"], "ZN"),
+        Or2 => ("OR2_X1", &["A1", "A2"], "ZN"),
+        Or3 => ("OR3_X1", &["A1", "A2", "A3"], "ZN"),
+        Or4 => ("OR4_X1", &["A1", "A2", "A3", "A4"], "ZN"),
+        Nand2 => ("NAND2_X1", &["A1", "A2"], "ZN"),
+        Nand3 => ("NAND3_X1", &["A1", "A2", "A3"], "ZN"),
+        Nand4 => ("NAND4_X1", &["A1", "A2", "A3", "A4"], "ZN"),
+        Nor2 => ("NOR2_X1", &["A1", "A2"], "ZN"),
+        Nor3 => ("NOR3_X1", &["A1", "A2", "A3"], "ZN"),
+        Nor4 => ("NOR4_X1", &["A1", "A2", "A3", "A4"], "ZN"),
+        Xor2 => ("XOR2_X1", &["A", "B"], "Z"),
+        Xnor2 => ("XNOR2_X1", &["A", "B"], "ZN"),
+    }
+}
+
+/// Uppercase, trim, and strip a trailing drive-strength suffix
+/// (`_X<digits>`). Yosys internal names (`$_..._`) pass through intact.
+fn normalize(name: &str) -> String {
+    let mut n = name.trim().to_ascii_uppercase();
+    if n.starts_with("$_") {
+        return n;
+    }
+    if let Some(pos) = n.rfind("_X") {
+        let suffix = &n[pos + 2..];
+        if !suffix.is_empty() && suffix.bytes().all(|b| b.is_ascii_digit()) {
+            n.truncate(pos);
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drive_strength_suffixes_strip() {
+        assert_eq!(
+            resolve("NAND2_X4").unwrap().op,
+            CellOp::Prim(CellType::Nand2)
+        );
+        assert_eq!(resolve("inv_x1").unwrap().op, CellOp::Prim(CellType::Inv));
+        // `_X` with a non-numeric tail is part of the name, not a suffix.
+        assert!(resolve("NAND2_XL").is_none());
+    }
+
+    #[test]
+    fn yosys_internal_gates_resolve() {
+        assert_eq!(resolve("$_NOT_").unwrap().op, CellOp::Prim(CellType::Inv));
+        assert_eq!(resolve("$_MUX_").unwrap().op, CellOp::Mux2);
+        assert_eq!(resolve("$_AOI4_").unwrap().op, CellOp::Aoi22);
+        assert_eq!(resolve("$_ANDNOT_").unwrap().op, CellOp::AndNot);
+    }
+
+    #[test]
+    fn unknown_cells_do_not_resolve() {
+        assert!(resolve("DFF_X1").is_none());
+        assert!(resolve("$_SR_LATCH_").is_none());
+        assert!(resolve("my_submodule").is_none());
+    }
+
+    #[test]
+    fn export_names_resolve_back_to_the_same_cell() {
+        for cell in sbox_netlist::ALL_CELL_TYPES {
+            let (name, pins, out) = export_name(cell);
+            let spec = resolve(name).expect(name);
+            assert_eq!(spec.op, CellOp::Prim(cell), "{name}");
+            assert_eq!(spec.inputs.len(), cell.arity(), "{name}");
+            for (pos, pin) in pins.iter().enumerate() {
+                assert!(
+                    spec.inputs[pos].contains(pin),
+                    "{name} pin {pin} must alias position {pos}"
+                );
+            }
+            assert!(spec.output.contains(&out), "{name} output {out}");
+        }
+    }
+
+    #[test]
+    fn constants_have_no_input_pins() {
+        assert_eq!(resolve("LOGIC0_X1").unwrap().op, CellOp::Const0);
+        assert_eq!(resolve("TIEHI").unwrap().op, CellOp::Const1);
+        assert_eq!(resolve("LOGIC0_X1").unwrap().inputs.len(), 0);
+    }
+}

@@ -1,0 +1,274 @@
+//! Typed import diagnostics.
+//!
+//! Every way an external netlist can fail to become a [`sbox_netlist::Netlist`]
+//! is a distinct [`FrontendError`] variant with a stable, human-readable
+//! rendering — the golden fixtures under `tests/golden/frontend/` pin the
+//! exact text, so a diagnostic regression is a visible diff, not a silently
+//! reworded message. Parsers and the linker must *never* panic on malformed
+//! input; the malformed-input test matrix enforces that with `catch_unwind`.
+
+use std::fmt;
+
+use sbox_netlist::NetlistError;
+
+/// Which external format a source text was parsed as.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SourceFormat {
+    /// Yosys `write_json` output.
+    YosysJson,
+    /// Structural EDIF 2.0.0.
+    Edif,
+}
+
+impl SourceFormat {
+    /// Short lowercase label used in diagnostics and CLI output.
+    pub const fn label(self) -> &'static str {
+        match self {
+            SourceFormat::YosysJson => "yosys-json",
+            SourceFormat::Edif => "edif",
+        }
+    }
+}
+
+impl fmt::Display for SourceFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Everything that can go wrong between an external netlist file and a
+/// validated [`sbox_netlist::Netlist`] (plus its encoding sidecar).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrontendError {
+    /// The source text is not syntactically valid in its format.
+    Syntax {
+        /// The format being parsed.
+        format: SourceFormat,
+        /// 1-based line of the offending character.
+        line: usize,
+        /// 1-based column of the offending character.
+        column: usize,
+        /// What the parser expected or found.
+        message: String,
+    },
+    /// A structurally required field is absent.
+    MissingField {
+        /// Where the field was expected (e.g. `module "top"`).
+        context: String,
+        /// The field name (e.g. `ports`).
+        field: &'static str,
+    },
+    /// The design has no importable top module, or several candidates.
+    NoTopModule {
+        /// The module names that were found.
+        found: Vec<String>,
+    },
+    /// A cell's type has no mapping onto the gate library.
+    UnmappableCell {
+        /// Instance name.
+        cell: String,
+        /// The foreign cell type.
+        cell_type: String,
+    },
+    /// A port connection carries the wrong number of bits for its pin.
+    PortWidthMismatch {
+        /// Instance name.
+        cell: String,
+        /// The foreign cell type.
+        cell_type: String,
+        /// The connected port.
+        port: String,
+        /// Bits actually connected.
+        got: usize,
+        /// Bits the pin expects.
+        expected: usize,
+    },
+    /// A cell connects a port its mapped type does not have.
+    UnknownPort {
+        /// Instance name.
+        cell: String,
+        /// The foreign cell type.
+        cell_type: String,
+        /// The unknown port.
+        port: String,
+    },
+    /// A cell leaves a required pin unconnected.
+    MissingPort {
+        /// Instance name.
+        cell: String,
+        /// The foreign cell type.
+        cell_type: String,
+        /// The canonical name of the missing pin.
+        port: &'static str,
+    },
+    /// Two drivers (cells and/or input ports) contend for one net.
+    MultipleDrivers {
+        /// The net, by name when the source names it, else `bit <id>`.
+        net: String,
+        /// The second driver that collided.
+        driver: String,
+    },
+    /// A read net is driven by nothing: no cell output, no input port.
+    DanglingNet {
+        /// The net, by name when the source names it, else `bit <id>`.
+        net: String,
+        /// The instance or output port reading it.
+        reader: String,
+    },
+    /// Cells form a combinational cycle.
+    CombinationalLoop {
+        /// The instances on the cycle (source order).
+        cells: Vec<String>,
+    },
+    /// A legal-but-unsupported construct (inout port, port array,
+    /// hierarchical instance, …). The policy is documented in `DESIGN.md`.
+    UnsupportedConstruct {
+        /// Where it appeared.
+        context: String,
+        /// What it was.
+        construct: String,
+    },
+    /// Residual structural validation failure from the netlist builder.
+    Netlist(NetlistError),
+    /// The encoding sidecar is syntactically malformed.
+    SidecarSyntax {
+        /// 1-based line of the offending entry.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// The sidecar names a scheme the workspace does not implement.
+    UnknownScheme {
+        /// The name as written.
+        name: String,
+    },
+    /// The imported port shape does not fit the declared scheme.
+    EncodingMismatch {
+        /// The declared scheme label.
+        scheme: String,
+        /// What differed (input count, output count).
+        message: String,
+    },
+    /// A sidecar role declaration contradicts the scheme's ground truth.
+    RoleMismatch {
+        /// The input port the role was declared for.
+        port: String,
+        /// The declared role, as written.
+        declared: String,
+        /// The scheme's actual role for that port.
+        expected: String,
+    },
+    /// Reading the source file failed.
+    Io {
+        /// The path as given.
+        path: String,
+        /// The operating-system error.
+        message: String,
+    },
+}
+
+impl fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrontendError::Syntax {
+                format,
+                line,
+                column,
+                message,
+            } => write!(f, "{format} syntax error at {line}:{column}: {message}"),
+            FrontendError::MissingField { context, field } => {
+                write!(f, "{context} is missing required field `{field}`")
+            }
+            FrontendError::NoTopModule { found } => {
+                if found.is_empty() {
+                    write!(f, "design contains no module to import")
+                } else {
+                    write!(
+                        f,
+                        "cannot choose a top module among [{}]: mark one with the `top` \
+                         attribute or flatten the design",
+                        found.join(", ")
+                    )
+                }
+            }
+            FrontendError::UnmappableCell { cell, cell_type } => write!(
+                f,
+                "cell `{cell}` has type `{cell_type}`, which has no mapping onto the \
+                 NANGATE-inspired library (INV/BUF/AND/OR/NAND/NOR/XOR/XNOR/AOI/OAI/MUX/\
+                 LOGIC0/LOGIC1)"
+            ),
+            FrontendError::PortWidthMismatch {
+                cell,
+                cell_type,
+                port,
+                got,
+                expected,
+            } => write!(
+                f,
+                "cell `{cell}` ({cell_type}) connects {got} bit(s) to port `{port}`, \
+                 which is {expected} bit(s) wide"
+            ),
+            FrontendError::UnknownPort {
+                cell,
+                cell_type,
+                port,
+            } => write!(
+                f,
+                "cell `{cell}` ({cell_type}) connects unknown port `{port}`"
+            ),
+            FrontendError::MissingPort {
+                cell,
+                cell_type,
+                port,
+            } => write!(
+                f,
+                "cell `{cell}` ({cell_type}) leaves required pin `{port}` unconnected"
+            ),
+            FrontendError::MultipleDrivers { net, driver } => {
+                write!(f, "net `{net}` has multiple drivers (second: {driver})")
+            }
+            FrontendError::DanglingNet { net, reader } => write!(
+                f,
+                "net `{net}` is read by {reader} but driven by no cell or input port"
+            ),
+            FrontendError::CombinationalLoop { cells } => {
+                write!(f, "combinational loop through [{}]", cells.join(", "))
+            }
+            FrontendError::UnsupportedConstruct { context, construct } => {
+                write!(f, "{context}: unsupported construct: {construct}")
+            }
+            FrontendError::Netlist(e) => write!(f, "imported netlist failed validation: {e}"),
+            FrontendError::SidecarSyntax { line, message } => {
+                write!(f, "encoding sidecar, line {line}: {message}")
+            }
+            FrontendError::UnknownScheme { name } => write!(
+                f,
+                "encoding sidecar names unknown scheme `{name}` (expected one of LUT, \
+                 LUT-OPT, GLUT, RSM, RSM-ROM, ISW, TI)"
+            ),
+            FrontendError::EncodingMismatch { scheme, message } => {
+                write!(f, "imported design does not fit scheme {scheme}: {message}")
+            }
+            FrontendError::RoleMismatch {
+                port,
+                declared,
+                expected,
+            } => write!(
+                f,
+                "sidecar declares input `{port}` as `{declared}`, but scheme ground \
+                 truth is `{expected}`"
+            ),
+            FrontendError::Io { path, message } => {
+                write!(f, "cannot read {path}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrontendError {}
+
+impl From<NetlistError> for FrontendError {
+    fn from(e: NetlistError) -> Self {
+        FrontendError::Netlist(e)
+    }
+}

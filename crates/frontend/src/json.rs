@@ -1,0 +1,431 @@
+//! A minimal, order-preserving JSON parser.
+//!
+//! Yosys' `write_json` relies on object key order to carry declaration
+//! order (ports, cells), so objects are kept as insertion-ordered
+//! `Vec<(String, Json)>` rather than hash maps. The build environment is
+//! offline (no `serde`), and the subset needed here — objects, arrays,
+//! strings, numbers, booleans, null — is small enough to hand-roll with
+//! precise line/column positions for the typed syntax diagnostics.
+
+use std::fmt::Write as _;
+
+/// One JSON value. Objects preserve source order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number. `f64` is exact for every net id a real design holds.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source key order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Look up a key in an object; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The object's entries in source order; empty for non-objects.
+    pub fn entries(&self) -> &[(String, Json)] {
+        match self {
+            Json::Obj(entries) => entries,
+            _ => &[],
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// A syntax error with a 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub column: usize,
+    /// What the parser expected or found.
+    pub message: String,
+}
+
+/// Parse a complete JSON document. Trailing non-whitespace is an error.
+pub fn parse(text: &str) -> Result<Json, JsonError> {
+    let mut p = Parser::new(text);
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if let Some(c) = p.peek() {
+        return Err(p.err(format!("unexpected trailing `{c}` after document")));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+    column: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Self {
+            bytes: text.as_bytes(),
+            pos: 0,
+            line: 1,
+            column: 1,
+        }
+    }
+
+    fn err(&self, message: String) -> JsonError {
+        JsonError {
+            line: self.line,
+            column: self.column,
+            message,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        // The grammar is ASCII-delimited; multi-byte characters only occur
+        // inside strings, which consume bytes directly.
+        self.bytes.get(self.pos).map(|&b| b as char)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+            self.bump();
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), JsonError> {
+        match self.peek() {
+            Some(found) if found == c => {
+                self.bump();
+                Ok(())
+            }
+            Some(found) => Err(self.err(format!("expected `{c}`, found `{found}`"))),
+            None => Err(self.err(format!("expected `{c}`, found end of input"))),
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some('{') => self.object(),
+            Some('[') => self.array(),
+            Some('"') => Ok(Json::Str(self.string()?)),
+            Some(c) if c == '-' || c.is_ascii_digit() => self.number(),
+            Some('t') => self.keyword("true", Json::Bool(true)),
+            Some('f') => self.keyword("false", Json::Bool(false)),
+            Some('n') => self.keyword("null", Json::Null),
+            Some(c) => Err(self.err(format!("unexpected `{c}` where a value was expected"))),
+            None => Err(self.err("unexpected end of input where a value was expected".into())),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        for expected in word.chars() {
+            match self.bump() {
+                Some(c) if c == expected => {}
+                _ => return Err(self.err(format!("malformed literal, expected `{word}`"))),
+            }
+        }
+        Ok(value)
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect('{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some('}') {
+            self.bump();
+            return Ok(Json::Obj(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(',') => {
+                    self.bump();
+                }
+                Some('}') => {
+                    self.bump();
+                    return Ok(Json::Obj(entries));
+                }
+                Some(c) => {
+                    return Err(self.err(format!("expected `,` or `}}` in object, found `{c}`")))
+                }
+                None => return Err(self.err("unterminated object".into())),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect('[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(']') {
+            self.bump();
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(',') => {
+                    self.bump();
+                }
+                Some(']') => {
+                    self.bump();
+                    return Ok(Json::Arr(items));
+                }
+                Some(c) => {
+                    return Err(self.err(format!("expected `,` or `]` in array, found `{c}`")))
+                }
+                None => return Err(self.err("unterminated array".into())),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            // Consume raw bytes so multi-byte UTF-8 passes through intact.
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err(self.err("unterminated string".into()));
+            };
+            match b {
+                b'"' => {
+                    self.bump();
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.bump();
+                    let esc = self
+                        .bump()
+                        .ok_or_else(|| self.err("unterminated escape".into()))?;
+                    match esc {
+                        '"' => out.push('"'),
+                        '\\' => out.push('\\'),
+                        '/' => out.push('/'),
+                        'b' => out.push('\u{0008}'),
+                        'f' => out.push('\u{000C}'),
+                        'n' => out.push('\n'),
+                        'r' => out.push('\r'),
+                        't' => out.push('\t'),
+                        'u' => {
+                            let code = self.hex4()?;
+                            // Surrogate pairs: a high surrogate must be
+                            // followed by `\uDC00..\uDFFF`.
+                            let c = if (0xD800..0xDC00).contains(&code) {
+                                if self.bump() != Some('\\') || self.bump() != Some('u') {
+                                    return Err(
+                                        self.err("high surrogate without a low surrogate".into())
+                                    );
+                                }
+                                let low = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(self.err("invalid low surrogate".into()));
+                                }
+                                let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(combined)
+                            } else {
+                                char::from_u32(code)
+                            };
+                            match c {
+                                Some(c) => out.push(c),
+                                None => return Err(self.err("invalid \\u escape".into())),
+                            }
+                        }
+                        other => return Err(self.err(format!("invalid escape `\\{other}`"))),
+                    }
+                }
+                0x00..=0x1F => return Err(self.err("unescaped control character in string".into())),
+                _ if b < 0x80 => {
+                    out.push(b as char);
+                    self.bump();
+                }
+                _ => {
+                    // Multi-byte UTF-8: copy the whole sequence.
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF7 => 4,
+                        _ => return Err(self.err("invalid UTF-8 in string".into())),
+                    };
+                    let end = self.pos + len;
+                    let slice = self
+                        .bytes
+                        .get(self.pos..end)
+                        .ok_or_else(|| self.err("truncated UTF-8 in string".into()))?;
+                    match std::str::from_utf8(slice) {
+                        Ok(s) => out.push_str(s),
+                        Err(_) => return Err(self.err("invalid UTF-8 in string".into())),
+                    }
+                    for _ in 0..len {
+                        self.bump();
+                    }
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let c = self
+                .bump()
+                .ok_or_else(|| self.err("truncated \\u escape".into()))?;
+            let digit = c
+                .to_digit(16)
+                .ok_or_else(|| self.err(format!("invalid hex digit `{c}` in \\u escape")))?;
+            code = code * 16 + digit;
+        }
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some('-') {
+            self.bump();
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.bump();
+        }
+        if self.peek() == Some('.') {
+            self.bump();
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), Some('e' | 'E')) {
+            self.bump();
+            if matches!(self.peek(), Some('+' | '-')) {
+                self.bump();
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err(format!("malformed number `{text}`")))
+    }
+}
+
+/// Serialize a string with JSON escaping.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_order_is_preserved() {
+        let doc = parse(r#"{"z": 1, "a": 2, "m": 3}"#).expect("valid");
+        let keys: Vec<&str> = doc.entries().iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["z", "a", "m"]);
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        assert_eq!(parse("true").unwrap(), Json::Bool(true));
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse("-2.5e1").unwrap(), Json::Num(-25.0));
+        assert_eq!(parse(r#""a\"bA\n""#).unwrap(), Json::Str("a\"bA\n".into()));
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        assert_eq!(parse(r#""😀""#).unwrap(), Json::Str("😀".into()));
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let e = parse("{\n  \"a\": }").unwrap_err();
+        assert_eq!((e.line, e.column), (2, 8));
+        let e = parse("[1, 2").unwrap_err();
+        assert!(e.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn trailing_garbage_is_an_error() {
+        assert!(parse("{} x").is_err());
+    }
+
+    #[test]
+    fn escape_round_trips() {
+        let original = "tab\t\"quote\" — dash";
+        let escaped = escape(original);
+        assert_eq!(parse(&escaped).unwrap(), Json::Str(original.into()));
+    }
+}

@@ -1,0 +1,574 @@
+//! The linker: the format-neutral imported module → a validated
+//! [`Netlist`].
+//!
+//! Both frontends (Yosys JSON, EDIF) lower their source into the same
+//! [`ImportedModule`] — ports and cells over abstract signal ids — and
+//! this module does the rest once: cell-type resolution via
+//! [`crate::cells`], constant materialization, driver/dangling checks,
+//! ordered emission, and compound-cell expansion. Diagnostics name nets
+//! by their source names when the format provides them.
+//!
+//! Emission preserves source order: cells are emitted in declaration
+//! order whenever their fan-ins are ready (a worklist re-scans in order
+//! until it settles), so importing a topologically-ordered export — like
+//! the ones [`crate::yosys::to_yosys_json`] and [`crate::edif::to_edif`]
+//! write — reproduces the original gate *and net* numbering exactly.
+//! That is what makes re-imported captures bit-identical, not merely
+//! equivalent.
+
+use std::collections::HashMap;
+
+use sbox_netlist::{CellType, NetId, Netlist, NetlistBuilder};
+
+use crate::cells::{self, CellOp, CellSpec};
+use crate::FrontendError;
+
+/// Port direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Dir {
+    /// Primary input.
+    Input,
+    /// Primary output.
+    Output,
+}
+
+/// One bit of a connection: an abstract net id or a constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Signal {
+    /// A net, by the source's own id space.
+    Net(u64),
+    /// Tied low.
+    Const0,
+    /// Tied high.
+    Const1,
+}
+
+/// A declared module port (possibly multi-bit, LSB first).
+#[derive(Debug, Clone)]
+pub(crate) struct PortDecl {
+    pub name: String,
+    pub dir: Dir,
+    pub bits: Vec<Signal>,
+}
+
+/// A cell instance with named connections.
+#[derive(Debug, Clone)]
+pub(crate) struct CellDecl {
+    pub name: String,
+    pub ty: String,
+    pub conns: Vec<(String, Vec<Signal>)>,
+}
+
+/// The format-neutral intermediate a frontend produces.
+#[derive(Debug, Clone)]
+pub(crate) struct ImportedModule {
+    pub name: String,
+    pub ports: Vec<PortDecl>,
+    pub cells: Vec<CellDecl>,
+    /// Source net names, for diagnostics only.
+    pub net_names: HashMap<u64, String>,
+    pub warnings: Vec<String>,
+}
+
+/// A cell with its mapping resolved and its pins bound positionally.
+struct ResolvedCell {
+    name: String,
+    ty: String,
+    op: CellOp,
+    ins: Vec<Signal>,
+    out: u64,
+}
+
+/// Lazily-synthesized constant nets (the library has no tie cells).
+#[derive(Default)]
+struct Ties {
+    zero: Option<NetId>,
+    one: Option<NetId>,
+}
+
+impl Ties {
+    fn get(
+        &mut self,
+        builder: &mut NetlistBuilder,
+        base: Option<NetId>,
+        high: bool,
+        context: &str,
+    ) -> Result<NetId, FrontendError> {
+        let slot = if high { &mut self.one } else { &mut self.zero };
+        if let Some(net) = *slot {
+            return Ok(net);
+        }
+        let Some(base) = base else {
+            return Err(FrontendError::UnsupportedConstruct {
+                context: context.to_string(),
+                construct: "constant driver in a module with no primary inputs".to_string(),
+            });
+        };
+        let cell = if high {
+            CellType::Xnor2
+        } else {
+            CellType::Xor2
+        };
+        let net = builder.gate(cell, &[base, base]);
+        *slot = Some(net);
+        Ok(net)
+    }
+}
+
+impl ImportedModule {
+    fn net_label(&self, id: u64) -> String {
+        self.net_names
+            .get(&id)
+            .cloned()
+            .unwrap_or_else(|| format!("bit {id}"))
+    }
+}
+
+/// Link an imported module into a validated netlist, accumulating any
+/// frontend warnings into the returned list.
+pub(crate) fn link(module: ImportedModule) -> Result<(Netlist, Vec<String>), FrontendError> {
+    let mut builder = NetlistBuilder::new(module.name.clone());
+    let mut net_map: HashMap<u64, NetId> = HashMap::new();
+    let mut driver_of: HashMap<u64, String> = HashMap::new();
+    let mut first_input: Option<NetId> = None;
+    let mut ties = Ties::default();
+
+    // Input ports drive their bits.
+    for port in module.ports.iter().filter(|p| p.dir == Dir::Input) {
+        for (i, &bit) in port.bits.iter().enumerate() {
+            let bit_name = if port.bits.len() == 1 {
+                port.name.clone()
+            } else {
+                format!("{}{}", port.name, i)
+            };
+            let Signal::Net(id) = bit else {
+                return Err(FrontendError::UnsupportedConstruct {
+                    context: format!("input port `{bit_name}`"),
+                    construct: "port bit tied to a constant".to_string(),
+                });
+            };
+            if let Some(prev) = driver_of.get(&id) {
+                return Err(FrontendError::MultipleDrivers {
+                    net: module.net_label(id),
+                    driver: format!("input port `{bit_name}` (first: {prev})"),
+                });
+            }
+            let net = builder.input(bit_name.clone());
+            first_input.get_or_insert(net);
+            net_map.insert(id, net);
+            driver_of.insert(id, format!("input port `{bit_name}`"));
+        }
+    }
+
+    // Resolve every cell's type and pin bindings before emitting anything,
+    // so diagnostics are independent of emission order.
+    let mut resolved = Vec::with_capacity(module.cells.len());
+    for cell in &module.cells {
+        let spec = cells::resolve(&cell.ty).ok_or_else(|| FrontendError::UnmappableCell {
+            cell: cell.name.clone(),
+            cell_type: cell.ty.clone(),
+        })?;
+        let r = bind_pins(cell, &spec)?;
+        if let Some(prev) = driver_of.get(&r.out) {
+            return Err(FrontendError::MultipleDrivers {
+                net: module.net_label(r.out),
+                driver: format!("cell `{}` (first: {prev})", r.name),
+            });
+        }
+        driver_of.insert(r.out, format!("cell `{}`", r.name));
+        resolved.push(r);
+    }
+
+    // Every net a cell reads must have *some* driver (cell or input port);
+    // nets with none are dangling, which the worklist below could only
+    // report as a bogus "loop".
+    for r in &resolved {
+        for &sig in &r.ins {
+            if let Signal::Net(id) = sig {
+                if !driver_of.contains_key(&id) {
+                    return Err(FrontendError::DanglingNet {
+                        net: module.net_label(id),
+                        reader: format!("cell `{}`", r.name),
+                    });
+                }
+            }
+        }
+    }
+
+    // Ordered worklist emission: repeatedly sweep the pending cells in
+    // declaration order, emitting each one whose fan-ins are all mapped.
+    // A sweep that makes no progress means the remainder is cyclic.
+    let mut pending: Vec<ResolvedCell> = resolved;
+    while !pending.is_empty() {
+        let before = pending.len();
+        let mut still_pending = Vec::with_capacity(pending.len());
+        for r in pending {
+            let ready = r.ins.iter().all(|sig| match sig {
+                Signal::Net(id) => net_map.contains_key(id),
+                _ => true,
+            });
+            if !ready {
+                still_pending.push(r);
+                continue;
+            }
+            let mut ins = Vec::with_capacity(r.ins.len());
+            for &sig in &r.ins {
+                let net = match sig {
+                    Signal::Net(id) => net_map[&id],
+                    Signal::Const0 => ties.get(&mut builder, first_input, false, &cell_ctx(&r))?,
+                    Signal::Const1 => ties.get(&mut builder, first_input, true, &cell_ctx(&r))?,
+                };
+                ins.push(net);
+            }
+            let out = emit_op(
+                &mut builder,
+                r.op,
+                &ins,
+                first_input,
+                &mut ties,
+                &cell_ctx(&r),
+            )?;
+            net_map.insert(r.out, out);
+        }
+        if still_pending.len() == before {
+            return Err(FrontendError::CombinationalLoop {
+                cells: still_pending.into_iter().map(|r| r.name).collect(),
+            });
+        }
+        pending = still_pending;
+    }
+
+    // Output ports read their bits.
+    for port in module.ports.iter().filter(|p| p.dir == Dir::Output) {
+        for (i, &bit) in port.bits.iter().enumerate() {
+            let bit_name = if port.bits.len() == 1 {
+                port.name.clone()
+            } else {
+                format!("{}{}", port.name, i)
+            };
+            let net = match bit {
+                Signal::Net(id) => *net_map.get(&id).ok_or_else(|| FrontendError::DanglingNet {
+                    net: module.net_label(id),
+                    reader: format!("output port `{bit_name}`"),
+                })?,
+                Signal::Const0 => ties.get(
+                    &mut builder,
+                    first_input,
+                    false,
+                    &format!("output port `{bit_name}`"),
+                )?,
+                Signal::Const1 => ties.get(
+                    &mut builder,
+                    first_input,
+                    true,
+                    &format!("output port `{bit_name}`"),
+                )?,
+            };
+            builder.output(bit_name, net);
+        }
+    }
+
+    let netlist = builder.finish()?;
+    Ok((netlist, module.warnings))
+}
+
+fn cell_ctx(r: &ResolvedCell) -> String {
+    format!("cell `{}` ({})", r.name, r.ty)
+}
+
+/// Bind a cell's named connections to the spec's positional pins.
+fn bind_pins(cell: &CellDecl, spec: &CellSpec) -> Result<ResolvedCell, FrontendError> {
+    let mut ins: Vec<Option<Signal>> = vec![None; spec.inputs.len()];
+    let mut out: Option<Signal> = None;
+    for (port, bits) in &cell.conns {
+        let position = spec
+            .inputs
+            .iter()
+            .position(|aliases| aliases.iter().any(|a| a.eq_ignore_ascii_case(port)));
+        let is_output = spec.output.iter().any(|a| a.eq_ignore_ascii_case(port));
+        let slot = match (position, is_output) {
+            (Some(pos), _) if ins[pos].is_none() => &mut ins[pos],
+            (None, true) if out.is_none() => &mut out,
+            _ => {
+                return Err(FrontendError::UnknownPort {
+                    cell: cell.name.clone(),
+                    cell_type: cell.ty.clone(),
+                    port: port.clone(),
+                })
+            }
+        };
+        if bits.len() != 1 {
+            return Err(FrontendError::PortWidthMismatch {
+                cell: cell.name.clone(),
+                cell_type: cell.ty.clone(),
+                port: port.clone(),
+                got: bits.len(),
+                expected: 1,
+            });
+        }
+        *slot = Some(bits[0]);
+    }
+    let mut bound = Vec::with_capacity(ins.len());
+    for (pos, sig) in ins.into_iter().enumerate() {
+        bound.push(sig.ok_or_else(|| FrontendError::MissingPort {
+            cell: cell.name.clone(),
+            cell_type: cell.ty.clone(),
+            port: spec.canonical(pos),
+        })?);
+    }
+    let out = out.ok_or_else(|| FrontendError::MissingPort {
+        cell: cell.name.clone(),
+        cell_type: cell.ty.clone(),
+        port: spec.output[0],
+    })?;
+    let Signal::Net(out) = out else {
+        return Err(FrontendError::UnsupportedConstruct {
+            context: format!("cell `{}` ({})", cell.name, cell.ty),
+            construct: "output pin tied to a constant".to_string(),
+        });
+    };
+    Ok(ResolvedCell {
+        name: cell.name.clone(),
+        ty: cell.ty.clone(),
+        op: spec.op,
+        ins: bound,
+        out,
+    })
+}
+
+/// Instantiate a mapped operation, expanding compound cells into library
+/// gates (rules documented on [`CellOp`]).
+fn emit_op(
+    b: &mut NetlistBuilder,
+    op: CellOp,
+    ins: &[NetId],
+    first_input: Option<NetId>,
+    ties: &mut Ties,
+    context: &str,
+) -> Result<NetId, FrontendError> {
+    use CellType::*;
+    Ok(match op {
+        CellOp::Prim(cell) => b.gate(cell, ins),
+        CellOp::Aoi21 => {
+            let p = b.gate(And2, &[ins[0], ins[1]]);
+            b.gate(Nor2, &[p, ins[2]])
+        }
+        CellOp::Oai21 => {
+            let p = b.gate(Or2, &[ins[0], ins[1]]);
+            b.gate(Nand2, &[p, ins[2]])
+        }
+        CellOp::Aoi22 => {
+            let p = b.gate(And2, &[ins[0], ins[1]]);
+            let q = b.gate(And2, &[ins[2], ins[3]]);
+            b.gate(Nor2, &[p, q])
+        }
+        CellOp::Oai22 => {
+            let p = b.gate(Or2, &[ins[0], ins[1]]);
+            let q = b.gate(Or2, &[ins[2], ins[3]]);
+            b.gate(Nand2, &[p, q])
+        }
+        CellOp::Mux2 => {
+            let ns = b.gate(Inv, &[ins[2]]);
+            let lo = b.gate(And2, &[ins[0], ns]);
+            let hi = b.gate(And2, &[ins[1], ins[2]]);
+            b.gate(Or2, &[lo, hi])
+        }
+        CellOp::NMux2 => {
+            let ns = b.gate(Inv, &[ins[2]]);
+            let lo = b.gate(And2, &[ins[0], ns]);
+            let hi = b.gate(And2, &[ins[1], ins[2]]);
+            b.gate(Nor2, &[lo, hi])
+        }
+        CellOp::AndNot => {
+            let nb = b.gate(Inv, &[ins[1]]);
+            b.gate(And2, &[ins[0], nb])
+        }
+        CellOp::OrNot => {
+            let nb = b.gate(Inv, &[ins[1]]);
+            b.gate(Or2, &[ins[0], nb])
+        }
+        CellOp::Const0 => ties.get(b, first_input, false, context)?,
+        CellOp::Const1 => ties.get(b, first_input, true, context)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(name: &str, ty: &str, conns: &[(&str, Signal)]) -> CellDecl {
+        CellDecl {
+            name: name.into(),
+            ty: ty.into(),
+            conns: conns
+                .iter()
+                .map(|(p, s)| (p.to_string(), vec![*s]))
+                .collect(),
+        }
+    }
+
+    fn module(ports: Vec<PortDecl>, cells: Vec<CellDecl>) -> ImportedModule {
+        ImportedModule {
+            name: "t".into(),
+            ports,
+            cells,
+            net_names: HashMap::new(),
+            warnings: Vec::new(),
+        }
+    }
+
+    fn port(name: &str, dir: Dir, bits: &[u64]) -> PortDecl {
+        PortDecl {
+            name: name.into(),
+            dir,
+            bits: bits.iter().map(|&b| Signal::Net(b)).collect(),
+        }
+    }
+
+    #[test]
+    fn out_of_order_cells_link_and_evaluate() {
+        // g1 reads g0's output but is declared first.
+        let m = module(
+            vec![
+                port("a", Dir::Input, &[1]),
+                port("b", Dir::Input, &[2]),
+                port("y", Dir::Output, &[4]),
+            ],
+            vec![
+                cell(
+                    "g1",
+                    "INV_X1",
+                    &[("A", Signal::Net(3)), ("ZN", Signal::Net(4))],
+                ),
+                cell(
+                    "g0",
+                    "NAND2_X1",
+                    &[
+                        ("A1", Signal::Net(1)),
+                        ("A2", Signal::Net(2)),
+                        ("ZN", Signal::Net(3)),
+                    ],
+                ),
+            ],
+        );
+        let (nl, _) = link(m).expect("links");
+        // y = !nand(a, b) = and(a, b)
+        assert_eq!(nl.evaluate_word(0b11), 1);
+        assert_eq!(nl.evaluate_word(0b01), 0);
+    }
+
+    #[test]
+    fn aoi21_expansion_matches_nangate_semantics() {
+        // NANGATE AOI21: ZN = !((B1 & B2) | A)
+        let m = module(
+            vec![
+                port("a", Dir::Input, &[1]),
+                port("b1", Dir::Input, &[2]),
+                port("b2", Dir::Input, &[3]),
+                port("zn", Dir::Output, &[4]),
+            ],
+            vec![cell(
+                "u1",
+                "AOI21_X1",
+                &[
+                    ("A", Signal::Net(1)),
+                    ("B1", Signal::Net(2)),
+                    ("B2", Signal::Net(3)),
+                    ("ZN", Signal::Net(4)),
+                ],
+            )],
+        );
+        let (nl, _) = link(m).expect("links");
+        for t in 0u64..8 {
+            let a = t & 1;
+            let b1 = (t >> 1) & 1;
+            let b2 = (t >> 2) & 1;
+            let expect = u64::from((b1 & b2) | a == 0);
+            assert_eq!(nl.evaluate_word(t), expect, "t={t}");
+        }
+    }
+
+    #[test]
+    fn constants_synthesize_from_the_first_input() {
+        let m = module(
+            vec![port("a", Dir::Input, &[1]), port("y", Dir::Output, &[2])],
+            vec![cell(
+                "u1",
+                "OR2_X1",
+                &[
+                    ("A1", Signal::Net(1)),
+                    ("A2", Signal::Const1),
+                    ("ZN", Signal::Net(2)),
+                ],
+            )],
+        );
+        let (nl, _) = link(m).expect("links");
+        assert_eq!(nl.evaluate_word(0), 1);
+        assert_eq!(nl.evaluate_word(1), 1);
+    }
+
+    #[test]
+    fn loop_is_a_typed_diagnostic() {
+        let m = module(
+            vec![port("a", Dir::Input, &[1]), port("y", Dir::Output, &[2])],
+            vec![
+                cell(
+                    "u1",
+                    "NAND2_X1",
+                    &[
+                        ("A1", Signal::Net(1)),
+                        ("A2", Signal::Net(3)),
+                        ("ZN", Signal::Net(2)),
+                    ],
+                ),
+                cell(
+                    "u2",
+                    "INV_X1",
+                    &[("A", Signal::Net(2)), ("ZN", Signal::Net(3))],
+                ),
+            ],
+        );
+        match link(m) {
+            Err(FrontendError::CombinationalLoop { cells }) => {
+                assert_eq!(cells, vec!["u1".to_string(), "u2".to_string()]);
+            }
+            other => panic!("expected loop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dangling_net_is_a_typed_diagnostic() {
+        let m = module(
+            vec![port("a", Dir::Input, &[1]), port("y", Dir::Output, &[2])],
+            vec![cell(
+                "u1",
+                "INV_X1",
+                &[("A", Signal::Net(9)), ("ZN", Signal::Net(2))],
+            )],
+        );
+        assert!(matches!(link(m), Err(FrontendError::DanglingNet { .. })));
+    }
+
+    #[test]
+    fn double_driven_net_is_a_typed_diagnostic() {
+        let m = module(
+            vec![port("a", Dir::Input, &[1]), port("y", Dir::Output, &[2])],
+            vec![
+                cell(
+                    "u1",
+                    "INV_X1",
+                    &[("A", Signal::Net(1)), ("ZN", Signal::Net(2))],
+                ),
+                cell(
+                    "u2",
+                    "BUF_X1",
+                    &[("A", Signal::Net(1)), ("Z", Signal::Net(2))],
+                ),
+            ],
+        );
+        assert!(matches!(
+            link(m),
+            Err(FrontendError::MultipleDrivers { .. })
+        ));
+    }
+}

@@ -1,0 +1,383 @@
+//! The `InputEncoding` sidecar: a small TOML- or JSON-format companion
+//! file that declares which masking scheme an imported netlist
+//! implements, so `sca-verify`'s share-domain analysis and the attack
+//! engine know each input port's role.
+//!
+//! ```toml
+//! # sca-frontend encoding sidecar
+//! scheme = "ISW"
+//!
+//! [roles]
+//! a0 = "share:0:0"   # share 0 of secret bit 0
+//! r0 = "fresh"       # fresh randomness, not a share of anything
+//! ```
+//!
+//! The `[roles]` section is optional and *declarative-checked*: the
+//! scheme itself is the ground truth (roles are positional per
+//! [`InputEncoding::input_roles`]), and any declared role that
+//! contradicts it is a typed [`FrontendError::RoleMismatch`] — the
+//! sidecar can never silently re-wire the analysis. A JSON document with
+//! the same two fields (`{"scheme": …, "roles": {…}}`) is accepted
+//! interchangeably; the parser sniffs the leading `{`.
+
+use sbox_circuits::{InputEncoding, InputRole, SboxCircuit, Scheme};
+use sbox_netlist::Netlist;
+
+use crate::json::{self, Json};
+use crate::FrontendError;
+
+/// A parsed sidecar: the declared scheme plus any explicit role
+/// declarations (port name → role string) to check against ground truth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EncodingSidecar {
+    scheme: Scheme,
+    roles: Vec<(String, String)>,
+}
+
+impl EncodingSidecar {
+    /// A sidecar declaring just a scheme, with no explicit roles.
+    pub fn for_scheme(scheme: Scheme) -> Self {
+        Self {
+            scheme,
+            roles: Vec::new(),
+        }
+    }
+
+    /// The declared scheme.
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// Parse a sidecar from TOML (default) or JSON (leading `{`).
+    pub fn parse(text: &str) -> Result<Self, FrontendError> {
+        if text.trim_start().starts_with('{') {
+            Self::parse_json(text)
+        } else {
+            Self::parse_toml(text)
+        }
+    }
+
+    fn parse_json(text: &str) -> Result<Self, FrontendError> {
+        let doc = json::parse(text).map_err(|e| FrontendError::SidecarSyntax {
+            line: e.line,
+            message: e.message,
+        })?;
+        let scheme_name =
+            doc.get("scheme")
+                .and_then(Json::as_str)
+                .ok_or(FrontendError::MissingField {
+                    context: "encoding sidecar".to_string(),
+                    field: "scheme",
+                })?;
+        let scheme = parse_scheme(scheme_name)?;
+        let mut roles = Vec::new();
+        if let Some(role_obj) = doc.get("roles") {
+            if !matches!(role_obj, Json::Obj(_)) {
+                return Err(FrontendError::SidecarSyntax {
+                    line: 1,
+                    message: "`roles` must be an object of `port: role` entries".to_string(),
+                });
+            }
+            for (port, value) in role_obj.entries() {
+                let role = value.as_str().ok_or_else(|| FrontendError::SidecarSyntax {
+                    line: 1,
+                    message: format!("role for `{port}` must be a string"),
+                })?;
+                roles.push((port.clone(), role.to_string()));
+            }
+        }
+        Ok(Self { scheme, roles })
+    }
+
+    /// A deliberately small TOML subset: full-line comments, one
+    /// `scheme = "…"` assignment, and an optional `[roles]` table of
+    /// `port = "role"` entries (keys may be quoted).
+    fn parse_toml(text: &str) -> Result<Self, FrontendError> {
+        let mut scheme: Option<Scheme> = None;
+        let mut roles = Vec::new();
+        let mut in_roles = false;
+        for (i, raw) in text.lines().enumerate() {
+            let lineno = i + 1;
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(section) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                match section.trim() {
+                    "roles" => in_roles = true,
+                    other => {
+                        return Err(FrontendError::SidecarSyntax {
+                            line: lineno,
+                            message: format!("unknown section `[{other}]` (expected `[roles]`)"),
+                        })
+                    }
+                }
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(FrontendError::SidecarSyntax {
+                    line: lineno,
+                    message: format!("expected `key = \"value\"`, found `{line}`"),
+                });
+            };
+            let key = unquote(key.trim()).ok_or_else(|| FrontendError::SidecarSyntax {
+                line: lineno,
+                message: "malformed key".to_string(),
+            })?;
+            let value = value.trim();
+            let value = value
+                .strip_prefix('"')
+                .and_then(|v| v.strip_suffix('"'))
+                .ok_or_else(|| FrontendError::SidecarSyntax {
+                    line: lineno,
+                    message: format!("value for `{key}` must be a quoted string"),
+                })?
+                .to_string();
+            if in_roles {
+                roles.push((key, value));
+            } else if key == "scheme" {
+                scheme = Some(parse_scheme(&value)?);
+            } else {
+                return Err(FrontendError::SidecarSyntax {
+                    line: lineno,
+                    message: format!("unknown key `{key}` (expected `scheme` or `[roles]`)"),
+                });
+            }
+        }
+        let scheme = scheme.ok_or(FrontendError::MissingField {
+            context: "encoding sidecar".to_string(),
+            field: "scheme",
+        })?;
+        Ok(Self { scheme, roles })
+    }
+
+    /// Bind an imported netlist to the declared scheme, validating port
+    /// counts and any explicit role declarations *before* constructing
+    /// the circuit — a mismatch is a typed diagnostic, never a panic.
+    pub fn bind(&self, netlist: Netlist) -> Result<SboxCircuit, FrontendError> {
+        let encoding = InputEncoding::for_scheme(self.scheme);
+        if netlist.num_inputs() != encoding.num_inputs() {
+            return Err(FrontendError::EncodingMismatch {
+                scheme: self.scheme.label().to_string(),
+                message: format!(
+                    "{} input port(s), scheme needs {}",
+                    netlist.num_inputs(),
+                    encoding.num_inputs()
+                ),
+            });
+        }
+        if netlist.num_outputs() != encoding.num_outputs() {
+            return Err(FrontendError::EncodingMismatch {
+                scheme: self.scheme.label().to_string(),
+                message: format!(
+                    "{} output port(s), scheme needs {}",
+                    netlist.num_outputs(),
+                    encoding.num_outputs()
+                ),
+            });
+        }
+        let ground_truth = encoding.input_roles();
+        for (port, declared) in &self.roles {
+            let position = netlist
+                .inputs()
+                .iter()
+                .position(|&n| netlist.net(n).name() == Some(port.as_str()));
+            let Some(position) = position else {
+                return Err(FrontendError::EncodingMismatch {
+                    scheme: self.scheme.label().to_string(),
+                    message: format!("role declared for unknown input port `{port}`"),
+                });
+            };
+            let expected = role_label(ground_truth[position]);
+            if !declared.trim().eq_ignore_ascii_case(&expected) {
+                return Err(FrontendError::RoleMismatch {
+                    port: port.clone(),
+                    declared: declared.clone(),
+                    expected,
+                });
+            }
+        }
+        Ok(SboxCircuit::from_parts(self.scheme, netlist))
+    }
+}
+
+/// Strip a trailing `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// A TOML key: bare (`a0`) or quoted (`"a[0]"`).
+fn unquote(key: &str) -> Option<String> {
+    if let Some(inner) = key.strip_prefix('"') {
+        return inner.strip_suffix('"').map(str::to_string);
+    }
+    if !key.is_empty()
+        && key
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+    {
+        return Some(key.to_string());
+    }
+    None
+}
+
+/// Resolve a scheme label, tolerating case and `_`/`-` variation.
+fn parse_scheme(name: &str) -> Result<Scheme, FrontendError> {
+    let wanted = name.trim().to_ascii_uppercase().replace('_', "-");
+    Scheme::ALL
+        .iter()
+        .copied()
+        .find(|s| s.label() == wanted)
+        .ok_or_else(|| FrontendError::UnknownScheme {
+            name: name.to_string(),
+        })
+}
+
+/// The canonical string form of an input role: `share:<bit>:<share>` or
+/// `fresh`.
+pub fn role_label(role: InputRole) -> String {
+    match role {
+        InputRole::Share { bit, share } => format!("share:{bit}:{share}"),
+        InputRole::Fresh => "fresh".to_string(),
+    }
+}
+
+/// Render a circuit's full ground-truth sidecar as TOML, one role per
+/// input port.
+pub fn sidecar_toml(circuit: &SboxCircuit) -> String {
+    let netlist = circuit.netlist();
+    let roles = circuit.encoding().input_roles();
+    let mut out = String::new();
+    out.push_str("# sca-frontend encoding sidecar\n");
+    out.push_str(&format!(
+        "scheme = \"{}\"\n\n[roles]\n",
+        circuit.scheme().label()
+    ));
+    for (i, &net) in netlist.inputs().iter().enumerate() {
+        let name = netlist
+            .net(net)
+            .name()
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("in{i}"));
+        let key = if unquote(&name).is_some() && !name.starts_with('"') {
+            name
+        } else {
+            format!("\"{name}\"")
+        };
+        out.push_str(&format!("{key} = \"{}\"\n", role_label(roles[i])));
+    }
+    out
+}
+
+/// Render a circuit's full ground-truth sidecar as JSON.
+pub fn sidecar_json(circuit: &SboxCircuit) -> String {
+    let netlist = circuit.netlist();
+    let roles = circuit.encoding().input_roles();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"scheme\": \"{}\",\n  \"roles\": {{\n",
+        circuit.scheme().label()
+    ));
+    let entries: Vec<String> = netlist
+        .inputs()
+        .iter()
+        .enumerate()
+        .map(|(i, &net)| {
+            let name = netlist
+                .net(net)
+                .name()
+                .map(str::to_string)
+                .unwrap_or_else(|| format!("in{i}"));
+            format!("    {}: \"{}\"", json::escape(&name), role_label(roles[i]))
+        })
+        .collect();
+    out.push_str(&entries.join(",\n"));
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toml_round_trips_through_parse_and_bind() {
+        for scheme in Scheme::ALL {
+            let circuit = SboxCircuit::build(scheme);
+            let toml = sidecar_toml(&circuit);
+            let sidecar = EncodingSidecar::parse(&toml).expect("parses");
+            assert_eq!(sidecar.scheme(), scheme);
+            let rebound = sidecar
+                .bind(circuit.netlist().clone())
+                .expect("binds with ground-truth roles");
+            assert_eq!(rebound.scheme(), scheme);
+        }
+    }
+
+    #[test]
+    fn json_sidecar_is_accepted() {
+        let circuit = SboxCircuit::build(Scheme::Isw);
+        let json = sidecar_json(&circuit);
+        let sidecar = EncodingSidecar::parse(&json).expect("parses");
+        assert_eq!(sidecar.scheme(), Scheme::Isw);
+        assert!(sidecar.bind(circuit.netlist().clone()).is_ok());
+    }
+
+    #[test]
+    fn unknown_scheme_is_typed() {
+        let err = EncodingSidecar::parse("scheme = \"DOM\"\n").unwrap_err();
+        assert!(matches!(err, FrontendError::UnknownScheme { .. }));
+    }
+
+    #[test]
+    fn scheme_labels_tolerate_case_and_underscores() {
+        let s = EncodingSidecar::parse("scheme = \"lut_opt\"\n").expect("parses");
+        assert_eq!(s.scheme(), Scheme::Opt);
+    }
+
+    #[test]
+    fn contradictory_role_is_a_role_mismatch() {
+        let circuit = SboxCircuit::build(Scheme::Glut);
+        let netlist = circuit.netlist().clone();
+        let first_input = netlist
+            .net(netlist.inputs()[0])
+            .name()
+            .expect("named")
+            .to_string();
+        let text = format!("scheme = \"GLUT\"\n[roles]\n{first_input} = \"fresh\"\n");
+        let sidecar = EncodingSidecar::parse(&text).expect("parses");
+        match sidecar.bind(netlist) {
+            Err(FrontendError::RoleMismatch { port, .. }) => assert_eq!(port, first_input),
+            other => panic!("expected RoleMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_port_count_is_a_typed_mismatch_not_a_panic() {
+        // A 4-in/4-out LUT netlist cannot bind as ISW (12-in/8-out).
+        let lut = SboxCircuit::build(Scheme::Lut);
+        let sidecar = EncodingSidecar::for_scheme(Scheme::Isw);
+        match sidecar.bind(lut.netlist().clone()) {
+            Err(FrontendError::EncodingMismatch { scheme, .. }) => assert_eq!(scheme, "ISW"),
+            other => panic!("expected EncodingMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn toml_syntax_errors_carry_line_numbers() {
+        let err = EncodingSidecar::parse("scheme = \"LUT\"\nbogus line\n").unwrap_err();
+        match err {
+            FrontendError::SidecarSyntax { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected SidecarSyntax, got {other:?}"),
+        }
+    }
+}

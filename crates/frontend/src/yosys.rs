@@ -1,0 +1,422 @@
+//! The Yosys `write_json` frontend and the matching exporter.
+//!
+//! Import understands the document shape Yosys emits: a `modules` map
+//! whose values carry `ports` (direction + bit ids), `cells` (type +
+//! `connections`), and optional `netnames`. Object key order carries
+//! declaration order, which the order-preserving [`crate::json`] parser
+//! keeps. Constant bits appear as the strings `"0"`, `"1"`, and `"x"`;
+//! don't-cares lower to constant 0 with a warning.
+//!
+//! Export writes the same shape with NANGATE-style `_X1` cell names so a
+//! netlist can round-trip through this module — or through a real Yosys
+//! `read_json` / `write_json` pass — without structural drift. Bit ids
+//! start at 2, matching Yosys' convention of reserving 0/1.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use sbox_netlist::Netlist;
+
+use crate::json::{self, Json};
+use crate::link::{CellDecl, Dir, ImportedModule, PortDecl, Signal};
+use crate::{FrontendError, SourceFormat};
+
+/// Offset between a net's index and its Yosys bit id (0 and 1 are
+/// reserved for constants in Yosys' id space).
+const BIT_BASE: u64 = 2;
+
+/// Parse a Yosys JSON document into the format-neutral import IR.
+pub(crate) fn parse_yosys(text: &str) -> Result<ImportedModule, FrontendError> {
+    let doc = json::parse(text).map_err(|e| FrontendError::Syntax {
+        format: SourceFormat::YosysJson,
+        line: e.line,
+        column: e.column,
+        message: e.message,
+    })?;
+    let modules = doc.get("modules").ok_or(FrontendError::MissingField {
+        context: "document".to_string(),
+        field: "modules",
+    })?;
+    let (name, module) = select_top(modules)?;
+    let context = format!("module \"{name}\"");
+    let mut warnings = Vec::new();
+
+    let mut ports = Vec::new();
+    let port_obj = module
+        .get("ports")
+        .ok_or_else(|| FrontendError::MissingField {
+            context: context.clone(),
+            field: "ports",
+        })?;
+    for (port_name, decl) in port_obj.entries() {
+        let pctx = format!("port \"{port_name}\" of {context}");
+        let dir = match decl.get("direction").and_then(Json::as_str) {
+            Some("input") => Dir::Input,
+            Some("output") => Dir::Output,
+            Some("inout") => {
+                return Err(FrontendError::UnsupportedConstruct {
+                    context: pctx,
+                    construct: "inout port".to_string(),
+                })
+            }
+            Some(other) => {
+                return Err(FrontendError::UnsupportedConstruct {
+                    context: pctx,
+                    construct: format!("port direction `{other}`"),
+                })
+            }
+            None => {
+                return Err(FrontendError::MissingField {
+                    context: pctx,
+                    field: "direction",
+                })
+            }
+        };
+        let bits = decl
+            .get("bits")
+            .ok_or_else(|| FrontendError::MissingField {
+                context: pctx.clone(),
+                field: "bits",
+            })?;
+        let bits = parse_bits(bits, &pctx, &mut warnings)?;
+        ports.push(PortDecl {
+            name: port_name.clone(),
+            dir,
+            bits,
+        });
+    }
+
+    let mut cells = Vec::new();
+    if let Some(cell_obj) = module.get("cells") {
+        for (cell_name, decl) in cell_obj.entries() {
+            let cctx = format!("cell \"{cell_name}\" of {context}");
+            let ty = decl
+                .get("type")
+                .and_then(Json::as_str)
+                .ok_or_else(|| FrontendError::MissingField {
+                    context: cctx.clone(),
+                    field: "type",
+                })?
+                .to_string();
+            let conn_obj = decl
+                .get("connections")
+                .ok_or_else(|| FrontendError::MissingField {
+                    context: cctx.clone(),
+                    field: "connections",
+                })?;
+            let mut conns = Vec::new();
+            for (port, bits) in conn_obj.entries() {
+                let bctx = format!("connection \"{port}\" of {cctx}");
+                conns.push((port.clone(), parse_bits(bits, &bctx, &mut warnings)?));
+            }
+            cells.push(CellDecl {
+                name: cell_name.clone(),
+                ty,
+                conns,
+            });
+        }
+    }
+
+    let mut net_names = HashMap::new();
+    if let Some(netname_obj) = module.get("netnames") {
+        for (net_name, decl) in netname_obj.entries() {
+            if let Some([bit]) = decl.get("bits").and_then(Json::as_arr) {
+                if let Some(id) = bit.as_u64() {
+                    net_names.entry(id).or_insert_with(|| net_name.clone());
+                }
+            }
+        }
+    }
+
+    Ok(ImportedModule {
+        name: name.to_string(),
+        ports,
+        cells,
+        net_names,
+        warnings,
+    })
+}
+
+/// Pick the module to import: the only one, or the one marked `top`.
+fn select_top(modules: &Json) -> Result<(&str, &Json), FrontendError> {
+    let entries = modules.entries();
+    match entries {
+        [] => Err(FrontendError::NoTopModule { found: Vec::new() }),
+        [(name, module)] => Ok((name, module)),
+        _ => {
+            let tops: Vec<&(String, Json)> = entries
+                .iter()
+                .filter(|(_, m)| {
+                    m.get("attributes")
+                        .and_then(|a| a.get("top"))
+                        .is_some_and(is_truthy_attr)
+                })
+                .collect();
+            match tops.as_slice() {
+                [(name, module)] => Ok((name, module)),
+                _ => Err(FrontendError::NoTopModule {
+                    found: entries.iter().map(|(n, _)| n.clone()).collect(),
+                }),
+            }
+        }
+    }
+}
+
+/// Yosys writes attribute values either as numbers or as binary strings
+/// (`"00000000000000000000000000000001"`).
+fn is_truthy_attr(v: &Json) -> bool {
+    match v {
+        Json::Num(n) => *n != 0.0,
+        Json::Str(s) => s.contains('1'),
+        _ => false,
+    }
+}
+
+/// Lower a Yosys `bits` array: numeric ids become nets, the strings
+/// `"0"`/`"1"` become constants, and `"x"`/`"z"` become constant 0 with
+/// a warning.
+fn parse_bits(
+    bits: &Json,
+    context: &str,
+    warnings: &mut Vec<String>,
+) -> Result<Vec<Signal>, FrontendError> {
+    let items = bits.as_arr().ok_or_else(|| FrontendError::MissingField {
+        context: context.to_string(),
+        field: "bits",
+    })?;
+    let mut out = Vec::with_capacity(items.len());
+    for item in items {
+        let sig = match item {
+            Json::Num(_) => {
+                let id = item
+                    .as_u64()
+                    .ok_or_else(|| FrontendError::UnsupportedConstruct {
+                        context: context.to_string(),
+                        construct: "non-integral net id".to_string(),
+                    })?;
+                Signal::Net(id)
+            }
+            Json::Str(s) => match s.as_str() {
+                "0" => Signal::Const0,
+                "1" => Signal::Const1,
+                "x" | "z" => {
+                    warnings.push(format!(
+                        "{context}: don't-care bit `{s}` lowered to constant 0"
+                    ));
+                    Signal::Const0
+                }
+                other => {
+                    return Err(FrontendError::UnsupportedConstruct {
+                        context: context.to_string(),
+                        construct: format!("bit literal `\"{other}\"`"),
+                    })
+                }
+            },
+            _ => {
+                return Err(FrontendError::UnsupportedConstruct {
+                    context: context.to_string(),
+                    construct: "non-scalar entry in bits array".to_string(),
+                })
+            }
+        };
+        out.push(sig);
+    }
+    Ok(out)
+}
+
+/// Serialize a netlist as a Yosys JSON document (`write_json` shape,
+/// NANGATE-style `_X1` cell names, bit ids = net index + 2).
+pub fn to_yosys_json(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    let bit = |id: sbox_netlist::NetId| id.index() as u64 + BIT_BASE;
+
+    out.push_str("{\n  \"creator\": \"sca-frontend\",\n  \"modules\": {\n");
+    let _ = writeln!(out, "    {}: {{", json::escape(netlist.name()));
+    out.push_str("      \"attributes\": {\n        \"top\": 1\n      },\n");
+
+    // Ports: inputs in declaration order, then outputs.
+    out.push_str("      \"ports\": {\n");
+    let mut port_lines = Vec::new();
+    for (i, &net) in netlist.inputs().iter().enumerate() {
+        let name = netlist
+            .net(net)
+            .name()
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("in{i}"));
+        port_lines.push(format!(
+            "        {}: {{ \"direction\": \"input\", \"bits\": [{}] }}",
+            json::escape(&name),
+            bit(net)
+        ));
+    }
+    for (name, net) in netlist.outputs() {
+        port_lines.push(format!(
+            "        {}: {{ \"direction\": \"output\", \"bits\": [{}] }}",
+            json::escape(name),
+            bit(*net)
+        ));
+    }
+    out.push_str(&port_lines.join(",\n"));
+    out.push_str("\n      },\n");
+
+    // Cells in gate order — builder order is topological, so a re-import
+    // emits them in one worklist pass and reproduces net numbering.
+    out.push_str("      \"cells\": {\n");
+    let mut cell_lines = Vec::new();
+    for (i, gate) in netlist.gates().iter().enumerate() {
+        let (ty, pins, out_pin) = crate::cells::export_name(gate.cell());
+        let mut dirs = Vec::new();
+        let mut conns = Vec::new();
+        for (pin, &net) in pins.iter().zip(gate.inputs()) {
+            dirs.push(format!("\"{pin}\": \"input\""));
+            conns.push(format!("\"{pin}\": [{}]", bit(net)));
+        }
+        dirs.push(format!("\"{out_pin}\": \"output\""));
+        conns.push(format!("\"{out_pin}\": [{}]", bit(gate.output())));
+        cell_lines.push(format!(
+            "        \"g{i}\": {{\n          \"hide_name\": 1,\n          \"type\": \"{ty}\",\n          \"port_directions\": {{ {} }},\n          \"connections\": {{ {} }}\n        }}",
+            dirs.join(", "),
+            conns.join(", ")
+        ));
+    }
+    out.push_str(&cell_lines.join(",\n"));
+    out.push_str("\n      },\n");
+
+    // Net names: port names first, then `n<index>` for anonymous nets.
+    out.push_str("      \"netnames\": {\n");
+    let mut named: Vec<(String, u64, bool)> = Vec::new();
+    let mut seen = vec![false; netlist.nets().len()];
+    for (i, &net) in netlist.inputs().iter().enumerate() {
+        let name = netlist
+            .net(net)
+            .name()
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("in{i}"));
+        named.push((name, bit(net), false));
+        seen[net.index()] = true;
+    }
+    for (name, net) in netlist.outputs() {
+        if !seen[net.index()] {
+            named.push((name.clone(), bit(*net), false));
+            seen[net.index()] = true;
+        }
+    }
+    for gate in netlist.gates() {
+        let net = gate.output();
+        if !seen[net.index()] {
+            named.push((format!("n{}", net.index()), bit(net), true));
+            seen[net.index()] = true;
+        }
+    }
+    let net_lines: Vec<String> = named
+        .iter()
+        .map(|(name, id, hidden)| {
+            format!(
+                "        {}: {{ \"hide_name\": {}, \"bits\": [{id}] }}",
+                json::escape(name),
+                u8::from(*hidden)
+            )
+        })
+        .collect();
+    out.push_str(&net_lines.join(",\n"));
+    out.push_str("\n      }\n    }\n  }\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbox_netlist::{CellType, NetlistBuilder};
+
+    fn tiny() -> Netlist {
+        let mut b = NetlistBuilder::new("tiny");
+        let a = b.input("a");
+        let c = b.input("b");
+        let n = b.gate(CellType::Nand2, &[a, c]);
+        let y = b.gate(CellType::Inv, &[n]);
+        b.output("y", y);
+        b.finish().expect("valid")
+    }
+
+    #[test]
+    fn export_parses_back_with_identical_shape() {
+        let nl = tiny();
+        let text = to_yosys_json(&nl);
+        let m = parse_yosys(&text).expect("parses");
+        assert_eq!(m.name, "tiny");
+        assert_eq!(m.ports.len(), 3);
+        assert_eq!(m.cells.len(), 2);
+        assert_eq!(m.cells[0].ty, "NAND2_X1");
+        assert_eq!(m.net_names.get(&2).map(String::as_str), Some("a"));
+    }
+
+    #[test]
+    fn top_attribute_selects_among_modules() {
+        let text = r#"{
+          "modules": {
+            "helper": { "attributes": {}, "ports": {} },
+            "main": {
+              "attributes": { "top": "00000001" },
+              "ports": { "a": { "direction": "input", "bits": [2] } }
+            }
+          }
+        }"#;
+        let m = parse_yosys(text).expect("parses");
+        assert_eq!(m.name, "main");
+    }
+
+    #[test]
+    fn ambiguous_top_is_typed() {
+        let text = r#"{"modules": {"a": {"ports": {}}, "b": {"ports": {}}}}"#;
+        match parse_yosys(text) {
+            Err(FrontendError::NoTopModule { found }) => {
+                assert_eq!(found, vec!["a".to_string(), "b".to_string()]);
+            }
+            other => panic!("expected NoTopModule, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dont_care_bits_warn_and_lower_to_zero() {
+        let text = r#"{
+          "modules": {
+            "m": {
+              "ports": { "y": { "direction": "output", "bits": [3] } },
+              "cells": {
+                "u": {
+                  "type": "OR2_X1",
+                  "connections": { "A1": ["x"], "A2": ["1"], "ZN": [3] }
+                }
+              }
+            }
+          }
+        }"#;
+        let m = parse_yosys(text).expect("parses");
+        assert_eq!(m.warnings.len(), 1);
+        assert!(m.warnings[0].contains("don't-care"));
+        assert_eq!(m.cells[0].conns[0].1, vec![Signal::Const0]);
+    }
+
+    #[test]
+    fn inout_ports_are_unsupported() {
+        let text = r#"{
+          "modules": {
+            "m": { "ports": { "p": { "direction": "inout", "bits": [2] } } }
+          }
+        }"#;
+        assert!(matches!(
+            parse_yosys(text),
+            Err(FrontendError::UnsupportedConstruct { .. })
+        ));
+    }
+
+    #[test]
+    fn syntax_errors_carry_positions() {
+        match parse_yosys("{\n  \"modules\": }") {
+            Err(FrontendError::Syntax { line, column, .. }) => {
+                assert_eq!((line, column), (2, 14));
+            }
+            other => panic!("expected Syntax, got {other:?}"),
+        }
+    }
+}

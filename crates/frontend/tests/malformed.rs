@@ -1,0 +1,221 @@
+//! Malformed-input matrix: every broken import produces a *typed*
+//! diagnostic, never a panic.
+//!
+//! Each case runs the whole frontend under `catch_unwind`, so a panic
+//! anywhere in the parser, the cell mapper, or the linker fails the
+//! suite with the case name — the contract is `Err(FrontendError)`,
+//! not "crashed with a helpful message". Fuzz-shaped cases (every
+//! prefix of a valid file, byte deletions) ride along to keep the
+//! property honest beyond the hand-picked corpus.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use sbox_circuits::{SboxCircuit, Scheme};
+use sca_frontend::{
+    import_auto, import_str, to_edif, to_yosys_json, EncodingSidecar, FrontendError, SourceFormat,
+};
+
+/// Run one import under `catch_unwind`, demanding a typed error.
+fn expect_typed_error(name: &str, text: &str, format: SourceFormat) -> FrontendError {
+    let result = catch_unwind(AssertUnwindSafe(|| import_str(text, format)));
+    match result {
+        Ok(Ok(design)) => panic!(
+            "case `{name}` imported successfully ({} gates) — expected a diagnostic",
+            design.netlist.gates().len()
+        ),
+        Ok(Err(e)) => e,
+        Err(_) => panic!("case `{name}` PANICKED instead of returning FrontendError"),
+    }
+}
+
+/// The import must either succeed or fail typed; it must never panic.
+fn expect_no_panic(name: &str, text: &str) {
+    let result = catch_unwind(AssertUnwindSafe(|| import_auto(text)));
+    assert!(
+        result.is_ok(),
+        "case `{name}` PANICKED instead of returning a Result"
+    );
+}
+
+#[test]
+fn truncated_json_is_a_syntax_diagnostic() {
+    for (name, text) in [
+        ("empty", ""),
+        ("brace", "{"),
+        ("mid-key", "{\"modu"),
+        ("mid-string", "{\"modules\": {\"m\": {\"po"),
+        (
+            "mid-number",
+            "{\"modules\": {\"m\": {\"ports\": {\"a\": {\"bits\": [12",
+        ),
+        ("bare-garbage", "not json at all"),
+        ("trailing", "{} trailing"),
+    ] {
+        let e = expect_typed_error(name, text, SourceFormat::YosysJson);
+        assert!(
+            matches!(
+                e,
+                FrontendError::Syntax { .. } | FrontendError::MissingField { .. }
+            ),
+            "case `{name}` produced the wrong diagnostic: {e}"
+        );
+    }
+}
+
+#[test]
+fn unknown_cell_type_is_an_unmappable_diagnostic() {
+    let text = r#"{"modules": {"m": {
+        "ports": {"a": {"direction": "input", "bits": [2]},
+                  "y": {"direction": "output", "bits": [3]}},
+        "cells": {"g": {"type": "$_DFF_P_", "connections": {"D": [2], "Q": [3]}}}}}}"#;
+    match expect_typed_error("unknown-cell", text, SourceFormat::YosysJson) {
+        FrontendError::UnmappableCell { cell, cell_type } => {
+            assert_eq!(cell, "g");
+            assert_eq!(cell_type, "$_DFF_P_");
+        }
+        other => panic!("wrong diagnostic: {other}"),
+    }
+}
+
+#[test]
+fn width_mismatched_port_is_a_typed_diagnostic() {
+    let text = r#"{"modules": {"m": {
+        "ports": {"a": {"direction": "input", "bits": [2, 3, 4]},
+                  "y": {"direction": "output", "bits": [5]}},
+        "cells": {"g": {"type": "NAND2_X1",
+                        "connections": {"A1": [2, 3, 4], "A2": [2], "ZN": [5]}}}}}}"#;
+    match expect_typed_error("wide-port", text, SourceFormat::YosysJson) {
+        FrontendError::PortWidthMismatch {
+            cell,
+            port,
+            got,
+            expected,
+            ..
+        } => {
+            assert_eq!(cell, "g");
+            assert_eq!(port, "A1");
+            assert_eq!((got, expected), (3, 1));
+        }
+        other => panic!("wrong diagnostic: {other}"),
+    }
+}
+
+#[test]
+fn combinational_loop_names_the_cycle_members() {
+    let text = r#"{"modules": {"m": {
+        "ports": {"a": {"direction": "input", "bits": [2]},
+                  "y": {"direction": "output", "bits": [3]}},
+        "cells": {
+            "ring0": {"type": "INV_X1", "connections": {"A": [5], "ZN": [4]}},
+            "ring1": {"type": "INV_X1", "connections": {"A": [4], "ZN": [5]}},
+            "tap":   {"type": "AND2_X1", "connections": {"A1": [2], "A2": [5], "ZN": [3]}}}}}}"#;
+    match expect_typed_error("loop", text, SourceFormat::YosysJson) {
+        FrontendError::CombinationalLoop { cells } => {
+            assert!(cells.contains(&"ring0".to_string()), "{cells:?}");
+            assert!(cells.contains(&"ring1".to_string()), "{cells:?}");
+        }
+        other => panic!("wrong diagnostic: {other}"),
+    }
+}
+
+#[test]
+fn dangling_and_doubly_driven_nets_are_typed() {
+    let dangling = r#"{"modules": {"m": {
+        "ports": {"a": {"direction": "input", "bits": [2]},
+                  "y": {"direction": "output", "bits": [3]}},
+        "cells": {"g": {"type": "OR2_X1",
+                        "connections": {"A1": [2], "A2": [77], "ZN": [3]}}}}}}"#;
+    assert!(matches!(
+        expect_typed_error("dangling", dangling, SourceFormat::YosysJson),
+        FrontendError::DanglingNet { .. }
+    ));
+    let doubled = r#"{"modules": {"m": {
+        "ports": {"a": {"direction": "input", "bits": [2]},
+                  "y": {"direction": "output", "bits": [3]}},
+        "cells": {
+            "g0": {"type": "INV_X1", "connections": {"A": [2], "ZN": [3]}},
+            "g1": {"type": "INV_X1", "connections": {"A": [2], "ZN": [3]}}}}}}"#;
+    assert!(matches!(
+        expect_typed_error("doubled", doubled, SourceFormat::YosysJson),
+        FrontendError::MultipleDrivers { .. }
+    ));
+}
+
+#[test]
+fn malformed_edif_is_typed() {
+    for (name, text) in [
+        ("empty", ""),
+        ("unbalanced-open", "(edif x (edifVersion 2 0 0)"),
+        ("unbalanced-close", "(edif x))"),
+        ("bare-atom", "edif"),
+        ("string-cut", "(edif x (cell (rename a \"unterminated"),
+        ("no-cells", "(edif x (edifVersion 2 0 0) (library L))"),
+    ] {
+        let e = expect_typed_error(name, text, SourceFormat::Edif);
+        assert!(
+            matches!(
+                e,
+                FrontendError::Syntax { .. }
+                    | FrontendError::MissingField { .. }
+                    | FrontendError::NoTopModule { .. }
+            ),
+            "case `{name}` produced the wrong diagnostic: {e}"
+        );
+    }
+}
+
+#[test]
+fn malformed_sidecars_are_typed() {
+    for (name, text) in [
+        ("empty", ""),
+        ("unknown-scheme", "scheme = \"KECCAK\"\n"),
+        ("bad-toml", "scheme \"LUT\"\n"),
+        ("unknown-section", "scheme = \"LUT\"\n[masks]\nx = \"y\"\n"),
+        ("bad-json", "{\"scheme\": "),
+        ("json-bad-roles", "{\"scheme\": \"LUT\", \"roles\": 7}"),
+    ] {
+        let result = catch_unwind(AssertUnwindSafe(|| EncodingSidecar::parse(text)));
+        match result {
+            Ok(Ok(_)) => panic!("sidecar case `{name}` parsed — expected a diagnostic"),
+            Ok(Err(_)) => {}
+            Err(_) => panic!("sidecar case `{name}` PANICKED"),
+        }
+    }
+}
+
+/// Every prefix of a valid export must fail typed (or, for the full
+/// text, succeed) — the classic truncation fuzz, both formats.
+#[test]
+fn every_truncation_of_a_valid_export_degrades_typed() {
+    let netlist = SboxCircuit::build(Scheme::Lut);
+    let json = to_yosys_json(netlist.netlist());
+    // Step 7 keeps the matrix fast while still landing inside every
+    // syntactic region of the file.
+    for cut in (0..json.len()).step_by(7) {
+        if json.is_char_boundary(cut) {
+            expect_no_panic(&format!("json-prefix-{cut}"), &json[..cut]);
+        }
+    }
+    let edif = to_edif(netlist.netlist());
+    for cut in (0..edif.len()).step_by(7) {
+        if edif.is_char_boundary(cut) {
+            expect_no_panic(&format!("edif-prefix-{cut}"), &edif[..cut]);
+        }
+    }
+}
+
+/// Single-byte deletions anywhere in a valid export never panic.
+#[test]
+fn single_byte_deletions_never_panic() {
+    let netlist = SboxCircuit::build(Scheme::Lut);
+    let json = to_yosys_json(netlist.netlist());
+    let bytes = json.as_bytes();
+    for cut in (0..bytes.len()).step_by(11) {
+        let mut mutated = Vec::with_capacity(bytes.len() - 1);
+        mutated.extend_from_slice(&bytes[..cut]);
+        mutated.extend_from_slice(&bytes[cut + 1..]);
+        if let Ok(text) = String::from_utf8(mutated) {
+            expect_no_panic(&format!("json-del-{cut}"), &text);
+        }
+    }
+}

@@ -32,4 +32,5 @@ pub use present_cipher as present;
 pub use sbox_circuits as circuits;
 pub use sbox_netlist as netlist;
 pub use sca_attacks as attacks;
+pub use sca_frontend as frontend;
 pub use sca_verify as verify;

@@ -1,0 +1,367 @@
+//! Beam search over candidate patches, driven by incremental re-analysis.
+//!
+//! A repair episode starts from the diagnosed base subject and explores
+//! patch sequences up to [`SearchConfig::max_steps`] deep. The invariants:
+//!
+//! * **Monotone progress.** A candidate is kept only if its Error set —
+//!   keyed `(rule, gate, net)`, meaningful because every generator keeps
+//!   ids stable — is a strict subset of its parent's. Repairs shrink the
+//!   problem; they never trade one Error for another.
+//! * **Function preservation.** Every candidate is checked against the
+//!   *original* subject on a deterministic sample of (class, mask) pairs:
+//!   the XOR of each output share group must match. A patch that fixes
+//!   leakage by changing the computed function is a miscompile, not a
+//!   repair.
+//! * **Cheapest first.** At the first depth where any candidate clears
+//!   all Errors, the cheapest such candidate (by cumulative energy cost)
+//!   wins and the search stops: a two-step repair is never preferred over
+//!   an affordable one-step repair.
+//!
+//! Re-verification goes through one [`Baseline`] of the original subject,
+//! so every candidate pays only for the cone its patch dirtied.
+
+use std::collections::BTreeSet;
+
+use sca_verify::{Analysis, Baseline, Severity, Subject};
+
+use crate::patch::{generate, Patch};
+
+/// Tuning knobs of the repair search.
+#[derive(Debug, Clone)]
+pub struct SearchConfig {
+    /// Candidates carried to the next depth.
+    pub beam_width: usize,
+    /// Maximum patch-sequence length.
+    pub max_steps: usize,
+    /// Mask-space cap: candidates whose mask space outgrows this many
+    /// bits would fall out of exhaustive depth (and enumeration budget),
+    /// so they are skipped with a note.
+    pub max_mask_bits: usize,
+    /// (class, mask) samples for the function-preservation check.
+    pub preservation_samples: usize,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        Self {
+            beam_width: 4,
+            max_steps: 4,
+            max_mask_bits: sca_verify::subject::MAX_MASK_BITS,
+            preservation_samples: 64,
+        }
+    }
+}
+
+/// One accepted patch in the repair sequence.
+#[derive(Debug, Clone)]
+pub struct StepRecord {
+    /// Patch identifier ([`Patch::name`]).
+    pub patch: String,
+    /// Human-readable description of the edit.
+    pub description: String,
+    /// Energy cost of this step.
+    pub cost_fj: f64,
+    /// Gates this step added.
+    pub added_gates: usize,
+    /// Fresh inputs this step added.
+    pub added_inputs: usize,
+    /// Error-severity findings before the step.
+    pub errors_before: usize,
+    /// Error-severity findings after the step.
+    pub errors_after: usize,
+}
+
+/// Work accounting across the whole search — the observability hook for
+/// the incremental-analysis speedup claim.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SearchEffort {
+    /// Candidate re-analyses performed.
+    pub reanalyses: usize,
+    /// Sum of gates whose statistics were actually recomputed.
+    pub dirty_gates: usize,
+    /// Sum of gates a from-scratch run would have recomputed.
+    pub total_gates: usize,
+}
+
+/// The result of one repair episode.
+#[derive(Debug, Clone)]
+pub struct RepairOutcome {
+    /// Subject label.
+    pub label: String,
+    /// Whether the final subject clears every Error-severity rule.
+    pub repaired: bool,
+    /// Diagnosis of the original subject.
+    pub initial: Analysis,
+    /// Diagnosis of the final subject (equals `initial` when no patch was
+    /// accepted).
+    pub final_analysis: Analysis,
+    /// The final subject: patched when `repaired`, otherwise the base.
+    pub subject: Subject,
+    /// The accepted patch sequence, in application order.
+    pub steps: Vec<StepRecord>,
+    /// Total energy cost of the accepted sequence.
+    pub total_cost_fj: f64,
+    /// Candidates that were generated and re-analyzed.
+    pub candidates_tried: usize,
+    /// Anchors and candidates that were skipped, with reasons.
+    pub skipped: Vec<String>,
+    /// Incremental-analysis work accounting.
+    pub effort: SearchEffort,
+}
+
+type ErrorKey = (&'static str, Option<usize>, usize);
+
+fn error_keys(analysis: &Analysis) -> BTreeSet<ErrorKey> {
+    analysis
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .map(|d| (d.rule.code(), d.location.gate, d.location.net))
+        .collect()
+}
+
+struct State {
+    subject: Subject,
+    analysis: Analysis,
+    errors: BTreeSet<ErrorKey>,
+    steps: Vec<StepRecord>,
+    cost: f64,
+}
+
+/// Deterministic sampled check that `cand` still computes the base
+/// function: for each sampled (class, mask) pair the XOR over every
+/// output share group must agree. Mask bits the candidate added beyond
+/// the base's are exercised too — a refresh must cancel for *any* value
+/// of its fresh bits.
+pub fn functionally_equivalent(base: &Subject, cand: &Subject, samples: usize) -> bool {
+    if cand.output_groups() != base.output_groups() {
+        return false;
+    }
+    let classes = base.num_classes() as u64;
+    let base_bits = base.mask_bits();
+    let extra_bits = cand.mask_bits().saturating_sub(base_bits);
+    let mut x = 0x243f_6a88_85a3_08d3u64; // deterministic LCG stream
+    for _ in 0..samples {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let t = (x >> 33) % classes;
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let mask = if base_bits == 0 {
+            0
+        } else {
+            (x >> 7) & ((1u64 << base_bits) - 1)
+        };
+        let extra = if extra_bits == 0 {
+            0
+        } else {
+            (x >> 49) & ((1u64 << extra_bits) - 1)
+        };
+        let base_out = base.netlist().evaluate(&base.encode(t, mask));
+        let cand_out = cand
+            .netlist()
+            .evaluate(&cand.encode(t, mask | extra << base_bits));
+        for ports in base.output_groups() {
+            let bx = ports.iter().fold(false, |a, &p| a ^ base_out[p]);
+            let cx = ports.iter().fold(false, |a, &p| a ^ cand_out[p]);
+            if bx != cx {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Run the full diagnose → patch → re-verify loop on `subject`.
+pub fn repair(subject: &Subject, config: &SearchConfig) -> RepairOutcome {
+    let baseline = Baseline::new(subject.clone());
+    let initial = baseline.base_analysis();
+    let initial_errors = error_keys(&initial);
+    let mut outcome = RepairOutcome {
+        label: subject.label().to_string(),
+        repaired: initial_errors.is_empty(),
+        final_analysis: initial.clone(),
+        subject: subject.clone(),
+        initial,
+        steps: Vec::new(),
+        total_cost_fj: 0.0,
+        candidates_tried: 0,
+        skipped: Vec::new(),
+        effort: SearchEffort::default(),
+    };
+    if outcome.repaired {
+        return outcome;
+    }
+
+    let mut beam = vec![State {
+        subject: subject.clone(),
+        analysis: outcome.initial.clone(),
+        errors: initial_errors,
+        steps: Vec::new(),
+        cost: 0.0,
+    }];
+
+    for _depth in 0..config.max_steps {
+        let mut solutions: Vec<State> = Vec::new();
+        let mut next: Vec<State> = Vec::new();
+        for state in &beam {
+            let generated = generate(&state.subject, &state.analysis);
+            outcome.skipped.extend(generated.notes);
+            for patch in generated.patches {
+                if let Some(state) =
+                    try_candidate(subject, state, patch, &baseline, config, &mut outcome)
+                {
+                    if state.errors.is_empty() {
+                        solutions.push(state);
+                    } else {
+                        next.push(state);
+                    }
+                }
+            }
+        }
+        if let Some(best) = solutions.into_iter().min_by(|a, b| {
+            a.cost
+                .total_cmp(&b.cost)
+                .then(a.steps.len().cmp(&b.steps.len()))
+        }) {
+            outcome.repaired = true;
+            outcome.final_analysis = best.analysis;
+            outcome.subject = best.subject;
+            outcome.steps = best.steps;
+            outcome.total_cost_fj = best.cost;
+            return outcome;
+        }
+        next.sort_by(|a, b| {
+            a.errors
+                .len()
+                .cmp(&b.errors.len())
+                .then(a.cost.total_cmp(&b.cost))
+        });
+        next.truncate(config.beam_width);
+        if next.is_empty() {
+            break;
+        }
+        beam = next;
+    }
+    outcome
+}
+
+/// Re-verify one candidate; `None` when it is skipped or fails the
+/// monotone-progress / preservation gates.
+fn try_candidate(
+    original: &Subject,
+    parent: &State,
+    patch: Patch,
+    baseline: &Baseline,
+    config: &SearchConfig,
+    outcome: &mut RepairOutcome,
+) -> Option<State> {
+    if patch.subject.mask_bits() > config.max_mask_bits {
+        outcome.skipped.push(format!(
+            "{}: mask space would grow to {} bits (cap {})",
+            patch.name,
+            patch.subject.mask_bits(),
+            config.max_mask_bits
+        ));
+        return None;
+    }
+    outcome.candidates_tried += 1;
+    if !functionally_equivalent(original, &patch.subject, config.preservation_samples) {
+        outcome
+            .skipped
+            .push(format!("{}: changes the computed function", patch.name));
+        return None;
+    }
+    let (analysis, effort) = baseline.reanalyze(&patch.subject);
+    outcome.effort.reanalyses += 1;
+    outcome.effort.dirty_gates += effort.dirty_gates;
+    outcome.effort.total_gates += effort.total_gates;
+    let errors = error_keys(&analysis);
+    if errors.len() >= parent.errors.len() || !errors.is_subset(&parent.errors) {
+        return None;
+    }
+    let mut steps = parent.steps.clone();
+    steps.push(StepRecord {
+        patch: patch.name,
+        description: patch.description,
+        cost_fj: patch.cost_fj,
+        added_gates: patch.added_gates,
+        added_inputs: patch.added_inputs,
+        errors_before: parent.errors.len(),
+        errors_after: errors.len(),
+    });
+    Some(State {
+        subject: patch.subject,
+        analysis,
+        errors,
+        steps,
+        cost: parent.cost + patch.cost_fj,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbox_circuits::{SboxCircuit, Scheme};
+
+    #[test]
+    fn isw_is_already_clean_and_returns_untouched() {
+        let subject = Subject::of_circuit(&SboxCircuit::build(Scheme::Isw));
+        let outcome = repair(&subject, &SearchConfig::default());
+        assert!(outcome.repaired);
+        assert!(outcome.steps.is_empty());
+        assert_eq!(outcome.total_cost_fj, 0.0);
+        assert_eq!(outcome.candidates_tried, 0);
+    }
+
+    #[test]
+    fn ti_boundary_composition_repairs_in_one_refresh_step() {
+        let subject = Subject::of_circuit(&SboxCircuit::build(Scheme::Ti));
+        let outcome = repair(&subject, &SearchConfig::default());
+        assert!(outcome.repaired, "skipped: {:?}", outcome.skipped);
+        assert_eq!(outcome.initial.error_count(), 4, "TI: 4 GX-BOUNDARY errors");
+        assert_eq!(outcome.final_analysis.error_count(), 0);
+        assert!(outcome.final_analysis.verdicts.glitch_first_order());
+        assert_eq!(outcome.steps.len(), 1, "one shared refresh suffices");
+        assert!(outcome.steps[0].patch.starts_with("refresh-"));
+        // The repair must be functionally invisible.
+        assert!(functionally_equivalent(&subject, &outcome.subject, 128));
+        // And the incremental engine must have saved most of the work.
+        assert!(
+            outcome.effort.dirty_gates * 2 < outcome.effort.total_gates,
+            "incremental re-analysis should touch a minority of gates: {:?}",
+            outcome.effort
+        );
+    }
+
+    #[test]
+    fn preservation_check_rejects_a_function_change() {
+        let subject = Subject::of_circuit(&SboxCircuit::build(Scheme::Ti));
+        let mut b = sbox_netlist::NetlistBuilder::new("broken");
+        let base = subject.netlist();
+        let mut map = std::collections::HashMap::new();
+        for (i, &net) in base.inputs().iter().enumerate() {
+            map.insert(net.index(), b.input(format!("in{i}")));
+        }
+        for gate in base.gates() {
+            let pins: Vec<_> = gate.inputs().iter().map(|n| map[&n.index()]).collect();
+            map.insert(gate.output().index(), b.gate(gate.cell(), &pins));
+        }
+        for (i, (name, net)) in base.outputs().iter().enumerate() {
+            let out = map[&net.index()];
+            // Invert one output share: the group XOR flips.
+            let out = if i == 0 { b.not(out) } else { out };
+            b.output(name.clone(), out);
+        }
+        let broken = Subject::with_roles(
+            "broken",
+            b.finish().expect("valid"),
+            subject.roles().to_vec(),
+            subject.output_groups().to_vec(),
+        )
+        .expect("contract");
+        assert!(!functionally_equivalent(&subject, &broken, 64));
+    }
+}

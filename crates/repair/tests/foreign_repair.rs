@@ -1,0 +1,79 @@
+//! End-to-end repair of a frontend-imported foreign netlist.
+//!
+//! `foreign_masked.yosys.json` is a hand-written 2-share XOR gadget with
+//! two injected defects: gate `g_t1` recombines both shares of secret
+//! bit 0 (`t1 = a1 ⊕ a0`, a class-constant), and the output boundary
+//! carries no fresh randomness. The repair searcher must fix both — by
+//! re-associating the XOR chain and refreshing the output shares —
+//! without changing the computed function.
+
+use sbox_circuits::InputRole;
+use sca_repair::search::{functionally_equivalent, repair, SearchConfig};
+use sca_verify::{RuleId, Severity, Subject};
+
+fn foreign_subject() -> Subject {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/fixtures/frontend/foreign_masked.yosys.json"
+    );
+    let text = std::fs::read_to_string(path).expect("fixture readable");
+    let design = sca_frontend::import_auto(&text).expect("fixture imports");
+    Subject::with_roles(
+        "foreign-masked",
+        design.netlist,
+        vec![
+            InputRole::Share { bit: 0, share: 0 },
+            InputRole::Share { bit: 0, share: 1 },
+            InputRole::Share { bit: 1, share: 0 },
+            InputRole::Share { bit: 1, share: 1 },
+        ],
+        vec![vec![0, 1]],
+    )
+    .expect("contract well-formed")
+}
+
+#[test]
+fn foreign_import_diagnoses_both_injected_defects() {
+    let subject = foreign_subject();
+    let analysis = sca_verify::analyze_subject(&subject);
+    assert!(
+        analysis.count(RuleId::ValueBias) >= 1,
+        "t1 is class-constant"
+    );
+    assert!(
+        analysis.count(RuleId::GlitchLocal) >= 1,
+        "t1's fan-in joint leaks"
+    );
+    assert_eq!(analysis.count(RuleId::GxBoundary), 1, "no boundary refresh");
+    assert_eq!(analysis.error_count(), 4);
+}
+
+#[test]
+fn foreign_netlist_repairs_via_rotation_and_refresh() {
+    let subject = foreign_subject();
+    let outcome = repair(&subject, &SearchConfig::default());
+    assert!(outcome.repaired, "skipped: {:?}", outcome.skipped);
+    assert_eq!(outcome.final_analysis.error_count(), 0);
+    assert!(outcome.final_analysis.verdicts.value_first_order);
+    assert!(outcome.final_analysis.verdicts.glitch_first_order());
+    assert_eq!(outcome.steps.len(), 2, "steps: {:?}", outcome.steps);
+    let names: Vec<&str> = outcome.steps.iter().map(|s| s.patch.as_str()).collect();
+    assert!(
+        names.iter().any(|n| n.starts_with("xor-rotate")),
+        "one step must re-associate the recombining chain: {names:?}"
+    );
+    assert!(
+        names.iter().any(|n| n.starts_with("refresh-")),
+        "one step must refresh the boundary: {names:?}"
+    );
+    // Function preserved end to end.
+    assert!(functionally_equivalent(&subject, &outcome.subject, 256));
+    // The known honest residue: the rotated chain still recombines both
+    // shares structurally (SD-RECOMB warning), which the Error-free
+    // verdict does not hide.
+    assert!(outcome
+        .final_analysis
+        .diagnostics
+        .iter()
+        .all(|d| d.severity != Severity::Error),);
+}

@@ -41,12 +41,21 @@
 
 pub mod analyze;
 pub mod expect;
+pub mod incremental;
+pub mod packed;
 pub mod report;
 pub mod rules;
 pub mod score;
+pub mod subject;
 pub mod taint;
 
-pub use analyze::{analyze, Analysis, Verdicts, BIAS_EPS, FRESH_FANOUT_LIMIT};
+pub use analyze::{
+    analyze, analyze_subject, finish_analysis, Analysis, SubjectStats, Verdicts, BIAS_EPS,
+    FRESH_FANOUT_LIMIT,
+};
+pub use incremental::{Baseline, ReanalyzeEffort};
+pub use packed::PackedSweep;
 pub use rules::{Diagnostic, Location, RuleId, Severity};
 pub use score::{Scores, COMPOSITION_WEIGHT};
+pub use subject::{Depth, Subject};
 pub use taint::TaintMap;

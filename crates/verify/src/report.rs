@@ -20,7 +20,9 @@ pub const MAX_WITNESSES: usize = 16;
 
 /// Version tag of the JSON schema, bumped on layout changes so stale
 /// pinned expectations fail loudly rather than diffing confusingly.
-pub const SCHEMA: &str = "sca-verify/1";
+/// `/2` added the `depth` field and the TRANSITION-HD / SHARE-UNIFORM
+/// rule entries.
+pub const SCHEMA: &str = "sca-verify/2";
 
 fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -80,6 +82,7 @@ pub fn json(a: &Analysis) -> String {
     let _ = writeln!(out, "  \"gates\": {},", a.gates);
     let _ = writeln!(out, "  \"nets\": {},", a.nets);
     let _ = writeln!(out, "  \"mask_bits\": {},", a.mask_bits);
+    let _ = writeln!(out, "  \"depth\": \"{}\",", a.depth.label());
     let _ = writeln!(out, "  \"verdicts\": {{");
     let _ = writeln!(
         out,
@@ -145,8 +148,13 @@ pub fn human(a: &Analysis) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{} ({}): {} gates, {} nets, mask space 2^{}",
-        a.label, a.netlist_name, a.gates, a.nets, a.mask_bits
+        "{} ({}): {} gates, {} nets, mask space 2^{}, {} depth",
+        a.label,
+        a.netlist_name,
+        a.gates,
+        a.nets,
+        a.mask_bits,
+        a.depth.label()
     );
     let _ = writeln!(
         out,
@@ -236,7 +244,7 @@ mod tests {
                 1
             );
         }
-        assert!(j.starts_with("{\n  \"schema\": \"sca-verify/1\""));
+        assert!(j.starts_with("{\n  \"schema\": \"sca-verify/2\""));
     }
 
     #[test]

@@ -22,6 +22,13 @@ pub enum RuleId {
     /// compute any function of that tuple, so a glitch-extended probe on
     /// its output leaks even when every single net is value-unbiased.
     GlitchLocal,
+    /// A driven net's *transition* (Hamming-distance) probability between
+    /// two consecutive evaluations depends on the class pair when the
+    /// mask is held across the transition — the distance-based leakage a
+    /// power probe sees on an unrefreshed datapath register or wire.
+    /// Synchronization barriers switch the net to the precharge model
+    /// (flip probability = ones probability of the new value).
+    TransitionHd,
     /// A gate's glitch-extended input cone contains *all* shares of a
     /// secret bit and no fresh randomness — the DOM-style recombination
     /// defect.
@@ -34,6 +41,11 @@ pub enum RuleId {
     /// share domains (a cross-domain product). Safe only if composed with
     /// a fresh refresh, as ISW does; reported for audit, not as a defect.
     SdCross,
+    /// An output share group's joint distribution is not uniform given
+    /// its recombined value for some class: downstream composition can no
+    /// longer assume uniformly shared inputs, so any gadget consuming the
+    /// group inherits a bias the share count cannot bound.
+    ShareUniform,
     /// Composition check at the output boundary: the union of the
     /// glitch-extended cones of one output bit's shares covers every
     /// share of some input bit with no fresh randomness in the union. A
@@ -44,12 +56,14 @@ pub enum RuleId {
 
 impl RuleId {
     /// Every rule, in report order.
-    pub const ALL: [RuleId; 6] = [
+    pub const ALL: [RuleId; 8] = [
         RuleId::ValueBias,
         RuleId::GlitchLocal,
+        RuleId::TransitionHd,
         RuleId::SdRecomb,
         RuleId::SdReuse,
         RuleId::SdCross,
+        RuleId::ShareUniform,
         RuleId::GxBoundary,
     ];
 
@@ -58,9 +72,11 @@ impl RuleId {
         match self {
             RuleId::ValueBias => "VALUE-BIAS",
             RuleId::GlitchLocal => "GLITCH-LOCAL",
+            RuleId::TransitionHd => "TRANSITION-HD",
             RuleId::SdRecomb => "SD-RECOMB",
             RuleId::SdReuse => "SD-REUSE",
             RuleId::SdCross => "SD-CROSS",
+            RuleId::ShareUniform => "SHARE-UNIFORM",
             RuleId::GxBoundary => "GX-BOUNDARY",
         }
     }
@@ -69,7 +85,9 @@ impl RuleId {
     pub const fn severity(self) -> Severity {
         match self {
             RuleId::ValueBias | RuleId::GlitchLocal | RuleId::GxBoundary => Severity::Error,
-            RuleId::SdRecomb | RuleId::SdReuse => Severity::Warning,
+            RuleId::SdRecomb | RuleId::SdReuse | RuleId::TransitionHd | RuleId::ShareUniform => {
+                Severity::Warning
+            }
             RuleId::SdCross => Severity::Advice,
         }
     }
@@ -79,9 +97,11 @@ impl RuleId {
         match self {
             RuleId::ValueBias => "class-dependent settled value (first-order value probe)",
             RuleId::GlitchLocal => "class-dependent fan-in joint (transient race-window probe)",
+            RuleId::TransitionHd => "class-dependent transition rate under a held mask (HD probe)",
             RuleId::SdRecomb => "cone recombines all shares of a bit without fresh randomness",
             RuleId::SdReuse => "refresh mask loaded beyond its single masking duty",
             RuleId::SdCross => "cross-domain product (needs downstream refresh)",
+            RuleId::ShareUniform => "output share group not jointly uniform given its value",
             RuleId::GxBoundary => "output-share cones jointly uncover a bit without randomness",
         }
     }

@@ -1,67 +1,75 @@
 //! Share-domain taint: which shares and which fresh randomness reach
 //! each net.
 //!
-//! Primary inputs are labelled with their [`InputRole`] (share *s* of
-//! secret bit *b*, or fresh randomness); the labels propagate through the
-//! gate graph as *cone taint* — net `n` is tainted by every label in its
-//! glitch-extended input cone. Because the netlists are combinational
-//! with ≤ 64 primary inputs, the whole map reduces to one
-//! [`sbox_netlist::cone::input_support_masks`] pass plus a per-net mask
-//! intersection.
+//! Primary inputs are labelled with their [`InputRole`](sbox_circuits::InputRole)
+//! (share *s* of secret bit *b*, or fresh randomness); the labels
+//! propagate through the gate graph as *cone taint* — net `n` is tainted
+//! by every label in its glitch-extended input cone. Because the
+//! netlists are combinational with ≤ 64 primary inputs, the whole map
+//! reduces to one [`sbox_netlist::cone::input_support_masks`] pass plus
+//! a per-net mask intersection.
+//!
+//! The taint bitset is a [`ShareSet`] — one 64-bit word per share index
+//! — so a subject may carry up to 64 secret bits (a full PRESENT layer)
+//! at up to [`MAX_SHARES`] shares each.
 
-use sbox_circuits::{InputEncoding, InputRole};
-use sbox_netlist::{cone, NetId, Netlist};
+use sbox_circuits::InputRole;
+use sbox_netlist::{cone, NetId};
+
+use crate::subject::Subject;
 
 /// Maximum shares per secret bit the taint bitset supports.
 pub const MAX_SHARES: usize = 4;
 
-/// Per-net share/randomness taint for one circuit.
+/// A set of (secret bit, share) labels: `words[s]` bit `b` is set iff
+/// share `s` of secret bit `b` is present.
+pub type ShareSet = [u64; MAX_SHARES];
+
+/// Union of two share sets.
+#[must_use]
+pub fn share_union(a: ShareSet, b: ShareSet) -> ShareSet {
+    let mut out = a;
+    for (o, w) in out.iter_mut().zip(b) {
+        *o |= w;
+    }
+    out
+}
+
+/// Per-net share/randomness taint for one subject.
 #[derive(Debug, Clone)]
 pub struct TaintMap {
     shares_per_bit: u8,
-    /// Per net: bit `b * MAX_SHARES + s` set iff share `s` of secret bit
-    /// `b` is in the net's input cone.
-    shares: Vec<u16>,
+    secret_bits: usize,
+    /// Per net: the share labels in the net's input cone.
+    shares: Vec<ShareSet>,
     /// Per net: bit `i` set iff *fresh* primary input `i` (by input
     /// position) is in the net's input cone.
     fresh: Vec<u64>,
 }
 
 impl TaintMap {
-    /// Label the inputs of `netlist` with `encoding`'s roles and
-    /// propagate.
+    /// Label the subject's inputs with its roles and propagate.
     ///
     /// # Panics
     ///
-    /// Panics if the netlist's input count does not match the encoding
-    /// (mutated netlists keep their ports, so transforms stay
-    /// compatible).
-    pub fn build(netlist: &Netlist, encoding: &InputEncoding) -> Self {
-        let roles = encoding.input_roles();
-        assert_eq!(
-            roles.len(),
-            netlist.num_inputs(),
-            "encoding roles must cover every primary input"
-        );
+    /// Panics if the netlist has more than 64 primary inputs (the cone
+    /// support pass is a 64-bit bitset); [`Subject`] construction already
+    /// validates role coverage.
+    pub fn build(subject: &Subject) -> Self {
+        let netlist = subject.netlist();
+        let roles = subject.roles();
         let support = cone::input_support_masks(netlist);
         // Per primary-input position: its share label / fresh flag.
-        let mut share_of_input = vec![0u16; roles.len()];
+        let mut share_of_input = vec![[0u64; MAX_SHARES]; roles.len()];
         let mut fresh_of_input = vec![0u64; roles.len()];
         for (i, role) in roles.iter().enumerate() {
             match *role {
                 InputRole::Share { bit, share } => {
-                    share_of_input[i] = 1 << (usize::from(bit) * MAX_SHARES + usize::from(share));
+                    share_of_input[i][usize::from(share)] |= 1 << bit;
                 }
                 InputRole::Fresh => fresh_of_input[i] = 1 << i,
             }
         }
-        let fold = |mask: u64, per_input: &[u64]| -> u64 {
-            per_input
-                .iter()
-                .enumerate()
-                .filter(|&(i, _)| mask >> i & 1 == 1)
-                .fold(0, |acc, (_, &m)| acc | m)
-        };
         let shares = support
             .iter()
             .map(|&m| {
@@ -69,24 +77,39 @@ impl TaintMap {
                     .iter()
                     .enumerate()
                     .filter(|&(i, _)| m >> i & 1 == 1)
-                    .fold(0u16, |acc, (_, &s)| acc | s)
+                    .fold([0u64; MAX_SHARES], |acc, (_, &s)| share_union(acc, s))
             })
             .collect();
-        let fresh = support.iter().map(|&m| fold(m, &fresh_of_input)).collect();
+        let fresh = support
+            .iter()
+            .map(|&m| {
+                fresh_of_input
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| m >> i & 1 == 1)
+                    .fold(0, |acc, (_, &f)| acc | f)
+            })
+            .collect();
         Self {
-            shares_per_bit: encoding.shares_per_bit(),
+            shares_per_bit: subject.shares_per_bit(),
+            secret_bits: subject.secret_bits(),
             shares,
             fresh,
         }
     }
 
-    /// How many shares jointly encode each secret bit in this scheme.
+    /// How many shares jointly encode each secret bit in this subject.
     pub fn shares_per_bit(&self) -> u8 {
         self.shares_per_bit
     }
 
-    /// The share-taint bitset of a net (bit `b * MAX_SHARES + s`).
-    pub fn shares(&self, net: NetId) -> u16 {
+    /// Number of secret bits tracked.
+    pub fn secret_bits(&self) -> usize {
+        self.secret_bits
+    }
+
+    /// The share-taint set of a net.
+    pub fn shares(&self, net: NetId) -> ShareSet {
         self.shares[net.index()]
     }
 
@@ -95,28 +118,27 @@ impl TaintMap {
         self.fresh[net.index()]
     }
 
-    /// The share indices of secret bit `bit` present in `taint_bits`.
-    fn shares_of_bit(taint_bits: u16, bit: usize) -> u16 {
-        (taint_bits >> (bit * MAX_SHARES)) & ((1 << MAX_SHARES) - 1)
-    }
-
     /// Secret bits whose shares are *all* present in the given combined
-    /// share taint, as a nibble bitmask.
-    pub fn fully_covered_bits(&self, taint_bits: u16) -> u8 {
-        let full = (1u16 << self.shares_per_bit) - 1;
-        (0..4)
-            .filter(|&b| Self::shares_of_bit(taint_bits, b) & full == full)
-            .fold(0u8, |acc, b| acc | (1 << b))
+    /// share taint, as a bitmask over secret bits.
+    pub fn fully_covered_bits(&self, taint: ShareSet) -> u64 {
+        taint
+            .iter()
+            .take(usize::from(self.shares_per_bit))
+            .fold(u64::MAX, |acc, &w| acc & w)
+            & mask_bits(self.secret_bits)
     }
 
-    /// Largest share-coverage fraction over the four secret bits for a
+    /// Largest share-coverage fraction over the secret bits for a
     /// combined share taint: 1.0 means some bit's shares are all present.
-    pub fn max_coverage(&self, taint_bits: u16) -> f64 {
-        let full = (1u16 << self.shares_per_bit) - 1;
-        (0..4)
+    pub fn max_coverage(&self, taint: ShareSet) -> f64 {
+        (0..self.secret_bits)
             .map(|b| {
-                f64::from((Self::shares_of_bit(taint_bits, b) & full).count_ones())
-                    / f64::from(self.shares_per_bit)
+                let present = taint
+                    .iter()
+                    .take(usize::from(self.shares_per_bit))
+                    .filter(|&&w| w >> b & 1 == 1)
+                    .count() as u32;
+                f64::from(present) / f64::from(self.shares_per_bit)
             })
             .fold(0.0, f64::max)
     }
@@ -125,10 +147,19 @@ impl TaintMap {
     /// regardless of which bit they belong to — the DOM notion of the
     /// domains a wire touches.
     pub fn domains(&self, net: NetId) -> u8 {
-        let t = self.shares[net.index()];
-        (0..MAX_SHARES)
-            .filter(|&s| (0..4).any(|b| t >> (b * MAX_SHARES + s) & 1 == 1))
-            .fold(0u8, |acc, s| acc | (1 << s))
+        self.shares[net.index()]
+            .iter()
+            .enumerate()
+            .filter(|&(_, &w)| w != 0)
+            .fold(0u8, |acc, (s, _)| acc | (1 << s))
+    }
+}
+
+fn mask_bits(n: usize) -> u64 {
+    if n >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
     }
 }
 
@@ -140,13 +171,18 @@ mod tests {
     #[test]
     fn isw_refresh_is_fresh_and_shares_split() {
         let c = SboxCircuit::build(Scheme::Isw);
-        let taint = TaintMap::build(c.netlist(), c.encoding());
+        let subject = Subject::of_circuit(&c);
+        let taint = TaintMap::build(&subject);
         // Inputs 0..4 are share 0, 4..8 share 1, 8..12 fresh.
         let nets = c.netlist().inputs();
         for b in 0..4usize {
-            assert_eq!(taint.shares(nets[b]), 1 << (b * MAX_SHARES));
-            assert_eq!(taint.shares(nets[4 + b]), 1 << (b * MAX_SHARES + 1));
-            assert_eq!(taint.shares(nets[8 + b]), 0);
+            let mut s0 = [0u64; MAX_SHARES];
+            s0[0] = 1 << b;
+            let mut s1 = [0u64; MAX_SHARES];
+            s1[1] = 1 << b;
+            assert_eq!(taint.shares(nets[b]), s0);
+            assert_eq!(taint.shares(nets[4 + b]), s1);
+            assert_eq!(taint.shares(nets[8 + b]), [0; MAX_SHARES]);
             assert_ne!(taint.fresh(nets[8 + b]), 0);
         }
     }
@@ -154,7 +190,8 @@ mod tests {
     #[test]
     fn coverage_and_domains_on_ti() {
         let c = SboxCircuit::build(Scheme::Ti);
-        let taint = TaintMap::build(c.netlist(), c.encoding());
+        let subject = Subject::of_circuit(&c);
+        let taint = TaintMap::build(&subject);
         assert_eq!(taint.shares_per_bit(), 4);
         // Non-completeness: no single output share's cone covers all
         // four shares of any bit.
@@ -167,14 +204,15 @@ mod tests {
         let union = groups[0]
             .iter()
             .map(|&p| taint.shares(c.netlist().outputs()[p].1))
-            .fold(0u16, |a, s| a | s);
+            .fold([0u64; MAX_SHARES], share_union);
         assert_ne!(taint.fully_covered_bits(union), 0);
     }
 
     #[test]
     fn unprotected_bits_are_their_own_cover() {
         let c = SboxCircuit::build(Scheme::Lut);
-        let taint = TaintMap::build(c.netlist(), c.encoding());
+        let subject = Subject::of_circuit(&c);
+        let taint = TaintMap::build(&subject);
         let (_, y0) = &c.netlist().outputs()[0];
         assert_ne!(taint.fully_covered_bits(taint.shares(*y0)), 0);
         assert_eq!(taint.fresh(*y0), 0);

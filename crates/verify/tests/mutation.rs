@@ -124,6 +124,137 @@ fn recombining_and_gate_is_reported_by_every_layer() {
     assert!(!analysis.verdicts.glitch_first_order());
 }
 
+/// Defect 3 — Hamming-distance leakage under a held mask: an AND over
+/// the share-0 encodings of two *different* secret bits. Its settled
+/// value is Bernoulli(1/4) in every class and its fan-in joint is
+/// uniform, so the settled-value layers stay silent — but between class
+/// pairs its flip rate swings from 0 (neither bit changed) to 1/2,
+/// which only TRANSITION-HD sees. The diff against the clean baseline
+/// must name exactly the injected gate.
+#[test]
+fn held_mask_transition_leak_is_named_only_by_transition_hd() {
+    let circuit = SboxCircuit::build(Scheme::Isw);
+    let netlist = circuit.netlist();
+    let xa0 = netlist.inputs()[0];
+    let xa1 = netlist.inputs()[1];
+    let (mutant, injected) =
+        transform::observe_product(netlist, xa0, xa1, "probe_hd").expect("legal probe");
+    let baseline = analyze(&SboxCircuit::build(Scheme::Isw));
+    let analysis = analyze(&SboxCircuit::from_instrumented(Scheme::Isw, mutant));
+
+    let before: Vec<Option<usize>> = baseline
+        .of_rule(RuleId::TransitionHd)
+        .iter()
+        .map(|d| d.location.gate)
+        .collect();
+    let fresh: Vec<&sca_verify::Diagnostic> = analysis
+        .of_rule(RuleId::TransitionHd)
+        .into_iter()
+        .filter(|d| !before.contains(&d.location.gate))
+        .collect();
+    assert_eq!(
+        fresh.iter().map(|d| d.location.gate).collect::<Vec<_>>(),
+        vec![Some(injected.index())],
+        "TRANSITION-HD must name exactly the injected gate"
+    );
+    // xa0 ∧ xa1 flips with probability 1/2 against class 0 whenever a
+    // changed secret bit feeds it, and never when none does.
+    assert!(
+        (fresh[0].measure - 0.5).abs() < 1e-12,
+        "spread {}",
+        fresh[0].measure
+    );
+    // The settled-value layers gained nothing: the defect is invisible
+    // to every pre-existing rule.
+    for rule in [RuleId::ValueBias, RuleId::GlitchLocal] {
+        assert_eq!(
+            analysis.count(rule),
+            baseline.count(rule),
+            "{} must not react to the HD probe",
+            rule.code()
+        );
+    }
+}
+
+/// Build the 3-share boundary toy for the SHARE-UNIFORM defect: a
+/// single secret bit shared as `a0 ⊕ a1 ⊕ a2`, one fresh bit `u`, and —
+/// when `defective` — the biased product `a0 ∧ u` XOR-folded into output
+/// shares 0 and 2. The fold cancels in the group XOR (the function is
+/// preserved) and every net's per-class mean is class-independent, yet
+/// the joint share distribution collapses: patterns where the product
+/// fires are remapped onto their neighbours, skewing the coset masses
+/// to (3/8, 3/8, 1/8, 1/8).
+fn boundary_toy(defective: bool) -> sca_verify::Subject {
+    use sbox_circuits::InputRole;
+    let mut b = sbox_netlist::NetlistBuilder::new(if defective {
+        "toy_skewed"
+    } else {
+        "toy_uniform"
+    });
+    let a0 = b.input("a0");
+    let a1 = b.input("a1");
+    let a2 = b.input("a2");
+    let u = b.input("u");
+    // The control folds the fresh bit itself into shares 0 and 2 — the
+    // same shape, but an unbiased shift keeps the coset uniform. The
+    // defect replaces it with the biased product `a0 ∧ u`.
+    let d = if defective { b.and(&[a0, u]) } else { u };
+    let (y0, y2) = (b.xor(a0, d), b.xor(a2, d));
+    let y1 = b.buf(a1);
+    b.output("y0", y0);
+    b.output("y1", y1);
+    b.output("y2", y2);
+    sca_verify::Subject::with_roles(
+        if defective {
+            "toy-skewed"
+        } else {
+            "toy-uniform"
+        },
+        b.finish().expect("valid toy"),
+        vec![
+            InputRole::Share { bit: 0, share: 0 },
+            InputRole::Share { bit: 0, share: 1 },
+            InputRole::Share { bit: 0, share: 2 },
+            InputRole::Fresh,
+        ],
+        vec![vec![0, 1, 2]],
+    )
+    .expect("contract well-formed")
+}
+
+/// Defect 4 — boundary non-uniformity with clean marginals: only
+/// SHARE-UNIFORM can see it. Every net is class-balanced (no
+/// VALUE-BIAS), every fan-in joint is class-constant (no GLITCH-LOCAL),
+/// the cones never recombine all three shares and the boundary carries
+/// fresh randomness — yet the output share group is skewed within its
+/// parity coset, exactly the non-uniformity that breaks composable
+/// masking proofs.
+#[test]
+fn skewed_share_group_is_named_only_by_share_uniform() {
+    let clean = sca_verify::analyze_subject(&boundary_toy(false));
+    assert_eq!(clean.count(RuleId::ShareUniform), 0);
+    assert_eq!(clean.error_count(), 0);
+
+    let analysis = sca_verify::analyze_subject(&boundary_toy(true));
+    let findings = analysis.of_rule(RuleId::ShareUniform);
+    assert_eq!(findings.len(), 1, "exactly the one skewed group");
+    let d = findings[0];
+    // The diagnostic anchors at the group's first share and lists the
+    // whole group as witness.
+    assert_eq!(d.witness, ["y0", "y1", "y2"]);
+    // Coset masses (3/8, 3/8, 1/8, 1/8) against the uniform 1/4 ideal:
+    // total variation exactly 1/4.
+    assert!((d.measure - 0.25).abs() < 1e-12, "tv {}", d.measure);
+    // And nothing else reacts: the defect is invisible to every
+    // Error-severity rule.
+    assert_eq!(analysis.error_count(), 0);
+    assert_eq!(analysis.count(RuleId::ValueBias), 0);
+    assert_eq!(analysis.count(RuleId::GlitchLocal), 0);
+    assert_eq!(analysis.count(RuleId::SdRecomb), 0);
+    assert!(analysis.verdicts.value_first_order);
+    assert!(analysis.verdicts.glitch_first_order());
+}
+
 /// The two mutants leave untouched gates undisturbed: ids are preserved,
 /// so the diagnostics map one-to-one onto the original netlist.
 #[test]

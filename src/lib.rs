@@ -33,4 +33,5 @@ pub use sbox_circuits as circuits;
 pub use sbox_netlist as netlist;
 pub use sca_attacks as attacks;
 pub use sca_frontend as frontend;
+pub use sca_repair as repair;
 pub use sca_verify as verify;

@@ -1,0 +1,135 @@
+//! Property test for the incremental re-analyzer: under random netlist
+//! edits, `Baseline::reanalyze` must render a report byte-identical to a
+//! from-scratch `analyze_subject` of the same candidate.
+//!
+//! The edit distribution mixes the three shapes the repair searcher
+//! actually produces — pin rewires (`transform::rewire_input`), barrier
+//! re-marks, and the generator's own candidate patches — so the
+//! equivalence is checked on the inputs that matter, not a synthetic
+//! corpus. Any divergence means the cone-invalidation logic tiled a
+//! stale statistic over an edited region, which would silently corrupt
+//! the repair search.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sbox_leakage::circuits::{SboxCircuit, Scheme};
+use sbox_leakage::repair::patch::generate;
+use sbox_leakage::verify::{analyze_subject, report, Baseline, Subject};
+
+/// Incremental and from-scratch reports must match byte-for-byte.
+fn assert_equivalent(baseline: &Baseline, candidate: &Subject, what: &str) {
+    let fresh = analyze_subject(candidate);
+    let (incremental, effort) = baseline.reanalyze(candidate);
+    assert_eq!(
+        report::json(&fresh),
+        report::json(&incremental),
+        "{what}: incremental report diverged (effort {}/{} gates)",
+        effort.dirty_gates,
+        effort.total_gates
+    );
+}
+
+fn random_rewires(scheme: Scheme, seed: u64, attempts: usize, accepted: usize) {
+    let subject = Subject::of_circuit(&SboxCircuit::build(scheme));
+    let baseline = Baseline::new(subject.clone());
+    let netlist = subject.netlist();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Legal rewire sources: any primary input or gate output, referred
+    // to by the `NetId`s the netlist itself hands out.
+    let mut sources: Vec<_> = netlist.inputs().to_vec();
+    sources.extend(netlist.gates().iter().map(|g| g.output()));
+    let mut done = 0usize;
+    for _ in 0..attempts {
+        if done >= accepted {
+            break;
+        }
+        let gi = rng.gen::<u64>() as usize % netlist.gates().len();
+        let g = netlist.nets()[netlist.gates()[gi].output().index()]
+            .driver()
+            .expect("gate output has a driver");
+        let gate = netlist.gate(g);
+        let pin = rng.gen::<u64>() as usize % gate.inputs().len();
+        let new_net = sources[rng.gen::<u64>() as usize % sources.len()];
+        let Ok(mutant) = sbox_leakage::netlist::transform::rewire_input(netlist, g, pin, new_net)
+        else {
+            // Cycles and other illegal rewires are not candidates.
+            continue;
+        };
+        let candidate = Subject::with_roles(
+            subject.label(),
+            mutant,
+            subject.roles().to_vec(),
+            subject.output_groups().to_vec(),
+        )
+        .expect("roles unchanged");
+        assert_equivalent(
+            &baseline,
+            &candidate,
+            &format!(
+                "{scheme} rewire gate {} pin {pin} -> net {}",
+                g.index(),
+                new_net.index()
+            ),
+        );
+        done += 1;
+    }
+    assert!(
+        done >= accepted / 2,
+        "{scheme}: too few legal rewires ({done})"
+    );
+}
+
+fn random_barrier_marks(scheme: Scheme, seed: u64, count: usize) {
+    let subject = Subject::of_circuit(&SboxCircuit::build(scheme));
+    let baseline = Baseline::new(subject.clone());
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for _ in 0..count {
+        let g = rng.gen::<u64>() as usize % subject.netlist().gates().len();
+        let mut candidate = subject.clone();
+        candidate.mark_barrier(g);
+        assert_equivalent(
+            &baseline,
+            &candidate,
+            &format!("{scheme} barrier at gate {g}"),
+        );
+    }
+}
+
+fn generator_patches(scheme: Scheme, cap: usize) {
+    let subject = Subject::of_circuit(&SboxCircuit::build(scheme));
+    let baseline = Baseline::new(subject.clone());
+    let analysis = baseline.base_analysis();
+    for patch in generate(baseline.subject(), &analysis)
+        .patches
+        .into_iter()
+        .take(cap)
+    {
+        assert_equivalent(
+            &baseline,
+            &patch.subject,
+            &format!("{scheme} patch {}", patch.name),
+        );
+    }
+}
+
+#[test]
+fn isw_random_rewires_reanalyze_byte_identically() {
+    random_rewires(Scheme::Isw, 0x15, 40, 12);
+}
+
+#[test]
+fn ti_random_rewires_reanalyze_byte_identically() {
+    random_rewires(Scheme::Ti, 0x71, 24, 6);
+}
+
+#[test]
+fn barrier_marks_reanalyze_byte_identically() {
+    random_barrier_marks(Scheme::Isw, 0xBA11, 8);
+    random_barrier_marks(Scheme::Ti, 0xBA12, 3);
+}
+
+#[test]
+fn repair_generator_patches_reanalyze_byte_identically() {
+    generator_patches(Scheme::Ti, 4);
+    generator_patches(Scheme::Isw, 4);
+}

@@ -1,0 +1,82 @@
+//! Source-level deny-list for the two library crates that sit on
+//! user-input paths: the netlist frontend (parses foreign files) and
+//! the repair engine (transforms whatever the frontend produced).
+//!
+//! Both must degrade through typed errors, never panics: a malformed
+//! EDIF or a hostile netlist is an expected input, and a panic inside a
+//! parser is a denial-of-service on every tool built on top. The scan
+//! covers non-test code only (everything above the first `#[cfg(test)]`
+//! marker, matching the repo convention of trailing test modules).
+//!
+//! `.expect(` stays allowed in the frontend, where it documents
+//! checked invariants (and names a parser combinator in `json.rs`) —
+//! but the newer repair crate is held to the stricter bar.
+
+use std::path::Path;
+
+/// Tokens that abort the process instead of returning an error.
+const DENIED: [&str; 5] = [
+    "panic!",
+    ".unwrap()",
+    "unreachable!",
+    "todo!",
+    "unimplemented!",
+];
+
+fn scan(dir: &Path, extra_denied: &[&str]) -> Vec<String> {
+    let mut findings = Vec::new();
+    let mut entries: Vec<_> = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("{}: {e}", dir.display()))
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "rs"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let text = std::fs::read_to_string(&path).expect("readable source");
+        for (lineno, line) in text.lines().enumerate() {
+            // Test modules trail the file; stop scanning at the marker.
+            if line.contains("#[cfg(test)]") {
+                break;
+            }
+            let code = line.split("//").next().unwrap_or(line);
+            for token in DENIED.iter().chain(extra_denied) {
+                if code.contains(token) {
+                    findings.push(format!(
+                        "{}:{}: {}",
+                        path.display(),
+                        lineno + 1,
+                        line.trim()
+                    ));
+                }
+            }
+        }
+    }
+    findings
+}
+
+fn crate_src(name: &str) -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("crates")
+        .join(name)
+        .join("src")
+}
+
+#[test]
+fn frontend_library_code_never_panics_on_input() {
+    let findings = scan(&crate_src("frontend"), &[]);
+    assert!(
+        findings.is_empty(),
+        "frontend must return typed errors, not panic:\n{}",
+        findings.join("\n")
+    );
+}
+
+#[test]
+fn repair_library_code_never_panics_on_input() {
+    let findings = scan(&crate_src("repair"), &[".expect("]);
+    assert!(
+        findings.is_empty(),
+        "repair must return typed errors, not panic:\n{}",
+        findings.join("\n")
+    );
+}

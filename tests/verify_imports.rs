@@ -1,0 +1,65 @@
+//! Pinned static-analysis expectations for *imported* netlists: the
+//! bundled AES S-box and PRESENT S-box-layer Yosys-JSON fixtures flow
+//! through the frontend into `sca-verify`, and their JSON reports are
+//! byte-compared against `tests/golden/verify/`.
+//!
+//! This exercises the analyzer's two depth regimes on foreign inputs:
+//! the 8-bit AES S-box still fits the exhaustive sweep (256 classes,
+//! no masks), while the 16-bit PRESENT layer exceeds it and must
+//! degrade to the structural depth — honestly labelled in the report.
+//!
+//! Regenerate after an intentional analyzer change with:
+//!
+//! ```text
+//! SCA_BLESS=1 cargo test --test verify_imports
+//! ```
+
+use std::path::PathBuf;
+
+use sbox_leakage::verify::{self, expect, report, Depth, Subject};
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/verify")
+}
+
+fn imported_subject(label: &str, fixture: &str) -> Subject {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/frontend")
+        .join(fixture);
+    let text = std::fs::read_to_string(&path).expect("fixture readable");
+    let design = sbox_leakage::frontend::import_auto(&text).expect("fixture imports");
+    Subject::unprotected(label, design.netlist).expect("unprotected contract")
+}
+
+#[test]
+fn imported_aes_sbox_report_matches_the_pinned_expectation() {
+    let subject = imported_subject("aes-sbox", "aes_sbox.yosys.json");
+    let analysis = verify::analyze_subject(&subject);
+    // 8 secret bits, no masks: the exhaustive sweep still applies, and
+    // an unprotected S-box must fail first-order value probing.
+    assert_eq!(analysis.depth, Depth::Exhaustive);
+    assert!(!analysis.verdicts.value_first_order);
+    let actual = report::json(&analysis);
+    let path = expect::expectation_path(&golden_dir(), "aes-sbox");
+    if expect::blessing() {
+        expect::bless(&path, &actual).expect("write fixture");
+        return;
+    }
+    expect::check(&path, &actual).unwrap_or_else(|drift| panic!("{drift}"));
+}
+
+#[test]
+fn imported_present_layer_report_matches_the_pinned_expectation() {
+    let subject = imported_subject("present-layer", "present_layer.yosys.json");
+    let analysis = verify::analyze_subject(&subject);
+    // 16 secret bits exceed the exhaustive window: the analyzer must
+    // fall back to the structural depth, not silently subsample.
+    assert_eq!(analysis.depth, Depth::Structural);
+    let actual = report::json(&analysis);
+    let path = expect::expectation_path(&golden_dir(), "present-layer");
+    if expect::blessing() {
+        expect::bless(&path, &actual).expect("write fixture");
+        return;
+    }
+    expect::check(&path, &actual).unwrap_or_else(|drift| panic!("{drift}"));
+}
